@@ -1,0 +1,132 @@
+// Command archinfo describes a register-file architecture: its units,
+// files, ports, buses, connectivity, copy graph, VLSI cost, and —
+// given a kernel — the schedule's reservation table and utilization.
+//
+// Usage:
+//
+//	archinfo -arch distributed
+//	archinfo -arch clustered4 -kernel DCT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	commsched "repro"
+)
+
+func main() {
+	arch := flag.String("arch", "distributed", "architecture: central, clustered2, clustered4, distributed, paired, fig5")
+	kernelName := flag.String("kernel", "", "also schedule a Table 1 kernel and show occupancy")
+	machineFile := flag.String("machine", "", "text machine description file (overrides -arch)")
+	export := flag.Bool("export", false, "print the machine's text description and exit")
+	flag.Parse()
+
+	var m *commsched.Machine
+	if *machineFile != "" {
+		src, err := os.ReadFile(*machineFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "archinfo:", err)
+			os.Exit(1)
+		}
+		m, err = commsched.ParseMachine(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "archinfo:", err)
+			os.Exit(1)
+		}
+	} else if m = commsched.MachineByName(*arch); m == nil {
+		fmt.Fprintf(os.Stderr, "archinfo: unknown architecture %q\n", *arch)
+		os.Exit(2)
+	}
+
+	if *export {
+		fmt.Print(commsched.FormatMachine(m))
+		return
+	}
+
+	fmt.Println(m.Summary())
+	fmt.Println()
+	fmt.Println("functional units:")
+	for _, fu := range m.FUs {
+		extra := ""
+		if fu.CanCopy {
+			extra += " +copy"
+		}
+		if fu.IssueInterval > 1 {
+			extra += fmt.Sprintf(" issue-interval=%d", fu.IssueInterval)
+		}
+		cluster := ""
+		if fu.Cluster >= 0 {
+			cluster = fmt.Sprintf(" cluster=%d", fu.Cluster)
+		}
+		fmt.Printf("  %-6s %-4s inputs=%d writable-files=%d%s%s\n",
+			fu.Name, fu.Kind, fu.NumInputs, len(m.WritableRFs(fu.ID)), cluster, extra)
+	}
+
+	fmt.Println()
+	fmt.Println("register files:")
+	for _, rf := range m.RegFiles {
+		fmt.Printf("  %-10s %3d registers, %d write port(s)\n",
+			rf.Name, rf.NumRegs, m.NumWritePorts(rf.ID))
+	}
+
+	globals := 0
+	for _, bus := range m.Buses {
+		if bus.Global {
+			globals++
+		}
+	}
+	fmt.Printf("\nbuses: %d total, %d shared/global\n", len(m.Buses), globals)
+
+	if err := m.CopyConnected(); err != nil {
+		fmt.Printf("copy-connected: NO (%v)\n", err)
+	} else {
+		fmt.Println("copy-connected: yes (Appendix A property holds)")
+	}
+	if warns := m.Lint(); len(warns) > 0 {
+		fmt.Println("lint:")
+		for _, w := range warns {
+			fmt.Println("  -", w)
+		}
+	}
+
+	p := commsched.DefaultCostParams()
+	c := commsched.AnalyzeCost(m, p)
+	base := commsched.AnalyzeCost(commsched.Central(), p)
+	fmt.Printf("\ncost vs central: area %.3f, power %.3f, delay %.3f\n",
+		c.Area/base.Area, c.Power/base.Power, c.Delay/base.Delay)
+
+	if *kernelName == "" {
+		return
+	}
+	spec := commsched.KernelByName(*kernelName)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "archinfo: unknown kernel %q\n", *kernelName)
+		os.Exit(2)
+	}
+	k, err := spec.Kernel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "archinfo:", err)
+		os.Exit(1)
+	}
+	s, err := commsched.Compile(k, m, commsched.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "archinfo:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(s.ReservationTable())
+	fmt.Println()
+	fmt.Println("utilization over the loop:")
+	util := s.Utilization()
+	keys := make([]string, 0, len(util))
+	for k := range util {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		fmt.Printf("  %-12s %5.1f%%\n", key, util[key]*100)
+	}
+}

@@ -1,0 +1,224 @@
+// Package commsched is a reproduction of "Communication Scheduling"
+// (Mattson, Dally, Rixner, Kapasi, Owens — ASPLOS 2000): a VLIW
+// scheduler for shared-interconnect register-file architectures, the
+// four register-file organizations the paper evaluates, the ten media
+// kernels of its Table 1, a cycle-accurate simulator that validates
+// scheduled code end to end, and the VLSI cost model behind its
+// area/power/delay comparisons.
+//
+// The quickest path from source to schedule:
+//
+//	m := commsched.Distributed()
+//	sched, err := commsched.CompileSource(src, m, commsched.Options{})
+//	fmt.Println(sched.Dump())
+//
+// where src is a kernel in the package's small C-like kernel language
+// (see internal/kasm). Schedules can be executed on the cycle-accurate
+// machine model with Simulate, and the paper's experiments regenerated
+// with Evaluate / CostReport (or the cmd/paperfigs tool).
+package commsched
+
+import (
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/kasm"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/vliwsim"
+	"repro/internal/vlsi"
+)
+
+// Re-exported core types. The scheduler's behavior is tuned through
+// Options; the result is a Schedule carrying placements, routes, and
+// instrumentation.
+type (
+	// Machine is a datapath description: functional units, register
+	// files, ports, and buses with explicit connectivity.
+	Machine = machine.Machine
+	// MachineBuilder assembles custom machines for architecture
+	// exploration ("communication scheduling ... can be used to explore
+	// novel register file architectures without implementing a custom
+	// compiler for each architecture", §8).
+	MachineBuilder = machine.Builder
+	// Options tunes the scheduler (II bounds, permutation budget,
+	// ablation switches).
+	Options = core.Options
+	// Schedule is a finished schedule with all interconnect allocated.
+	Schedule = core.Schedule
+	// Kernel is the scheduler's input program form.
+	Kernel = ir.Kernel
+	// KernelSpec is one of the built-in Table 1 evaluation kernels.
+	KernelSpec = kernels.Spec
+	// SimConfig configures cycle-accurate simulation.
+	SimConfig = vliwsim.Config
+	// SimResult is the outcome of a simulation.
+	SimResult = vliwsim.Result
+	// CostParams are the VLSI model constants.
+	CostParams = vlsi.Params
+	// Cost is an area/power/delay estimate for one machine.
+	Cost = vlsi.Cost
+)
+
+// Machine-description vocabulary for custom architectures.
+type (
+	// FUKind is a functional unit's hardware flavor.
+	FUKind = machine.FUKind
+	// FUID, RFID, BusID, RPID, and WPID identify machine resources.
+	FUID  = machine.FUID
+	RFID  = machine.RFID
+	BusID = machine.BusID
+	RPID  = machine.RPID
+	WPID  = machine.WPID
+)
+
+// Functional-unit kinds.
+const (
+	Adder      = machine.Adder
+	Multiplier = machine.Multiplier
+	Divider    = machine.Divider
+	PermUnit   = machine.PermUnit
+	Scratchpad = machine.Scratchpad
+	LoadStore  = machine.LoadStore
+	CopyUnit   = machine.CopyUnit
+)
+
+// Central builds the paper's central register file architecture
+// (Fig. 1/25): one file, dedicated ports and buses per unit.
+func Central() *Machine { return machine.Central() }
+
+// Clustered2 builds the two-cluster architecture of Fig. 2/26.
+func Clustered2() *Machine { return machine.Clustered(2) }
+
+// Clustered4 builds the four-cluster architecture of Fig. 2/26.
+func Clustered4() *Machine { return machine.Clustered(4) }
+
+// Distributed builds the distributed register file architecture of
+// Fig. 3/27: per-input files with single shared write ports fed by ten
+// global buses.
+func Distributed() *Machine { return machine.Distributed() }
+
+// Fig5Machine builds the §2 motivating-example machine.
+func Fig5Machine() *Machine { return machine.MotivatingExample() }
+
+// Paired is a register-file organization beyond the paper's four (the
+// §8 exploration): adjacent unit pairs share two-read-port,
+// two-write-port input files, halving the distributed machine's file
+// count. On the Table 1 suite it reaches central parity on eight of
+// ten kernels.
+func Paired() *Machine { return machine.Paired() }
+
+// NewMachineBuilder starts a custom machine description.
+func NewMachineBuilder(name string) *MachineBuilder { return machine.NewBuilder(name) }
+
+// ParseMachine builds a machine from its text description (see
+// internal/machine's text format: fu/rf/bus/rport/wport/connect
+// directives), letting novel architectures be explored without Go code.
+func ParseMachine(src string) (*Machine, error) { return machine.ParseText(src) }
+
+// FormatMachine renders a machine in the text description format;
+// ParseMachine reconstructs an equivalent machine from it.
+func FormatMachine(m *Machine) string { return m.FormatText() }
+
+// Scaled machines for the §8 cost-scaling projection ("For an
+// architecture with forty-eight functional units, a distributed
+// register file architecture would require 12% as much area and 9% as
+// much power as a clustered register file architecture with four
+// clusters").
+func ScaledCentral(units int) *Machine { return machine.ScaledCentral(units) }
+
+// ScaledClustered builds a k-cluster machine with the given unit count
+// for cost scaling studies.
+func ScaledClustered(units, k int) *Machine { return machine.ScaledClustered(units, k) }
+
+// ScaledDistributed builds a distributed machine with the given unit
+// count for cost scaling studies.
+func ScaledDistributed(units int) *Machine { return machine.ScaledDistributed(units) }
+
+// Architectures returns the paper's four machines in evaluation order.
+func Architectures() []*Machine {
+	return []*Machine{Central(), Clustered2(), Clustered4(), Distributed()}
+}
+
+// MachineByName returns a catalog machine by name — the paper's four,
+// the Fig. 5 motivating-example machine ("fig5"), or the §8 "paired"
+// exploration — or nil for unknown names.
+func MachineByName(name string) *Machine {
+	switch name {
+	case "central":
+		return Central()
+	case "clustered2":
+		return Clustered2()
+	case "clustered4":
+		return Clustered4()
+	case "distributed":
+		return Distributed()
+	case "fig5":
+		return Fig5Machine()
+	case "paired":
+		return Paired()
+	}
+	return nil
+}
+
+// ParseKernel compiles kernel-language source to the IR without
+// scheduling it.
+func ParseKernel(src string) (*Kernel, error) { return kasm.Compile(src) }
+
+// Compile schedules a kernel onto a machine using communication
+// scheduling: the loop is software pipelined at the smallest feasible
+// initiation interval with every communication assigned a route.
+func Compile(k *Kernel, m *Machine, opts Options) (*Schedule, error) {
+	return core.Compile(k, m, opts)
+}
+
+// CompileSource parses kernel-language source and schedules it.
+func CompileSource(src string, m *Machine, opts Options) (*Schedule, error) {
+	k, err := kasm.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compile(k, m, opts)
+}
+
+// Verify re-checks a schedule's structural invariants (placements,
+// dependences, routes, §4.2 conflict rules) with bookkeeping
+// independent of the scheduler.
+func Verify(s *Schedule) error { return core.VerifySchedule(s) }
+
+// Simulate executes a schedule cycle by cycle on the machine model,
+// checking every port, bus, and unit constraint dynamically and
+// computing real values.
+func Simulate(s *Schedule, cfg SimConfig) (*SimResult, error) { return vliwsim.Run(s, cfg) }
+
+// Kernels returns the ten Table 1 evaluation kernels.
+func Kernels() []*KernelSpec { return kernels.All() }
+
+// KernelByName returns a Table 1 kernel by name, or nil.
+func KernelByName(name string) *KernelSpec { return kernels.ByName(name) }
+
+// MotivatingKernel returns the paper's Fig. 4 code fragment as IR: a
+// load and two adds feeding two dependent adds (plus stores so the
+// simulator can validate results). Scheduling it on Fig5Machine
+// reproduces the shared-interconnect contention of §2 and the
+// copy-completed schedule of Fig. 7.
+func MotivatingKernel() *Kernel {
+	b := ir.NewBuilder("fig4")
+	a := b.Emit(ir.Load, "a", b.Const(100), b.Const(0))
+	bb := b.Emit(ir.Add, "b", b.Const(1), b.Const(2))
+	c := b.Emit(ir.Add, "c", b.Const(3), b.Const(4))
+	d := b.Emit(ir.Add, "d", b.Val(a), b.Val(bb))
+	e := b.Emit(ir.Add, "e", b.Val(a), b.Val(c))
+	b.Emit(ir.Store, "", b.Val(d), b.Const(200), b.Const(0))
+	b.Emit(ir.Store, "", b.Val(e), b.Const(201), b.Const(0))
+	return b.MustFinish()
+}
+
+// AnalyzeCost evaluates the register-file VLSI model for a machine.
+func AnalyzeCost(m *Machine, p CostParams) Cost { return vlsi.Analyze(m, p) }
+
+// DefaultCostParams returns the calibrated model constants.
+func DefaultCostParams() CostParams { return vlsi.DefaultParams() }
+
+// CostReport renders the Figs. 25–27 normalized area/power/delay bars
+// for the given machines (first entry = 1.0 baseline).
+func CostReport(ms []*Machine) string { return vlsi.Report(ms) }

@@ -1,0 +1,195 @@
+package commsched
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestCompileSourceEndToEnd(t *testing.T) {
+	src := `
+kernel saxpy {
+  stream x @ 0;
+  stream y @ 64;
+  stream out @ 128;
+  loop i = 0 .. 16 {
+    out[i] = x[i] * 3 + y[i];
+  }
+}`
+	for _, m := range Architectures() {
+		s, err := CompileSource(src, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := Verify(s); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		mem := map[int64]int64{}
+		for i := int64(0); i < 16; i++ {
+			mem[i] = i
+			mem[64+i] = 100 + i
+		}
+		res, err := Simulate(s, SimConfig{InitMem: mem})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := int64(0); i < 16; i++ {
+			if got, want := res.Mem[128+i], i*3+100+i; got != want {
+				t.Errorf("%s: out[%d] = %d, want %d", m.Name, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCompileSourceErrors(t *testing.T) {
+	if _, err := CompileSource("kernel", Central(), Options{}); err == nil {
+		t.Error("accepted truncated source")
+	}
+	if _, err := ParseKernel("kernel k { undeclared[0] = 1; loop i = 0 .. 2 {} }"); err == nil {
+		t.Error("accepted unknown stream")
+	}
+}
+
+func TestArchitectureCatalog(t *testing.T) {
+	ms := Architectures()
+	if len(ms) != 4 {
+		t.Fatalf("catalog has %d machines, want 4", len(ms))
+	}
+	names := []string{"central", "clustered2", "clustered4", "distributed"}
+	for i, m := range ms {
+		if m.Name != names[i] {
+			t.Errorf("machine %d = %s, want %s", i, m.Name, names[i])
+		}
+	}
+	if Fig5Machine().Name != "fig5" {
+		t.Error("Fig5Machine misnamed")
+	}
+}
+
+func TestKernelCatalog(t *testing.T) {
+	if len(Kernels()) != 10 {
+		t.Fatalf("kernel catalog has %d entries, want 10", len(Kernels()))
+	}
+	if KernelByName("Sort") == nil || KernelByName("bogus") != nil {
+		t.Error("KernelByName misbehaves")
+	}
+}
+
+func TestCostReportFacade(t *testing.T) {
+	out := CostReport(Architectures())
+	for _, want := range []string{"central", "distributed", "1.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cost report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMachineFileRoundTrip(t *testing.T) {
+	// The shipped sample machine description parses, schedules a Table 1
+	// kernel, and survives export → re-import.
+	src, err := os.ReadFile("examples/explore/lowcost.machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseMachine(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "lowcost6" {
+		t.Errorf("machine name = %q", m.Name)
+	}
+	spec := KernelByName("FFT")
+	k, err := spec.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(s, SimConfig{InitMem: spec.Init()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Check(res.Mem); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ParseMachine(FormatMachine(m))
+	if err != nil {
+		t.Fatalf("re-import: %v", err)
+	}
+	s2, err := Compile(k, m2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.II != s.II {
+		t.Errorf("re-imported machine schedules differently: II %d vs %d", s2.II, s.II)
+	}
+}
+
+func TestCustomMachineThroughFacade(t *testing.T) {
+	// A three-adder shared-bus machine built via the public builder
+	// schedules a kernel end to end.
+	b := NewMachineBuilder("tiny")
+	buses := []BusID{b.AddBus("g0", true), b.AddBus("g1", true)}
+	for i := 0; i < 3; i++ {
+		fu := b.AddFU("add", Adder, -1, 2)
+		b.SetCanCopy(fu, true)
+		for slot := 0; slot < 2; slot++ {
+			rf := b.AddRF("rf", -1, 16)
+			b.DedicatedRead(rf, fu, slot)
+			wp := b.AddWritePort(rf, "w")
+			for _, bus := range buses {
+				b.ConnectBusWP(bus, wp)
+			}
+		}
+		for _, bus := range buses {
+			b.ConnectOutBus(fu, bus)
+		}
+	}
+	// One load/store unit so kernels can touch memory.
+	ls := b.AddFU("ls", LoadStore, -1, 2)
+	b.SetCanCopy(ls, true)
+	for slot := 0; slot < 2; slot++ {
+		rf := b.AddRF("lsrf", -1, 16)
+		b.DedicatedRead(rf, ls, slot)
+		wp := b.AddWritePort(rf, "w")
+		for _, bus := range buses {
+			b.ConnectBusWP(bus, wp)
+		}
+	}
+	for _, bus := range buses {
+		b.ConnectOutBus(ls, bus)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := CompileSource(`
+kernel t {
+  stream x @ 0;
+  stream out @ 32;
+  loop i = 0 .. 8 {
+    out[i] = x[i] + x[i] * 1 + 5;
+  }
+}`, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 8; i++ {
+		mem[i] = i * 2
+	}
+	res, err := Simulate(s, SimConfig{InitMem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if got, want := res.Mem[32+i], i*2+i*2+5; got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Explore: use communication scheduling to explore novel register-file
+// architectures without writing a custom compiler for each (§8:
+// "Communication scheduling is not architecture specific. It can be
+// used to explore novel register files architectures...").
+//
+// The example sweeps the distributed architecture's global bus count
+// and schedules the FIR-INT kernel on each variant, showing the
+// performance/cost knee: below the kernel's writeback bandwidth the
+// initiation interval climbs; above it, extra buses only cost area.
+//
+// Run with: go run ./examples/explore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	commsched "repro"
+)
+
+// buildDistributed constructs a distributed register-file machine with
+// the given number of shared writeback buses, using the public machine
+// builder — the same description language the four paper architectures
+// are built from.
+func buildDistributed(buses int) *commsched.Machine {
+	b := commsched.NewMachineBuilder(fmt.Sprintf("distributed-%dbus", buses))
+	busList := make([]commsched.BusID, buses)
+	for i := range busList {
+		busList[i] = b.AddBus(fmt.Sprintf("gbus%d", i), true)
+	}
+	add := func(name string, kind commsched.FUKind, canCopy bool) {
+		fu := b.AddFU(name, kind, -1, 2)
+		for slot := 0; slot < 2; slot++ {
+			rf := b.AddRF(fmt.Sprintf("%s.rf%d", name, slot), -1, 8)
+			b.DedicatedRead(rf, fu, slot)
+			wp := b.AddWritePort(rf, fmt.Sprintf("%s.rf%d.w", name, slot))
+			for _, bus := range busList {
+				b.ConnectBusWP(bus, wp)
+			}
+		}
+		for _, bus := range busList {
+			b.ConnectOutBus(fu, bus)
+		}
+		b.SetCanCopy(fu, canCopy)
+	}
+	// The paper's 16-unit mix.
+	for i := 0; i < 6; i++ {
+		add(fmt.Sprintf("add%d", i), commsched.Adder, true)
+	}
+	for i := 0; i < 3; i++ {
+		add(fmt.Sprintf("mul%d", i), commsched.Multiplier, true)
+	}
+	add("div0", commsched.Divider, true)
+	add("pu0", commsched.PermUnit, true)
+	add("sp0", commsched.Scratchpad, false)
+	for i := 0; i < 4; i++ {
+		add(fmt.Sprintf("ls%d", i), commsched.LoadStore, true)
+	}
+	m, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+func main() {
+	spec := commsched.KernelByName("FIR-INT")
+	k, err := spec.Kernel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	central, err := commsched.Compile(k, commsched.Central(), commsched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FIR-INT on the central register file: II=%d\n\n", central.II)
+	fmt.Printf("%-20s %4s %8s %7s %12s %12s\n",
+		"architecture", "II", "speedup", "copies", "rel. area", "rel. power")
+
+	p := commsched.DefaultCostParams()
+	base := commsched.AnalyzeCost(commsched.Central(), p)
+	for _, buses := range []int{4, 6, 8, 10, 12} {
+		m := buildDistributed(buses)
+		sched, err := commsched.Compile(k, m, commsched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := commsched.Verify(sched); err != nil {
+			log.Fatal(err)
+		}
+		// Validate the most constrained variant end to end.
+		if buses == 4 {
+			res, err := commsched.Simulate(sched, commsched.SimConfig{InitMem: spec.Init()})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := spec.Check(res.Mem); err != nil {
+				log.Fatal(err)
+			}
+		}
+		c := commsched.AnalyzeCost(m, p)
+		fmt.Printf("%-20s %4d %8.2f %7d %12.3f %12.3f\n",
+			m.Name, sched.II, float64(central.II)/float64(sched.II),
+			len(sched.Ops)-len(k.Ops), c.Area/base.Area, c.Power/base.Power)
+	}
+	fmt.Println("\nEvery variant was scheduled by the same compiler — no per-")
+	fmt.Println("architecture retargeting beyond the machine description.")
+}

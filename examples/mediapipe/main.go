@@ -1,0 +1,153 @@
+// Mediapipe: compile and run a media kernel across the paper's four
+// register-file architectures (§5), then compose it into a full 2-D
+// DCT application.
+//
+// Part 1 schedules the DCT kernel (Table 1) on the central, clustered,
+// and distributed machines; each schedule executes on the
+// cycle-accurate simulator and its outputs are validated against the
+// reference implementation.
+//
+// Part 2 runs the application a stream processor would: the scheduled
+// row-DCT kernel is invoked twice — rows, host-side transpose, rows
+// again — producing the full two-dimensional 8×8 DCT of an image
+// block, validated against a pure-Go 2-D reference.
+//
+// Run with: go run ./examples/mediapipe
+package main
+
+import (
+	"fmt"
+	"log"
+
+	commsched "repro"
+	"repro/internal/kernels"
+)
+
+func main() {
+	spec := commsched.KernelByName("DCT")
+	k, err := spec.Kernel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel %s: %s\n", spec.Name, spec.Desc)
+	fmt.Printf("loop: %d operations per iteration\n\n", len(k.Loop))
+
+	machines := commsched.Architectures()
+	baseII := 0
+	fmt.Printf("%-14s %4s %8s %8s %10s %10s\n", "architecture", "II", "speedup", "copies", "cycles", "checked")
+	for _, m := range machines {
+		sched, err := commsched.Compile(k, m, commsched.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := commsched.Verify(sched); err != nil {
+			log.Fatal(err)
+		}
+		if baseII == 0 {
+			baseII = sched.II
+		}
+		res, err := commsched.Simulate(sched, commsched.SimConfig{InitMem: spec.Init()})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := spec.Check(res.Mem); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %4d %8.2f %8d %10d %10s\n",
+			m.Name, sched.II, float64(baseII)/float64(sched.II),
+			len(sched.Ops)-len(k.Ops), res.Cycles, "ok")
+	}
+
+	fmt.Println("\nregister-file cost (normalized to central):")
+	fmt.Print(commsched.CostReport(machines))
+	fmt.Println("The distributed machine keeps most of the central file's")
+	fmt.Println("performance at a small fraction of its area and power — the")
+	fmt.Println("paper's headline result.")
+
+	twoDimensionalDCT(k)
+}
+
+// twoDimensionalDCT composes the scheduled row kernel into the full
+// 2-D transform on the distributed machine.
+func twoDimensionalDCT(k *commsched.Kernel) {
+	fmt.Println("\n--- 2-D DCT application (distributed machine) ---")
+	sched, err := commsched.Compile(k, commsched.Distributed(), commsched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An 8×8 image block with a gradient plus texture.
+	var block [8][8]int64
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			block[r][c] = int64(16*r + 4*c + (r*c)%7)
+		}
+	}
+
+	// rowPass runs the scheduled kernel over the rows of m (the kernel
+	// transforms several blocks per launch; the first 8 rows carry our
+	// data, the rest are zero).
+	rowPass := func(m [8][8]int64) [8][8]int64 {
+		mem := map[int64]int64{}
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				mem[kernels.DCTIn+int64(r*8+c)] = m[r][c]
+			}
+		}
+		res, err := commsched.Simulate(sched, commsched.SimConfig{InitMem: mem})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out [8][8]int64
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				out[r][c] = res.Mem[kernels.DCTOut+int64(r*8+c)]
+			}
+		}
+		return out
+	}
+	transpose := func(m [8][8]int64) [8][8]int64 {
+		var t [8][8]int64
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				t[c][r] = m[r][c]
+			}
+		}
+		return t
+	}
+
+	got := transpose(rowPass(transpose(rowPass(block))))
+
+	// Reference: the same row transform applied host-side.
+	ref := block
+	for r := 0; r < 8; r++ {
+		ref[r] = kernels.DCTRow(ref[r])
+	}
+	ref = transpose(ref)
+	for r := 0; r < 8; r++ {
+		ref[r] = kernels.DCTRow(ref[r])
+	}
+	ref = transpose(ref)
+
+	mismatch := 0
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			if got[r][c] != ref[r][c] {
+				mismatch++
+			}
+		}
+	}
+	fmt.Printf("2-D DCT coefficients (DC = %d):\n", got[0][0])
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c++ {
+			fmt.Printf("%7d", got[r][c])
+		}
+		fmt.Println()
+	}
+	if mismatch == 0 {
+		fmt.Println("all 64 coefficients match the host reference — the scheduled")
+		fmt.Println("kernel is a drop-in compute stage for the application.")
+	} else {
+		log.Fatalf("%d coefficients differ from the reference", mismatch)
+	}
+}

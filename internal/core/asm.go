@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Assembly renders the schedule as VLIW instruction words: one line per
+// cycle per block, listing every functional unit's operation with its
+// operand sources (register file and read bus) and its result's
+// writeback routing (bus and destination files) — the explicit
+// interconnect control a shared-interconnect machine executes. The
+// format mirrors what a microcode listing for the machine would look
+// like:
+//
+//	loop cycle   2 | mul0: p = mul x[v4 rf12], #3 => bus2{mul0.rf1, add0.rf0}
+//
+// Registers are not named (register allocation is the §7 post-pass);
+// values appear by SSA name.
+func (s *Schedule) Assembly() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; kernel %s on %s — II=%d, preamble=%d cycles\n",
+		s.Kernel.Name, s.Machine.Name, s.II, s.PreambleLen)
+
+	// Index routes by def for writeback rendering and by operand for
+	// source rendering.
+	writes := make(map[ir.OpID][]Route)
+	for _, r := range s.Routes {
+		writes[r.Def] = append(writes[r.Def], r)
+	}
+
+	for _, blk := range []ir.BlockKind{ir.PreambleBlock, ir.LoopBlock} {
+		ids := s.OpsInBlock(blk)
+		if len(ids) == 0 {
+			continue
+		}
+		byCycle := make(map[int][]ir.OpID)
+		maxCycle := 0
+		for _, id := range ids {
+			c := s.Assignments[id].Cycle
+			byCycle[c] = append(byCycle[c], id)
+			if c > maxCycle {
+				maxCycle = c
+			}
+		}
+		fmt.Fprintf(&b, "%s:\n", blk)
+		for c := 0; c <= maxCycle; c++ {
+			ops := byCycle[c]
+			if len(ops) == 0 {
+				continue
+			}
+			sort.Slice(ops, func(i, j int) bool {
+				return s.Assignments[ops[i]].FU < s.Assignments[ops[j]].FU
+			})
+			var cols []string
+			for _, id := range ops {
+				cols = append(cols, s.renderOp(id, writes[id]))
+			}
+			fmt.Fprintf(&b, "  %s cycle %3d | %s\n", blk, c, strings.Join(cols, " | "))
+		}
+	}
+	return b.String()
+}
+
+// renderOp renders one operation column.
+func (s *Schedule) renderOp(id ir.OpID, outRoutes []Route) string {
+	op := s.Ops[id]
+	fu := s.Machine.FU(s.Assignments[id].FU)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: ", fu.Name)
+	if op.Result != ir.NoValue {
+		fmt.Fprintf(&sb, "%s = ", s.valueName(op.Result))
+	}
+	sb.WriteString(op.Opcode.String())
+	for i, arg := range op.Args {
+		if i == 0 {
+			sb.WriteByte(' ')
+		} else {
+			sb.WriteString(", ")
+		}
+		switch arg.Kind {
+		case ir.OperandConst:
+			fmt.Fprintf(&sb, "#%d", arg.Const)
+		case ir.OperandValue:
+			name := s.valueName(arg.Srcs[0].Value)
+			if len(arg.Srcs) > 1 {
+				// Control-flow merge: initial and loop-carried sources
+				// share the read stub.
+				name = fmt.Sprintf("φ(%s,%s@%d)", name,
+					s.valueName(arg.Srcs[1].Value), arg.Srcs[1].Distance)
+			}
+			if stub, ok := s.Reads[OperandKey{Op: id, Slot: i}]; ok {
+				fmt.Fprintf(&sb, "%s[%s]", name, s.Machine.RegFiles[stub.RF].Name)
+			} else {
+				sb.WriteString(name)
+			}
+		}
+	}
+	if len(outRoutes) > 0 {
+		// Group destinations per bus (one drive fans out to many files).
+		perBus := make(map[machine.BusID][]string)
+		seen := make(map[machine.WriteStub]bool)
+		for _, r := range outRoutes {
+			if seen[r.W] {
+				continue
+			}
+			seen[r.W] = true
+			perBus[r.W.Bus] = append(perBus[r.W.Bus], s.Machine.RegFiles[r.W.RF].Name)
+		}
+		var buses []machine.BusID
+		for bus := range perBus {
+			buses = append(buses, bus)
+		}
+		sort.Slice(buses, func(i, j int) bool { return buses[i] < buses[j] })
+		var parts []string
+		for _, bus := range buses {
+			dsts := perBus[bus]
+			sort.Strings(dsts)
+			parts = append(parts, fmt.Sprintf("%s{%s}",
+				s.Machine.Buses[bus].Name, strings.Join(dsts, ",")))
+		}
+		fmt.Fprintf(&sb, " => %s", strings.Join(parts, " "))
+	}
+	return sb.String()
+}
+
+func (s *Schedule) valueName(v ir.ValueID) string {
+	if name := s.Values[v].Name; name != "" {
+		return name + fmt.Sprintf("(v%d)", v)
+	}
+	return fmt.Sprintf("v%d", v)
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// This file enumerates the valid stubs for a communication (§4.3 step 1)
+// and orders them so that route-forming choices come first: "Zero or
+// more copy operations can be used to move a value from any register
+// file written to by a valid write stub for o1 to any register file read
+// from by a valid read stub for o2" — a stub is valid only when such a
+// copy path exists, and stubs needing fewer copies are preferred.
+
+// maxCandidatesDefault caps candidate lists. It must comfortably exceed
+// the zero-copy stub count of the largest machine (the distributed
+// architecture exposes 120 zero-copy write stubs per unit): truncating
+// below that breaks the §4.4 completeness requirement in crowded
+// cycles, because the surviving prefix may cover only conflicting
+// buses.
+const maxCandidatesDefault = 1024
+
+func (e *engine) maxCandidates() int {
+	if e.opts.MaxCandidates > 0 {
+		return e.opts.MaxCandidates
+	}
+	return maxCandidatesDefault
+}
+
+// allowedSlots returns the physical inputs of fu that may deliver the
+// operand. Copies are steered to a specific input by copy insertion;
+// an operation with a single value operand may read it through any
+// input (the immediate operands travel in the instruction word); a
+// commutative operation's two value operands may swap inputs (the
+// per-cycle solver keeps them on distinct inputs). Everything else is
+// fixed to its argument position.
+func (e *engine) allowedSlots(key OperandKey, fu machine.FUID) []int {
+	if s, ok := e.physSlot[key]; ok {
+		return []int{s}
+	}
+	op := e.ops[key.Op]
+	nIn := e.mach.FU(fu).NumInputs
+	values := 0
+	for _, a := range op.Args {
+		if a.Kind == ir.OperandValue {
+			values++
+		}
+	}
+	if values == 1 || (values == 2 && op.Opcode.Commutative() && len(op.Args) >= 2 &&
+		op.Args[0].Kind == ir.OperandValue && op.Args[1].Kind == ir.OperandValue) {
+		slots := make([]int, 0, nIn)
+		for i := 0; i < nIn; i++ {
+			slots = append(slots, i)
+		}
+		return slots
+	}
+	if key.Slot >= nIn {
+		return nil
+	}
+	return []int{key.Slot}
+}
+
+// defDistTo returns the minimum copies needed to deliver communication
+// c's value into register file rf, considering how much of the write
+// side is already decided: a pinned write stub fixes the source file, a
+// placed def fixes the unit, an unplaced def ranges over every unit of
+// its class. Returns -1 when rf is unreachable.
+func (e *engine) defDistTo(c *comm, rf machine.RFID) int {
+	if c.wPinned {
+		return e.mach.CopyDistance(c.wstub.RF, rf)
+	}
+	if e.place[c.def].ok {
+		return e.mach.DistFUToRF(e.place[c.def].fu, rf)
+	}
+	best := -1
+	cls := e.ops[c.def].Opcode.Class()
+	for _, fu := range e.mach.UnitsFor(cls) {
+		if d := e.mach.DistFUToRF(fu, rf); d >= 0 && (best < 0 || d < best) {
+			best = d
+		}
+	}
+	return best
+}
+
+// useTarget describes what is known about a communication's read side,
+// used both for scoring and as a candidate-cache key.
+type useTarget struct {
+	kind     int8 // 0 pinned rf, 1 placed use, 2 class only
+	rf       machine.RFID
+	fu       machine.FUID
+	slotMask int8 // kind 1: bitmask of allowed physical inputs
+	cls      ir.Class
+}
+
+func (e *engine) useTargetOf(c *comm) useTarget {
+	key := OperandKey{Op: c.use, Slot: c.slot}
+	if or := e.operandStub[key]; or != nil && or.pinned {
+		return useTarget{kind: 0, rf: or.stub.RF}
+	}
+	if e.place[c.use].ok {
+		fu := e.place[c.use].fu
+		var mask int8
+		for _, s := range e.allowedSlots(key, fu) {
+			mask |= 1 << s
+		}
+		return useTarget{kind: 1, fu: fu, slotMask: mask}
+	}
+	return useTarget{kind: 2, cls: e.ops[c.use].Opcode.Class()}
+}
+
+// useDistFrom returns the minimum copies needed to move a value from
+// register file rf to the communication's read target.
+func (e *engine) useDistFrom(t useTarget, rf machine.RFID) int {
+	switch t.kind {
+	case 0:
+		return e.mach.CopyDistance(rf, t.rf)
+	case 1:
+		best := -1
+		for slot := 0; slot < maxInputs; slot++ {
+			if t.slotMask&(1<<slot) == 0 {
+				continue
+			}
+			if d := e.mach.DistRFToInput(rf, t.fu, slot); d >= 0 && (best < 0 || d < best) {
+				best = d
+			}
+		}
+		return best
+	}
+	best := -1
+	for _, fu := range e.mach.UnitsFor(t.cls) {
+		f := e.mach.FU(fu)
+		for slot := 0; slot < f.NumInputs; slot++ {
+			if d := e.mach.DistRFToInput(rf, fu, slot); d >= 0 && (best < 0 || d < best) {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// wcKey caches ordered write-candidate lists: the ordering depends only
+// on the producing unit and the read-side target, both static givens.
+type wcKey struct {
+	fu     machine.FUID
+	target useTarget
+}
+
+// writeCandidates enumerates and orders the valid write stubs for
+// communication c, whose def is placed. Stubs landing fewer copies from
+// the reader come first. Lists are cached per (unit, read target).
+func (e *engine) writeCandidates(c *comm) []machine.WriteStub {
+	key := wcKey{fu: e.place[c.def].fu, target: e.useTargetOf(c)}
+	if cached, ok := e.wcCache[key]; ok {
+		return cached
+	}
+	base := e.mach.WriteStubs(key.fu)
+	type scored struct {
+		stub machine.WriteStub
+		dist int
+	}
+	var list []scored
+	for _, stub := range base {
+		d := e.useDistFrom(key.target, stub.RF)
+		if d < 0 {
+			continue
+		}
+		list = append(list, scored{stub, d})
+	}
+	sort.SliceStable(list, func(i, j int) bool { return list[i].dist < list[j].dist })
+	n := len(list)
+	if max := e.maxCandidates(); n > max {
+		n = max
+	}
+	out := make([]machine.WriteStub, n)
+	for i := 0; i < n; i++ {
+		out[i] = list[i].stub
+	}
+	e.wcCache[key] = out
+	return e.preferSiblingBuses(c, out)
+}
+
+// preferSiblingBuses stably reorders candidates so stubs on a bus that
+// already carries the same result come first: a value fanning out to
+// several register files on one cycle should ride one bus ("A result
+// can be written to multiple register files", §4.2 — and a bus fans out
+// to several write ports), leaving the other buses for other values.
+func (e *engine) preferSiblingBuses(c *comm, cands []machine.WriteStub) []machine.WriteStub {
+	var sibBuses [4]machine.BusID
+	nSib := 0
+	for _, cid := range e.commsFrom[c.def] {
+		sib := e.comms[cid]
+		if sib.id == c.id || sib.state == commSplit || !sib.hasW || nSib == len(sibBuses) {
+			continue
+		}
+		dup := false
+		for i := 0; i < nSib; i++ {
+			if sibBuses[i] == sib.wstub.Bus {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sibBuses[nSib] = sib.wstub.Bus
+			nSib++
+		}
+	}
+	if nSib == 0 {
+		return cands
+	}
+	onSib := func(b machine.BusID) bool {
+		for i := 0; i < nSib; i++ {
+			if sibBuses[i] == b {
+				return true
+			}
+		}
+		return false
+	}
+	out := make([]machine.WriteStub, 0, len(cands))
+	for _, s := range cands {
+		if onSib(s.Bus) {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return cands
+	}
+	for _, s := range cands {
+		if !onSib(s.Bus) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// readCandidates enumerates and orders the valid read stubs for an
+// operand of a placed operation, across every physical input the
+// operand may use. A stub is valid only if every active communication
+// into the operand can deliver its value to the stub's register file
+// (all sources of a control-flow merge must reach the one read stub);
+// stubs minimizing the total copies come first.
+func (e *engine) readCandidates(key OperandKey) []machine.ReadStub {
+	fu := e.place[key.Op].fu
+	var comms []*comm
+	for _, cid := range e.activeCommsTo(key.Op) {
+		if c := e.comms[cid]; c.slot == key.Slot {
+			comms = append(comms, c)
+		}
+	}
+	type scored struct {
+		stub machine.ReadStub
+		dist int
+	}
+	var list []scored
+	for _, slot := range e.allowedSlots(key, fu) {
+		for _, stub := range e.mach.ReadStubs(fu, slot) {
+			total, valid := 0, true
+			for _, c := range comms {
+				d := e.defDistTo(c, stub.RF)
+				if d < 0 {
+					valid = false
+					break
+				}
+				total += d
+			}
+			if !valid {
+				continue
+			}
+			list = append(list, scored{stub, total})
+		}
+	}
+	sort.SliceStable(list, func(i, j int) bool { return list[i].dist < list[j].dist })
+	n := len(list)
+	if max := e.maxCandidates(); n > max {
+		n = max
+	}
+	out := make([]machine.ReadStub, n)
+	for i := 0; i < n; i++ {
+		out[i] = list[i].stub
+	}
+	return out
+}
+
+// sharedRouteRFs returns, in preference order, the register files
+// through which communication c could form a direct route: files
+// writable by the def (zero copies) and readable by the use's operand
+// (zero copies), honoring any pins already in force.
+func (e *engine) sharedRouteRFs(c *comm) []machine.RFID {
+	key := OperandKey{Op: c.use, Slot: c.slot}
+
+	var writable []machine.RFID
+	if c.wPinned {
+		writable = append(writable, c.wstub.RF)
+	} else {
+		writable = e.mach.WritableRFs(e.place[c.def].fu)
+	}
+
+	readable := make(map[machine.RFID]bool)
+	if or := e.operandStub[key]; or != nil && or.pinned {
+		readable[or.stub.RF] = true
+	} else {
+		fu := e.place[key.Op].fu
+		for _, slot := range e.allowedSlots(key, fu) {
+			for _, stub := range e.mach.ReadStubs(fu, slot) {
+				readable[stub.RF] = true
+			}
+		}
+	}
+
+	var shared []machine.RFID
+	for _, rf := range writable {
+		if readable[rf] {
+			shared = append(shared, rf)
+		}
+	}
+	// For a phi operand every other source must also reach the file;
+	// otherwise pinning the operand there would strand a sibling
+	// communication.
+	if len(shared) > 1 || len(shared) == 1 {
+		var ok []machine.RFID
+		for _, rf := range shared {
+			good := true
+			for _, cid := range e.activeCommsTo(key.Op) {
+				sib := e.comms[cid]
+				if sib.slot != key.Slot || sib.id == c.id {
+					continue
+				}
+				if e.defDistTo(sib, rf) < 0 {
+					good = false
+					break
+				}
+			}
+			if good {
+				ok = append(ok, rf)
+			}
+		}
+		shared = ok
+	}
+	return shared
+}

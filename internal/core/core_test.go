@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// chainKernel builds a preamble-only dependence chain of n adds.
+func chainKernel(t *testing.T, n int) *ir.Kernel {
+	t.Helper()
+	b := ir.NewBuilder("chain")
+	v := b.Emit(ir.MovI, "v0", b.Const(1))
+	for i := 0; i < n; i++ {
+		v = b.Emit(ir.Add, "v", b.Val(v), b.Const(1))
+	}
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// motivatingKernel is the Fig. 4 code fragment: a load, two adds, and
+// two dependent adds sharing the loaded value.
+func motivatingKernel(t *testing.T) *ir.Kernel {
+	t.Helper()
+	b := ir.NewBuilder("fig4")
+	a := b.Emit(ir.Load, "a", b.Const(100), b.Const(0))
+	bb := b.Emit(ir.Add, "b", b.Const(1), b.Const(2))
+	c := b.Emit(ir.Add, "c", b.Const(3), b.Const(4))
+	b.Emit(ir.Add, "d", b.Val(a), b.Val(bb))
+	b.Emit(ir.Add, "e", b.Val(a), b.Val(c))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// accLoopKernel builds a loop with a load feeding a multiply feeding an
+// accumulator, the standard inner-product shape.
+func accLoopKernel(t *testing.T) *ir.Kernel {
+	t.Helper()
+	b := ir.NewBuilder("acc")
+	iv, _ := b.InductionVar("i", 0, 1)
+	acc0 := b.Emit(ir.MovI, "acc0", b.Const(0))
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	p := b.Emit(ir.Mul, "p", b.Val(x), b.Const(3))
+	b.Accumulator(ir.Add, "acc", acc0, b.Val(p))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestChainOnAllArchitectures(t *testing.T) {
+	machines := []*machine.Machine{
+		machine.Central(), machine.Clustered(2), machine.Clustered(4), machine.Distributed(),
+	}
+	k := chainKernel(t, 6)
+	for _, m := range machines {
+		s, err := Compile(k, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		// Pure chain with unit-latency adds plus the initial movi:
+		// preamble length is at least 7.
+		if s.PreambleLen < 7 {
+			t.Errorf("%s: preamble length %d < 7", m.Name, s.PreambleLen)
+		}
+		if err := checkScheduleInvariants(s); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestMotivatingExample(t *testing.T) {
+	m := machine.MotivatingExample()
+	k := motivatingKernel(t)
+	s, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", s.Dump())
+	if err := checkScheduleInvariants(s); err != nil {
+		t.Error(err)
+	}
+	// The shared buses force at least one copy operation (the paper's
+	// Fig. 7 shows one); the schedule must stay short.
+	if got := len(s.Ops) - len(k.Ops); got < 1 {
+		t.Errorf("no copies inserted; expected the shared interconnect to force at least one")
+	}
+	if s.PreambleLen > 5 {
+		t.Errorf("schedule length %d, want <= 5", s.PreambleLen)
+	}
+}
+
+// checkScheduleInvariants validates structural properties every
+// schedule must have: placements on capable units, dependences
+// respected, routes connected.
+func checkScheduleInvariants(s *Schedule) error {
+	return VerifySchedule(s)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// lineMachine builds a three-cluster line topology: cluster 0's copy
+// unit reaches only cluster 1's file, and cluster 1's only cluster 2's.
+// Moving a value from cluster 0 to cluster 2 therefore needs a chain of
+// two copy operations — the recursive case of §4.3 step 5 ("the
+// scheduler can recursively insert additional copy operations as
+// needed").
+func lineMachine(t *testing.T) *machine.Machine {
+	t.Helper()
+	b := machine.NewBuilder("line3")
+	rfs := make([]machine.RFID, 3)
+	for c := 0; c < 3; c++ {
+		rfs[c] = b.AddRF("rf", c, 32)
+	}
+	// The only load/store unit lives in cluster 0 and the only adder in
+	// cluster 2: every load-compute-store chain is forced through the
+	// line.
+	ls := b.AddFU("ls", machine.LoadStore, 0, 2)
+	b.DedicatedRead(rfs[0], ls, 0)
+	b.DedicatedRead(rfs[0], ls, 1)
+	b.DedicatedWrite(ls, rfs[0])
+	add := b.AddFU("add", machine.Adder, 2, 2)
+	b.DedicatedRead(rfs[2], add, 0)
+	b.DedicatedRead(rfs[2], add, 1)
+	b.DedicatedWrite(add, rfs[2])
+	// Forward-only copy units: c -> c+1, plus a loop-back 2 -> 0 so the
+	// machine is copy-connected in both directions.
+	for c := 0; c < 2; c++ {
+		cp := b.AddFU("cp", machine.CopyUnit, c, 1)
+		b.DedicatedRead(rfs[c], cp, 0)
+		b.DedicatedWrite(cp, rfs[c+1])
+	}
+	cpBack := b.AddFU("cpb", machine.CopyUnit, 2, 1)
+	b.DedicatedRead(rfs[2], cpBack, 0)
+	b.DedicatedWrite(cpBack, rfs[0])
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiHopCopyChain(t *testing.T) {
+	m := lineMachine(t)
+	if err := m.CopyConnected(); err != nil {
+		t.Fatalf("line machine not copy-connected: %v", err)
+	}
+	if d := m.CopyDistance(0, 2); d != 2 {
+		t.Fatalf("copy distance rf0->rf2 = %d, want 2", d)
+	}
+
+	// A value loaded in cluster 0 must be stored by cluster 2's unit.
+	b := ir.NewBuilder("hop")
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	y := b.Emit(ir.Add, "y", b.Val(x), b.Const(5))
+	b.Emit(ir.Store, "", b.Val(y), iv, b.Const(100))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TripCount = 6
+	s, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatalf("multi-hop kernel does not schedule: %v", err)
+	}
+	if err := VerifySchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	// At least one value must have traveled through a 2-copy chain:
+	// count copies whose source is itself a copy.
+	chained := false
+	for i := len(k.Ops); i < len(s.Ops); i++ {
+		op := s.Ops[i]
+		if op.Opcode != ir.Copy {
+			continue
+		}
+		src := op.Args[0].Srcs[0].Value
+		if int(s.Values[src].Def) >= len(k.Ops) && s.Ops[s.Values[src].Def].Opcode == ir.Copy {
+			chained = true
+		}
+	}
+	if !chained {
+		t.Errorf("no two-copy chain found; copies=%d\n%s", s.Stats.CopiesInserted, s.Dump())
+	}
+	if s.Stats.CopiesInserted < 3 {
+		t.Errorf("copies = %d, want >= 3 (two forward hops + store hop back)", s.Stats.CopiesInserted)
+	}
+	// Run it for real: the oracle must agree with direct interpretation.
+	// (The vliwsim property suite covers this broadly; the structural
+	// verifier suffices here.)
+}
+
+func TestDistanceTwoCarriedValue(t *testing.T) {
+	// A value consumed two iterations after its definition (distance 2)
+	// exercises the modulo identity arithmetic.
+	b := ir.NewBuilder("dist2")
+	x0 := b.Emit(ir.MovI, "x0", b.Const(3))
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	nextID := b.NextValueID()
+	// x = phi(x0, x@2) + 1: each iteration reads the value from two
+	// iterations back.
+	got := b.Emit(ir.Add, "x", ir.PhiOperand(x0, nextID, 2), b.Const(1))
+	if got != nextID {
+		t.Fatalf("id prediction: %d vs %d", got, nextID)
+	}
+	b.Emit(ir.Store, "", b.Val(got), iv, b.Const(50))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TripCount = 7
+	for _, m := range allMachines() {
+		s, err := Compile(k, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := VerifySchedule(s); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestReservationTableAndUtilization(t *testing.T) {
+	k := accLoopKernel(t)
+	s, err := Compile(k, machine.Distributed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := s.ReservationTable()
+	for _, want := range []string{"modulo reservation table", "slot", "buses"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	util := s.Utilization()
+	if util["mem"] <= 0 || util["mul"] <= 0 {
+		t.Errorf("utilization missing classes: %v", util)
+	}
+	for k2, v := range util {
+		if v < 0 || v > 1 {
+			t.Errorf("utilization %s = %v out of range", k2, v)
+		}
+	}
+	// A loop-less kernel renders the empty-table placeholder.
+	km := motivatingKernel(t)
+	s2, err := Compile(km, machine.MotivatingExample(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s2.ReservationTable(), "no loop") {
+		t.Error("loop-less table placeholder missing")
+	}
+}

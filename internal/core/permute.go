@@ -1,0 +1,343 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// This file implements the stub-permutation searches of §4.3 steps 2–3
+// with the bounded backtracking of §4.4: "orders the communications,
+// then finds the first stub for each communication that does not
+// conflict with the stub found for a previous communication", falling
+// back when a communication's candidates are exhausted, and giving up
+// after a bounded number of partial permutations. Closed communications
+// keep their stubs; open and closing communications may be reassigned
+// ("communication scheduling may change the stub assigned to the open
+// communication", §4.2). Closing communications go first, smallest copy
+// range first.
+//
+// Conflict checking lives in occ.go.
+
+// writeIdentity returns the value-instance identity of a communication's
+// write event: the value and the flat cycle the write occurs on.
+func (e *engine) writeIdentity(c *comm) (ir.ValueID, int32, bool) {
+	return c.value, int32(e.completionFlat(c.def)), false
+}
+
+// readIdentity returns the value-instance identity of an operand's read
+// event. Loop-invariant values (defined in the preamble, read in the
+// loop) are identified by value alone: every iteration reads the same
+// instance. Loop-carried reads are normalized by distance·II so that
+// reads landing on the same absolute cycle compare equal exactly when
+// they fetch the same dynamic instance. Multi-source (phi) operands are
+// never shareable.
+func (e *engine) readIdentity(key OperandKey) (value ir.ValueID, flat int32, inv bool, uniq int32) {
+	var only *comm
+	n := 0
+	for _, cid := range e.commsTo[key.Op] {
+		c := e.comms[cid]
+		if c.state == commSplit || c.slot != key.Slot {
+			continue
+		}
+		only = c
+		n++
+	}
+	rflat := e.place[key.Op].cycle
+	if n != 1 {
+		return ir.NoValue, int32(rflat), false, int32(key.Op)*8 + int32(key.Slot) + 1
+	}
+	if e.crossBlock(only) {
+		return only.value, 0, true, 0
+	}
+	return only.value, int32(rflat - only.distance*e.blockII(e.ops[key.Op].Block)), false, 0
+}
+
+// flexWrite is one write-side item of a permutation problem.
+type flexWrite struct {
+	id      CommID
+	cands   []machine.WriteStub
+	closing bool
+	rangeW  int
+	value   ir.ValueID
+	flat    int32
+	inv     bool
+}
+
+// flexRead is one read-side item.
+type flexRead struct {
+	key     OperandKey
+	cands   []machine.ReadStub
+	closing bool
+	rangeW  int
+	value   ir.ValueID
+	flat    int32
+	inv     bool
+	uniq    int32
+}
+
+// permBudgetDefault bounds the permutation search steps.
+const permBudgetDefault = 4096
+
+// solveWrites finds a conflict-free permutation of write stubs for the
+// communications whose write lands on cycle key (§4.3 step 3). require
+// pins specific communications to a register file, used when a closing
+// communication is steered onto a route. On success the chosen stubs
+// are recorded (journaled) and the function returns true; on failure no
+// state changes.
+func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
+	o := e.occ
+	o.reset()
+	undo := e.undoScratch[:0]
+	defer func() { e.undoScratch = undo[:0] }()
+
+	// Obstacles: read stubs assigned on the same cycle, then pinned
+	// write stubs.
+	for _, ok := range e.readsAt[key] {
+		if or := e.operandStub[ok]; or != nil {
+			value, flat, inv, uniq := e.readIdentity(ok)
+			var fits bool
+			undo, fits = o.placeRead(or.stub, value, flat, inv, uniq, opndNonce(ok), undo)
+			if !fits {
+				o.undo(undo)
+				return false
+			}
+		}
+	}
+	var flex []flexWrite
+	for _, cid := range e.writesAt[key] {
+		c := e.comms[cid]
+		if c.state == commSplit {
+			continue
+		}
+		value, flat, inv := e.writeIdentity(c)
+		if c.state == commClosed || c.wPinned {
+			var fits bool
+			undo, fits = o.placeWrite(c.wstub, value, flat, inv, undo)
+			if !fits {
+				o.undo(undo)
+				return false
+			}
+			continue
+		}
+		want, constrained := require[cid]
+		cands := e.writeCandidates(c)
+		if constrained {
+			cands = filterWriteRF(cands, want)
+		}
+		if len(cands) == 0 {
+			o.undo(undo)
+			return false
+		}
+		flex = append(flex, flexWrite{
+			id:      cid,
+			cands:   cands,
+			closing: e.place[c.use].ok,
+			rangeW:  e.copyRange(c),
+			value:   value,
+			flat:    flat,
+			inv:     inv,
+		})
+	}
+	sort.SliceStable(flex, func(i, j int) bool {
+		if flex[i].closing != flex[j].closing {
+			return flex[i].closing
+		}
+		return flex[i].rangeW < flex[j].rangeW
+	})
+	budget := e.permBudget()
+	choice := make([]int, len(flex))
+	okAll, undoAll := e.dfsWrites(o, flex, choice, 0, &budget, undo)
+	undo = undoAll
+	o.undo(undo)
+	if !okAll {
+		return false
+	}
+	for i, f := range flex {
+		e.setCommW(e.comms[f.id], f.cands[choice[i]], false)
+	}
+	return true
+}
+
+// solveReads is the read-side analogue (§4.3 step 2): a conflict-free
+// permutation of read stubs for the operands read on cycle key.
+func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool {
+	o := e.occ
+	o.reset()
+	undo := e.undoScratch[:0]
+	defer func() { e.undoScratch = undo[:0] }()
+
+	for _, cid := range e.writesAt[key] {
+		c := e.comms[cid]
+		if c.state == commSplit || !c.hasW {
+			continue
+		}
+		value, flat, inv := e.writeIdentity(c)
+		var fits bool
+		undo, fits = o.placeWrite(c.wstub, value, flat, inv, undo)
+		if !fits {
+			o.undo(undo)
+			return false
+		}
+	}
+	var flex []flexRead
+	seen := make(map[OperandKey]bool)
+	for _, ok := range e.readsAt[key] {
+		if seen[ok] {
+			continue
+		}
+		seen[ok] = true
+		value, flat, inv, uniq := e.readIdentity(ok)
+		or := e.operandStub[ok]
+		if or != nil && or.pinned {
+			var fits bool
+			undo, fits = o.placeRead(or.stub, value, flat, inv, uniq, opndNonce(ok), undo)
+			if !fits {
+				o.undo(undo)
+				return false
+			}
+			continue
+		}
+		want, constrained := require[ok]
+		cands := e.readCandidates(ok)
+		if constrained {
+			cands = filterReadRF(cands, want)
+		}
+		if len(cands) == 0 {
+			o.undo(undo)
+			return false
+		}
+		closing, rangeW := e.operandClosing(ok)
+		flex = append(flex, flexRead{
+			key: ok, cands: cands, closing: closing, rangeW: rangeW,
+			value: value, flat: flat, inv: inv, uniq: uniq,
+		})
+	}
+	sort.SliceStable(flex, func(i, j int) bool {
+		if flex[i].closing != flex[j].closing {
+			return flex[i].closing
+		}
+		return flex[i].rangeW < flex[j].rangeW
+	})
+	budget := e.permBudget()
+	choice := make([]int, len(flex))
+	okAll, undoAll := e.dfsReads(o, flex, choice, 0, &budget, undo)
+	undo = undoAll
+	o.undo(undo)
+	if !okAll {
+		return false
+	}
+	for i, f := range flex {
+		e.setOperandStub(f.key, f.cands[choice[i]], false, f.uniq != 0)
+	}
+	return true
+}
+
+func (e *engine) permBudget() int {
+	if e.opts.PermBudget > 0 {
+		return e.opts.PermBudget
+	}
+	return permBudgetDefault
+}
+
+func (e *engine) dfsWrites(o *occ, flex []flexWrite, choice []int, i int, budget *int, undo []touched) (bool, []touched) {
+	if i == len(flex) {
+		return true, undo
+	}
+	f := &flex[i]
+	for ci, cand := range f.cands {
+		if *budget <= 0 {
+			return false, undo
+		}
+		*budget--
+		e.stats.PermSteps++
+		mark := len(undo)
+		var fits bool
+		undo, fits = o.placeWrite(cand, f.value, f.flat, f.inv, undo)
+		if !fits {
+			continue
+		}
+		choice[i] = ci
+		var ok bool
+		ok, undo = e.dfsWrites(o, flex, choice, i+1, budget, undo)
+		if ok {
+			return true, undo
+		}
+		o.undo(undo[mark:])
+		undo = undo[:mark]
+	}
+	return false, undo
+}
+
+func (e *engine) dfsReads(o *occ, flex []flexRead, choice []int, i int, budget *int, undo []touched) (bool, []touched) {
+	if i == len(flex) {
+		return true, undo
+	}
+	f := &flex[i]
+	for ci, cand := range f.cands {
+		if *budget <= 0 {
+			return false, undo
+		}
+		*budget--
+		e.stats.PermSteps++
+		mark := len(undo)
+		var fits bool
+		undo, fits = o.placeRead(cand, f.value, f.flat, f.inv, f.uniq, opndNonce(f.key), undo)
+		if !fits {
+			continue
+		}
+		choice[i] = ci
+		var ok bool
+		ok, undo = e.dfsReads(o, flex, choice, i+1, budget, undo)
+		if ok {
+			return true, undo
+		}
+		o.undo(undo[mark:])
+		undo = undo[:mark]
+	}
+	return false, undo
+}
+
+// opndNonce uniquely identifies an operand for input-exclusivity
+// checks.
+func opndNonce(key OperandKey) int32 { return int32(key.Op)*8 + int32(key.Slot) + 1 }
+
+// operandClosing reports whether any communication into the operand is
+// closing, and the smallest copy range among them.
+func (e *engine) operandClosing(key OperandKey) (bool, int) {
+	closing, rangeW := false, unboundedRange
+	for _, cid := range e.activeCommsTo(key.Op) {
+		c := e.comms[cid]
+		if c.slot != key.Slot || c.state == commClosed {
+			continue
+		}
+		if e.place[c.def].ok {
+			closing = true
+			if r := e.copyRange(c); r < rangeW {
+				rangeW = r
+			}
+		}
+	}
+	return closing, rangeW
+}
+
+func filterWriteRF(cands []machine.WriteStub, rf machine.RFID) []machine.WriteStub {
+	var out []machine.WriteStub
+	for _, c := range cands {
+		if c.RF == rf {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func filterReadRF(cands []machine.ReadStub, rf machine.RFID) []machine.ReadStub {
+	var out []machine.ReadStub
+	for _, c := range cands {
+		if c.RF == rf {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// This file implements the improvement §7 proposes beyond the paper's
+// evaluated system: "an improved form of communication scheduling would
+// use an estimate of the number of registers implicitly allocated in
+// each register file to influence routing decisions."
+//
+// With Options.RegisterAware set, the engine tracks, per register file,
+// the implicit register demand of every closed route (modulo-variable-
+// expansion accounting: a software-pipelined value whose lifetime spans
+// L cycles occupies ceil(L/II) registers; loop invariants occupy one
+// forever). Route choices that would overflow a file's capacity are
+// avoided when any alternative exists — routing pressure away from hot
+// files instead of leaving every overflow to the spill post-pass.
+
+// livKey identifies one value's residence in one register file.
+type livKey struct {
+	value ir.ValueID
+	rf    machine.RFID
+}
+
+// liveInterval tracks the residence's extent.
+type liveInterval struct {
+	wflat     int
+	lastRead  int
+	block     ir.BlockKind
+	invariant bool
+	regs      int // current register demand
+}
+
+// regsOf computes the interval's register demand.
+func (e *engine) regsOf(iv liveInterval) int {
+	switch {
+	case iv.invariant:
+		return 1
+	case iv.block == ir.LoopBlock && e.ii > 0:
+		life := iv.lastRead - iv.wflat
+		if life < 1 {
+			life = 1
+		}
+		return (life + e.ii - 1) / e.ii
+	default:
+		return 1
+	}
+}
+
+// trackPressure folds a just-closed communication into the per-file
+// demand tables, journaled.
+func (e *engine) trackPressure(c *comm) {
+	if !e.opts.RegisterAware {
+		return
+	}
+	key := livKey{value: c.value, rf: c.wstub.RF}
+	old, existed := e.intervals[key]
+	iv := old
+	if !existed {
+		iv = liveInterval{
+			wflat:    e.completionFlat(c.def),
+			lastRead: e.completionFlat(c.def),
+			block:    e.ops[c.def].Block,
+		}
+	}
+	if e.crossBlock(c) {
+		iv.invariant = true
+	} else {
+		read := e.place[c.use].cycle + c.distance*e.blockII(e.ops[c.use].Block)
+		if read > iv.lastRead {
+			iv.lastRead = read
+		}
+	}
+	iv.regs = e.regsOf(iv)
+	delta := iv.regs
+	if existed {
+		delta -= old.regs
+	}
+	e.intervals[key] = iv
+	e.rfPressure[key.rf] += delta
+	e.log(func() {
+		if existed {
+			e.intervals[key] = old
+		} else {
+			delete(e.intervals, key)
+		}
+		e.rfPressure[key.rf] -= delta
+	})
+}
+
+// pressureAllows reports whether staging communication c's value in rf
+// would keep the file within its register capacity. Always true when
+// register-aware routing is off; used as a soft filter (callers fall
+// back to unfiltered candidates when nothing passes, so scheduling
+// still completes and the spill post-pass handles the remainder).
+func (e *engine) pressureAllows(c *comm, rf machine.RFID) bool {
+	if !e.opts.RegisterAware {
+		return true
+	}
+	cap := e.mach.RegFiles[rf].NumRegs
+	cur := e.rfPressure[rf]
+	// Project this close's contribution.
+	key := livKey{value: c.value, rf: rf}
+	iv, existed := e.intervals[key]
+	if !existed {
+		iv = liveInterval{
+			wflat:    e.completionFlat(c.def),
+			lastRead: e.completionFlat(c.def),
+			block:    e.ops[c.def].Block,
+		}
+	}
+	if e.crossBlock(c) {
+		iv.invariant = true
+	} else if e.place[c.use].ok {
+		read := e.place[c.use].cycle + c.distance*e.blockII(e.ops[c.use].Block)
+		if read > iv.lastRead {
+			iv.lastRead = read
+		}
+	}
+	delta := e.regsOf(iv)
+	if existed {
+		delta -= e.intervals[key].regs
+	}
+	return cur+delta <= cap
+}

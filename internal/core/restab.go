@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// ReservationTable renders the loop's modulo reservation table: one row
+// per cycle slot (0..II-1), one column per functional unit, plus a bus
+// column showing how many of the shared writeback buses each slot uses.
+// This is the scheduler-eye view of Fig. 7: unit occupancy and
+// interconnect pressure at a glance.
+//
+//	slot | add0     add1     ... | buses
+//	   0 | i        q            | 4/10  ****
+func (s *Schedule) ReservationTable() string {
+	var b strings.Builder
+	if s.II == 0 || len(s.Kernel.Loop) == 0 {
+		return "(no loop)\n"
+	}
+
+	// Occupancy per (slot, fu).
+	type cell struct{ names []string }
+	grid := make(map[int]map[machine.FUID]*cell)
+	for slot := 0; slot < s.II; slot++ {
+		grid[slot] = make(map[machine.FUID]*cell)
+	}
+	for _, op := range s.Ops {
+		if op.Block != ir.LoopBlock {
+			continue
+		}
+		a := s.Assignments[op.ID]
+		slot := ((a.Cycle % s.II) + s.II) % s.II
+		c := grid[slot][a.FU]
+		if c == nil {
+			c = &cell{}
+			grid[slot][a.FU] = c
+		}
+		name := op.Name
+		if name == "" {
+			name = op.Opcode.String()
+		}
+		if i := strings.IndexByte(name, '('); i > 0 {
+			name = name[:i]
+		}
+		c.names = append(c.names, name)
+	}
+
+	// Shared-bus usage per slot: distinct (bus, value-instance) write
+	// drives.
+	busUse := make(map[int]map[machine.BusID]bool)
+	shared := 0
+	sharedBuses := make(map[machine.BusID]bool)
+	for _, bus := range s.Machine.Buses {
+		if bus.Global {
+			sharedBuses[bus.ID] = true
+		}
+	}
+	shared = len(sharedBuses)
+	for _, r := range s.Routes {
+		if s.Ops[r.Def].Block != ir.LoopBlock || !sharedBuses[r.W.Bus] {
+			continue
+		}
+		wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(s.Ops[r.Def].Opcode) - 1
+		slot := ((wflat % s.II) + s.II) % s.II
+		if busUse[slot] == nil {
+			busUse[slot] = make(map[machine.BusID]bool)
+		}
+		busUse[slot][r.W.Bus] = true
+	}
+
+	// Columns: units that execute anything in the loop.
+	var cols []machine.FUID
+	for _, fu := range s.Machine.FUs {
+		used := false
+		for slot := 0; slot < s.II; slot++ {
+			if grid[slot][fu.ID] != nil {
+				used = true
+				break
+			}
+		}
+		if used {
+			cols = append(cols, fu.ID)
+		}
+	}
+	sort.Slice(cols, func(i, j int) bool { return cols[i] < cols[j] })
+
+	width := 9
+	fmt.Fprintf(&b, "modulo reservation table, II=%d (%s)\n", s.II, s.Machine.Name)
+	fmt.Fprintf(&b, "%4s |", "slot")
+	for _, fu := range cols {
+		fmt.Fprintf(&b, " %-*s", width, s.Machine.FU(fu).Name)
+	}
+	if shared > 0 {
+		fmt.Fprintf(&b, " | buses")
+	}
+	b.WriteByte('\n')
+	for slot := 0; slot < s.II; slot++ {
+		fmt.Fprintf(&b, "%4d |", slot)
+		for _, fu := range cols {
+			txt := ""
+			if c := grid[slot][fu]; c != nil {
+				txt = strings.Join(c.names, ",")
+			}
+			if len(txt) > width {
+				txt = txt[:width-1] + "…"
+			}
+			fmt.Fprintf(&b, " %-*s", width, txt)
+		}
+		if shared > 0 {
+			n := len(busUse[slot])
+			fmt.Fprintf(&b, " | %2d/%-2d %s", n, shared, strings.Repeat("*", n))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Utilization summarizes how busy each unit class and the shared buses
+// are across the loop's II, the occupancy picture behind the paper's
+// architecture comparison.
+func (s *Schedule) Utilization() map[string]float64 {
+	out := make(map[string]float64)
+	if s.II == 0 {
+		return out
+	}
+	classIssue := make(map[ir.Class]int)
+	classCap := make(map[ir.Class]int)
+	for c := ir.Class(1); c < ir.NumClasses; c++ {
+		classCap[c] = len(s.Machine.UnitsFor(c)) * s.II
+	}
+	for _, op := range s.Ops {
+		if op.Block != ir.LoopBlock {
+			continue
+		}
+		classIssue[op.Opcode.Class()]++
+	}
+	for c, n := range classIssue {
+		if classCap[c] > 0 {
+			out[c.String()] = float64(n) / float64(classCap[c])
+		}
+	}
+	// Shared bus utilization.
+	shared := 0
+	for _, bus := range s.Machine.Buses {
+		if bus.Global {
+			shared++
+		}
+	}
+	if shared > 0 {
+		drives := make(map[string]bool)
+		for _, r := range s.Routes {
+			if s.Ops[r.Def].Block != ir.LoopBlock || !s.Machine.Buses[r.W.Bus].Global {
+				continue
+			}
+			wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(s.Ops[r.Def].Opcode) - 1
+			slot := ((wflat % s.II) + s.II) % s.II
+			drives[fmt.Sprintf("%d@%d", r.W.Bus, slot)] = true
+		}
+		out["shared-buses"] = float64(len(drives)) / float64(shared*s.II)
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/depgraph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Options tune the scheduler. The zero value gives the configuration
+// used for the paper's results; the ablation switches reproduce the
+// §4.6 design-choice comparisons.
+type Options struct {
+	// MaxII caps the initiation-interval search; 0 derives a generous
+	// bound from the loop size.
+	MaxII int
+	// PermBudget bounds each stub-permutation search (§4.4); 0 means
+	// the default of 4096 steps.
+	PermBudget int
+	// MaxCandidates caps ordered stub-candidate lists; 0 means 96.
+	MaxCandidates int
+	// ScanWindow bounds how many cycles past the dependence-earliest
+	// cycle an operation is tried on, and how far cross-block copies
+	// scan; 0 derives defaults (4·II in the loop, 256 in the preamble).
+	ScanWindow int
+	// NoCostHeuristic disables the equation-1 communication-cost
+	// ordering of candidate functional units (§4.6 ablation); units are
+	// then tried by load and id only.
+	NoCostHeuristic bool
+	// CycleOrder schedules operations in cycle order (greedy ASAP)
+	// instead of the paper's operation order along the critical path
+	// (§4.6 ablation).
+	CycleOrder bool
+	// AttemptBudget bounds how many (cycle, unit) placements are tried
+	// per operation before the current initiation interval is declared
+	// infeasible; 0 means 128.
+	AttemptBudget int
+	// RegisterAware enables §7's proposed improvement: per-file
+	// implicit register demand influences routing, steering values away
+	// from files whose capacity the close would exceed (soft — falls
+	// back when no file fits; Stats.PressureOverflows counts those).
+	RegisterAware bool
+	// TwoPhase emulates the multi-phase schedulers of §6 ("Most
+	// scheduling algorithms assign operations to functional units and
+	// schedule operations on cycles using separate phases"): every
+	// operation is bound to a unit up front (class round-robin in
+	// priority order) and only cycles are searched afterwards. The
+	// paper's unified approach normally wins because "the multi-phase
+	// approach requires that an operation be delayed to a later cycle
+	// if an assigned functional unit is occupied, even if another
+	// suitable functional unit is available."
+	TwoPhase bool
+}
+
+// Compile schedules kernel k onto machine m: the loop block is modulo
+// scheduled at the smallest feasible initiation interval, then the
+// preamble is list scheduled, with communication scheduling allocating
+// interconnect for every value moved. The returned Schedule contains
+// placements for every operation (including inserted copies), the
+// route of every communication, and instrumentation counters.
+func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) {
+	if err := k.Verify(); err != nil {
+		return nil, err
+	}
+	g := depgraph.Build(k, m)
+	minII, err := depgraph.ResMII(k, m)
+	if err != nil {
+		return nil, err
+	}
+	maxII := opts.MaxII
+	if maxII == 0 {
+		maxII = minII + 8*len(k.Loop) + 64
+	}
+	var agg Stats
+	try := func(ii int) *engine {
+		if len(k.Loop) > 0 && !g.RecMIIFeasible(ii) {
+			return nil
+		}
+		agg.IIsTried++
+		e := newEngine(k, m, g, opts, ii)
+		if e.scheduleBlock(ir.LoopBlock) {
+			if e.scheduleBlock(ir.PreambleBlock) {
+				return e
+			}
+			// The loop was placed but a cross-block communication could
+			// not complete in the preamble: the §4.5 backtracking case
+			// (the already-scheduled block is reopened by restarting).
+			agg.Backtracks++
+		}
+		agg.Attempts += e.stats.Attempts
+		agg.AttemptFailures += e.stats.AttemptFailures
+		agg.PermSteps += e.stats.PermSteps
+		return nil
+	}
+	// Escalating probe: when small intervals fail, grow the step so
+	// communication-bound kernels (whose feasible interval sits far
+	// above the resource bound) are found in logarithmically many
+	// probes; then refine back down to the smallest interval that
+	// schedules.
+	var good *engine
+	failedBelow := minII
+	step := 1
+	for ii := minII; ii <= maxII; {
+		if e := try(ii); e != nil {
+			good = e
+			break
+		}
+		failedBelow = ii + 1
+		ii += step
+		if next := step + (step+1)/2; next <= maxII/8+1 {
+			step = next
+		}
+	}
+	if good == nil {
+		return nil, fmt.Errorf("core: %s does not schedule on %s within II ≤ %d (%d attempts)",
+			k.Name, m.Name, maxII, agg.Attempts)
+	}
+	for failedBelow < good.ii {
+		mid := (failedBelow + good.ii) / 2
+		if e := try(mid); e != nil {
+			good = e
+		} else {
+			failedBelow = mid + 1
+		}
+	}
+	good.stats.IIsTried = agg.IIsTried
+	good.stats.Backtracks += agg.Backtracks
+	return good.buildSchedule(), nil
+}
+
+// scheduleBlock schedules one block's operations in priority order.
+func (e *engine) scheduleBlock(block ir.BlockKind) bool {
+	order := e.graph.PriorityOrder(block)
+	if e.opts.CycleOrder {
+		order = e.cycleOrder(block)
+	}
+	if e.opts.TwoPhase {
+		e.preassign(order)
+	}
+	for _, id := range order {
+		if !e.scheduleOp(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// preassign binds each operation to one unit ahead of cycle scheduling
+// (the §6 multi-phase baseline): class round-robin in priority order.
+func (e *engine) preassign(order []ir.OpID) {
+	if e.assigned == nil {
+		e.assigned = make(map[ir.OpID]machine.FUID)
+	}
+	next := make(map[ir.Class]int)
+	for _, id := range order {
+		cls := e.ops[id].Opcode.Class()
+		units := e.mach.UnitsFor(cls)
+		e.assigned[id] = units[next[cls]%len(units)]
+		next[cls]++
+	}
+}
+
+// cycleOrder is the §4.6 ablation ordering: earliest-possible cycle
+// first (greedy per-cycle filling), heights only breaking ties.
+func (e *engine) cycleOrder(block ir.BlockKind) []ir.OpID {
+	src := e.kern.BlockOps(block)
+	order := make([]ir.OpID, len(src))
+	copy(order, src)
+	sort.SliceStable(order, func(i, j int) bool {
+		ai, aj := e.graph.ASAP(order[i]), e.graph.ASAP(order[j])
+		if ai != aj {
+			return ai < aj
+		}
+		return e.graph.Height(order[i]) > e.graph.Height(order[j])
+	})
+	return order
+}
+
+// scheduleOp realizes the Fig. 11 flow for one operation: first
+// possible cycle, each available functional unit in communication-cost
+// order, communication scheduling accepting or rejecting; on rejection
+// the next unit, then the next cycle.
+func (e *engine) scheduleOp(id ir.OpID) bool {
+	lo, hi, ok := e.window(id)
+	if !ok {
+		return false
+	}
+	block := e.ops[id].Block
+	scan := lo + e.scanLimit(block)
+	if scan > hi {
+		scan = hi
+	}
+	budget := e.opts.AttemptBudget
+	if budget <= 0 {
+		budget = 128
+	}
+	for cycle := lo; cycle <= scan; cycle++ {
+		for _, fu := range e.fuCandidates(id, cycle) {
+			if !e.fuFree(block, fu, cycle) {
+				continue
+			}
+			if e.attempt(id, cycle, fu) {
+				return true
+			}
+			if budget--; budget <= 0 {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// scanLimit bounds how far past the earliest cycle an operation is
+// delayed before the initiation interval is declared infeasible. In
+// the loop, cycles past one full wrap of the modulo table revisit the
+// same resources and only grow copy ranges, so a short tail past II
+// suffices.
+func (e *engine) scanLimit(block ir.BlockKind) int {
+	if e.opts.ScanWindow > 0 {
+		return e.opts.ScanWindow
+	}
+	if block == ir.LoopBlock {
+		n := e.ii + 16
+		if n < 24 {
+			n = 24
+		}
+		return n
+	}
+	return 256
+}
+
+// fuCandidates returns the units able to execute op, ordered by the
+// §4.6 heuristic: lowest communication cost first, then lightest
+// current load, then unit id.
+func (e *engine) fuCandidates(id ir.OpID, cycle int) []machine.FUID {
+	if fu, ok := e.assigned[id]; ok {
+		return []machine.FUID{fu}
+	}
+	units := e.mach.UnitsFor(e.ops[id].Opcode.Class())
+	out := make([]machine.FUID, len(units))
+	copy(out, units)
+	type rank struct {
+		cost float64
+		dep  int
+		load int
+	}
+	ranks := make(map[machine.FUID]rank, len(out))
+	for _, fu := range out {
+		r := rank{load: e.fuLoad[fu]}
+		if !e.opts.NoCostHeuristic {
+			r.cost = e.commCost(id, fu, cycle)
+		}
+		// Spread consumers away from congested input files: a unit
+		// whose files already hold many deposits competes harder for
+		// its single write ports.
+		f := e.mach.FU(fu)
+		for slot := 0; slot < f.NumInputs; slot++ {
+			for _, rs := range e.mach.ReadStubs(fu, slot) {
+				r.dep += e.depositLoad[rs.RF]
+			}
+		}
+		ranks[fu] = r
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := ranks[out[i]], ranks[out[j]]
+		if ri.cost != rj.cost {
+			return ri.cost < rj.cost
+		}
+		if ri.dep != rj.dep {
+			return ri.dep < rj.dep
+		}
+		if ri.load != rj.load {
+			return ri.load < rj.load
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/depgraph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// tKey addresses one resource cycle: preamble cycles are absolute, loop
+// cycles are taken modulo the initiation interval (the modulo resource
+// table of software pipelining).
+type tKey struct {
+	block ir.BlockKind
+	slot  int
+}
+
+// fuKey addresses one functional unit's issue slot on one cycle.
+type fuKey struct {
+	block ir.BlockKind
+	fu    machine.FUID
+	slot  int
+}
+
+// placement is the scheduler's decision for one operation.
+type placement struct {
+	fu    machine.FUID
+	cycle int // flat issue cycle within the op's block timeline
+	ok    bool
+}
+
+// Stats counts scheduling work, exposed on the final Schedule. The
+// paper reports one of these directly: backtracking events (§4.5,
+// "Communication scheduling does not require backtracking to schedule
+// any of the evaluation kernels on the distributed register file
+// architecture").
+type Stats struct {
+	Attempts        int // operation placements tried
+	AttemptFailures int // placements rejected by communication scheduling
+	CopiesInserted  int // copy operations in the final schedule
+	PermSteps       int // stub-permutation search steps
+	// Backtracks counts §4.5 backtracking events: a scheduled block had
+	// to be reopened because a cross-block communication could not
+	// complete (the preamble failed after the loop was placed).
+	// Initiation-interval retries are ordinary modulo scheduling and
+	// are counted separately in IIsTried.
+	Backtracks int
+	IIsTried   int // initiation intervals attempted
+	// PressureOverflows counts route closes where §7 register-aware
+	// routing (Options.RegisterAware) found no capacity-respecting
+	// file and fell back to unrestricted choice.
+	PressureOverflows int
+}
+
+// engine is the scheduling state for one (kernel, machine) pair at one
+// candidate initiation interval.
+type engine struct {
+	mach  *machine.Machine
+	kern  *ir.Kernel
+	graph *depgraph.Graph
+	opts  Options
+
+	// ops holds the kernel's operations plus inserted copies; indices
+	// continue past the kernel's own ids. values likewise extends the
+	// kernel's value table with copy results.
+	ops    []*ir.Op
+	values []*ir.Value
+
+	place  []placement
+	fuLoad map[machine.FUID]int // scheduled-op count per unit
+
+	// physSlot overrides the physical input slot an operand is read
+	// through; copies may be steered through any input of their unit.
+	physSlot map[OperandKey]int
+
+	comms     []*comm
+	commsFrom [][]CommID
+	commsTo   [][]CommID
+
+	operandStub map[OperandKey]*operandRead
+
+	ii int // loop initiation interval under trial
+
+	// Cycle indices. writesAt lists communications whose write stub
+	// lands on the key's cycle (their def completes there); readsAt
+	// lists operands read on the key's cycle. fuAt reserves issue slots.
+	writesAt map[tKey][]CommID
+	readsAt  map[tKey][]OperandKey
+	fuAt     map[fuKey]ir.OpID
+
+	journal []func()
+	stats   Stats
+
+	// wcCache holds ordered write-candidate lists keyed by (unit, read
+	// target); the ordering is a function of static machine distances.
+	wcCache map[wcKey][]machine.WriteStub
+
+	// occ and undoScratch are the reusable permutation-solver state.
+	occ         *occ
+	undoScratch []touched
+
+	// roots maps copy results to the original value they carry;
+	// deposits records, per original value, every register file a
+	// closed route has already placed it in — later communications of
+	// the same value reuse those deposits instead of inserting further
+	// copies (one copy serves every consumer in its cluster).
+	// depositLoad counts deposits per file, a light congestion signal
+	// used to spread consumers across units.
+	roots       map[ir.ValueID]ir.ValueID
+	deposits    map[ir.ValueID][]deposit
+	depositLoad map[machine.RFID]int
+
+	// assigned holds the two-phase baseline's up-front unit bindings
+	// (Options.TwoPhase); empty for the unified scheduler. Copies
+	// inserted by communication scheduling stay free to pick units.
+	assigned map[ir.OpID]machine.FUID
+
+	// intervals and rfPressure implement §7's register-aware routing
+	// (Options.RegisterAware): implicit register demand per file.
+	intervals  map[livKey]liveInterval
+	rfPressure map[machine.RFID]int
+
+	depth int // copy-insertion recursion depth
+}
+
+// deposit is one register-file residence of a value.
+type deposit struct {
+	def  ir.OpID // operation whose write stub put the value there
+	stub machine.WriteStub
+}
+
+func newEngine(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int) *engine {
+	e := &engine{
+		mach:        m,
+		kern:        k,
+		graph:       g,
+		opts:        opts,
+		ii:          ii,
+		operandStub: make(map[OperandKey]*operandRead),
+		writesAt:    make(map[tKey][]CommID),
+		readsAt:     make(map[tKey][]OperandKey),
+		fuAt:        make(map[fuKey]ir.OpID),
+		fuLoad:      make(map[machine.FUID]int),
+		physSlot:    make(map[OperandKey]int),
+		wcCache:     make(map[wcKey][]machine.WriteStub),
+		occ:         newOcc(m),
+		roots:       make(map[ir.ValueID]ir.ValueID),
+		deposits:    make(map[ir.ValueID][]deposit),
+		depositLoad: make(map[machine.RFID]int),
+		intervals:   make(map[livKey]liveInterval),
+		rfPressure:  make(map[machine.RFID]int),
+	}
+	e.ops = make([]*ir.Op, len(k.Ops))
+	copy(e.ops, k.Ops)
+	e.values = make([]*ir.Value, len(k.Values))
+	copy(e.values, k.Values)
+	e.place = make([]placement, len(k.Ops))
+	e.commsFrom = make([][]CommID, len(k.Ops))
+	e.commsTo = make([][]CommID, len(k.Ops))
+	e.buildComms()
+	return e
+}
+
+// log appends an undo action to the journal.
+func (e *engine) log(undo func()) { e.journal = append(e.journal, undo) }
+
+// mark returns a journal position for later rollback.
+func (e *engine) mark() int { return len(e.journal) }
+
+// rollback undoes every mutation after the mark, in reverse order.
+func (e *engine) rollback(mark int) {
+	for i := len(e.journal) - 1; i >= mark; i-- {
+		e.journal[i]()
+	}
+	e.journal = e.journal[:mark]
+}
+
+// latOf returns the result latency of op id.
+func (e *engine) latOf(id ir.OpID) int { return e.mach.Latency(e.ops[id].Opcode) }
+
+// blockII returns the modulo period of a block's resource table: the
+// initiation interval for the loop, 0 (no wrap) for the preamble.
+func (e *engine) blockII(b ir.BlockKind) int {
+	if b == ir.LoopBlock {
+		return e.ii
+	}
+	return 0
+}
+
+// slotOf maps a flat cycle to its resource-table slot.
+func (e *engine) slotOf(b ir.BlockKind, cycle int) int {
+	if b == ir.LoopBlock && e.ii > 0 {
+		return ((cycle % e.ii) + e.ii) % e.ii
+	}
+	return cycle
+}
+
+// issueSlotKey returns the resource key of op's issue cycle.
+func (e *engine) issueSlotKey(id ir.OpID) tKey {
+	b := e.ops[id].Block
+	return tKey{b, e.slotOf(b, e.place[id].cycle)}
+}
+
+// completionSlotKey returns the resource key of op's completion cycle.
+func (e *engine) completionSlotKey(id ir.OpID) tKey {
+	b := e.ops[id].Block
+	return tKey{b, e.slotOf(b, e.place[id].cycle+e.latOf(id)-1)}
+}
+
+// completionFlat returns op's flat completion cycle.
+func (e *engine) completionFlat(id ir.OpID) int {
+	return e.place[id].cycle + e.latOf(id) - 1
+}
+
+// fuFree reports whether fu can accept an issue at the given flat cycle
+// (respecting the unit's issue interval) in the block's table.
+func (e *engine) fuFree(b ir.BlockKind, fu machine.FUID, cycle int) bool {
+	interval := e.mach.FU(fu).IssueInterval
+	if b == ir.LoopBlock && interval > e.ii {
+		return false
+	}
+	for t := cycle; t < cycle+interval; t++ {
+		if _, busy := e.fuAt[fuKey{b, fu, e.slotOf(b, t)}]; busy {
+			return false
+		}
+	}
+	return true
+}
+
+// placeOp records op's placement and reserves its functional unit,
+// journaled. The caller must have checked fuFree.
+func (e *engine) placeOp(id ir.OpID, fu machine.FUID, cycle int) {
+	b := e.ops[id].Block
+	old := e.place[id]
+	e.place[id] = placement{fu: fu, cycle: cycle, ok: true}
+	e.fuLoad[fu]++
+	e.log(func() { e.place[id] = old; e.fuLoad[fu]-- })
+	interval := e.mach.FU(fu).IssueInterval
+	for t := cycle; t < cycle+interval; t++ {
+		k := fuKey{b, fu, e.slotOf(b, t)}
+		e.fuAt[k] = id
+		e.log(func() { delete(e.fuAt, k) })
+	}
+}
+
+// indexOpStubs registers the stub cycle positions implied by op's
+// placement: every active outgoing communication acquires a write-stub
+// position on op's completion cycle, and every value operand acquires a
+// read position on op's issue cycle.
+func (e *engine) indexOpStubs(id ir.OpID) {
+	op := e.ops[id]
+	wk := e.completionSlotKey(id)
+	for _, cid := range e.activeCommsFrom(id) {
+		e.appendWritesAt(wk, cid)
+	}
+	rk := e.issueSlotKey(id)
+	for slot, arg := range op.Args {
+		if arg.Kind != ir.OperandValue {
+			continue
+		}
+		e.appendReadsAt(rk, OperandKey{Op: id, Slot: slot})
+	}
+}
+
+func (e *engine) appendWritesAt(k tKey, c CommID) {
+	e.writesAt[k] = append(e.writesAt[k], c)
+	e.log(func() { e.writesAt[k] = e.writesAt[k][:len(e.writesAt[k])-1] })
+}
+
+func (e *engine) appendReadsAt(k tKey, ok OperandKey) {
+	e.readsAt[k] = append(e.readsAt[k], ok)
+	e.log(func() { e.readsAt[k] = e.readsAt[k][:len(e.readsAt[k])-1] })
+}
+
+// window computes the feasible issue-cycle interval [lo, hi] for op
+// from its scheduled neighbors in the dependence graph. hi may be
+// math-huge when unconstrained. The second result is false when the
+// window is empty.
+func (e *engine) window(id ir.OpID) (int, int, bool) {
+	lo, hi := 0, int(1)<<30
+	ii := e.blockII(e.ops[id].Block)
+	for _, edge := range e.graph.In[id] {
+		if !e.place[edge.From].ok {
+			continue
+		}
+		// Cross-block edges impose no cycle constraint: the loop begins
+		// after the whole preamble, copies included.
+		if e.ops[edge.From].Block != e.ops[id].Block {
+			continue
+		}
+		if t := e.place[edge.From].cycle + edge.Latency - edge.Distance*ii; t > lo {
+			lo = t
+		}
+	}
+	for _, edge := range e.graph.Out[id] {
+		if !e.place[edge.To].ok {
+			continue
+		}
+		if e.ops[edge.To].Block != e.ops[id].Block {
+			continue
+		}
+		if t := e.place[edge.To].cycle - edge.Latency + edge.Distance*ii; t < hi {
+			hi = t
+		}
+	}
+	return lo, hi, lo <= hi
+}
+
+// opString renders an op for error messages.
+func (e *engine) opString(id ir.OpID) string {
+	op := e.ops[id]
+	name := op.Name
+	if name == "" {
+		name = fmt.Sprintf("op%d", id)
+	}
+	return fmt.Sprintf("%s(%v)", name, op.Opcode)
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// TimelineEntry is one operation issue in the expanded (flat) view of
+// a software-pipelined schedule: the loop overlapped across iterations
+// exactly as the hardware executes it.
+type TimelineEntry struct {
+	Cycle     int // global cycle
+	Op        ir.OpID
+	Iteration int // -1 for preamble operations
+	FU        machine.FUID
+}
+
+// Timeline expands the schedule for the given trip count into the flat
+// issue sequence: preamble first, then iteration k's operations at
+// preambleLen + k·II + cycle. This is the prologue / steady state /
+// epilogue structure a code generator for real hardware would emit —
+// the first iterations ramp the pipeline up, the middle repeats with
+// period II, and the tail drains it.
+func (s *Schedule) Timeline(trips int) []TimelineEntry {
+	var out []TimelineEntry
+	for _, op := range s.Ops {
+		a := s.Assignments[op.ID]
+		if op.Block == ir.PreambleBlock {
+			out = append(out, TimelineEntry{Cycle: a.Cycle, Op: op.ID, Iteration: -1, FU: a.FU})
+			continue
+		}
+		for k := 0; k < trips; k++ {
+			out = append(out, TimelineEntry{
+				Cycle: s.PreambleLen + k*s.II + a.Cycle, Op: op.ID, Iteration: k, FU: a.FU,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		if out[i].FU != out[j].FU {
+			return out[i].FU < out[j].FU
+		}
+		return out[i].Iteration < out[j].Iteration
+	})
+	return out
+}
+
+// PipelineStages returns how many loop iterations are in flight at
+// steady state: ceil(span / II), the depth of the software pipeline.
+func (s *Schedule) PipelineStages() int {
+	if s.II == 0 || s.LoopSpan == 0 {
+		return 0
+	}
+	return (s.LoopSpan + s.II - 1) / s.II
+}
+
+// FormatTimeline renders the expanded schedule with the pipeline
+// phases annotated:
+//
+//	=== prologue (pipeline filling) ===
+//	cycle   1 | ls0[0] load x | ...
+//	=== steady state (II=3, 2 stages) ===
+//	...
+func (s *Schedule) FormatTimeline(trips int) string {
+	entries := s.Timeline(trips)
+	stages := s.PipelineStages()
+	steadyStart := s.PreambleLen + (stages-1)*s.II
+	steadyEnd := s.PreambleLen + trips*s.II // first drain cycle
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "expanded schedule: %d trips, II=%d, %d pipeline stage(s)\n",
+		trips, s.II, stages)
+	phase := ""
+	byCycle := make(map[int][]TimelineEntry)
+	maxCycle := 0
+	for _, e := range entries {
+		byCycle[e.Cycle] = append(byCycle[e.Cycle], e)
+		if e.Cycle > maxCycle {
+			maxCycle = e.Cycle
+		}
+	}
+	for c := 0; c <= maxCycle; c++ {
+		es := byCycle[c]
+		if len(es) == 0 {
+			continue
+		}
+		var want string
+		switch {
+		case c < s.PreambleLen:
+			want = "preamble"
+		case c < steadyStart:
+			want = "prologue (pipeline filling)"
+		case c < steadyEnd && trips >= stages:
+			want = fmt.Sprintf("steady state (one iteration completes every %d cycles)", s.II)
+		default:
+			want = "epilogue (pipeline draining)"
+		}
+		if want != phase {
+			phase = want
+			fmt.Fprintf(&b, "=== %s ===\n", phase)
+		}
+		cols := make([]string, 0, len(es))
+		for _, e := range es {
+			op := s.Ops[e.Op]
+			name := op.Name
+			if name == "" {
+				name = op.Opcode.String()
+			}
+			if i := strings.IndexByte(name, '('); i > 0 {
+				name = name[:i]
+			}
+			iter := "-"
+			if e.Iteration >= 0 {
+				iter = fmt.Sprintf("%d", e.Iteration)
+			}
+			cols = append(cols, fmt.Sprintf("%s[%s] %s", s.Machine.FU(e.FU).Name, iter, name))
+		}
+		fmt.Fprintf(&b, "cycle %4d | %s\n", c, strings.Join(cols, " | "))
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func TestTimelineCompleteAndPeriodic(t *testing.T) {
+	k := accLoopKernel(t)
+	s, err := Compile(k, machine.Distributed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const trips = 9
+	entries := s.Timeline(trips)
+
+	// Every operation appears exactly once per relevant iteration.
+	count := make(map[ir.OpID]map[int]int)
+	for _, e := range entries {
+		if count[e.Op] == nil {
+			count[e.Op] = make(map[int]int)
+		}
+		count[e.Op][e.Iteration]++
+	}
+	for _, op := range s.Ops {
+		if op.Block == ir.PreambleBlock {
+			if count[op.ID][-1] != 1 {
+				t.Errorf("preamble op %d appears %d times", op.ID, count[op.ID][-1])
+			}
+			continue
+		}
+		for k2 := 0; k2 < trips; k2++ {
+			if count[op.ID][k2] != 1 {
+				t.Errorf("loop op %d iteration %d appears %d times", op.ID, k2, count[op.ID][k2])
+			}
+		}
+	}
+
+	// Steady state repeats with period II: the multiset of (op, fu)
+	// issued at cycle c equals that at c+II, well inside the pipeline.
+	stages := s.PipelineStages()
+	if stages < 1 {
+		t.Fatal("no pipeline stages")
+	}
+	issueAt := make(map[int][]string)
+	for _, e := range entries {
+		issueAt[e.Cycle] = append(issueAt[e.Cycle],
+			strings.Join([]string{s.Ops[e.Op].Opcode.String(), s.Machine.FU(e.FU).Name}, "@"))
+	}
+	start := s.PreambleLen + stages*s.II
+	end := s.PreambleLen + (trips-stages)*s.II
+	for c := start; c+s.II < end; c++ {
+		a := append([]string(nil), issueAt[c]...)
+		b := append([]string(nil), issueAt[c+s.II]...)
+		if strings.Join(a, ";") != strings.Join(b, ";") {
+			t.Fatalf("steady state not periodic at cycle %d: %v vs %v", c, a, b)
+		}
+	}
+}
+
+func TestFormatTimelinePhases(t *testing.T) {
+	k := accLoopKernel(t)
+	s, err := Compile(k, machine.Central(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.FormatTimeline(8)
+	for _, want := range []string{"preamble", "steady state", "epilogue", "cycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if s.PipelineStages() > 1 && !strings.Contains(out, "prologue") {
+		t.Errorf("multi-stage pipeline shows no prologue:\n%s", out)
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// VerifySchedule re-derives the structural rules of §4.2 from a
+// finished schedule and checks them independently of the scheduler's
+// bookkeeping:
+//
+//   - every operation sits on a unit that executes its class, with
+//     issue intervals respected;
+//   - every same-block data dependence is satisfied in time, loop-
+//     carried ones modulo the initiation interval;
+//   - every route's write stub and read stub belong to the endpoint
+//     units and meet in one register file;
+//   - every original value use is covered by a chain of routes through
+//     zero or more copies, each copy fitting inside its copy range;
+//   - no two stubs conflict on any bus, read port, or write port.
+//
+// The cycle-accurate simulator provides a second, fully independent
+// oracle by executing the schedule; this verifier catches structural
+// breakage cheaply in unit tests.
+func VerifySchedule(s *Schedule) error {
+	if err := verifyPlacements(s); err != nil {
+		return err
+	}
+	if err := verifyDependences(s); err != nil {
+		return err
+	}
+	if err := verifyRoutes(s); err != nil {
+		return err
+	}
+	if err := verifyCoverage(s); err != nil {
+		return err
+	}
+	return verifyConflicts(s)
+}
+
+func verifyPlacements(s *Schedule) error {
+	type slotKey struct {
+		block ir.BlockKind
+		fu    machine.FUID
+		slot  int
+	}
+	used := make(map[slotKey]ir.OpID)
+	for _, op := range s.Ops {
+		a := s.Assignments[op.ID]
+		if !a.Scheduled {
+			return fmt.Errorf("verify: op %d unscheduled", op.ID)
+		}
+		fu := s.Machine.FU(a.FU)
+		if !fu.Executes(op.Opcode.Class()) {
+			return fmt.Errorf("verify: op %d (%v) on incapable unit %s", op.ID, op.Opcode, fu.Name)
+		}
+		if a.Cycle < 0 {
+			return fmt.Errorf("verify: op %d at negative cycle %d", op.ID, a.Cycle)
+		}
+		for t := a.Cycle; t < a.Cycle+fu.IssueInterval; t++ {
+			k := slotKey{op.Block, a.FU, moduloSlot(s, op.Block, t)}
+			if prev, busy := used[k]; busy && prev != op.ID {
+				return fmt.Errorf("verify: ops %d and %d share unit %s slot %d", prev, op.ID, fu.Name, k.slot)
+			}
+			used[k] = op.ID
+		}
+	}
+	return nil
+}
+
+func moduloSlot(s *Schedule, b ir.BlockKind, cycle int) int {
+	if b == ir.LoopBlock && s.II > 0 {
+		return ((cycle % s.II) + s.II) % s.II
+	}
+	return cycle
+}
+
+func verifyDependences(s *Schedule) error {
+	lat := func(id ir.OpID) int { return s.Machine.Latency(s.Ops[id].Opcode) }
+	for _, op := range s.Ops {
+		for _, arg := range op.Args {
+			if arg.Kind != ir.OperandValue {
+				continue
+			}
+			for _, src := range arg.Srcs {
+				def := s.Values[src.Value].Def
+				defOp := s.Ops[def]
+				if defOp.Block != op.Block {
+					continue // loop begins after the whole preamble
+				}
+				ii := 0
+				if op.Block == ir.LoopBlock {
+					ii = s.II
+				}
+				avail := s.Assignments[def].Cycle + lat(def)
+				read := s.Assignments[op.ID].Cycle + src.Distance*ii
+				if read < avail {
+					return fmt.Errorf("verify: op %d reads v%d at %d before it completes at %d",
+						op.ID, src.Value, read, avail)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func verifyRoutes(s *Schedule) error {
+	for _, r := range s.Routes {
+		defA, useA := s.Assignments[r.Def], s.Assignments[r.Use]
+		if r.W.FU != defA.FU {
+			return fmt.Errorf("verify: route v%d write stub on %d, def on %d", r.Value, r.W.FU, defA.FU)
+		}
+		if r.R.FU != useA.FU {
+			return fmt.Errorf("verify: route v%d read stub on %d, use on %d", r.Value, r.R.FU, useA.FU)
+		}
+		if r.W.RF != r.R.RF {
+			return fmt.Errorf("verify: route v%d stubs in different register files (%d vs %d)",
+				r.Value, r.W.RF, r.R.RF)
+		}
+		if s.Ops[r.Def].Result != r.Value {
+			return fmt.Errorf("verify: route v%d not produced by its def op %d", r.Value, r.Def)
+		}
+	}
+	return nil
+}
+
+// verifyCoverage checks that every original value use is fed by a route
+// chain: either a direct route from the defining op, or a route from a
+// copy whose transitive source is the defining op, with each hop
+// strictly after the previous value is available.
+func verifyCoverage(s *Schedule) error {
+	// Routes indexed by consumer operand.
+	byUse := make(map[OperandKey][]Route)
+	for _, r := range s.Routes {
+		byUse[OperandKey{Op: r.Use, Slot: r.Slot}] = append(byUse[OperandKey{Op: r.Use, Slot: r.Slot}], r)
+	}
+	// rootOf resolves a value through copy chains to the original
+	// producing value.
+	var rootOf func(v ir.ValueID) ir.ValueID
+	rootOf = func(v ir.ValueID) ir.ValueID {
+		def := s.Ops[s.Values[v].Def]
+		if def.Opcode == ir.Copy && int(def.ID) >= len(s.Kernel.Ops) {
+			return rootOf(def.Args[0].Srcs[0].Value)
+		}
+		return v
+	}
+	for _, op := range s.Kernel.Ops {
+		for slot, arg := range op.Args {
+			if arg.Kind != ir.OperandValue {
+				continue
+			}
+			for _, src := range arg.Srcs {
+				found := false
+				for _, r := range byUse[OperandKey{Op: op.ID, Slot: slot}] {
+					if rootOf(r.Value) == src.Value {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("verify: op %d slot %d use of v%d has no route", op.ID, slot, src.Value)
+				}
+			}
+		}
+	}
+	// Same-block route timing, hop by hop.
+	for _, r := range s.Routes {
+		defOp, useOp := s.Ops[r.Def], s.Ops[r.Use]
+		if defOp.Block != useOp.Block {
+			continue
+		}
+		ii := 0
+		if useOp.Block == ir.LoopBlock {
+			ii = s.II
+		}
+		wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(defOp.Opcode) - 1
+		rflat := s.Assignments[r.Use].Cycle + r.Distance*ii
+		if rflat <= wflat {
+			return fmt.Errorf("verify: route v%d read at %d not after write at %d", r.Value, rflat, wflat)
+		}
+	}
+	return nil
+}
+
+// verifyConflicts re-runs the §4.2 sharing rules over the finished
+// schedule with fresh bookkeeping.
+func verifyConflicts(s *Schedule) error {
+	type cell struct {
+		kind  string
+		id    int
+		block ir.BlockKind
+		slot  int
+		// ident keys per-value-instance cells (the rfw rule applies per
+		// value: the same result may not enter one register file through
+		// two different buses or ports, §4.2, but two different values
+		// may use two different ports of the same file).
+		ident string
+	}
+	type claim struct {
+		desc string
+	}
+	occupancy := make(map[cell]map[string]claim)
+	add := func(c cell, identity, desc string) error {
+		if occupancy[c] == nil {
+			occupancy[c] = map[string]claim{identity: {desc}}
+			return nil
+		}
+		if len(occupancy[c]) == 1 {
+			if _, same := occupancy[c][identity]; same {
+				return nil
+			}
+		}
+		for other, cl := range occupancy[c] {
+			if other != identity {
+				return fmt.Errorf("verify: %s %d (%v slot %d): %q conflicts with %q",
+					c.kind, c.id, c.block, c.slot, desc, cl.desc)
+			}
+		}
+		occupancy[c][identity] = claim{desc}
+		return nil
+	}
+
+	writeIdent := func(r Route) string {
+		wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(s.Ops[r.Def].Opcode) - 1
+		return fmt.Sprintf("w:v%d@%d", r.Value, wflat)
+	}
+	for _, r := range s.Routes {
+		block := s.Ops[r.Def].Block
+		wslot := moduloSlot(s, block, s.Assignments[r.Def].Cycle+s.Machine.Latency(s.Ops[r.Def].Opcode)-1)
+		id := writeIdent(r)
+		desc := fmt.Sprintf("write v%d by op%d", r.Value, r.Def)
+		if err := add(cell{"bus", int(r.W.Bus), block, wslot, ""}, id+fmt.Sprintf("/fu%d", r.W.FU), desc); err != nil {
+			return err
+		}
+		if err := add(cell{"wport", int(r.W.Port), block, wslot, ""}, id+fmt.Sprintf("/bus%d", r.W.Bus), desc); err != nil {
+			return err
+		}
+		if err := add(cell{"rfw", int(r.W.RF), block, wslot, id},
+			fmt.Sprintf("bus%d/wp%d", r.W.Bus, r.W.Port), desc); err != nil {
+			return err
+		}
+	}
+	// Reads: one stub per operand; identity follows the engine's rules.
+	readIdent := func(key OperandKey) string {
+		var comms []Route
+		for _, r := range s.Routes {
+			if r.Use == key.Op && r.Slot == key.Slot {
+				comms = append(comms, r)
+			}
+		}
+		if len(comms) != 1 {
+			return fmt.Sprintf("phi:op%d.%d", key.Op, key.Slot)
+		}
+		r := comms[0]
+		if s.Ops[r.Def].Block == ir.PreambleBlock && s.Ops[r.Use].Block == ir.LoopBlock {
+			return fmt.Sprintf("inv:v%d", r.Value)
+		}
+		ii := 0
+		if s.Ops[r.Use].Block == ir.LoopBlock {
+			ii = s.II
+		}
+		return fmt.Sprintf("r:v%d@%d", r.Value, s.Assignments[r.Use].Cycle-r.Distance*ii)
+	}
+	for key, stub := range s.Reads {
+		block := s.Ops[key.Op].Block
+		rslot := moduloSlot(s, block, s.Assignments[key.Op].Cycle)
+		id := readIdent(key)
+		desc := fmt.Sprintf("read op%d.%d", key.Op, key.Slot)
+		if err := add(cell{"rport", int(stub.Port), block, rslot, ""}, id, desc); err != nil {
+			return err
+		}
+		if err := add(cell{"bus", int(stub.Bus), block, rslot, ""}, id+fmt.Sprintf("/rp%d", stub.Port), desc); err != nil {
+			return err
+		}
+	}
+	return nil
+}

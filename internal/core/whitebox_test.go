@@ -1,0 +1,247 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// engineFor builds an engine over a kernel/machine without running the
+// II search, for direct inspection of the §4 machinery.
+func engineFor(t *testing.T, k *ir.Kernel, m *machine.Machine, ii int) *engine {
+	t.Helper()
+	g := depgraph.Build(k, m)
+	return newEngine(k, m, g, Options{}, ii)
+}
+
+func TestCopyRangeFormulas(t *testing.T) {
+	// Same-block range: "all cycles between the cycle on which the
+	// write operation completes and the cycle on which the read
+	// operation issues" (Fig. 23).
+	b := ir.NewBuilder("rng")
+	c0 := b.Emit(ir.MovI, "c0", b.Const(1))
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	x := b.Emit(ir.Mul, "x", iv, b.Val(c0)) // mul: latency 2
+	b.Emit(ir.Store, "", b.Val(x), iv, b.Const(0))
+	k := b.MustFinish()
+	m := machine.Central()
+	e := engineFor(t, k, m, 4)
+
+	mulID := k.Loop[1]
+	storeID := k.Loop[2]
+	e.placeOp(mulID, e.mach.UnitsFor(ir.ClsMul)[0], 2)
+	e.placeOp(storeID, e.mach.UnitsFor(ir.ClsMem)[0], 9)
+
+	var c *comm
+	for _, cc := range e.comms {
+		if cc.def == mulID && cc.use == storeID {
+			c = cc
+		}
+	}
+	if c == nil {
+		t.Fatal("mul->store comm not found")
+	}
+	// mul issues at 2, completes at 3; store reads at 9: copy range is
+	// cycles 4..8 = width 5.
+	if got := e.copyRange(c); got != 5 {
+		t.Errorf("same-block copy range = %d, want 5", got)
+	}
+
+	// Cross-block (preamble def, loop use): unbounded.
+	var cross *comm
+	for _, cc := range e.comms {
+		if cc.def == k.Preamble[1] && e.ops[cc.use].Block == ir.LoopBlock {
+			cross = cc
+		}
+	}
+	if cross == nil {
+		t.Fatal("cross-block comm not found")
+	}
+	if got := e.copyRange(cross); got != unboundedRange {
+		t.Errorf("cross-block copy range = %d, want unbounded", got)
+	}
+}
+
+func TestLoopCarriedCopyRangeScalesWithII(t *testing.T) {
+	b := ir.NewBuilder("carr")
+	s0 := b.Emit(ir.MovI, "s0", b.Const(1))
+	b.Loop()
+	b.Accumulator(ir.Add, "s", s0, b.Const(1))
+	k := b.MustFinish()
+	m := machine.Central()
+	for _, ii := range []int{2, 5} {
+		e := engineFor(t, k, m, ii)
+		addID := k.Loop[0]
+		e.placeOp(addID, e.mach.UnitsFor(ir.ClsAdd)[0], 0)
+		var c *comm
+		for _, cc := range e.comms {
+			if cc.def == addID && cc.use == addID && cc.distance == 1 {
+				c = cc
+			}
+		}
+		if c == nil {
+			t.Fatal("self comm not found")
+		}
+		// Write completes at 0; read at 0 + 1·II: range = II - 1.
+		if got := e.copyRange(c); got != ii-1 {
+			t.Errorf("II=%d: carried copy range = %d, want %d", ii, got, ii-1)
+		}
+	}
+}
+
+func TestReadIdentityRules(t *testing.T) {
+	b := ir.NewBuilder("ident")
+	inv := b.Emit(ir.MovI, "inv", b.Const(5))
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	p := b.Emit(ir.Mul, "p", iv, b.Val(inv))
+	b.Emit(ir.Store, "", b.Val(p), iv, b.Const(0))
+	k := b.MustFinish()
+	e := engineFor(t, k, machine.Central(), 3)
+
+	addID := k.Loop[0] // induction add: phi operand
+	mulID := k.Loop[1]
+	e.placeOp(addID, e.mach.UnitsFor(ir.ClsAdd)[0], 0)
+	e.placeOp(mulID, e.mach.UnitsFor(ir.ClsMul)[0], 1)
+
+	// The induction add's operand 0 is a phi: never shareable.
+	_, _, _, uniq := e.readIdentity(OperandKey{Op: addID, Slot: 0})
+	if uniq == 0 {
+		t.Error("phi operand not marked unique")
+	}
+	// The mul's operand 1 reads a loop invariant: invariant identity.
+	_, _, isInv, uniq2 := e.readIdentity(OperandKey{Op: mulID, Slot: 1})
+	if !isInv || uniq2 != 0 {
+		t.Errorf("invariant operand: inv=%v uniq=%d", isInv, uniq2)
+	}
+	// The mul's operand 0 reads the induction phi: also unique.
+	if _, _, _, u := e.readIdentity(OperandKey{Op: mulID, Slot: 0}); u == 0 {
+		t.Error("induction phi operand not marked unique")
+	}
+	// The store's operand 0 reads p plainly: value identity, same
+	// iteration, shareable.
+	storeID := k.Loop[2]
+	e.placeOp(storeID, e.mach.UnitsFor(ir.ClsMem)[0], 3)
+	v, _, isInv0, uniq0 := e.readIdentity(OperandKey{Op: storeID, Slot: 0})
+	if isInv0 || uniq0 != 0 || v == ir.NoValue {
+		t.Errorf("plain operand: v=%d inv=%v uniq=%d", v, isInv0, uniq0)
+	}
+}
+
+func TestSharedRouteRFsHonorsPins(t *testing.T) {
+	// On the Fig. 5 machine, add0 writes {rfL, rfC} and ls reads rfC.
+	m := machine.MotivatingExample()
+	b := ir.NewBuilder("pins")
+	x := b.Emit(ir.Add, "x", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(x), b.Const(7), b.Const(0))
+	k := b.MustFinish()
+	e := engineFor(t, k, m, 1)
+
+	var add0, ls machine.FUID
+	for _, fu := range m.FUs {
+		switch fu.Name {
+		case "add0":
+			add0 = fu.ID
+		case "ls":
+			ls = fu.ID
+		}
+	}
+	e.placeOp(0, add0, 0)
+	e.placeOp(1, ls, 2)
+	c := e.comms[0]
+	shared := e.sharedRouteRFs(c)
+	if len(shared) != 1 || m.RegFiles[shared[0]].Name != "rfC" {
+		t.Fatalf("shared RFs = %v, want just rfC", shared)
+	}
+	// Pin the write stub to rfL: no shared file remains.
+	for _, ws := range m.WriteStubs(add0) {
+		if m.RegFiles[ws.RF].Name == "rfL" {
+			e.setCommW(c, ws, true)
+		}
+	}
+	if shared := e.sharedRouteRFs(c); len(shared) != 0 {
+		t.Errorf("pinned-away shared RFs = %v, want none", shared)
+	}
+}
+
+func TestDepositInvariantReuse(t *testing.T) {
+	// A preamble constant consumed by two loop ops placed on units
+	// sharing an input file (paired machine) must produce at most one
+	// write of the constant — the second close reuses the deposit.
+	m := machine.Paired()
+	b := ir.NewBuilder("dep")
+	c0 := b.Emit(ir.MovI, "c0", b.Const(9))
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	a := b.Emit(ir.Add, "a", iv, b.Val(c0))
+	bb := b.Emit(ir.Sub, "b", iv, b.Val(c0))
+	b.Emit(ir.Store, "", b.Val(a), iv, b.Const(0))
+	b.Emit(ir.Store, "", b.Val(bb), iv, b.Const(64))
+	k := b.MustFinish()
+	s, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	// Count distinct write stubs delivering c0 (or its copies).
+	writes := make(map[machine.WriteStub]bool)
+	for _, r := range s.Routes {
+		root := r.Value
+		for int(s.Values[root].Def) >= len(k.Ops) {
+			root = s.Ops[s.Values[root].Def].Args[0].Srcs[0].Value
+		}
+		if root == c0 {
+			writes[r.W] = true
+		}
+	}
+	if len(writes) > 3 {
+		t.Errorf("constant written through %d stubs; deposit reuse not consolidating", len(writes))
+	}
+}
+
+func TestSolveWritesRequireFilter(t *testing.T) {
+	// Requiring an unreachable file must fail the solve cleanly.
+	m := machine.MotivatingExample()
+	b := ir.NewBuilder("req")
+	x := b.Emit(ir.Add, "x", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(x), b.Const(7), b.Const(0))
+	k := b.MustFinish()
+	e := engineFor(t, k, m, 1)
+	var add0 machine.FUID
+	var rfR machine.RFID
+	for _, fu := range m.FUs {
+		if fu.Name == "add0" {
+			add0 = fu.ID
+		}
+	}
+	for _, rf := range m.RegFiles {
+		if rf.Name == "rfR" {
+			rfR = rf.ID
+		}
+	}
+	e.placeOp(0, add0, 0)
+	e.indexOpStubs(0)
+	key := e.completionSlotKey(0)
+	// add0 cannot write rfR directly.
+	if e.solveWrites(key, map[CommID]machine.RFID{0: rfR}) {
+		t.Error("solveWrites satisfied an unreachable requirement")
+	}
+	// But it can write rfC.
+	var rfC machine.RFID
+	for _, rf := range m.RegFiles {
+		if rf.Name == "rfC" {
+			rfC = rf.ID
+		}
+	}
+	if !e.solveWrites(key, map[CommID]machine.RFID{0: rfC}) {
+		t.Error("solveWrites failed a satisfiable requirement")
+	}
+	if !e.comms[0].hasW || e.comms[0].wstub.RF != rfC {
+		t.Error("required stub not recorded")
+	}
+}

@@ -1,0 +1,335 @@
+// Package depgraph builds the data-dependence graph of a kernel and
+// derives the quantities the scheduler needs from it: scheduling
+// priorities (critical-path heights), earliest-cycle estimates, and the
+// resource- and recurrence-constrained lower bounds on the initiation
+// interval of the software-pipelined loop.
+package depgraph
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// EdgeKind distinguishes true data flow (which becomes a communication)
+// from pure ordering constraints (memory aliasing), which constrain
+// cycles but move no value.
+type EdgeKind int
+
+const (
+	// Data edges carry a value from From's result to operand Slot of To.
+	Data EdgeKind = iota
+	// Order edges only sequence the endpoints.
+	Order
+)
+
+// Edge is one dependence: To must issue no earlier than
+// issue(From) + Latency - Distance·II.
+type Edge struct {
+	From     ir.OpID
+	To       ir.OpID
+	Kind     EdgeKind
+	Slot     int // operand slot in To (Data only)
+	SrcIndex int // index within the operand's source list (Data only)
+	Latency  int // result latency of From (Order edges use latency 1)
+	Distance int // loop-carried iteration distance
+}
+
+// Graph is the dependence graph of one kernel on one machine (latencies
+// are machine-specific).
+type Graph struct {
+	Kernel *ir.Kernel
+	Out    [][]Edge // per op: outgoing edges
+	In     [][]Edge // per op: incoming edges
+
+	height []int // critical-path height per op (distance-0 subgraph)
+	asap   []int // earliest issue estimate per op (distance-0 subgraph)
+}
+
+// Build constructs the dependence graph. Data edges come from operand
+// sources; order edges chain memory operations that share a non-zero
+// alias tag, including the loop-carried back edge.
+func Build(k *ir.Kernel, m *machine.Machine) *Graph {
+	g := &Graph{
+		Kernel: k,
+		Out:    make([][]Edge, len(k.Ops)),
+		In:     make([][]Edge, len(k.Ops)),
+	}
+	for _, op := range k.Ops {
+		for slot, arg := range op.Args {
+			if arg.Kind != ir.OperandValue {
+				continue
+			}
+			for si, src := range arg.Srcs {
+				def := k.Values[src.Value].Def
+				g.add(Edge{
+					From: def, To: op.ID, Kind: Data, Slot: slot, SrcIndex: si,
+					Latency: m.Latency(k.Ops[def].Opcode), Distance: src.Distance,
+				})
+			}
+		}
+	}
+	g.addMemoryOrder(k)
+	g.computeHeights(m)
+	return g
+}
+
+func (g *Graph) add(e Edge) {
+	g.Out[e.From] = append(g.Out[e.From], e)
+	g.In[e.To] = append(g.In[e.To], e)
+}
+
+// addMemoryOrder adds ordering edges between same-tag memory
+// operations:
+//
+//   - store → later load (flow): latency 1 within the iteration, and
+//     loop-carried with distance 1 so a load never overtakes last
+//     iteration's store;
+//   - load → later store (anti): latency 0 — the store may issue on the
+//     load's cycle because reads observe start-of-cycle memory; and
+//     loop-carried with distance 1;
+//   - store → store (output) only for scratchpad accesses, which reuse
+//     addresses; stream stores write distinct elements and stay
+//     unordered.
+func (g *Graph) addMemoryOrder(k *ir.Kernel) {
+	for _, blockOps := range [][]ir.OpID{k.Preamble, k.Loop} {
+		chains := make(map[int][]ir.OpID)
+		for _, id := range blockOps {
+			op := k.Ops[id]
+			if op.MemTag == 0 || op.Opcode.Class() != ir.ClsMem && op.Opcode.Class() != ir.ClsSP {
+				continue
+			}
+			chains[op.MemTag] = append(chains[op.MemTag], id)
+		}
+		for _, chain := range chains {
+			inLoop := len(chain) > 0 && k.Ops[chain[0]].Block == ir.LoopBlock
+			for i, a := range chain {
+				for _, b := range chain[i+1:] {
+					g.addOrderPair(k, a, b, 0)
+				}
+				if inLoop {
+					for _, b := range chain {
+						g.addOrderPair(k, a, b, 1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// addOrderPair adds the ordering edge from a to b (b observes a's
+// effect distance iterations later) when the pair needs one.
+func (g *Graph) addOrderPair(k *ir.Kernel, a, b ir.OpID, distance int) {
+	wa, wb := isWrite(k.Ops[a].Opcode), isWrite(k.Ops[b].Opcode)
+	switch {
+	case wa && !wb: // flow: store → load
+		g.add(Edge{From: a, To: b, Kind: Order, Latency: 1, Distance: distance})
+	case !wa && wb: // anti: load → store
+		g.add(Edge{From: a, To: b, Kind: Order, Latency: 0, Distance: distance})
+	case wa && wb: // output: scratchpad only
+		if k.Ops[a].Opcode == ir.SPWrite && k.Ops[b].Opcode == ir.SPWrite && (a != b || distance > 0) {
+			g.add(Edge{From: a, To: b, Kind: Order, Latency: 1, Distance: distance})
+		}
+	}
+}
+
+func isWrite(op ir.Opcode) bool { return op == ir.Store || op == ir.SPWrite }
+
+// computeHeights fills height (critical path to the bottom of the
+// distance-0 subgraph) and asap (earliest issue assuming unlimited
+// resources). Both drive scheduling priority: the scheduler places
+// operations along the critical path first (§4.6).
+func (g *Graph) computeHeights(m *machine.Machine) {
+	n := len(g.Kernel.Ops)
+	g.height = make([]int, n)
+	g.asap = make([]int, n)
+	order := g.topoOrder()
+	// ASAP: forward pass.
+	for _, id := range order {
+		for _, e := range g.Out[id] {
+			if e.Distance != 0 {
+				continue
+			}
+			if t := g.asap[id] + e.Latency; t > g.asap[e.To] {
+				g.asap[e.To] = t
+			}
+		}
+	}
+	// Height: backward pass.
+	for i := len(order) - 1; i >= 0; i-- {
+		id := order[i]
+		h := 0
+		for _, e := range g.Out[id] {
+			if e.Distance != 0 {
+				continue
+			}
+			if t := g.height[e.To] + e.Latency; t > h {
+				h = t
+			}
+		}
+		g.height[id] = h
+	}
+}
+
+// topoOrder returns the ops topologically sorted over distance-0 edges.
+// The IR verifier guarantees the distance-0 subgraph is acyclic and
+// respects block program order, so sorting by (block, position) is a
+// valid topological order.
+func (g *Graph) topoOrder() []ir.OpID {
+	var order []ir.OpID
+	order = append(order, g.Kernel.Preamble...)
+	order = append(order, g.Kernel.Loop...)
+	return order
+}
+
+// Height returns the critical-path height of op.
+func (g *Graph) Height(op ir.OpID) int { return g.height[op] }
+
+// ASAP returns the earliest-issue estimate of op.
+func (g *Graph) ASAP(op ir.OpID) int { return g.asap[op] }
+
+// PriorityOrder returns the ops of the given block sorted for
+// scheduling: descending critical-path height, ties broken by program
+// order. This realizes the paper's "operations are scheduled in
+// operation order" along the critical path (§4.6): the consumer of a
+// critical value immediately follows its producer.
+func (g *Graph) PriorityOrder(block ir.BlockKind) []ir.OpID {
+	src := g.Kernel.BlockOps(block)
+	order := make([]ir.OpID, len(src))
+	copy(order, src)
+	// Stable insertion sort by height descending keeps program order on
+	// ties without importing sort for a custom stable comparator.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.height[order[j]] > g.height[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// ResMII returns the resource-constrained lower bound on the loop
+// initiation interval: for every operation class, the class's issue
+// demand divided by the number of units that execute it, and for every
+// machine with shared write buses, the result count divided by the
+// shared-bus capacity.
+func ResMII(k *ir.Kernel, m *machine.Machine) (int, error) {
+	demand := make(map[ir.Class]int)
+	results := 0
+	for _, id := range k.Loop {
+		op := k.Ops[id]
+		cls := op.Opcode.Class()
+		units := m.UnitsFor(cls)
+		if len(units) == 0 {
+			return 0, fmt.Errorf("depgraph: no unit executes %v (op %d)", cls, id)
+		}
+		// Weight by the worst issue interval of the class's units; the
+		// bound stays a lower bound because the best unit might be
+		// faster, so use the best (minimum) interval.
+		best := units[0]
+		for _, u := range units {
+			if m.FU(u).IssueInterval < m.FU(best).IssueInterval {
+				best = u
+			}
+		}
+		demand[cls] += m.FU(best).IssueInterval
+		if op.Opcode.HasResult() {
+			results++
+		}
+	}
+	mii := 1
+	for cls, d := range demand {
+		units := len(m.UnitsFor(cls))
+		if v := (d + units - 1) / units; v > mii {
+			mii = v
+		}
+	}
+	// Shared write buses bound the number of results per cycle when the
+	// machine funnels all writebacks through them.
+	if buses := sharedWriteBuses(m); buses > 0 && results > 0 {
+		if v := (results + buses - 1) / buses; v > mii {
+			mii = v
+		}
+	}
+	return mii, nil
+}
+
+// sharedWriteBuses counts buses drivable by more than one output. When
+// every write bus is dedicated (central, clustered standard units) the
+// shared-bus bound does not apply and the count is reported as 0.
+func sharedWriteBuses(m *machine.Machine) int {
+	drivers := make(map[machine.BusID]int)
+	for fu := range m.FUs {
+		seen := make(map[machine.BusID]bool)
+		for _, ws := range m.WriteStubs(machine.FUID(fu)) {
+			if !seen[ws.Bus] {
+				seen[ws.Bus] = true
+				drivers[ws.Bus]++
+			}
+		}
+	}
+	shared, dedicated := 0, 0
+	for _, n := range drivers {
+		if n > 1 {
+			shared++
+		} else {
+			dedicated++
+		}
+	}
+	if shared == 0 || dedicated > 0 {
+		// Mixed topologies (some dedicated writebacks) are not funneled;
+		// the bound would not be sound as stated.
+		return 0
+	}
+	return shared
+}
+
+// RecMIIFeasible reports whether the loop's recurrences admit the given
+// initiation interval: no dependence cycle requires more than II·(sum
+// of distances) cycles of latency. It runs a Bellman-Ford positive-
+// cycle detection on the loop subgraph with edge weights
+// latency - II·distance.
+func (g *Graph) RecMIIFeasible(ii int) bool {
+	loop := g.Kernel.Loop
+	index := make(map[ir.OpID]int, len(loop))
+	for i, id := range loop {
+		index[id] = i
+	}
+	n := len(loop)
+	if n == 0 {
+		return true
+	}
+	// Longest-path relaxation from all nodes simultaneously.
+	dist := make([]int, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for i, id := range loop {
+			for _, e := range g.Out[id] {
+				j, ok := index[e.To]
+				if !ok {
+					continue
+				}
+				w := e.Latency - ii*e.Distance
+				if dist[i]+w > dist[j] {
+					dist[j] = dist[i] + w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return true
+		}
+	}
+	return false
+}
+
+// RecMII returns the smallest initiation interval the loop recurrences
+// admit, capped at maxII.
+func (g *Graph) RecMII(maxII int) int {
+	for ii := 1; ii <= maxII; ii++ {
+		if g.RecMIIFeasible(ii) {
+			return ii
+		}
+	}
+	return maxII
+}

@@ -1,0 +1,181 @@
+package ir
+
+import "fmt"
+
+// Builder constructs kernels programmatically. The kernel-language
+// compiler and the built-in evaluation kernels both use it.
+//
+// The zero Builder is not ready; use NewBuilder.
+type Builder struct {
+	k   *Kernel
+	cur BlockKind
+	err error
+}
+
+// NewBuilder returns a builder for a kernel with the given name,
+// positioned in the preamble block.
+func NewBuilder(name string) *Builder {
+	return &Builder{k: &Kernel{Name: name, TripCount: 64}}
+}
+
+// SetBlock switches the block subsequent operations are appended to.
+func (b *Builder) SetBlock(kind BlockKind) *Builder {
+	b.cur = kind
+	return b
+}
+
+// Loop switches to the loop block.
+func (b *Builder) Loop() *Builder { return b.SetBlock(LoopBlock) }
+
+// SetTripCount sets the nominal simulation trip count.
+func (b *Builder) SetTripCount(n int) *Builder {
+	b.k.TripCount = n
+	return b
+}
+
+// Err returns the first error recorded while building.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("ir build %s: %s", b.k.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Emit appends an operation producing a named value and returns the
+// value id. Opcodes without results record NoValue.
+func (b *Builder) Emit(opc Opcode, name string, args ...Operand) ValueID {
+	return b.emit(opc, name, 0, args)
+}
+
+// EmitMem appends a memory operation carrying an alias tag. Operations
+// with equal non-zero tags are ordered against each other.
+func (b *Builder) EmitMem(opc Opcode, name string, tag int, args ...Operand) ValueID {
+	return b.emit(opc, name, tag, args)
+}
+
+func (b *Builder) emit(opc Opcode, name string, tag int, args []Operand) ValueID {
+	if b.err != nil {
+		return NoValue
+	}
+	if !opc.Valid() {
+		b.fail("invalid opcode %v", opc)
+		return NoValue
+	}
+	if len(args) != opc.NumArgs() {
+		b.fail("%v wants %d args, got %d", opc, opc.NumArgs(), len(args))
+		return NoValue
+	}
+	op := &Op{
+		ID:     OpID(len(b.k.Ops)),
+		Opcode: opc,
+		Args:   args,
+		Result: NoValue,
+		Block:  b.cur,
+		Name:   name,
+		MemTag: tag,
+	}
+	if opc.HasResult() {
+		v := &Value{ID: ValueID(len(b.k.Values)), Name: name, Def: op.ID}
+		b.k.Values = append(b.k.Values, v)
+		op.Result = v.ID
+	}
+	b.k.Ops = append(b.k.Ops, op)
+	if b.cur == LoopBlock {
+		op.Pos = len(b.k.Loop)
+		b.k.Loop = append(b.k.Loop, op.ID)
+	} else {
+		op.Pos = len(b.k.Preamble)
+		b.k.Preamble = append(b.k.Preamble, op.ID)
+	}
+	return op.Result
+}
+
+// Const is shorthand for an immediate operand.
+func (b *Builder) Const(v int64) Operand { return ConstOperand(v) }
+
+// Val is shorthand for a same-iteration value operand.
+func (b *Builder) Val(v ValueID) Operand { return ValueOperand(v) }
+
+// MovI emits a move-immediate in the current block.
+func (b *Builder) MovI(name string, v int64) ValueID {
+	return b.Emit(MovI, name, b.Const(v))
+}
+
+// Finish verifies and returns the kernel.
+func (b *Builder) Finish() (*Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.k.Verify(); err != nil {
+		return nil, err
+	}
+	return b.k, nil
+}
+
+// MustFinish is Finish for statically known-good kernels (the built-in
+// suite); it panics on error.
+func (b *Builder) MustFinish() *Kernel {
+	k, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// LastOpID returns the id of the most recently emitted operation.
+func (b *Builder) LastOpID() OpID { return OpID(len(b.k.Ops) - 1) }
+
+// PatchSource rewrites one operand source of an emitted operation. The
+// kernel-language lowering uses it to resolve loop-carried back edges
+// whose defining operation is emitted after the use.
+func (b *Builder) PatchSource(op OpID, slot, srcIndex int, v ValueID) {
+	if b.err != nil {
+		return
+	}
+	if int(op) >= len(b.k.Ops) || slot >= len(b.k.Ops[op].Args) ||
+		b.k.Ops[op].Args[slot].Kind != OperandValue ||
+		srcIndex >= len(b.k.Ops[op].Args[slot].Srcs) {
+		b.fail("PatchSource(%d, %d, %d): no such source", op, slot, srcIndex)
+		return
+	}
+	b.k.Ops[op].Args[slot].Srcs[srcIndex].Value = v
+}
+
+// NextValueID returns the id the next emitted result will receive,
+// which callers use to construct self-referential loop-carried operands
+// (accumulators) before emitting the operation that defines them.
+func (b *Builder) NextValueID() ValueID { return ValueID(len(b.k.Values)) }
+
+// Accumulator emits the idiomatic reduction pattern: acc = op(phi(init,
+// acc@1), x). It returns the in-loop accumulator value. The current
+// block must be the loop.
+func (b *Builder) Accumulator(opc Opcode, name string, init ValueID, x Operand) ValueID {
+	next := b.NextValueID()
+	got := b.Emit(opc, name, PhiOperand(init, next, 1), x)
+	if got != next && b.err == nil {
+		b.fail("accumulator id mismatch: want %d got %d", next, got)
+	}
+	return got
+}
+
+// InductionVar emits the idiomatic loop induction pattern: a preamble
+// MovI producing the initial value and a loop Add producing the next
+// value, returning an operand that reads the phi of the two and the
+// ValueID of the in-loop next value (for bounds tests).
+func (b *Builder) InductionVar(name string, init, step int64) (Operand, ValueID) {
+	saved := b.cur
+	b.cur = PreambleBlock
+	iv0 := b.Emit(MovI, name+"0", b.Const(init))
+	b.cur = LoopBlock
+	// Reserve the phi operand first; the add consumes it.
+	// next = phi(init, next@1) + step
+	nextID := ValueID(len(b.k.Values)) // id the Add below will receive
+	phi := PhiOperand(iv0, nextID, 1)
+	got := b.Emit(Add, name, phi, b.Const(step))
+	if got != nextID && b.err == nil {
+		b.fail("induction variable id mismatch: want %d got %d", nextID, got)
+	}
+	b.cur = saved
+	return phi, got
+}

@@ -1,0 +1,133 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderHelpers(t *testing.T) {
+	b := NewBuilder("helpers")
+	x := b.MovI("x", 42)
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if b.NextValueID() != x+1 {
+		t.Errorf("NextValueID = %d, want %d", b.NextValueID(), x+1)
+	}
+	b.SetTripCount(9)
+	b.Loop()
+	y := b.EmitMem(Load, "y", 3, b.Val(x), b.Const(0))
+	if got := b.LastOpID(); got != OpID(1) {
+		t.Errorf("LastOpID = %d, want 1", got)
+	}
+	b.Emit(Store, "", b.Val(y), b.Val(x), b.Const(0))
+	k := b.MustFinish()
+	if k.TripCount != 9 {
+		t.Errorf("trip = %d", k.TripCount)
+	}
+	if k.Ops[1].MemTag != 3 {
+		t.Errorf("mem tag = %d, want 3", k.Ops[1].MemTag)
+	}
+	if k.NumOps() != 3 {
+		t.Errorf("NumOps = %d", k.NumOps())
+	}
+	if k.Op(1) != k.Ops[1] || k.Value(y).ID != y {
+		t.Error("accessors broken")
+	}
+	if len(k.BlockOps(PreambleBlock)) != 1 || len(k.BlockOps(LoopBlock)) != 2 {
+		t.Error("BlockOps wrong")
+	}
+	if !strings.Contains(k.String(), "helpers") {
+		t.Errorf("String = %q", k.String())
+	}
+	if PreambleBlock.String() != "preamble" || LoopBlock.String() != "loop" {
+		t.Error("block kind names")
+	}
+}
+
+func TestPatchSourceValidation(t *testing.T) {
+	b := NewBuilder("patch")
+	x := b.MovI("x", 1)
+	b.Emit(Add, "y", b.Val(x), b.Const(1))
+	op := b.LastOpID()
+	b.PatchSource(op, 0, 0, x) // valid no-op patch
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	b.PatchSource(op, 1, 0, x) // slot 1 is a const: invalid
+	if b.Err() == nil {
+		t.Error("PatchSource accepted const slot")
+	}
+}
+
+func TestMustFinishPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinish did not panic on bad kernel")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Emit(Add, "x", b.Const(1)) // wrong arity
+	b.MustFinish()
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClsNone; c < NumClasses; c++ {
+		if c.String() == "" || strings.HasPrefix(c.String(), "Class(") {
+			t.Errorf("class %d has no name", int(c))
+		}
+	}
+	if Opcode(999).String() == "" || Opcode(999).Valid() {
+		t.Error("invalid opcode handling")
+	}
+	if Opcode(999).Class() != ClsNone || Opcode(999).NumArgs() != 0 || Opcode(999).HasResult() {
+		t.Error("invalid opcode metadata")
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	for _, op := range []Opcode{Add, Mul, And, Or, Xor, Min, Max, FAdd, FMul, MulQ} {
+		if !op.Commutative() {
+			t.Errorf("%v should be commutative", op)
+		}
+	}
+	for _, op := range []Opcode{Sub, Div, Shl, Store, Load, CmpLT, Select} {
+		if op.Commutative() {
+			t.Errorf("%v should not be commutative", op)
+		}
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	c := ConstOperand(5)
+	if c.Kind != OperandConst || c.Const != 5 {
+		t.Error("ConstOperand")
+	}
+	v := ValueOperand(3)
+	if v.Kind != OperandValue || len(v.Srcs) != 1 || v.Srcs[0].Value != 3 {
+		t.Error("ValueOperand")
+	}
+	cv := CarriedOperand(3, 2)
+	if cv.Srcs[0].Distance != 2 {
+		t.Error("CarriedOperand")
+	}
+	p := PhiOperand(1, 2, 1)
+	if len(p.Srcs) != 2 || p.Srcs[1].Distance != 1 {
+		t.Error("PhiOperand")
+	}
+}
+
+func TestUsesIndex(t *testing.T) {
+	b := NewBuilder("uses")
+	x := b.MovI("x", 1)
+	b.Loop()
+	b.Emit(Add, "a", b.Val(x), b.Val(x))
+	k := b.MustFinish()
+	uses := k.Uses()
+	if len(uses[x]) != 2 {
+		t.Errorf("x has %d uses, want 2 (both operands)", len(uses[x]))
+	}
+	if uses[x][0].Slot == uses[x][1].Slot {
+		t.Error("use slots not distinct")
+	}
+}

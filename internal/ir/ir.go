@@ -1,0 +1,194 @@
+package ir
+
+import "fmt"
+
+// OpID identifies an operation within a kernel. IDs are dense and stable:
+// they index Kernel.Ops.
+type OpID int
+
+// ValueID identifies an SSA value within a kernel. IDs are dense and
+// stable: they index Kernel.Values.
+type ValueID int
+
+// NoOp and NoValue are sentinel "absent" identifiers.
+const (
+	NoOp    OpID    = -1
+	NoValue ValueID = -1
+)
+
+// BlockKind distinguishes the preamble from the software-pipelined loop.
+type BlockKind int
+
+const (
+	// PreambleBlock executes once before the loop.
+	PreambleBlock BlockKind = iota
+	// LoopBlock executes repeatedly and is software pipelined.
+	LoopBlock
+)
+
+// String returns the block kind name.
+func (k BlockKind) String() string {
+	if k == LoopBlock {
+		return "loop"
+	}
+	return "preamble"
+}
+
+// Src names one possible producer of an operand value. Distance is the
+// loop-carried distance: a Src with Distance d refers to the value
+// produced d iterations earlier. Distance is zero for values produced in
+// the same iteration (or in the preamble).
+type Src struct {
+	Value    ValueID
+	Distance int
+}
+
+// OperandKind distinguishes the three ways an operand is supplied.
+type OperandKind int
+
+const (
+	// OperandNone marks an unused operand slot.
+	OperandNone OperandKind = iota
+	// OperandConst supplies an immediate constant; immediates travel in
+	// the instruction word and need no interconnect.
+	OperandConst
+	// OperandValue reads an SSA value. Srcs holds one entry for a plain
+	// use and several for a control-flow merge ("If an operation could
+	// use one of several results as an operand due to different control
+	// flows then a separate communication exists for each such result",
+	// §3). All sources of one operand must be readable through the same
+	// read stub (§4.2).
+	OperandValue
+)
+
+// Operand is one input of an operation.
+type Operand struct {
+	Kind  OperandKind
+	Srcs  []Src // for OperandValue
+	Const int64 // for OperandConst
+}
+
+// ConstOperand returns an immediate operand.
+func ConstOperand(v int64) Operand {
+	return Operand{Kind: OperandConst, Const: v}
+}
+
+// ValueOperand returns an operand reading v from the current iteration.
+func ValueOperand(v ValueID) Operand {
+	return Operand{Kind: OperandValue, Srcs: []Src{{Value: v}}}
+}
+
+// CarriedOperand returns an operand reading v from distance iterations
+// earlier.
+func CarriedOperand(v ValueID, distance int) Operand {
+	return Operand{Kind: OperandValue, Srcs: []Src{{Value: v, Distance: distance}}}
+}
+
+// PhiOperand returns an operand whose value is init on the first loop
+// iteration (produced by a preamble op) and next (produced in the loop,
+// distance iterations earlier, normally 1) afterwards.
+func PhiOperand(init ValueID, next ValueID, distance int) Operand {
+	return Operand{Kind: OperandValue, Srcs: []Src{
+		{Value: init},
+		{Value: next, Distance: distance},
+	}}
+}
+
+// Op is a single operation. Operations are scheduled onto functional
+// units by the scheduler; their operand edges become communications.
+type Op struct {
+	ID     OpID
+	Opcode Opcode
+	Args   []Operand
+	Result ValueID // NoValue when Opcode.HasResult() is false
+	Block  BlockKind
+	Pos    int    // index within the block, for deterministic ordering
+	Name   string // diagnostic label, usually the result variable name
+
+	// MemTag groups memory operations that may alias; Load/Store ops
+	// sharing a tag are ordered by the dependence builder. Tag 0 means
+	// "no aliasing" (disjoint streams, the common media-kernel case).
+	MemTag int
+}
+
+// ArgValue returns the single source of operand slot i, for callers that
+// know the operand is a plain (non-phi) value use.
+func (o *Op) ArgValue(i int) (Src, bool) {
+	if i >= len(o.Args) || o.Args[i].Kind != OperandValue || len(o.Args[i].Srcs) != 1 {
+		return Src{}, false
+	}
+	return o.Args[i].Srcs[0], true
+}
+
+// Value is the metadata for one SSA value.
+type Value struct {
+	ID   ValueID
+	Name string
+	Def  OpID // defining operation
+}
+
+// Kernel is a schedulable unit: a preamble and one loop, as in the
+// paper's evaluation kernels.
+type Kernel struct {
+	Name     string
+	Ops      []*Op    // all operations, indexed by OpID
+	Values   []*Value // all values, indexed by ValueID
+	Preamble []OpID   // operations in the preamble, in program order
+	Loop     []OpID   // operations in the loop body, in program order
+
+	// TripCount is the nominal loop trip count used by the simulator;
+	// it does not affect scheduling (the paper's metric is the loop
+	// schedule length).
+	TripCount int
+}
+
+// Op returns the operation with the given id.
+func (k *Kernel) Op(id OpID) *Op { return k.Ops[id] }
+
+// Value returns the value with the given id.
+func (k *Kernel) Value(id ValueID) *Value { return k.Values[id] }
+
+// BlockOps returns the op ids of the requested block in program order.
+func (k *Kernel) BlockOps(b BlockKind) []OpID {
+	if b == LoopBlock {
+		return k.Loop
+	}
+	return k.Preamble
+}
+
+// NumOps returns the total operation count.
+func (k *Kernel) NumOps() int { return len(k.Ops) }
+
+// Uses returns, for every value, the list of (op, slot, src index) uses.
+// The result is freshly computed; callers that need it repeatedly should
+// cache it.
+func (k *Kernel) Uses() map[ValueID][]Use {
+	uses := make(map[ValueID][]Use)
+	for _, op := range k.Ops {
+		for slot, arg := range op.Args {
+			if arg.Kind != OperandValue {
+				continue
+			}
+			for si, src := range arg.Srcs {
+				uses[src.Value] = append(uses[src.Value], Use{
+					Op: op.ID, Slot: slot, SrcIndex: si, Distance: src.Distance,
+				})
+			}
+		}
+	}
+	return uses
+}
+
+// Use records one reading of a value.
+type Use struct {
+	Op       OpID
+	Slot     int
+	SrcIndex int
+	Distance int
+}
+
+// String renders a short description.
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel %s: %d preamble ops, %d loop ops, %d values",
+		k.Name, len(k.Preamble), len(k.Loop), len(k.Values))
+}

@@ -1,0 +1,219 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeInfo(t *testing.T) {
+	cases := []struct {
+		op        Opcode
+		name      string
+		class     Class
+		nargs     int
+		hasResult bool
+	}{
+		{Add, "add", ClsAdd, 2, true},
+		{FMul, "fmul", ClsMul, 2, true},
+		{Div, "div", ClsDiv, 2, true},
+		{Load, "load", ClsMem, 2, true},
+		{Store, "store", ClsMem, 3, false},
+		{SPWrite, "spwrite", ClsSP, 2, false},
+		{Perm, "perm", ClsPerm, 2, true},
+		{Copy, "copy", ClsCopy, 1, true},
+		{MovI, "movi", ClsAdd, 1, true},
+	}
+	for _, c := range cases {
+		if got := c.op.String(); got != c.name {
+			t.Errorf("%v name = %q, want %q", c.op, got, c.name)
+		}
+		if got := c.op.Class(); got != c.class {
+			t.Errorf("%v class = %v, want %v", c.op, got, c.class)
+		}
+		if got := c.op.NumArgs(); got != c.nargs {
+			t.Errorf("%v nargs = %d, want %d", c.op, got, c.nargs)
+		}
+		if got := c.op.HasResult(); got != c.hasResult {
+			t.Errorf("%v hasResult = %v, want %v", c.op, got, c.hasResult)
+		}
+		if !c.op.Valid() {
+			t.Errorf("%v not valid", c.op)
+		}
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := Opcode(1); op < numOpcodes; op++ {
+		got, ok := OpcodeByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Error("OpcodeByName accepted unknown mnemonic")
+	}
+}
+
+func TestBuilderSimpleKernel(t *testing.T) {
+	b := NewBuilder("simple")
+	x := b.Emit(MovI, "x", b.Const(3))
+	y := b.Emit(MovI, "y", b.Const(4))
+	b.Loop()
+	s := b.Emit(Add, "s", b.Val(x), b.Val(y))
+	b.Emit(Store, "", b.Val(s), b.Const(0), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Preamble) != 2 || len(k.Loop) != 2 {
+		t.Fatalf("block sizes = %d/%d, want 2/2", len(k.Preamble), len(k.Loop))
+	}
+	if len(k.Values) != 3 {
+		t.Fatalf("got %d values, want 3", len(k.Values))
+	}
+	if k.Ops[k.Values[s].Def].Opcode != Add {
+		t.Error("value s not defined by add")
+	}
+	uses := k.Uses()
+	if len(uses[x]) != 1 || uses[x][0].Op != k.Values[s].Def {
+		t.Errorf("uses of x = %+v", uses[x])
+	}
+}
+
+func TestBuilderArityError(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Emit(Add, "x", b.Const(1)) // missing second arg
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish accepted wrong arity")
+	}
+}
+
+func TestInductionVar(t *testing.T) {
+	b := NewBuilder("iv")
+	iv, next := b.InductionVar("i", 0, 1)
+	b.Loop()
+	b.Emit(Store, "", iv, b.Const(0), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iv.Srcs) != 2 {
+		t.Fatalf("induction operand has %d srcs, want 2", len(iv.Srcs))
+	}
+	if iv.Srcs[1].Value != next || iv.Srcs[1].Distance != 1 {
+		t.Errorf("carried src = %+v, want value %d distance 1", iv.Srcs[1], next)
+	}
+	def := k.Ops[k.Values[next].Def]
+	if def.Block != LoopBlock || def.Opcode != Add {
+		t.Errorf("next defined by %v in %v", def.Opcode, def.Block)
+	}
+	// The add reads its own result from the previous iteration.
+	src := def.Args[0].Srcs[1]
+	if src.Value != next || src.Distance != 1 {
+		t.Errorf("self-carried src = %+v", src)
+	}
+}
+
+func TestVerifyRejectsUseBeforeDef(t *testing.T) {
+	b := NewBuilder("cycle")
+	b.Loop()
+	// Manually build a same-iteration cycle: a uses b, b uses a.
+	aID := ValueID(0)
+	bID := ValueID(1)
+	b.Emit(Add, "a", Operand{Kind: OperandValue, Srcs: []Src{{Value: bID}}}, b.Const(1))
+	b.Emit(Add, "b", Operand{Kind: OperandValue, Srcs: []Src{{Value: aID}}}, b.Const(1))
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish accepted same-iteration cycle")
+	}
+}
+
+func TestVerifyRejectsPreambleReadingLoop(t *testing.T) {
+	b := NewBuilder("backwards")
+	b.Loop()
+	v := b.Emit(MovI, "v", b.Const(1))
+	b.SetBlock(PreambleBlock)
+	b.Emit(Add, "w", b.Val(v), b.Const(1))
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish accepted preamble use of loop value")
+	}
+}
+
+func TestVerifyRejectsMalformedPhi(t *testing.T) {
+	b := NewBuilder("phi")
+	x := b.Emit(MovI, "x", b.Const(1))
+	y := b.Emit(MovI, "y", b.Const(2))
+	b.Loop()
+	// Phi of two preamble values (no carried source) is malformed.
+	bad := Operand{Kind: OperandValue, Srcs: []Src{{Value: x}, {Value: y}}}
+	b.Emit(Add, "z", bad, b.Const(0))
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish accepted phi without carried source")
+	}
+}
+
+func TestVerifyRejectsCarriedOutsideLoop(t *testing.T) {
+	b := NewBuilder("carried")
+	x := b.Emit(MovI, "x", b.Const(1))
+	b.Emit(Add, "y", CarriedOperand(x, 1), b.Const(0))
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish accepted loop-carried source in preamble")
+	}
+}
+
+func TestDumpRendering(t *testing.T) {
+	b := NewBuilder("dct-ish")
+	iv, _ := b.InductionVar("i", 0, 1)
+	b.Loop()
+	x := b.Emit(Load, "x", iv, b.Const(0))
+	y := b.Emit(Mul, "y", b.Val(x), b.Const(3))
+	b.Emit(Store, "", b.Val(y), iv, b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := k.Dump()
+	for _, want := range []string{"kernel dct-ish", "preamble:", "loop:", "phi(", "load", "mul", "store"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	b := NewBuilder("stats")
+	iv, _ := b.InductionVar("i", 0, 1)
+	b.Loop()
+	x := b.Emit(Load, "x", iv, b.Const(0))
+	b.Emit(Mul, "y", b.Val(x), b.Const(3))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := k.LoopStats()
+	if ls[ClsAdd] != 1 || ls[ClsMem] != 1 || ls[ClsMul] != 1 {
+		t.Errorf("loop stats = %v", ls)
+	}
+	all := k.Stats()
+	if all[ClsAdd] != 2 {
+		t.Errorf("stats = %v", all)
+	}
+}
+
+func TestArgValue(t *testing.T) {
+	b := NewBuilder("argval")
+	x := b.Emit(MovI, "x", b.Const(1))
+	b.Loop()
+	b.Emit(Add, "y", b.Val(x), b.Const(2))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := k.Ops[k.Loop[0]]
+	src, ok := add.ArgValue(0)
+	if !ok || src.Value != x {
+		t.Errorf("ArgValue(0) = %+v, %v", src, ok)
+	}
+	if _, ok := add.ArgValue(1); ok {
+		t.Error("ArgValue(1) should fail for const operand")
+	}
+}

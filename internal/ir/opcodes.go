@@ -1,0 +1,256 @@
+// Package ir defines the intermediate representation consumed by the
+// scheduler: kernels made of a preamble block and a single loop block,
+// SSA-style values, and operations with explicit (possibly loop-carried)
+// operand edges.
+//
+// The representation mirrors the kernels evaluated in the paper: "Each
+// kernel consists of a short preamble followed by a single
+// software-pipelined loop" (§5). Values are defined exactly once; an
+// operand may name several possible sources ("If an operation could use
+// one of several results as an operand due to different control flows
+// then a separate communication exists for each such result", §3), which
+// is how loop-carried variables (phi of initial value and next-iteration
+// value) are expressed.
+package ir
+
+import "fmt"
+
+// Opcode identifies the operation an Op performs.
+type Opcode int
+
+// The opcode set covers the arithmetic needed by the ten evaluation
+// kernels of Table 1 (fixed-point and floating-point media arithmetic,
+// memory access, scratchpad access, permutation) plus the Copy opcode
+// inserted by communication scheduling (§4.3 step 5).
+const (
+	Nop Opcode = iota
+
+	// Integer ALU (executes on adders).
+	MovI // result = immediate
+	Add
+	Sub
+	Neg
+	And
+	Or
+	Xor
+	Not
+	Shl
+	Shr
+	Asr
+	Min
+	Max
+	Abs
+	CmpLT
+	CmpLE
+	CmpEQ
+	CmpNE
+	Select // result = arg0 != 0 ? arg1 : arg2 (two-input form: arg0 selector packed)
+
+	// Floating point adder ops (execute on adders).
+	FAdd
+	FSub
+	FNeg
+	FMin
+	FMax
+	FCmpLT
+	FAbs
+	ItoF
+	FtoI
+
+	// Multiplier ops. MulQ is the fractional (fixed-point) multiply of
+	// DSP ISAs: result = (arg0·arg1) >> shift(arg2), with the shift an
+	// immediate resolved inside the multiplier pipeline.
+	Mul
+	MulHi
+	MulQ
+	FMul
+
+	// Divider ops.
+	Div
+	Rem
+	FDiv
+	FSqrt
+
+	// Memory (load/store units). Loads and stores use base+offset
+	// addressing: the final operand is an immediate offset added to the
+	// base address, performed by the load/store unit's address
+	// generator (as on stream processors), so index arithmetic does not
+	// consume ALU issue slots or writeback buses.
+	Load  // result = mem[arg0 + offset(arg1)]
+	Store // mem[arg1 + offset(arg2)] = arg0
+
+	// Scratchpad.
+	SPRead
+	SPWrite
+
+	// Permutation unit.
+	Perm
+	Shuffle
+
+	// Copy moves a value between register files. It is inserted by
+	// communication scheduling, never written by kernels directly.
+	Copy
+
+	numOpcodes
+)
+
+// Class groups opcodes by the kind of functional unit that can execute
+// them. The machine model maps classes to functional units.
+type Class int
+
+const (
+	ClsNone Class = iota
+	ClsAdd        // adder/ALU operations
+	ClsMul        // multiplier operations
+	ClsDiv        // divider operations
+	ClsMem        // load/store unit operations
+	ClsSP         // scratchpad operations
+	ClsPerm       // permutation unit operations
+	ClsCopy       // inter-register-file copy
+
+	NumClasses
+)
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	switch c {
+	case ClsNone:
+		return "none"
+	case ClsAdd:
+		return "alu"
+	case ClsMul:
+		return "mul"
+	case ClsDiv:
+		return "div"
+	case ClsMem:
+		return "mem"
+	case ClsSP:
+		return "sp"
+	case ClsPerm:
+		return "perm"
+	case ClsCopy:
+		return "copy"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+var opcodeInfo = [numOpcodes]struct {
+	name      string
+	class     Class
+	nargs     int
+	hasResult bool
+}{
+	Nop:     {"nop", ClsNone, 0, false},
+	MovI:    {"movi", ClsAdd, 1, true},
+	Add:     {"add", ClsAdd, 2, true},
+	Sub:     {"sub", ClsAdd, 2, true},
+	Neg:     {"neg", ClsAdd, 1, true},
+	And:     {"and", ClsAdd, 2, true},
+	Or:      {"or", ClsAdd, 2, true},
+	Xor:     {"xor", ClsAdd, 2, true},
+	Not:     {"not", ClsAdd, 1, true},
+	Shl:     {"shl", ClsAdd, 2, true},
+	Shr:     {"shr", ClsAdd, 2, true},
+	Asr:     {"asr", ClsAdd, 2, true},
+	Min:     {"min", ClsAdd, 2, true},
+	Max:     {"max", ClsAdd, 2, true},
+	Abs:     {"abs", ClsAdd, 1, true},
+	CmpLT:   {"cmplt", ClsAdd, 2, true},
+	CmpLE:   {"cmple", ClsAdd, 2, true},
+	CmpEQ:   {"cmpeq", ClsAdd, 2, true},
+	CmpNE:   {"cmpne", ClsAdd, 2, true},
+	Select:  {"select", ClsAdd, 2, true},
+	FAdd:    {"fadd", ClsAdd, 2, true},
+	FSub:    {"fsub", ClsAdd, 2, true},
+	FNeg:    {"fneg", ClsAdd, 1, true},
+	FMin:    {"fmin", ClsAdd, 2, true},
+	FMax:    {"fmax", ClsAdd, 2, true},
+	FCmpLT:  {"fcmplt", ClsAdd, 2, true},
+	FAbs:    {"fabs", ClsAdd, 1, true},
+	ItoF:    {"itof", ClsAdd, 1, true},
+	FtoI:    {"ftoi", ClsAdd, 1, true},
+	Mul:     {"mul", ClsMul, 2, true},
+	MulHi:   {"mulhi", ClsMul, 2, true},
+	MulQ:    {"mulq", ClsMul, 3, true},
+	FMul:    {"fmul", ClsMul, 2, true},
+	Div:     {"div", ClsDiv, 2, true},
+	Rem:     {"rem", ClsDiv, 2, true},
+	FDiv:    {"fdiv", ClsDiv, 2, true},
+	FSqrt:   {"fsqrt", ClsDiv, 1, true},
+	Load:    {"load", ClsMem, 2, true},
+	Store:   {"store", ClsMem, 3, false},
+	SPRead:  {"spread", ClsSP, 1, true},
+	SPWrite: {"spwrite", ClsSP, 2, false},
+	Perm:    {"perm", ClsPerm, 2, true},
+	Shuffle: {"shuffle", ClsPerm, 2, true},
+	Copy:    {"copy", ClsCopy, 1, true},
+}
+
+// String returns the opcode mnemonic.
+func (o Opcode) String() string {
+	if o < 0 || o >= numOpcodes {
+		return fmt.Sprintf("Opcode(%d)", int(o))
+	}
+	return opcodeInfo[o].name
+}
+
+// Class reports which functional-unit class executes the opcode.
+func (o Opcode) Class() Class {
+	if o < 0 || o >= numOpcodes {
+		return ClsNone
+	}
+	return opcodeInfo[o].class
+}
+
+// NumArgs reports how many value operands the opcode takes (immediates
+// may substitute for any of them).
+func (o Opcode) NumArgs() int {
+	if o < 0 || o >= numOpcodes {
+		return 0
+	}
+	return opcodeInfo[o].nargs
+}
+
+// HasResult reports whether the opcode produces a value.
+func (o Opcode) HasResult() bool {
+	if o < 0 || o >= numOpcodes {
+		return false
+	}
+	return opcodeInfo[o].hasResult
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Opcode) Valid() bool { return o > Nop && o < numOpcodes }
+
+// Commutative reports whether the opcode's first two operands may be
+// exchanged. The scheduler exploits this to route either operand
+// through either physical input of the unit.
+func (o Opcode) Commutative() bool {
+	switch o {
+	case Add, Mul, MulHi, MulQ, And, Or, Xor, Min, Max, CmpEQ, CmpNE,
+		FAdd, FMul, FMin, FMax:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether the opcode operates on floating-point data.
+// The simulator uses this to pick the interpretation of register bits.
+func (o Opcode) IsFloat() bool {
+	switch o {
+	case FAdd, FSub, FNeg, FMin, FMax, FCmpLT, FAbs, FMul, FDiv, FSqrt, ItoF:
+		return true
+	}
+	return false
+}
+
+// OpcodeByName returns the opcode with the given mnemonic, or Nop and
+// false when no such opcode exists. The kernel-language parser uses it.
+func OpcodeByName(name string) (Opcode, bool) {
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if opcodeInfo[op].name == name {
+			return op, true
+		}
+	}
+	return Nop, false
+}

@@ -1,0 +1,90 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the kernel as readable text, one operation per line, in
+// the form consumed by humans debugging schedules:
+//
+//	preamble:
+//	  v0 = movi 0            ; i0
+//	loop:
+//	  v1 = add phi(v0, v1@1), 1   ; i
+func (k *Kernel) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s (trip %d)\n", k.Name, k.TripCount)
+	dumpBlock := func(label string, ops []OpID) {
+		fmt.Fprintf(&b, "%s:\n", label)
+		for _, id := range ops {
+			op := k.Ops[id]
+			b.WriteString("  ")
+			if op.Result != NoValue {
+				fmt.Fprintf(&b, "v%d = ", op.Result)
+			}
+			b.WriteString(op.Opcode.String())
+			for i, arg := range op.Args {
+				if i == 0 {
+					b.WriteByte(' ')
+				} else {
+					b.WriteString(", ")
+				}
+				b.WriteString(k.operandString(arg))
+			}
+			if op.Name != "" {
+				fmt.Fprintf(&b, "   ; %s", op.Name)
+			}
+			if op.MemTag != 0 {
+				fmt.Fprintf(&b, " [mem %d]", op.MemTag)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	dumpBlock("preamble", k.Preamble)
+	dumpBlock("loop", k.Loop)
+	return b.String()
+}
+
+func (k *Kernel) operandString(arg Operand) string {
+	switch arg.Kind {
+	case OperandConst:
+		return fmt.Sprintf("%d", arg.Const)
+	case OperandValue:
+		if len(arg.Srcs) == 1 {
+			return srcString(arg.Srcs[0])
+		}
+		parts := make([]string, len(arg.Srcs))
+		for i, s := range arg.Srcs {
+			parts[i] = srcString(s)
+		}
+		return "phi(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+func srcString(s Src) string {
+	if s.Distance == 0 {
+		return fmt.Sprintf("v%d", s.Value)
+	}
+	return fmt.Sprintf("v%d@%d", s.Value, s.Distance)
+}
+
+// Stats summarizes the kernel's operation mix by class, used by the
+// reporting tools.
+func (k *Kernel) Stats() map[Class]int {
+	m := make(map[Class]int)
+	for _, op := range k.Ops {
+		m[op.Opcode.Class()]++
+	}
+	return m
+}
+
+// LoopStats summarizes the loop block's operation mix by class.
+func (k *Kernel) LoopStats() map[Class]int {
+	m := make(map[Class]int)
+	for _, id := range k.Loop {
+		m[k.Ops[id].Opcode.Class()]++
+	}
+	return m
+}

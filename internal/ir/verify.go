@@ -1,0 +1,172 @@
+package ir
+
+import "fmt"
+
+// Verify checks the structural invariants the scheduler relies on:
+//
+//   - value and op ids are dense and self-consistent;
+//   - SSA: every value has exactly one defining op whose Result matches;
+//   - operand arity matches the opcode;
+//   - preamble operations never read loop-defined values and never carry
+//     a loop distance;
+//   - loop-carried sources (distance > 0) name loop-defined values;
+//   - a multi-source (phi) operand merges a preamble definition with a
+//     loop-carried definition, the only control-flow merge the two-block
+//     kernel shape admits;
+//   - same-iteration uses inside one block are acyclic in program order
+//     (a value is defined before its distance-0 uses).
+func (k *Kernel) Verify() error {
+	if len(k.Preamble)+len(k.Loop) != len(k.Ops) {
+		return fmt.Errorf("ir verify %s: block op lists cover %d ops, kernel has %d",
+			k.Name, len(k.Preamble)+len(k.Loop), len(k.Ops))
+	}
+	for i, op := range k.Ops {
+		if op == nil {
+			return fmt.Errorf("ir verify %s: nil op %d", k.Name, i)
+		}
+		if op.ID != OpID(i) {
+			return fmt.Errorf("ir verify %s: op %d has id %d", k.Name, i, op.ID)
+		}
+		if !op.Opcode.Valid() {
+			return fmt.Errorf("ir verify %s: op %d has invalid opcode", k.Name, i)
+		}
+		if len(op.Args) != op.Opcode.NumArgs() {
+			return fmt.Errorf("ir verify %s: op %d (%v) has %d args, want %d",
+				k.Name, i, op.Opcode, len(op.Args), op.Opcode.NumArgs())
+		}
+		if op.Opcode.HasResult() != (op.Result != NoValue) {
+			return fmt.Errorf("ir verify %s: op %d (%v) result mismatch", k.Name, i, op.Opcode)
+		}
+		// Memory offsets and fractional-multiply shifts are immediates
+		// resolved inside the unit, never routed values.
+		if op.Opcode == Load || op.Opcode == Store || op.Opcode == MulQ {
+			off := op.Args[len(op.Args)-1]
+			if off.Kind != OperandConst {
+				return fmt.Errorf("ir verify %s: op %d (%v) offset operand must be an immediate",
+					k.Name, i, op.Opcode)
+			}
+		}
+	}
+	for i, v := range k.Values {
+		if v == nil {
+			return fmt.Errorf("ir verify %s: nil value %d", k.Name, i)
+		}
+		if v.ID != ValueID(i) {
+			return fmt.Errorf("ir verify %s: value %d has id %d", k.Name, i, v.ID)
+		}
+		if v.Def < 0 || int(v.Def) >= len(k.Ops) {
+			return fmt.Errorf("ir verify %s: value %s has bad def op %d", k.Name, v.Name, v.Def)
+		}
+		if k.Ops[v.Def].Result != v.ID {
+			return fmt.Errorf("ir verify %s: value %s def op does not produce it", k.Name, v.Name)
+		}
+	}
+	for bi, list := range [][]OpID{k.Preamble, k.Loop} {
+		kind := PreambleBlock
+		if bi == 1 {
+			kind = LoopBlock
+		}
+		for pos, id := range list {
+			if id < 0 || int(id) >= len(k.Ops) {
+				return fmt.Errorf("ir verify %s: %v block references bad op %d", k.Name, kind, id)
+			}
+			op := k.Ops[id]
+			if op.Block != kind || op.Pos != pos {
+				return fmt.Errorf("ir verify %s: op %d block/pos inconsistent", k.Name, id)
+			}
+		}
+	}
+	for _, op := range k.Ops {
+		for slot, arg := range op.Args {
+			if err := k.verifyOperand(op, slot, arg); err != nil {
+				return err
+			}
+		}
+	}
+	return k.verifyAcyclic()
+}
+
+func (k *Kernel) verifyOperand(op *Op, slot int, arg Operand) error {
+	switch arg.Kind {
+	case OperandConst:
+		return nil
+	case OperandNone:
+		return fmt.Errorf("ir verify %s: op %d slot %d unset", k.Name, op.ID, slot)
+	case OperandValue:
+	default:
+		return fmt.Errorf("ir verify %s: op %d slot %d bad operand kind", k.Name, op.ID, slot)
+	}
+	if len(arg.Srcs) == 0 {
+		return fmt.Errorf("ir verify %s: op %d slot %d has no sources", k.Name, op.ID, slot)
+	}
+	for _, src := range arg.Srcs {
+		if src.Value < 0 || int(src.Value) >= len(k.Values) {
+			return fmt.Errorf("ir verify %s: op %d slot %d bad value %d", k.Name, op.ID, slot, src.Value)
+		}
+		def := k.Ops[k.Values[src.Value].Def]
+		if src.Distance < 0 {
+			return fmt.Errorf("ir verify %s: op %d slot %d negative distance", k.Name, op.ID, slot)
+		}
+		if src.Distance > 0 {
+			if op.Block != LoopBlock || def.Block != LoopBlock {
+				return fmt.Errorf("ir verify %s: op %d slot %d loop-carried source outside loop",
+					k.Name, op.ID, slot)
+			}
+		}
+		if op.Block == PreambleBlock && def.Block == LoopBlock {
+			return fmt.Errorf("ir verify %s: preamble op %d reads loop value %s",
+				k.Name, op.ID, k.Values[src.Value].Name)
+		}
+	}
+	if len(arg.Srcs) > 1 {
+		// Phi: one distance-0 source defined in the preamble plus
+		// loop-carried sources.
+		if op.Block != LoopBlock {
+			return fmt.Errorf("ir verify %s: op %d slot %d phi outside loop", k.Name, op.ID, slot)
+		}
+		var init, carried int
+		for _, src := range arg.Srcs {
+			def := k.Ops[k.Values[src.Value].Def]
+			switch {
+			case src.Distance == 0 && def.Block == PreambleBlock:
+				init++
+			case src.Distance > 0 && def.Block == LoopBlock:
+				carried++
+			default:
+				return fmt.Errorf("ir verify %s: op %d slot %d malformed phi source", k.Name, op.ID, slot)
+			}
+		}
+		if init != 1 || carried < 1 {
+			return fmt.Errorf("ir verify %s: op %d slot %d phi needs one init + carried sources",
+				k.Name, op.ID, slot)
+		}
+	}
+	return nil
+}
+
+// verifyAcyclic checks that distance-0 dependences respect program order
+// within each block, which guarantees the intra-iteration dependence
+// graph is a DAG.
+func (k *Kernel) verifyAcyclic() error {
+	for _, op := range k.Ops {
+		for slot, arg := range op.Args {
+			if arg.Kind != OperandValue {
+				continue
+			}
+			for _, src := range arg.Srcs {
+				if src.Distance != 0 {
+					continue
+				}
+				def := k.Ops[k.Values[src.Value].Def]
+				if def.Block == op.Block && def.Pos >= op.Pos {
+					return fmt.Errorf("ir verify %s: op %d slot %d uses %s before its definition",
+						k.Name, op.ID, slot, k.Values[src.Value].Name)
+				}
+				if def.Block == LoopBlock && op.Block == PreambleBlock {
+					return fmt.Errorf("ir verify %s: preamble op %d depends on loop op", k.Name, op.ID)
+				}
+			}
+		}
+	}
+	return nil
+}

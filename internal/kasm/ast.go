@@ -1,0 +1,140 @@
+package kasm
+
+// File is a parsed kernel: preamble statements and one loop.
+type File struct {
+	Name     string
+	Preamble []Stmt
+	Loop     *LoopStmt
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// StreamDecl names a region of word-addressed memory: stream x @ 64;
+// A trailing "float" types the stream's elements as floats:
+// stream a @ 0 float;
+type StreamDecl struct {
+	Name    string
+	Base    int64
+	IsFloat bool
+	Line    int
+}
+
+// DeclStmt declares and initializes a scalar: var acc = 0;
+// Const declarations fold away entirely.
+type DeclStmt struct {
+	Name    string
+	Init    Expr
+	IsConst bool
+	Line    int
+}
+
+// AssignStmt assigns to a declared scalar: acc = acc + x; acc += x;
+type AssignStmt struct {
+	Name  string
+	Op    string // "=", "+=", "-=", "*="
+	Value Expr
+	Line  int
+}
+
+// StoreStmt writes memory or scratchpad: out[i] = v; sp[i] = v;
+type StoreStmt struct {
+	Target string // stream name, or "sp"
+	Index  Expr
+	Value  Expr
+	Line   int
+}
+
+func (*StreamDecl) stmt() {}
+func (*DeclStmt) stmt()   {}
+func (*AssignStmt) stmt() {}
+func (*StoreStmt) stmt()  {}
+
+// LoopStmt is the kernel's single software-pipelined loop.
+type LoopStmt struct {
+	Var    string
+	Lo     int64
+	Hi     int64
+	Step   int64
+	Unroll int
+	Body   []Stmt
+	Line   int
+}
+
+// Trips returns the number of iterations the loop executes (before
+// unrolling is applied).
+func (l *LoopStmt) Trips() int64 {
+	if l.Step <= 0 {
+		return 0
+	}
+	n := (l.Hi - l.Lo + l.Step - 1) / l.Step
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Expr is an expression node.
+type Expr interface{ expr() }
+
+// NumLit is an integer or floating-point literal.
+type NumLit struct {
+	IsFloat bool
+	I       int64
+	F       float64
+	Line    int
+}
+
+// Ident references a scalar variable or the loop induction variable.
+type Ident struct {
+	Name string
+	Line int
+}
+
+// IndexExpr loads from a stream or the scratchpad: x[i], sp[j].
+type IndexExpr struct {
+	Target string
+	Index  Expr
+	Line   int
+}
+
+// UnaryExpr is -x, ~x, or !x.
+type UnaryExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// BinExpr is a binary operation with C-like precedence.
+type BinExpr struct {
+	Op   string
+	X    Expr
+	Y    Expr
+	Line int
+}
+
+// CallExpr invokes a builtin: min, max, abs, sqrt, select, perm,
+// shuffle, mulhi, itof, ftoi, float, int.
+type CallExpr struct {
+	Fn   string
+	Args []Expr
+	Line int
+}
+
+// CondExpr is the branch-free ternary cond ? then : else, lowered to
+// mask arithmetic (media kernels have no branches; clipping and
+// saturation use selects).
+type CondExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+	Line int
+}
+
+func (*NumLit) expr()    {}
+func (*Ident) expr()     {}
+func (*IndexExpr) expr() {}
+func (*UnaryExpr) expr() {}
+func (*BinExpr) expr()   {}
+func (*CallExpr) expr()  {}
+func (*CondExpr) expr()  {}

@@ -1,0 +1,555 @@
+package kasm
+
+import "repro/internal/ir"
+
+// This file lowers expressions. Values flow as `val`s: compile-time
+// constants fold away; SSA values become operands; reads of the
+// induction variable and of loop-carried variables become phi operands
+// (an operand with one preamble source and one loop-carried source),
+// matching the paper's treatment of control-flow merges: "If an
+// operation could use one of several results as an operand due to
+// different control flows then a separate communication exists for
+// each such result" (§3).
+
+// backEdgeBase encodes unresolved loop back edges in placeholder value
+// ids; emit() records a patch for every source below it.
+const backEdgeBase = -1000
+
+// fullVal is a val that may also be a prebuilt operand.
+type fullVal struct {
+	val
+	isOpnd bool
+	opnd   ir.Operand
+}
+
+func (lw *lowerer) operandOf(v fullVal) ir.Operand {
+	if v.isOpnd {
+		return v.opnd
+	}
+	return lw.operand(v.val)
+}
+
+// emit wraps the builder, recording back-edge patches for placeholder
+// sources.
+func (lw *lowerer) emit(opc ir.Opcode, name string, tag int, args ...ir.Operand) ir.ValueID {
+	var id ir.ValueID
+	if tag != 0 {
+		id = lw.b.EmitMem(opc, name, tag, args...)
+	} else {
+		id = lw.b.Emit(opc, name, args...)
+	}
+	op := lw.b.LastOpID()
+	for slot, arg := range args {
+		if arg.Kind != ir.OperandValue {
+			continue
+		}
+		for si, src := range arg.Srcs {
+			if src.Value <= ir.ValueID(backEdgeBase) {
+				idx := int(ir.ValueID(backEdgeBase) - src.Value)
+				lw.patches = append(lw.patches, patch{op: op, slot: slot, srcIndex: si, name: lw.backRefs[idx]})
+			}
+		}
+	}
+	return id
+}
+
+// expr lowers an expression to a val (possibly constant). Phi reads
+// are forced through this wrapper so constants fold wherever possible.
+func (lw *lowerer) expr(e Expr) (val, error) {
+	fv, err := lw.exprFull(e)
+	if err != nil {
+		return val{}, err
+	}
+	if !fv.isOpnd {
+		return fv.val, nil
+	}
+	// A bare phi operand used as a statement value (x = acc;) needs no
+	// new operation — but our val representation requires a ValueID or
+	// constant, so route it through a copy-free identity: reuse the
+	// operand by emitting the consuming op directly where possible.
+	// Here we must materialize: an Add with 0 keeps semantics.
+	id := lw.emit(ir.Add, "phi", 0, fv.opnd, ir.ConstOperand(0))
+	return val{v: id, t: fv.t}, nil
+}
+
+// exprFull lowers an expression, allowing a prebuilt-operand result so
+// consuming operations embed phi reads directly.
+func (lw *lowerer) exprFull(e Expr) (fullVal, error) {
+	switch e := e.(type) {
+	case *NumLit:
+		if e.IsFloat {
+			return fullVal{val: cFloat(e.F)}, nil
+		}
+		return fullVal{val: cInt(e.I)}, nil
+
+	case *Ident:
+		return lw.identRead(e)
+
+	case *IndexExpr:
+		return lw.indexRead(e)
+
+	case *UnaryExpr:
+		return lw.unary(e)
+
+	case *BinExpr:
+		return lw.binary(e)
+
+	case *CallExpr:
+		return lw.call(e)
+
+	case *CondExpr:
+		return lw.cond(e)
+	}
+	return fullVal{}, lw.errf(0, "unsupported expression")
+}
+
+// cond lowers the branch-free ternary: with mask = -(cond != 0), the
+// result is else ^ ((then ^ else) & mask) — bitwise selection, which is
+// exact for both integer and (bit-carried) float values.
+func (lw *lowerer) cond(e *CondExpr) (fullVal, error) {
+	c, err := lw.exprFull(e.Cond)
+	if err != nil {
+		return fullVal{}, err
+	}
+	if c.t != tInt {
+		return fullVal{}, lw.errf(e.Line, "ternary condition must be int")
+	}
+	// Constant condition: lower only the taken branch.
+	if !c.isOpnd && c.val.isConst {
+		if c.val.bits != 0 {
+			return lw.exprFull(e.Then)
+		}
+		return lw.exprFull(e.Else)
+	}
+	th, err := lw.exprFull(e.Then)
+	if err != nil {
+		return fullVal{}, err
+	}
+	el, err := lw.exprFull(e.Else)
+	if err != nil {
+		return fullVal{}, err
+	}
+	if th.t != el.t {
+		return fullVal{}, lw.errf(e.Line, "ternary branches have different types (%v vs %v)", th.t, el.t)
+	}
+	nz := lw.emit(ir.CmpNE, "t?", 0, lw.operandOf(c), ir.ConstOperand(0))
+	mask := lw.emit(ir.Neg, "t?m", 0, ir.ValueOperand(nz))
+	diff := lw.emit(ir.Xor, "t?d", 0, lw.operandOf(th), lw.operandOf(el))
+	sel := lw.emit(ir.And, "t?s", 0, ir.ValueOperand(diff), ir.ValueOperand(mask))
+	out := lw.emit(ir.Xor, "t?r", 0, lw.operandOf(el), ir.ValueOperand(sel))
+	return fullVal{val: val{v: out, t: th.t}}, nil
+}
+
+func (lw *lowerer) identRead(e *Ident) (fullVal, error) {
+	if lw.inLoop && e.Name == lw.ivName {
+		return fullVal{isOpnd: true, opnd: lw.iv, val: val{t: tInt}}, nil
+	}
+	if c, ok := lw.consts[e.Name]; ok {
+		return fullVal{val: c}, nil
+	}
+	st := lw.vars[e.Name]
+	if st == nil {
+		return fullVal{}, lw.errf(e.Line, "unknown variable %s", e.Name)
+	}
+	if lw.inLoop && st.loopAssigned && !st.assignedYet {
+		// Read of the previous iteration's value (or the preamble's on
+		// the first iteration): a phi with an unresolved back edge.
+		idx := len(lw.backRefs)
+		lw.backRefs = append(lw.backRefs, e.Name)
+		ph := ir.PhiOperand(st.preDef.v, ir.ValueID(backEdgeBase-idx), 1)
+		return fullVal{isOpnd: true, opnd: ph, val: val{t: st.t}}, nil
+	}
+	if lw.inLoop && !st.loopAssigned && !st.declaredInLoop {
+		return fullVal{val: st.preDef}, nil
+	}
+	return fullVal{val: st.cur}, nil
+}
+
+func (lw *lowerer) indexRead(e *IndexExpr) (fullVal, error) {
+	if e.Target == "sp" || e.Target == "spf" {
+		idx, err := lw.exprFull(e.Index)
+		if err != nil {
+			return fullVal{}, err
+		}
+		if idx.t != tInt {
+			return fullVal{}, lw.errf(e.Line, "index must be int")
+		}
+		t := tInt
+		if e.Target == "spf" {
+			t = tFloat
+		}
+		id := lw.emit(ir.SPRead, "sp", lw.spTag, lw.operandOf(idx))
+		return fullVal{val: val{v: id, t: t}}, nil
+	}
+	info := lw.streams[e.Target]
+	if info == nil {
+		return fullVal{}, lw.errf(e.Line, "unknown stream %s", e.Target)
+	}
+	t := tInt
+	if info.isFloat {
+		t = tFloat
+	}
+	base, off, err := lw.address(info, e.Index)
+	if err != nil {
+		return fullVal{}, err
+	}
+	id := lw.emit(ir.Load, e.Target, info.tag, base, off)
+	return fullVal{val: val{v: id, t: t}}, nil
+}
+
+func (lw *lowerer) unary(e *UnaryExpr) (fullVal, error) {
+	x, err := lw.exprFull(e.X)
+	if err != nil {
+		return fullVal{}, err
+	}
+	if !x.isOpnd && x.val.isConst {
+		switch {
+		case e.Op == "-" && x.val.t == tInt:
+			return fullVal{val: cInt(-x.val.bits)}, nil
+		case e.Op == "-" && x.val.t == tFloat:
+			return fullVal{val: cFloat(-x.val.asFloat())}, nil
+		case e.Op == "~" && x.val.t == tInt:
+			return fullVal{val: cInt(^x.val.bits)}, nil
+		case e.Op == "!" && x.val.t == tInt:
+			if x.val.bits == 0 {
+				return fullVal{val: cInt(1)}, nil
+			}
+			return fullVal{val: cInt(0)}, nil
+		}
+	}
+	switch e.Op {
+	case "-":
+		if x.t == tFloat {
+			return lw.emit1(ir.FNeg, "neg", x, tFloat), nil
+		}
+		return lw.emit1(ir.Neg, "neg", x, tInt), nil
+	case "~":
+		if x.t != tInt {
+			return fullVal{}, lw.errf(e.Line, "~ needs an int operand")
+		}
+		return lw.emit1(ir.Not, "not", x, tInt), nil
+	case "!":
+		if x.t != tInt {
+			return fullVal{}, lw.errf(e.Line, "! needs an int operand")
+		}
+		id := lw.emit(ir.CmpEQ, "not", 0, lw.operandOf(x), ir.ConstOperand(0))
+		return fullVal{val: val{v: id, t: tInt}}, nil
+	}
+	return fullVal{}, lw.errf(e.Line, "unsupported unary operator %q", e.Op)
+}
+
+func (lw *lowerer) emit1(opc ir.Opcode, name string, x fullVal, t typ) fullVal {
+	id := lw.emit(opc, name, 0, lw.operandOf(x))
+	return fullVal{val: val{v: id, t: t}}
+}
+
+func (lw *lowerer) binary(e *BinExpr) (fullVal, error) {
+	// Fractional-multiply fusion: (a * b) >> n becomes a single MulQ on
+	// the multiplier, the fixed-point idiom of DSP instruction sets.
+	if e.Op == ">>" {
+		if m, okm := e.X.(*BinExpr); okm && m.Op == "*" {
+			if n, okn := e.Y.(*NumLit); okn && !n.IsFloat {
+				a, err := lw.exprFull(m.X)
+				if err != nil {
+					return fullVal{}, err
+				}
+				bv, err := lw.exprFull(m.Y)
+				if err != nil {
+					return fullVal{}, err
+				}
+				if a.t == tInt && bv.t == tInt &&
+					!(!a.isOpnd && a.val.isConst && !bv.isOpnd && bv.val.isConst) {
+					id := lw.emit(ir.MulQ, "mulq", 0,
+						lw.operandOf(a), lw.operandOf(bv), ir.ConstOperand(n.I))
+					return fullVal{val: val{v: id, t: tInt}}, nil
+				}
+			}
+		}
+	}
+	x, err := lw.exprFull(e.X)
+	if err != nil {
+		return fullVal{}, err
+	}
+	y, err := lw.exprFull(e.Y)
+	if err != nil {
+		return fullVal{}, err
+	}
+	tx, ty := x.t, y.t
+	if tx != ty {
+		return fullVal{}, lw.errf(e.Line, "operands of %q have different types (%v vs %v)", e.Op, tx, ty)
+	}
+	// Constant folding.
+	if !x.isOpnd && !y.isOpnd && x.val.isConst && y.val.isConst {
+		if v, ok := foldConst(e.Op, x.val, y.val); ok {
+			return fullVal{val: v}, nil
+		}
+	}
+	// Algebraic identities that remove whole operations.
+	if tx == tInt && !y.isOpnd && y.val.isConst {
+		switch {
+		case y.val.bits == 0 && (e.Op == "+" || e.Op == "-" || e.Op == "|" || e.Op == "^" || e.Op == "<<" || e.Op == ">>"):
+			return x, nil
+		case y.val.bits == 1 && e.Op == "*":
+			return x, nil
+		case y.val.bits == 0 && (e.Op == "*" || e.Op == "&"):
+			return fullVal{val: cInt(0)}, nil
+		}
+	}
+	if tx == tInt && !x.isOpnd && x.val.isConst {
+		switch {
+		case x.val.bits == 0 && e.Op == "+":
+			return y, nil
+		case x.val.bits == 1 && e.Op == "*":
+			return y, nil
+		case x.val.bits == 0 && (e.Op == "*" || e.Op == "&"):
+			return fullVal{val: cInt(0)}, nil
+		}
+	}
+
+	if tx == tFloat {
+		var opc ir.Opcode
+		swap := false
+		switch e.Op {
+		case "+":
+			opc = ir.FAdd
+		case "-":
+			opc = ir.FSub
+		case "*":
+			opc = ir.FMul
+		case "/":
+			opc = ir.FDiv
+		case "<":
+			opc = ir.FCmpLT
+		case ">":
+			opc, swap = ir.FCmpLT, true
+		default:
+			return fullVal{}, lw.errf(e.Line, "operator %q not defined for float", e.Op)
+		}
+		a, bb := lw.operandOf(x), lw.operandOf(y)
+		if swap {
+			a, bb = bb, a
+		}
+		t := tFloat
+		if opc == ir.FCmpLT {
+			t = tInt
+		}
+		id := lw.emit(opc, opName(e.Op), 0, a, bb)
+		return fullVal{val: val{v: id, t: t}}, nil
+	}
+
+	var opc ir.Opcode
+	swap := false
+	t := tInt
+	switch e.Op {
+	case "+":
+		opc = ir.Add
+	case "-":
+		opc = ir.Sub
+	case "*":
+		opc = ir.Mul
+	case "/":
+		opc = ir.Div
+	case "%":
+		opc = ir.Rem
+	case "&":
+		opc = ir.And
+	case "|":
+		opc = ir.Or
+	case "^":
+		opc = ir.Xor
+	case "<<":
+		opc = ir.Shl
+	case ">>":
+		opc = ir.Asr
+	case "<":
+		opc = ir.CmpLT
+	case "<=":
+		opc = ir.CmpLE
+	case ">":
+		opc, swap = ir.CmpLT, true
+	case ">=":
+		opc, swap = ir.CmpLE, true
+	case "==":
+		opc = ir.CmpEQ
+	case "!=":
+		opc = ir.CmpNE
+	default:
+		return fullVal{}, lw.errf(e.Line, "unsupported operator %q", e.Op)
+	}
+	a, bb := lw.operandOf(x), lw.operandOf(y)
+	if swap {
+		a, bb = bb, a
+	}
+	id := lw.emit(opc, opName(e.Op), 0, a, bb)
+	return fullVal{val: val{v: id, t: t}}, nil
+}
+
+func opName(op string) string { return "t" + op }
+
+func foldConst(op string, x, y val) (val, bool) {
+	if x.t == tFloat {
+		a, b := x.asFloat(), y.asFloat()
+		switch op {
+		case "+":
+			return cFloat(a + b), true
+		case "-":
+			return cFloat(a - b), true
+		case "*":
+			return cFloat(a * b), true
+		case "/":
+			return cFloat(a / b), true
+		case "<":
+			return cInt(b2i(a < b)), true
+		case ">":
+			return cInt(b2i(a > b)), true
+		}
+		return val{}, false
+	}
+	a, b := x.bits, y.bits
+	switch op {
+	case "+":
+		return cInt(a + b), true
+	case "-":
+		return cInt(a - b), true
+	case "*":
+		return cInt(a * b), true
+	case "/":
+		if b == 0 {
+			return val{}, false
+		}
+		return cInt(a / b), true
+	case "%":
+		if b == 0 {
+			return val{}, false
+		}
+		return cInt(a % b), true
+	case "&":
+		return cInt(a & b), true
+	case "|":
+		return cInt(a | b), true
+	case "^":
+		return cInt(a ^ b), true
+	case "<<":
+		return cInt(a << uint(b&63)), true
+	case ">>":
+		return cInt(a >> uint(b&63)), true
+	case "<":
+		return cInt(b2i(a < b)), true
+	case "<=":
+		return cInt(b2i(a <= b)), true
+	case ">":
+		return cInt(b2i(a > b)), true
+	case ">=":
+		return cInt(b2i(a >= b)), true
+	case "==":
+		return cInt(b2i(a == b)), true
+	case "!=":
+		return cInt(b2i(a != b)), true
+	}
+	return val{}, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (lw *lowerer) call(e *CallExpr) (fullVal, error) {
+	want := map[string]int{
+		"min": 2, "max": 2, "abs": 1, "sqrt": 1, "select": 2,
+		"perm": 2, "shuffle": 2, "mulhi": 2, "itof": 1, "ftoi": 1,
+		"float": 1, "int": 1,
+	}
+	n, ok := want[e.Fn]
+	if !ok {
+		return fullVal{}, lw.errf(e.Line, "unknown builtin %q", e.Fn)
+	}
+	if len(e.Args) != n {
+		return fullVal{}, lw.errf(e.Line, "%s takes %d argument(s)", e.Fn, n)
+	}
+	args := make([]fullVal, len(e.Args))
+	for i, a := range e.Args {
+		v, err := lw.exprFull(a)
+		if err != nil {
+			return fullVal{}, err
+		}
+		args[i] = v
+	}
+	t0 := args[0].t
+	sameTypes := func() error {
+		for _, a := range args {
+			if a.t != t0 {
+				return lw.errf(e.Line, "%s arguments have mixed types", e.Fn)
+			}
+		}
+		return nil
+	}
+	emit2 := func(opc ir.Opcode, t typ) (fullVal, error) {
+		id := lw.emit(opc, e.Fn, 0, lw.operandOf(args[0]), lw.operandOf(args[1]))
+		return fullVal{val: val{v: id, t: t}}, nil
+	}
+	switch e.Fn {
+	case "min":
+		if err := sameTypes(); err != nil {
+			return fullVal{}, err
+		}
+		if t0 == tFloat {
+			return emit2(ir.FMin, tFloat)
+		}
+		return emit2(ir.Min, tInt)
+	case "max":
+		if err := sameTypes(); err != nil {
+			return fullVal{}, err
+		}
+		if t0 == tFloat {
+			return emit2(ir.FMax, tFloat)
+		}
+		return emit2(ir.Max, tInt)
+	case "abs":
+		if t0 == tFloat {
+			return lw.emit1(ir.FAbs, e.Fn, args[0], tFloat), nil
+		}
+		return lw.emit1(ir.Abs, e.Fn, args[0], tInt), nil
+	case "sqrt":
+		if t0 != tFloat {
+			return fullVal{}, lw.errf(e.Line, "sqrt needs a float argument")
+		}
+		return lw.emit1(ir.FSqrt, e.Fn, args[0], tFloat), nil
+	case "select":
+		if err := sameTypes(); err != nil {
+			return fullVal{}, err
+		}
+		if t0 != tInt {
+			return fullVal{}, lw.errf(e.Line, "select needs int arguments")
+		}
+		return emit2(ir.Select, tInt)
+	case "perm":
+		if t0 != tInt || args[1].t != tInt {
+			return fullVal{}, lw.errf(e.Line, "perm needs int arguments")
+		}
+		return emit2(ir.Perm, tInt)
+	case "shuffle":
+		if t0 != tInt || args[1].t != tInt {
+			return fullVal{}, lw.errf(e.Line, "shuffle needs int arguments")
+		}
+		return emit2(ir.Shuffle, tInt)
+	case "mulhi":
+		if t0 != tInt || args[1].t != tInt {
+			return fullVal{}, lw.errf(e.Line, "mulhi needs int arguments")
+		}
+		return emit2(ir.MulHi, tInt)
+	case "itof", "float":
+		if t0 != tInt {
+			return fullVal{}, lw.errf(e.Line, "%s needs an int argument", e.Fn)
+		}
+		return lw.emit1(ir.ItoF, e.Fn, args[0], tFloat), nil
+	case "ftoi", "int":
+		if t0 != tFloat {
+			return fullVal{}, lw.errf(e.Line, "%s needs a float argument", e.Fn)
+		}
+		return lw.emit1(ir.FtoI, e.Fn, args[0], tInt), nil
+	}
+	return fullVal{}, lw.errf(e.Line, "unknown builtin %q", e.Fn)
+}

@@ -1,0 +1,448 @@
+package kasm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/vliwsim"
+)
+
+// evalExpr compiles "out[0] = <expr>;" and returns the interpreted
+// result, exercising the whole lexer/parser/lowering pipeline on one
+// expression.
+func evalExpr(t *testing.T, expr string, mem map[int64]int64) int64 {
+	t.Helper()
+	src := fmt.Sprintf(`
+kernel e {
+  stream m @ 100;
+  stream out @ 0;
+  loop i = 0 .. 1 {
+    out[0] = %s;
+  }
+}`, expr)
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatalf("%s: %v", expr, err)
+	}
+	res, err := vliwsim.Interpret(k, mem, 0)
+	if err != nil {
+		t.Fatalf("%s: %v", expr, err)
+	}
+	return res[0]
+}
+
+func TestExpressionSemantics(t *testing.T) {
+	mem := map[int64]int64{100: 10, 101: 3, 102: -4}
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},           // precedence
+		{"(1 + 2) * 3", 9},         // parens
+		{"10 - 3 - 2", 5},          // left assoc
+		{"1 << 4 | 2", 18},         // shift binds tighter than or
+		{"7 & 3 ^ 1", 2},           // & tighter than ^
+		{"5 < 6", 1},               // comparison
+		{"6 <= 5", 0},              //
+		{"-m[0]", -10},             // unary on load
+		{"~0", -1},                 //
+		{"!m[1]", 0},               //
+		{"m[0] % 4", 2},            //
+		{"m[0] / m[1]", 3},         //
+		{"min(m[0], m[1])", 3},     //
+		{"max(m[2], 0 - 2)", -2},   //
+		{"abs(m[2])", 4},           //
+		{"select(m[1] > 5, 9)", 9}, // cond 0 -> alternative
+		{"select(m[1] < 5, 9)", 1}, // cond 1 -> itself
+		{"mulhi(m[0], 1)", 0},      // high word of small product
+		{"(m[0] * m[1]) >> 1", 15}, // fused mulq
+		{"m[0] >= 10", 1},          //
+		{"m[0] != 10", 0},          //
+		{"m[0] == 10", 1},          //
+		{"0x1f + 1", 32},           // hex literal
+	}
+	for _, c := range cases {
+		if got := evalExpr(t, c.expr, mem); got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestFloatConversionRoundTrip(t *testing.T) {
+	src := `
+kernel conv {
+  stream out @ 0;
+  loop i = 0 .. 4 {
+    out[i] = int(float(i * 3) / 2.0 + 0.5);
+  }
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Interpret(k, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		want := int64(float64(i*3)/2.0 + 0.5)
+		if res[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, res[i], want)
+		}
+	}
+}
+
+// TestUnrollWithCarriedVar checks that unrolling chains a loop-carried
+// accumulator through the replicas correctly.
+func TestUnrollWithCarriedVar(t *testing.T) {
+	src := `
+kernel usum {
+  stream x @ 0;
+  stream out @ 100;
+  var acc = 0;
+  loop i = 0 .. 8 unroll 2 {
+    var v = x[i] * 2;
+    acc += v;
+    out[i] = acc;
+  }
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.TripCount != 4 {
+		t.Fatalf("trips = %d, want 4", k.TripCount)
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 8; i++ {
+		mem[i] = i + 1
+	}
+	// Check through the full scheduler + simulator too.
+	s, err := core.Compile(k, machine.Distributed(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Run(s, vliwsim.Config{InitMem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := int64(0)
+	for i := int64(0); i < 8; i++ {
+		acc += (i + 1) * 2
+		if res.Mem[100+i] != acc {
+			t.Errorf("out[%d] = %d, want %d", i, res.Mem[100+i], acc)
+		}
+	}
+}
+
+func TestLoopLessKernel(t *testing.T) {
+	src := `
+kernel straight {
+  stream m @ 0;
+  stream out @ 10;
+  var a = m[0] + m[1];
+  var b = a * a;
+  out[0] = b - a;
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Loop) != 0 {
+		t.Errorf("loop ops = %d, want 0", len(k.Loop))
+	}
+	res, err := vliwsim.Interpret(k, map[int64]int64{0: 4, 1: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[10] != 81-9 {
+		t.Errorf("out = %d, want 72", res[10])
+	}
+}
+
+func TestAddressSplitting(t *testing.T) {
+	// Constant indices fold entirely into the address immediate; no
+	// Add op may appear for them.
+	src := `
+kernel addr {
+  stream x @ 50;
+  stream out @ 200;
+  loop i = 0 .. 2 {
+    out[i + 3] = x[7] + x[i + 1 + 2];
+  }
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range k.Loop {
+		op := k.Ops[id]
+		if op.Opcode == ir.Add && op.Name == "addr" {
+			t.Errorf("address add emitted; splitIndex failed:\n%s", k.Dump())
+		}
+		if op.Opcode == ir.Load {
+			off := op.Args[1]
+			if off.Kind != ir.OperandConst {
+				t.Errorf("load offset not an immediate")
+			}
+		}
+	}
+	res, err := vliwsim.Interpret(k, map[int64]int64{57: 9, 53: 2, 54: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i=0: out[3] = x[7] + x[3] -> mem[203] = mem[57] + mem[53].
+	if res[203] != 11 {
+		t.Errorf("out[3] = %d, want 11", res[203])
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+// line comment
+kernel c { /* block
+comment */ stream out @ 0; # hash comment
+  loop i = 0 .. 2 { out[i] = i; }
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "c" {
+		t.Errorf("name = %q", k.Name)
+	}
+}
+
+func TestInductionStep(t *testing.T) {
+	src := `
+kernel bystep {
+  stream out @ 0;
+  loop i = 4 .. 20 step 4 {
+    out[i >> 2] = i;
+  }
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.TripCount != 4 {
+		t.Fatalf("trips = %d, want 4", k.TripCount)
+	}
+	res, err := vliwsim.Interpret(k, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := int64(1); j <= 4; j++ {
+		if res[j] != 4*j {
+			t.Errorf("out[%d] = %d, want %d", j, res[j], 4*j)
+		}
+	}
+}
+
+func TestSpfFloatScratchpad(t *testing.T) {
+	src := `
+kernel fsp {
+  stream a @ 0 float;
+  stream out @ 50 float;
+  loop i = 0 .. 4 {
+    spf[i] = a[i] * 2.0;
+    out[i] = spf[i] + 1.0;
+  }
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 4; i++ {
+		mem[i] = int64(floatBits(float64(i) + 0.5))
+	}
+	res, err := vliwsim.Interpret(k, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		want := (float64(i)+0.5)*2.0 + 1.0
+		if got := floatFrom(res[50+i]); got != want {
+			t.Errorf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b int64) float64  { return math.Float64frombits(uint64(b)) }
+
+func TestTernarySemantics(t *testing.T) {
+	mem := map[int64]int64{100: 10, 101: 3, 102: -4}
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"m[0] > 5 ? 111 : 222", 111},
+		{"m[0] < 5 ? 111 : 222", 222},
+		{"m[2] < 0 ? 0 - m[2] : m[2]", 4},        // abs via ternary
+		{"m[1] ? m[0] : m[2]", 10},               // truthiness
+		{"0 ? m[0] : m[2]", -4},                  // constant cond folds
+		{"1 ? 7 : 9", 7},                         //
+		{"m[0] > 5 ? (m[1] > 5 ? 1 : 2) : 3", 2}, // nesting
+		{"m[0] > 15 ? 1 : m[1] > 1 ? 2 : 3", 2},  // right assoc
+		{"(m[0] > 100 ? m[0] : 100) - 90", 10},   // clamp idiom
+	}
+	for _, c := range cases {
+		if got := evalExpr(t, c.expr, mem); got != c.want {
+			t.Errorf("%s = %d, want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestTernaryFloatSelection(t *testing.T) {
+	src := `
+kernel clampf {
+  stream a @ 0 float;
+  stream out @ 32 float;
+  loop i = 0 .. 4 {
+    var x = a[i];
+    out[i] = x > 1.0 ? 1.0 : x;   # saturate to 1.0
+  }
+}`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]int64{}
+	in := []float64{0.25, 1.5, -0.5, 3.0}
+	for i, f := range in {
+		mem[int64(i)] = int64(floatBits(f))
+	}
+	s, err := core.Compile(k, machine.Distributed(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Run(s, vliwsim.Config{InitMem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range in {
+		want := f
+		if want > 1.0 {
+			want = 1.0
+		}
+		if got := floatFrom(res.Mem[32+int64(i)]); got != want {
+			t.Errorf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTernaryErrors(t *testing.T) {
+	cases := []string{
+		"kernel k { stream o @ 0 float; var c = 1.5; loop i = 0 .. 2 { o[i] = c ? 1.0 : 2.0; } }", // float cond
+		"kernel k { stream o @ 0; loop i = 0 .. 2 { o[i] = i ? 1 : 2.0; } }",                      // mixed branches
+		"kernel k { stream o @ 0; loop i = 0 .. 2 { o[i] = i ? 1; } }",                            // missing colon
+	}
+	for _, src := range cases {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestConstantFoldingAllOperators(t *testing.T) {
+	// Every foldable operator with constant operands must produce zero
+	// loop arithmetic — the store writes an immediate-derived value.
+	exprs := map[string]int64{
+		"3 + 4":           7,
+		"3 - 4":           -1,
+		"3 * 4":           12,
+		"12 / 4":          3,
+		"14 % 4":          2,
+		"12 & 10":         8,
+		"12 | 10":         14,
+		"12 ^ 10":         6,
+		"3 << 2":          12,
+		"12 >> 2":         3,
+		"3 < 4":           1,
+		"3 <= 3":          1,
+		"3 > 4":           0,
+		"4 >= 4":          1,
+		"3 == 3":          1,
+		"3 != 3":          0,
+		"-(5)":            -5,
+		"~0":              -1,
+		"!7":              0,
+		"!0":              1,
+		"1.5 + 2.5 > 3.5": 1,
+		"3.0 - 1.0 < 1.0": 0,
+		"2.0 * 2.0 > 3.0": 1,
+		"9.0 / 3.0 < 4.0": 1,
+		"-(1.5) < 0.0":    1,
+	}
+	for expr, want := range exprs {
+		src := fmt.Sprintf(`kernel f { stream o @ 0; loop i = 0 .. 2 { o[i] = %s; } }`, expr)
+		k, err := Compile(src)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		res, err := vliwsim.Interpret(k, nil, 0)
+		if err != nil {
+			t.Errorf("%s: %v", expr, err)
+			continue
+		}
+		if res[0] != want {
+			t.Errorf("%s = %d, want %d", expr, res[0], want)
+		}
+		// Folded: the loop should contain at most the induction add and
+		// the store.
+		if n := len(k.Loop); n > 2 {
+			t.Errorf("%s: loop has %d ops, want <= 2 (constant folding): %s", expr, n, k.Dump())
+		}
+	}
+}
+
+func TestMustCompile(t *testing.T) {
+	k := MustCompile(`kernel m { stream o @ 0; loop i = 0 .. 2 { o[i] = i; } }`)
+	if k.Name != "m" {
+		t.Errorf("name = %q", k.Name)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCompile did not panic on bad source")
+		}
+	}()
+	MustCompile("kernel {")
+}
+
+func TestUnrollClonesAllExprKinds(t *testing.T) {
+	// The unroller must clone every expression form correctly; run the
+	// unrolled kernel and compare with the rolled version.
+	body := `
+  stream x @ 0;
+  stream out @ 64;
+  var acc = 0;
+  loop i = 0 .. 4 %s {
+    var v = min(x[i], 100) + (i > 1 ? -x[i] : x[i] * 2) - (~i & 3);
+    acc += v;
+    out[i] = acc;
+  }
+`
+	rolled := MustCompile("kernel r {" + fmt.Sprintf(body, "") + "}")
+	unrolled := MustCompile("kernel u {" + fmt.Sprintf(body, "unroll 2") + "}")
+	mem := map[int64]int64{0: 9, 1: 200, 2: 7, 3: 50}
+	a, err := vliwsim.Interpret(rolled, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := vliwsim.Interpret(unrolled, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(64); i < 68; i++ {
+		if a[i] != b[i] {
+			t.Errorf("out[%d]: rolled %d vs unrolled %d", i-64, a[i], b[i])
+		}
+	}
+}

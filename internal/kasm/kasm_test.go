@@ -1,0 +1,378 @@
+package kasm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/vliwsim"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("kernel k { var x = 1.5f; y = x << 2; } # comment")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "kernel" {
+		t.Errorf("first token = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokFloat && tok.Flt == 1.5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("float literal not lexed: %v %v", kinds, texts)
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("stream does not end with EOF")
+	}
+}
+
+func TestLexRangeVsFloat(t *testing.T) {
+	toks, err := Lex("0 .. 5 1..3 2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: INT(0) ".." INT(5) INT(1) ".." INT(3) FLOAT(2.5) EOF
+	wantKinds := []TokKind{TokInt, TokPunct, TokInt, TokInt, TokPunct, TokInt, TokFloat, TokEOF}
+	if len(toks) != len(wantKinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(wantKinds), toks)
+	}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d kind = %v, want %v (%v)", i, toks[i].Kind, k, toks[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("a $ b"); err == nil {
+		t.Error("lexer accepted '$'")
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("lexer accepted unterminated comment")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"kernel { }",
+		"kernel k { loop i = 0 .. 4 { } loop j = 0 .. 4 {} }", // two loops
+		"kernel k { loop i = 0 .. 4 { } var x = 1; }",         // stmt after loop
+		"kernel k { var x = ; loop i = 0 .. 4 { } }",
+		"kernel k { loop i = 0 .. 5 unroll 2 { } }", // 5 % 2 != 0
+		"kernel k { loop i = 0 .. 4 { stream s @ 0; } }",
+		"kernel k { x = 1; loop i = 0 .. 4 { } } trailing",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parser accepted %q", src)
+		}
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"kernel k { var x = 1; loop i = 0 .. 4 { y = x; } }", "not declared"},
+		{"kernel k { var x = 1.5; loop i = 0 .. 4 { x = x + 1; } }", "different types"},
+		{"kernel k { loop i = 0 .. 4 { z[i] = 1; } }", "unknown stream"},
+		{"kernel k { const c = 1; loop i = 0 .. 4 { c = 2; } }", "assign to const"},
+		{"kernel k { var x = 1; loop i = 0 .. 4 { x = sqrt(2); } }", "float"},
+		{"kernel k { stream a @ 0 float; loop i = 0 .. 4 { a[i] = 1; } }", "storing int"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("lowering accepted %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+const firSrc = `
+kernel fir {
+  stream x @ 0;
+  stream out @ 256;
+  var acc = 0;
+  loop i = 0 .. 16 {
+    acc = acc + x[i] * (i + 1);
+    out[i] = acc;
+  }
+}
+`
+
+func TestLowerFIRShape(t *testing.T) {
+	k, err := Compile(firSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Name != "fir" {
+		t.Errorf("kernel name = %q", k.Name)
+	}
+	if k.TripCount != 16 {
+		t.Errorf("trip count = %d, want 16", k.TripCount)
+	}
+	stats := k.LoopStats()
+	if stats[ir.ClsMem] != 2 {
+		t.Errorf("loop has %d memory ops, want 2 (load + store): %v", stats[ir.ClsMem], stats)
+	}
+	if stats[ir.ClsMul] != 1 {
+		t.Errorf("loop has %d multiplies, want 1", stats[ir.ClsMul])
+	}
+	// The accumulator must be a loop-carried phi.
+	foundPhi := false
+	for _, id := range k.Loop {
+		for _, arg := range k.Ops[id].Args {
+			if arg.Kind == ir.OperandValue && len(arg.Srcs) > 1 {
+				foundPhi = true
+			}
+		}
+	}
+	if !foundPhi {
+		t.Error("no phi operand lowered for the accumulator")
+	}
+}
+
+func TestFIREndToEnd(t *testing.T) {
+	k, err := Compile(firSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 16; i++ {
+		mem[i] = i + 2
+	}
+	// Reference.
+	want := make([]int64, 16)
+	acc := int64(0)
+	for i := int64(0); i < 16; i++ {
+		acc += (i + 2) * (i + 1)
+		want[i] = acc
+	}
+	for _, m := range []*machine.Machine{machine.Central(), machine.Distributed()} {
+		s, err := core.Compile(k, m, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		res, err := vliwsim.Run(s, vliwsim.Config{InitMem: mem})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := int64(0); i < 16; i++ {
+			if res.Mem[256+i] != want[i] {
+				t.Errorf("%s: out[%d] = %d, want %d", m.Name, i, res.Mem[256+i], want[i])
+			}
+		}
+	}
+}
+
+func TestUnrollEndToEnd(t *testing.T) {
+	src := `
+kernel scale {
+  stream x @ 0;
+  stream out @ 100;
+  loop i = 0 .. 8 unroll 4 {
+    out[i] = x[i] * 3 + 1;
+  }
+}
+`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.TripCount != 2 {
+		t.Errorf("unrolled trip count = %d, want 2", k.TripCount)
+	}
+	stats := k.LoopStats()
+	if stats[ir.ClsMul] != 4 {
+		t.Errorf("unrolled loop has %d multiplies, want 4", stats[ir.ClsMul])
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 8; i++ {
+		mem[i] = 10 + i
+	}
+	s, err := core.Compile(k, machine.Distributed(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Run(s, vliwsim.Config{InitMem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if got, want := res.Mem[100+i], (10+i)*3+1; got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestFloatKernelEndToEnd(t *testing.T) {
+	src := `
+kernel norm {
+  stream a @ 0 float;
+  stream b @ 50 float;
+  stream out @ 100 float;
+  loop i = 0 .. 8 {
+    out[i] = sqrt(a[i] * a[i] + b[i] * b[i]);
+  }
+}
+`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 8; i++ {
+		mem[i] = int64(math.Float64bits(float64(3 * (i + 1))))
+		mem[50+i] = int64(math.Float64bits(float64(4 * (i + 1))))
+	}
+	s, err := core.Compile(k, machine.Clustered(4), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Run(s, vliwsim.Config{InitMem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		got := math.Float64frombits(uint64(res.Mem[100+i]))
+		want := float64(5 * (i + 1))
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("out[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	src := `
+kernel fold {
+  stream out @ 0;
+  const a = 6;
+  const b = 7;
+  var c = a * b + 1;
+  loop i = 0 .. 4 {
+    out[i] = c + i * 0;
+  }
+}
+`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c folds to 43; i*0 folds away; the loop should be a single store
+	// (of a constant) — no arithmetic ops at all.
+	stats := k.LoopStats()
+	if stats[ir.ClsAdd] > 1 {
+		t.Errorf("loop has %d ALU ops, want <= 1 (folded): %s", stats[ir.ClsAdd], k.Dump())
+	}
+	s, err := core.Compile(k, machine.Central(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Run(s, vliwsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 4; i++ {
+		if res.Mem[i] != 43 {
+			t.Errorf("out[%d] = %d, want 43", i, res.Mem[i])
+		}
+	}
+}
+
+func TestScratchpadKernel(t *testing.T) {
+	src := `
+kernel sptest {
+  stream x @ 0;
+  stream out @ 64;
+  loop i = 0 .. 8 {
+    sp[i] = x[i] * 2;
+    out[i] = sp[i] + 1;
+  }
+}
+`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 8; i++ {
+		mem[i] = i * i
+	}
+	s, err := core.Compile(k, machine.Central(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Run(s, vliwsim.Config{InitMem: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 8; i++ {
+		if got, want := res.Mem[64+i], i*i*2+1; got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBuiltinsLower(t *testing.T) {
+	src := `
+kernel blt {
+  stream out @ 0;
+  loop i = 0 .. 4 {
+    out[i] = min(max(i, 2), 3) + abs(i - 2) + select(i & 1, 7) + mulhi(i, 1);
+  }
+}
+`
+	k, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Compile(k, machine.Central(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vliwsim.Run(s, vliwsim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := func(i int64) int64 {
+		mn := i
+		if mn < 2 {
+			mn = 2
+		}
+		if mn > 3 {
+			mn = 3
+		}
+		ab := i - 2
+		if ab < 0 {
+			ab = -ab
+		}
+		sel := i & 1
+		if sel == 0 {
+			sel = 7
+		}
+		return mn + ab + sel
+	}
+	for i := int64(0); i < 4; i++ {
+		if got, want := res.Mem[i], ref(i); got != want {
+			t.Errorf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+}

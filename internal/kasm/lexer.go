@@ -1,0 +1,211 @@
+package kasm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lexer scans kernel-language source into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex returns the full token stream, ending with a TokEOF token.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '#':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos+1 >= len(lx.src) {
+					return fmt.Errorf("kasm:%d:%d: unterminated block comment", lx.line, lx.col)
+				}
+				if lx.peekByte() == '*' && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := lx.peekByte()
+
+	if isIdentStart(c) {
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	}
+
+	if isDigit(c) || (c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])) {
+		return lx.lexNumber(line, col)
+	}
+
+	rest := lx.src[lx.pos:]
+	for _, p := range punctuators {
+		if strings.HasPrefix(rest, p) {
+			// ".." must not eat the dot of a float like "0..5" — the
+			// number lexer already claimed leading digits, so this is
+			// safe.
+			for range p {
+				lx.advance()
+			}
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, fmt.Errorf("kasm:%d:%d: unexpected character %q", line, col, string(c))
+}
+
+func (lx *Lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	isFloat := false
+	seenDigits := false
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case isDigit(c):
+			seenDigits = true
+			lx.advance()
+		case c == 'x' || c == 'X':
+			if lx.pos == start+1 && lx.src[start] == '0' {
+				lx.advance()
+				for lx.pos < len(lx.src) && isHexDigit(lx.peekByte()) {
+					lx.advance()
+				}
+				text := lx.src[start:lx.pos]
+				v, err := strconv.ParseInt(text, 0, 64)
+				if err != nil {
+					return Token{}, fmt.Errorf("kasm:%d:%d: bad hex literal %q", line, col, text)
+				}
+				return Token{Kind: TokInt, Text: text, Int: v, Line: line, Col: col}, nil
+			}
+			goto done
+		case c == '.':
+			// Range operator ".." ends the number.
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '.' {
+				goto done
+			}
+			if isFloat {
+				goto done
+			}
+			isFloat = true
+			lx.advance()
+		case c == 'e' || c == 'E':
+			if !isFloat && !seenDigits {
+				goto done
+			}
+			isFloat = true
+			lx.advance()
+			if lx.pos < len(lx.src) && (lx.peekByte() == '+' || lx.peekByte() == '-') {
+				lx.advance()
+			}
+		case c == 'f':
+			isFloat = true
+			lx.advance()
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	text := lx.src[start:lx.pos]
+	clean := strings.TrimSuffix(text, "f")
+	if isFloat {
+		v, err := strconv.ParseFloat(clean, 64)
+		if err != nil {
+			return Token{}, fmt.Errorf("kasm:%d:%d: bad float literal %q", line, col, text)
+		}
+		return Token{Kind: TokFloat, Text: text, Flt: v, Line: line, Col: col}, nil
+	}
+	v, err := strconv.ParseInt(clean, 10, 64)
+	if err != nil {
+		return Token{}, fmt.Errorf("kasm:%d:%d: bad int literal %q", line, col, text)
+	}
+	return Token{Kind: TokInt, Text: text, Int: v, Line: line, Col: col}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}

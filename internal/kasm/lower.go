@@ -1,0 +1,554 @@
+package kasm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+)
+
+// Compile parses and lowers kernel-language source to IR.
+func Compile(src string) (*ir.Kernel, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Lower(f)
+}
+
+// MustCompile is Compile for statically known-good sources (the
+// built-in kernel suite); it panics on error.
+func MustCompile(src string) *ir.Kernel {
+	k, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+type typ int
+
+const (
+	tInt typ = iota
+	tFloat
+)
+
+// String names the type for diagnostics.
+func (t typ) String() string {
+	if t == tFloat {
+		return "float"
+	}
+	return "int"
+}
+
+// val is a lowered expression: either a compile-time constant (carried
+// as a raw bit pattern) or an SSA value.
+type val struct {
+	isConst bool
+	bits    int64
+	v       ir.ValueID
+	t       typ
+}
+
+func cInt(i int64) val     { return val{isConst: true, bits: i, t: tInt} }
+func cFloat(f float64) val { return val{isConst: true, bits: int64(math.Float64bits(f)), t: tFloat} }
+
+// asFloat interprets a constant's bits as float64.
+func (v val) asFloat() float64 { return math.Float64frombits(uint64(v.bits)) }
+
+type streamInfo struct {
+	base    int64
+	isFloat bool
+	tag     int // non-zero when the stream is also written
+}
+
+type varState struct {
+	t typ
+	// cur is the variable's current definition in the block being
+	// lowered.
+	cur val
+	// preDef is the definition live at the end of the preamble.
+	preDef val
+	// loopAssigned marks variables redefined inside the loop; reads of
+	// such a variable before its first in-loop assignment become a phi
+	// of preDef and the final in-loop definition.
+	loopAssigned bool
+	// lastLoopDef is the final in-loop definition, patched into the
+	// recorded phi back edges after the body is lowered.
+	lastLoopDef ir.ValueID
+	assignedYet bool // an in-loop assignment has been lowered already
+	// declaredInLoop marks loop-local temporaries, which always read
+	// their current definition (no cross-iteration carry).
+	declaredInLoop bool
+}
+
+type patch struct {
+	op       ir.OpID
+	slot     int
+	srcIndex int
+	name     string
+}
+
+type lowerer struct {
+	f        *File
+	b        *ir.Builder
+	streams  map[string]*streamInfo
+	vars     map[string]*varState
+	consts   map[string]val
+	inLoop   bool
+	ivName   string
+	iv       ir.Operand // phi operand of the induction variable
+	patches  []patch
+	backRefs []string // names behind placeholder back-edge sources
+	spTag    int
+	nextTag  int
+}
+
+// Lower converts a parsed kernel to IR.
+func Lower(f *File) (*ir.Kernel, error) {
+	lw := &lowerer{
+		f:       f,
+		b:       ir.NewBuilder(f.Name),
+		streams: make(map[string]*streamInfo),
+		vars:    make(map[string]*varState),
+		consts:  make(map[string]val),
+		nextTag: 1,
+	}
+	if err := lw.lower(); err != nil {
+		return nil, err
+	}
+	return lw.b.Finish()
+}
+
+func (lw *lowerer) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("kasm:%d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (lw *lowerer) lower() error {
+	// Pre-scan: which streams are written, which variables the loop
+	// reassigns (they need materialized preamble definitions for their
+	// phis).
+	var body []Stmt
+	if lw.f.Loop != nil {
+		body = unrollBody(lw.f.Loop)
+	}
+	writtenStreams := make(map[string]bool)
+	loopAssigns := make(map[string]bool)
+	for _, s := range body {
+		switch s := s.(type) {
+		case *StoreStmt:
+			writtenStreams[s.Target] = true
+		case *AssignStmt:
+			loopAssigns[s.Name] = true
+		}
+	}
+	spUsed := writtenStreams["sp"] || writtenStreams["spf"] || usesScratch(lw.f.Preamble) || usesScratch(body)
+	if spUsed {
+		lw.spTag = lw.nextTag
+		lw.nextTag++
+	}
+
+	// Preamble.
+	for _, s := range lw.f.Preamble {
+		switch s := s.(type) {
+		case *StreamDecl:
+			if s.Name == "sp" || s.Name == "spf" {
+				return lw.errf(s.Line, "stream name %q is reserved", s.Name)
+			}
+			if lw.streams[s.Name] != nil {
+				return lw.errf(s.Line, "stream %s redeclared", s.Name)
+			}
+			info := &streamInfo{base: s.Base, isFloat: s.IsFloat}
+			if writtenStreams[s.Name] {
+				info.tag = lw.nextTag
+				lw.nextTag++
+			}
+			lw.streams[s.Name] = info
+		case *DeclStmt:
+			v, err := lw.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			if s.IsConst {
+				if !v.isConst {
+					return lw.errf(s.Line, "const %s initializer is not constant", s.Name)
+				}
+				lw.consts[s.Name] = v
+				continue
+			}
+			if lw.vars[s.Name] != nil || lw.consts[s.Name].isConst {
+				return lw.errf(s.Line, "variable %s redeclared", s.Name)
+			}
+			// Loop-reassigned variables need a real preamble value for
+			// the phi's initial source.
+			if loopAssigns[s.Name] && v.isConst {
+				v = lw.materialize(v, s.Name)
+			}
+			lw.vars[s.Name] = &varState{t: v.t, cur: v, preDef: v, loopAssigned: loopAssigns[s.Name]}
+		case *AssignStmt:
+			if err := lw.assign(s); err != nil {
+				return err
+			}
+			// Keep the preamble definition in sync and materialized.
+			st := lw.vars[s.Name]
+			if st != nil {
+				if loopAssigns[s.Name] && st.cur.isConst {
+					st.cur = lw.materialize(st.cur, s.Name)
+				}
+				st.preDef = st.cur
+			}
+		case *StoreStmt:
+			if err := lw.store(s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, st := range lw.vars {
+		st.preDef = st.cur
+	}
+
+	if lw.f.Loop == nil {
+		lw.b.SetTripCount(1)
+		return lw.b.Err()
+	}
+
+	// Loop.
+	lw.b.Loop()
+	lw.inLoop = true
+	loop := lw.f.Loop
+	step := loop.Step * int64(loop.Unroll)
+	iv, _ := lw.b.InductionVar(loop.Var, loop.Lo, step)
+	lw.ivName = loop.Var
+	lw.iv = iv
+	if lw.vars[loop.Var] != nil || lw.consts[loop.Var].isConst {
+		return lw.errf(loop.Line, "induction variable %s shadows a declaration", loop.Var)
+	}
+	for _, s := range body {
+		switch s := s.(type) {
+		case *AssignStmt:
+			if err := lw.assign(s); err != nil {
+				return err
+			}
+		case *StoreStmt:
+			if err := lw.store(s); err != nil {
+				return err
+			}
+		case *DeclStmt:
+			// Loop-local temporary.
+			v, err := lw.expr(s.Init)
+			if err != nil {
+				return err
+			}
+			if s.IsConst {
+				if !v.isConst {
+					return lw.errf(s.Line, "const %s initializer is not constant", s.Name)
+				}
+				lw.consts[s.Name] = v
+				continue
+			}
+			if lw.vars[s.Name] != nil {
+				return lw.errf(s.Line, "variable %s redeclared", s.Name)
+			}
+			lw.vars[s.Name] = &varState{t: v.t, cur: v, declaredInLoop: true}
+		default:
+			return lw.errf(loop.Line, "unsupported statement in loop")
+		}
+	}
+
+	// Patch phi back edges with the final in-loop definitions.
+	for _, p := range lw.patches {
+		st := lw.vars[p.name]
+		if st == nil || st.lastLoopDef == ir.NoValue {
+			return fmt.Errorf("kasm: internal: unresolved back edge for %s", p.name)
+		}
+		lw.b.PatchSource(p.op, p.slot, p.srcIndex, st.lastLoopDef)
+	}
+
+	trips := loop.Trips() / int64(loop.Unroll)
+	if trips < 1 {
+		trips = 1
+	}
+	lw.b.SetTripCount(int(trips))
+	return lw.b.Err()
+}
+
+// usesScratch reports whether any statement touches the scratchpad.
+func usesScratch(stmts []Stmt) bool {
+	found := false
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch e := e.(type) {
+		case *IndexExpr:
+			if e.Target == "sp" || e.Target == "spf" {
+				found = true
+			}
+			walkExpr(e.Index)
+		case *UnaryExpr:
+			walkExpr(e.X)
+		case *BinExpr:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case *CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+		case *CondExpr:
+			walkExpr(e.Cond)
+			walkExpr(e.Then)
+			walkExpr(e.Else)
+		}
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *DeclStmt:
+			walkExpr(s.Init)
+		case *AssignStmt:
+			walkExpr(s.Value)
+		case *StoreStmt:
+			if s.Target == "sp" || s.Target == "spf" {
+				found = true
+			}
+			walkExpr(s.Index)
+			walkExpr(s.Value)
+		}
+	}
+	return found
+}
+
+// unrollBody replicates the loop body Unroll times, substituting
+// iv → (iv + j·step) in replica j and renaming loop-local declarations
+// so the replicas do not collide.
+func unrollBody(l *LoopStmt) []Stmt {
+	if l.Unroll <= 1 {
+		return l.Body
+	}
+	var out []Stmt
+	for j := 0; j < l.Unroll; j++ {
+		off := int64(j) * l.Step
+		renames := make(map[string]string)
+		for _, s := range l.Body {
+			out = append(out, cloneStmt(s, l.Var, off, j, renames))
+		}
+	}
+	return out
+}
+
+func cloneStmt(s Stmt, iv string, off int64, replica int, renames map[string]string) Stmt {
+	switch s := s.(type) {
+	case *DeclStmt:
+		c := *s
+		c.Init = cloneExpr(s.Init, iv, off, renames)
+		if replica > 0 {
+			renamed := fmt.Sprintf("%s$u%d", s.Name, replica)
+			renames[s.Name] = renamed
+			c.Name = renamed
+		}
+		return &c
+	case *AssignStmt:
+		c := *s
+		if r, ok := renames[s.Name]; ok {
+			c.Name = r
+		}
+		c.Value = cloneExpr(s.Value, iv, off, renames)
+		return &c
+	case *StoreStmt:
+		c := *s
+		c.Index = cloneExpr(s.Index, iv, off, renames)
+		c.Value = cloneExpr(s.Value, iv, off, renames)
+		return &c
+	}
+	return s
+}
+
+func cloneExpr(e Expr, iv string, off int64, renames map[string]string) Expr {
+	switch e := e.(type) {
+	case *NumLit:
+		return e
+	case *Ident:
+		if e.Name == iv && off != 0 {
+			return &BinExpr{Op: "+", X: e, Y: &NumLit{I: off, Line: e.Line}, Line: e.Line}
+		}
+		if r, ok := renames[e.Name]; ok {
+			return &Ident{Name: r, Line: e.Line}
+		}
+		return e
+	case *IndexExpr:
+		return &IndexExpr{Target: e.Target, Index: cloneExpr(e.Index, iv, off, renames), Line: e.Line}
+	case *UnaryExpr:
+		return &UnaryExpr{Op: e.Op, X: cloneExpr(e.X, iv, off, renames), Line: e.Line}
+	case *BinExpr:
+		return &BinExpr{Op: e.Op, X: cloneExpr(e.X, iv, off, renames), Y: cloneExpr(e.Y, iv, off, renames), Line: e.Line}
+	case *CallExpr:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = cloneExpr(a, iv, off, renames)
+		}
+		return &CallExpr{Fn: e.Fn, Args: args, Line: e.Line}
+	case *CondExpr:
+		return &CondExpr{
+			Cond: cloneExpr(e.Cond, iv, off, renames),
+			Then: cloneExpr(e.Then, iv, off, renames),
+			Else: cloneExpr(e.Else, iv, off, renames),
+			Line: e.Line,
+		}
+	}
+	return e
+}
+
+// materialize turns a constant into a MovI-produced value.
+func (lw *lowerer) materialize(v val, name string) val {
+	id := lw.b.Emit(ir.MovI, name+"0", ir.ConstOperand(v.bits))
+	return val{v: id, t: v.t}
+}
+
+// operand converts a val to an IR operand, reading loop-carried
+// variables through a phi when necessary.
+func (lw *lowerer) operand(v val) ir.Operand {
+	if v.isConst {
+		return ir.ConstOperand(v.bits)
+	}
+	return ir.ValueOperand(v.v)
+}
+
+// assign lowers an assignment statement.
+func (lw *lowerer) assign(s *AssignStmt) error {
+	if lw.consts[s.Name].isConst {
+		return lw.errf(s.Line, "cannot assign to const %s", s.Name)
+	}
+	rhs := s.Value
+	if s.Op != "=" {
+		op := map[string]string{"+=": "+", "-=": "-", "*=": "*"}[s.Op]
+		rhs = &BinExpr{Op: op, X: &Ident{Name: s.Name, Line: s.Line}, Y: s.Value, Line: s.Line}
+	}
+	v, err := lw.expr(rhs)
+	if err != nil {
+		return err
+	}
+	st := lw.vars[s.Name]
+	if st == nil {
+		if lw.inLoop {
+			return lw.errf(s.Line, "variable %s not declared (declare it in the preamble with var)", s.Name)
+		}
+		lw.vars[s.Name] = &varState{t: v.t, cur: v}
+		return nil
+	}
+	if st.t != v.t {
+		return lw.errf(s.Line, "assigning %v to %v variable %s", v.t, st.t, s.Name)
+	}
+	if lw.inLoop && st.loopAssigned {
+		// The back edge needs a value; materialize constants.
+		if v.isConst {
+			v = val{v: lw.b.Emit(ir.MovI, s.Name, ir.ConstOperand(v.bits)), t: v.t}
+		}
+		st.lastLoopDef = v.v
+		st.assignedYet = true
+	}
+	st.cur = v
+	return nil
+}
+
+// store lowers a memory or scratchpad store.
+func (lw *lowerer) store(s *StoreStmt) error {
+	v, err := lw.exprFull(s.Value)
+	if err != nil {
+		return err
+	}
+	if s.Target == "sp" || s.Target == "spf" {
+		idx, err := lw.exprFull(s.Index)
+		if err != nil {
+			return err
+		}
+		if idx.t != tInt {
+			return lw.errf(s.Line, "index must be int")
+		}
+		want := tInt
+		if s.Target == "spf" {
+			want = tFloat
+		}
+		if v.t != want {
+			return lw.errf(s.Line, "storing %v value through %s", v.t, s.Target)
+		}
+		lw.emit(ir.SPWrite, "", lw.spTag, lw.operandOf(v), lw.operandOf(idx))
+		return lw.b.Err()
+	}
+	info := lw.streams[s.Target]
+	if info == nil {
+		return lw.errf(s.Line, "unknown stream %s", s.Target)
+	}
+	if info.isFloat != (v.t == tFloat) {
+		return lw.errf(s.Line, "storing %v value to stream %s", v.t, s.Target)
+	}
+	base, off, err := lw.address(info, s.Index)
+	if err != nil {
+		return err
+	}
+	lw.emit(ir.Store, "", info.tag, lw.operandOf(v), base, off)
+	return lw.b.Err()
+}
+
+// address lowers an index expression into a base operand and an
+// immediate offset (absorbing constant addends and the stream base),
+// matching the load/store units' base+offset address generators.
+func (lw *lowerer) address(info *streamInfo, index Expr) (base, offset ir.Operand, err error) {
+	baseExpr, off := splitIndex(index)
+	off += info.base
+	if baseExpr == nil {
+		return ir.ConstOperand(off), ir.ConstOperand(0), nil
+	}
+	idx, err := lw.exprFull(baseExpr)
+	if err != nil {
+		return ir.Operand{}, ir.Operand{}, err
+	}
+	if idx.t != tInt {
+		return ir.Operand{}, ir.Operand{}, lw.errf(exprLine(index), "index must be int")
+	}
+	if !idx.isOpnd && idx.val.isConst {
+		return ir.ConstOperand(idx.val.bits + off), ir.ConstOperand(0), nil
+	}
+	return lw.operandOf(idx), ir.ConstOperand(off), nil
+}
+
+// splitIndex peels constant addends off an index expression, returning
+// the residual expression (nil when fully constant) and the constant
+// part.
+func splitIndex(e Expr) (Expr, int64) {
+	switch e := e.(type) {
+	case *NumLit:
+		if !e.IsFloat {
+			return nil, e.I
+		}
+	case *BinExpr:
+		if e.Op == "+" || e.Op == "-" {
+			if n, ok := e.Y.(*NumLit); ok && !n.IsFloat {
+				base, off := splitIndex(e.X)
+				if e.Op == "+" {
+					return base, off + n.I
+				}
+				return base, off - n.I
+			}
+			if n, ok := e.X.(*NumLit); ok && !n.IsFloat && e.Op == "+" {
+				base, off := splitIndex(e.Y)
+				return base, off + n.I
+			}
+		}
+	}
+	return e, 0
+}
+
+func exprLine(e Expr) int {
+	switch e := e.(type) {
+	case *NumLit:
+		return e.Line
+	case *Ident:
+		return e.Line
+	case *IndexExpr:
+		return e.Line
+	case *UnaryExpr:
+		return e.Line
+	case *BinExpr:
+		return e.Line
+	case *CallExpr:
+		return e.Line
+	}
+	return 0
+}

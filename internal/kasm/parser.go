@@ -1,0 +1,403 @@
+package kasm
+
+import "fmt"
+
+// Parser is a recursive-descent parser for the kernel language.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses one kernel file.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return fmt.Errorf("kasm:%d:%d: %s", t.Line, t.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if p.cur().Kind == TokPunct && p.cur().Text == s {
+		p.next()
+		return nil
+	}
+	return p.errf("expected %q, found %s", s, p.cur())
+}
+
+func (p *Parser) expectKeyword(s string) error {
+	if p.cur().Kind == TokKeyword && p.cur().Text == s {
+		p.next()
+		return nil
+	}
+	return p.errf("expected %q, found %s", s, p.cur())
+}
+
+func (p *Parser) isPunct(s string) bool {
+	return p.cur().Kind == TokPunct && p.cur().Text == s
+}
+
+func (p *Parser) isKeyword(s string) bool {
+	return p.cur().Kind == TokKeyword && p.cur().Text == s
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	if err := p.expectKeyword("kernel"); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != TokIdent {
+		return nil, p.errf("expected kernel name, found %s", p.cur())
+	}
+	f := &File{Name: p.next().Text}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected end of input in kernel body")
+		}
+		if p.isKeyword("loop") {
+			if f.Loop != nil {
+				return nil, p.errf("kernels have exactly one loop")
+			}
+			loop, err := p.parseLoop()
+			if err != nil {
+				return nil, err
+			}
+			f.Loop = loop
+			continue
+		}
+		if f.Loop != nil {
+			return nil, p.errf("statements after the loop are not allowed (preamble + single loop)")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Preamble = append(f.Preamble, s)
+	}
+	p.next() // }
+	if p.cur().Kind != TokEOF {
+		return nil, p.errf("trailing input after kernel")
+	}
+	// A kernel without a loop is a pure preamble (straight-line code),
+	// like the paper's motivating example.
+	return f, nil
+}
+
+func (p *Parser) parseLoop() (*LoopStmt, error) {
+	line := p.cur().Line
+	p.next() // loop
+	if p.cur().Kind != TokIdent {
+		return nil, p.errf("expected induction variable name")
+	}
+	l := &LoopStmt{Var: p.next().Text, Step: 1, Unroll: 1, Line: line}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	lo, err := p.parseIntConst()
+	if err != nil {
+		return nil, err
+	}
+	l.Lo = lo
+	if err := p.expectPunct(".."); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseIntConst()
+	if err != nil {
+		return nil, err
+	}
+	l.Hi = hi
+	if p.isKeyword("step") {
+		p.next()
+		s, err := p.parseIntConst()
+		if err != nil {
+			return nil, err
+		}
+		if s <= 0 {
+			return nil, p.errf("step must be positive")
+		}
+		l.Step = s
+	}
+	if p.isKeyword("unroll") {
+		p.next()
+		u, err := p.parseIntConst()
+		if err != nil {
+			return nil, err
+		}
+		if u < 1 {
+			return nil, p.errf("unroll factor must be >= 1")
+		}
+		l.Unroll = int(u)
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected end of input in loop body")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		switch s.(type) {
+		case *StreamDecl:
+			return nil, p.errf("stream declarations belong in the preamble")
+		}
+		l.Body = append(l.Body, s)
+	}
+	p.next() // }
+	if l.Trips()%int64(l.Unroll) != 0 {
+		return nil, fmt.Errorf("kasm: loop trip count %d not divisible by unroll %d", l.Trips(), l.Unroll)
+	}
+	return l, nil
+}
+
+func (p *Parser) parseIntConst() (int64, error) {
+	neg := false
+	if p.isPunct("-") {
+		neg = true
+		p.next()
+	}
+	if p.cur().Kind != TokInt {
+		return 0, p.errf("expected integer constant, found %s", p.cur())
+	}
+	v := p.next().Int
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	line := p.cur().Line
+	switch {
+	case p.isKeyword("stream"):
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected stream name")
+		}
+		name := p.next().Text
+		if err := p.expectPunct("@"); err != nil {
+			return nil, err
+		}
+		base, err := p.parseIntConst()
+		if err != nil {
+			return nil, err
+		}
+		isFloat := false
+		if p.cur().Kind == TokIdent && p.cur().Text == "float" {
+			isFloat = true
+			p.next()
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &StreamDecl{Name: name, Base: base, IsFloat: isFloat, Line: line}, nil
+
+	case p.isKeyword("var"), p.isKeyword("const"):
+		isConst := p.cur().Text == "const"
+		p.next()
+		if p.cur().Kind != TokIdent {
+			return nil, p.errf("expected variable name")
+		}
+		name := p.next().Text
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &DeclStmt{Name: name, Init: init, IsConst: isConst, Line: line}, nil
+
+	case p.cur().Kind == TokIdent:
+		name := p.next().Text
+		if p.isPunct("[") {
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(";"); err != nil {
+				return nil, err
+			}
+			return &StoreStmt{Target: name, Index: idx, Value: val, Line: line}, nil
+		}
+		op := ""
+		for _, cand := range []string{"=", "+=", "-=", "*="} {
+			if p.isPunct(cand) {
+				op = cand
+				break
+			}
+		}
+		if op == "" {
+			return nil, p.errf("expected assignment operator after %q", name)
+		}
+		p.next()
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: name, Op: op, Value: val, Line: line}, nil
+	}
+	return nil, p.errf("expected statement, found %s", p.cur())
+}
+
+// Binary operator precedence, C-like (higher binds tighter).
+var precedence = map[string]int{
+	"|":  1,
+	"^":  2,
+	"&":  3,
+	"==": 4, "!=": 4,
+	"<": 5, "<=": 5, ">": 5, ">=": 5,
+	"<<": 6, ">>": 6,
+	"+": 7, "-": 7,
+	"*": 8, "/": 8, "%": 8,
+}
+
+func (p *Parser) parseExpr() (Expr, error) {
+	// Ternary binds loosest and associates to the right.
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if !p.isPunct("?") {
+		return cond, nil
+	}
+	line := p.cur().Line
+	p.next()
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Line: line}, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.cur().Kind != TokPunct {
+			return lhs, nil
+		}
+		op := p.cur().Text
+		prec, ok := precedence[op]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		line := p.cur().Line
+		p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: op, X: lhs, Y: rhs, Line: line}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	line := p.cur().Line
+	for _, op := range []string{"-", "~", "!"} {
+		if p.isPunct(op) {
+			p.next()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: op, X: x, Line: line}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokInt:
+		p.next()
+		return &NumLit{I: t.Int, Line: t.Line}, nil
+	case t.Kind == TokFloat:
+		p.next()
+		return &NumLit{IsFloat: true, F: t.Flt, Line: t.Line}, nil
+	case p.isPunct("("):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		p.next()
+		name := t.Text
+		if p.isPunct("(") {
+			p.next()
+			var args []Expr
+			for !p.isPunct(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.isPunct(",") {
+					p.next()
+				} else if !p.isPunct(")") {
+					return nil, p.errf("expected ',' or ')' in call")
+				}
+			}
+			p.next()
+			return &CallExpr{Fn: name, Args: args, Line: t.Line}, nil
+		}
+		if p.isPunct("[") {
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Target: name, Index: idx, Line: t.Line}, nil
+		}
+		return &Ident{Name: name, Line: t.Line}, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}

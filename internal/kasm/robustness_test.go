@@ -1,0 +1,92 @@
+package kasm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The language frontend must never panic: arbitrary and mutated inputs
+// either compile or return an error.
+
+// corpus seeds the mutation fuzzing with realistic sources.
+var corpus = []string{
+	firSrc,
+	`kernel a { stream x @ 0; loop i = 0 .. 4 { x[i] = i * 3 + 1; } }`,
+	`kernel b { stream o @ 0 float; var a = 1.5; loop i = 0 .. 2 unroll 2 { o[i] = a * 2.0; } }`,
+	`kernel c { const n = 8; stream o @ 0; var s = 0; loop i = 0 .. 8 { s += i; o[i] = s; } }`,
+	`kernel d { stream o @ 0; loop i = 0 .. 4 { sp[i] = i; o[i] = sp[i] + min(i, 2); } }`,
+}
+
+func TestCompileNeverPanicsOnMutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bytesOf := "{}[]()+-*/%<>=!&|^~;,.@# \n\tabcdefgxyz0123456789\"'\\"
+	n := 4000
+	if testing.Short() {
+		n = 500
+	}
+	for trial := 0; trial < n; trial++ {
+		src := []byte(corpus[rng.Intn(len(corpus))])
+		for edits := rng.Intn(8) + 1; edits > 0; edits-- {
+			switch rng.Intn(3) {
+			case 0: // substitute
+				if len(src) > 0 {
+					src[rng.Intn(len(src))] = bytesOf[rng.Intn(len(bytesOf))]
+				}
+			case 1: // delete a span
+				if len(src) > 2 {
+					i := rng.Intn(len(src) - 1)
+					j := i + 1 + rng.Intn(minInt2(8, len(src)-i-1))
+					src = append(src[:i], src[j:]...)
+				}
+			case 2: // insert
+				i := rng.Intn(len(src) + 1)
+				ins := bytesOf[rng.Intn(len(bytesOf))]
+				src = append(src[:i], append([]byte{ins}, src[i:]...)...)
+			}
+		}
+		// Must not panic; errors are fine and expected.
+		_, _ = Compile(string(src))
+	}
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestCompileNeverPanicsOnGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		rng.Read(b)
+		_, _ = Compile(string(b))
+	}
+	// Pathological structured inputs.
+	for _, src := range []string{
+		strings.Repeat("(", 10000),
+		"kernel k { loop i = 0 .. 4 { x = " + strings.Repeat("1+", 5000) + "1; } }",
+		"kernel " + strings.Repeat("a", 100000) + " { }",
+		"kernel k { var x = 0x; }",
+		"kernel k { var x = 1e; }",
+		"kernel k { var x = ..; }",
+		"kernel k { loop i = 0 .. 9223372036854775807 { } }",
+	} {
+		_, _ = Compile(src)
+	}
+}
+
+// TestDeepExpressionNoStackOverflow guards the recursive-descent parser
+// against pathological nesting (bounded by input length, but the parse
+// must return, not crash, for plausible depths).
+func TestDeepExpressionNoStackOverflow(t *testing.T) {
+	depth := 2000
+	expr := strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	src := "kernel k { stream o @ 0; loop i = 0 .. 2 { o[i] = " + expr + "; } }"
+	if _, err := Compile(src); err != nil {
+		t.Fatalf("deep parens: %v", err)
+	}
+}

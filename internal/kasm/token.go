@@ -1,0 +1,84 @@
+// Package kasm compiles a small C-like kernel language to the
+// scheduler's IR. The paper's evaluation kernels "were written in a
+// limited subset of C. Each kernel consists of a short preamble
+// followed by a single software-pipelined loop" (§5); kasm mirrors that
+// shape: declarations and simple statements form the preamble, one
+// loop statement forms the loop body, and assignments to preamble
+// variables inside the loop become loop-carried dependences.
+//
+// Example:
+//
+//	kernel fir {
+//	  stream x @ 0;
+//	  stream out @ 1024;
+//	  var acc = 0;
+//	  loop i = 0 .. 56 {
+//	    acc = acc + x[i] * (i + 1);
+//	    out[i] = acc;
+//	  }
+//	}
+//
+// The language has int and float scalars (floats are IEEE-754 doubles
+// carried in 64-bit registers), streams (named regions of word-
+// addressed memory), scratchpad access sp[...], a small builtin set
+// (min, max, abs, sqrt, select, perm, shuffle, mulhi, itof, ftoi), and
+// loop unrolling (loop ... unroll N { ... }) used by the FFT-U4 and
+// Block Warp-U2 kernels.
+package kasm
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokPunct   // single/multi-char operators and delimiters
+	TokKeyword // kernel, var, stream, loop, unroll, step, const
+)
+
+// Token is one lexeme with position information for error reporting.
+type Token struct {
+	Kind TokKind
+	Text string
+	Int  int64
+	Flt  float64
+	Line int
+	Col  int
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokInt:
+		return fmt.Sprintf("%d", t.Int)
+	case TokFloat:
+		return fmt.Sprintf("%g", t.Flt)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"kernel": true,
+	"var":    true,
+	"stream": true,
+	"loop":   true,
+	"unroll": true,
+	"step":   true,
+	"const":  true,
+	"trip":   true,
+}
+
+// punctuators ordered longest-first for maximal-munch scanning.
+var punctuators = []string{
+	"<<", ">>", "<=", ">=", "==", "!=", "+=", "-=", "*=", "..",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "@", "!", "?", ":",
+}

@@ -1,0 +1,151 @@
+package kernels
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DCT: "Discrete Cosine Transform: Transforms an 8x8 matrix of 16-bit
+// fixed-point numbers" (Table 1). One loop iteration performs an
+// 8-point one-dimensional DCT on one row using the even/odd butterfly
+// decomposition in Q8 fixed point; the surrounding application applies
+// it to rows then columns for the 2-D transform.
+
+// dctBlocks is the number of 8×8 matrices the simulation transforms
+// (the loop runs over 8·dctBlocks rows).
+const dctBlocks = 4
+
+// DCTIn and DCTOut are the DCT kernel's stream base addresses,
+// exported so applications (the 2-D DCT example) can stage data.
+const (
+	DCTIn  = 0
+	DCTOut = 4096
+)
+
+// Internal aliases keep the original names used throughout this file.
+const (
+	dctIn  = DCTIn
+	dctOut = DCTOut
+)
+
+// DCTRow applies the kernel's 8-point one-dimensional fixed-point DCT —
+// exactly the arithmetic the scheduled kernel performs — so
+// applications can compose and validate multi-pass transforms.
+func DCTRow(x [8]int64) [8]int64 { return dctRowRef(x) }
+
+// Q8 cosine coefficients: round(256·cos(k·π/16)).
+var dctC = [8]int64{256, 251, 237, 213, 181, 142, 98, 50}
+
+// dctOddCoef[u][j] is the coefficient of d[j] in output X[2u+1].
+var dctOddCoef = [4][4]int64{
+	{dctC[1], dctC[3], dctC[5], dctC[7]},
+	{dctC[3], -dctC[7], -dctC[1], -dctC[5]},
+	{dctC[5], -dctC[1], dctC[7], dctC[3]},
+	{dctC[7], -dctC[5], dctC[3], -dctC[1]},
+}
+
+func dctSource() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel dct {\n")
+	fmt.Fprintf(&b, "  stream in @ %d;\n", dctIn)
+	fmt.Fprintf(&b, "  stream out @ %d;\n", dctOut)
+	fmt.Fprintf(&b, "  loop i = 0 .. %d {\n", 8*dctBlocks)
+	fmt.Fprintf(&b, "    var r = i << 3;\n")
+	for j := 0; j < 8; j++ {
+		fmt.Fprintf(&b, "    var x%d = in[r + %d];\n", j, j)
+	}
+	// Even/odd split.
+	for j := 0; j < 4; j++ {
+		fmt.Fprintf(&b, "    var s%d = x%d + x%d;\n", j, j, 7-j)
+		fmt.Fprintf(&b, "    var d%d = x%d - x%d;\n", j, j, 7-j)
+	}
+	// Even part: 4-point DCT on s0..s3.
+	fmt.Fprintf(&b, "    var e0 = s0 + s3;\n")
+	fmt.Fprintf(&b, "    var e1 = s1 + s2;\n")
+	fmt.Fprintf(&b, "    var o0 = s0 - s3;\n")
+	fmt.Fprintf(&b, "    var o1 = s1 - s2;\n")
+	fmt.Fprintf(&b, "    var X0 = ((e0 + e1) * %d) >> 8;\n", dctC[4])
+	fmt.Fprintf(&b, "    var X4 = ((e0 - e1) * %d) >> 8;\n", dctC[4])
+	fmt.Fprintf(&b, "    var X2 = (o0 * %d + o1 * %d) >> 8;\n", dctC[2], dctC[6])
+	fmt.Fprintf(&b, "    var X6 = (o0 * %d - o1 * %d) >> 8;\n", dctC[6], dctC[2])
+	// Odd part.
+	for u := 0; u < 4; u++ {
+		terms := make([]string, 4)
+		for j := 0; j < 4; j++ {
+			c := dctOddCoef[u][j]
+			if c >= 0 {
+				terms[j] = fmt.Sprintf("+ d%d * %d", j, c)
+			} else {
+				terms[j] = fmt.Sprintf("- d%d * %d", j, -c)
+			}
+		}
+		expr := strings.TrimPrefix(strings.Join(terms, " "), "+ ")
+		fmt.Fprintf(&b, "    var X%d = (%s) >> 8;\n", 2*u+1, expr)
+	}
+	for u := 0; u < 8; u++ {
+		fmt.Fprintf(&b, "    out[r + %d] = X%d;\n", u, u)
+	}
+	fmt.Fprintf(&b, "  }\n}\n")
+	return b.String()
+}
+
+// dctRowRef mirrors the kernel arithmetic exactly.
+func dctRowRef(x [8]int64) [8]int64 {
+	var s, d [4]int64
+	for j := 0; j < 4; j++ {
+		s[j] = x[j] + x[7-j]
+		d[j] = x[j] - x[7-j]
+	}
+	e0, e1 := s[0]+s[3], s[1]+s[2]
+	o0, o1 := s[0]-s[3], s[1]-s[2]
+	var out [8]int64
+	out[0] = ((e0 + e1) * dctC[4]) >> 8
+	out[4] = ((e0 - e1) * dctC[4]) >> 8
+	out[2] = (o0*dctC[2] + o1*dctC[6]) >> 8
+	out[6] = (o0*dctC[6] - o1*dctC[2]) >> 8
+	for u := 0; u < 4; u++ {
+		acc := int64(0)
+		for j := 0; j < 4; j++ {
+			acc += d[j] * dctOddCoef[u][j]
+		}
+		out[2*u+1] = acc >> 8
+	}
+	return out
+}
+
+func dctInput() map[int64]int64 {
+	mem := make(map[int64]int64)
+	for i := int64(0); i < 8*dctBlocks*8; i++ {
+		// 16-bit fixed-point samples.
+		mem[dctIn+i] = (i*37+11)%509 - 254
+	}
+	return mem
+}
+
+func dctCheck(mem map[int64]int64) error {
+	in := dctInput()
+	for row := int64(0); row < 8*dctBlocks; row++ {
+		var x [8]int64
+		for j := int64(0); j < 8; j++ {
+			x[j] = in[dctIn+row*8+j]
+		}
+		want := dctRowRef(x)
+		for u := int64(0); u < 8; u++ {
+			if err := checkEq("dct out", dctOut+row*8+u, mem[dctOut+row*8+u], want[u]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DCT returns the DCT kernel spec.
+func DCT() *Spec {
+	return &Spec{
+		Name:   "DCT",
+		Desc:   "Discrete Cosine Transform: Transforms an 8x8 matrix of 16-bit fixed-point numbers.",
+		Source: dctSource(),
+		Init:   dctInput,
+		Check:  dctCheck,
+	}
+}

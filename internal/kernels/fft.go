@@ -1,0 +1,119 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FFT: "Fast Fourier Transform: Performs a 1024-point floating-point
+// FFT" (Table 1). The software-pipelined loop is the radix-2 butterfly
+// loop of one decimation-in-time stage: each iteration loads one
+// element pair and its twiddle factor, computes the butterfly, and
+// stores the pair. FFT-U4 unrolls that loop four times.
+
+const (
+	fftN    = 1024
+	fftHalf = fftN / 2
+
+	fftRe    = 0    // input real parts
+	fftIm    = 1024 // input imaginary parts
+	fftTwRe  = 2048 // twiddle real parts
+	fftTwIm  = 3072 // twiddle imaginary parts
+	fftOutRe = 4096 // output real parts
+	fftOutIm = 5120 // output imaginary parts
+)
+
+func fftSource(name string, unroll int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s {\n", name)
+	fmt.Fprintf(&b, "  stream re @ %d float;\n", fftRe)
+	fmt.Fprintf(&b, "  stream im @ %d float;\n", fftIm)
+	fmt.Fprintf(&b, "  stream wre @ %d float;\n", fftTwRe)
+	fmt.Fprintf(&b, "  stream wim @ %d float;\n", fftTwIm)
+	fmt.Fprintf(&b, "  stream ore @ %d float;\n", fftOutRe)
+	fmt.Fprintf(&b, "  stream oim @ %d float;\n", fftOutIm)
+	unrollClause := ""
+	if unroll > 1 {
+		unrollClause = fmt.Sprintf(" unroll %d", unroll)
+	}
+	fmt.Fprintf(&b, "  loop i = 0 .. %d%s {\n", fftHalf, unrollClause)
+	fmt.Fprintf(&b, "    var ar = re[i];\n")
+	fmt.Fprintf(&b, "    var ai = im[i];\n")
+	fmt.Fprintf(&b, "    var br = re[i + %d];\n", fftHalf)
+	fmt.Fprintf(&b, "    var bi = im[i + %d];\n", fftHalf)
+	fmt.Fprintf(&b, "    var wr = wre[i];\n")
+	fmt.Fprintf(&b, "    var wi = wim[i];\n")
+	fmt.Fprintf(&b, "    var tr = br * wr - bi * wi;\n")
+	fmt.Fprintf(&b, "    var ti = br * wi + bi * wr;\n")
+	fmt.Fprintf(&b, "    ore[i] = ar + tr;\n")
+	fmt.Fprintf(&b, "    oim[i] = ai + ti;\n")
+	fmt.Fprintf(&b, "    ore[i + %d] = ar - tr;\n", fftHalf)
+	fmt.Fprintf(&b, "    oim[i + %d] = ai - ti;\n", fftHalf)
+	fmt.Fprintf(&b, "  }\n}\n")
+	return b.String()
+}
+
+func fftInput() map[int64]int64 {
+	mem := make(map[int64]int64)
+	fb := func(f float64) int64 { return int64(math.Float64bits(f)) }
+	for i := int64(0); i < fftN; i++ {
+		mem[fftRe+i] = fb(math.Sin(float64(i)*0.013) + 0.25*math.Cos(float64(i)*0.071))
+		mem[fftIm+i] = fb(0.5 * math.Sin(float64(i)*0.029))
+	}
+	for i := int64(0); i < fftHalf; i++ {
+		ang := -2 * math.Pi * float64(i) / float64(fftN)
+		mem[fftTwRe+i] = fb(math.Cos(ang))
+		mem[fftTwIm+i] = fb(math.Sin(ang))
+	}
+	return mem
+}
+
+func fftCheck(mem map[int64]int64) error {
+	in := fftInput()
+	ff := func(a int64) float64 { return math.Float64frombits(uint64(a)) }
+	for i := int64(0); i < fftHalf; i++ {
+		ar, ai := ff(in[fftRe+i]), ff(in[fftIm+i])
+		br, bi := ff(in[fftRe+fftHalf+i]), ff(in[fftIm+fftHalf+i])
+		wr, wi := ff(in[fftTwRe+i]), ff(in[fftTwIm+i])
+		tr := br*wr - bi*wi
+		ti := br*wi + bi*wr
+		checks := []struct {
+			addr int64
+			want float64
+		}{
+			{fftOutRe + i, ar + tr},
+			{fftOutIm + i, ai + ti},
+			{fftOutRe + fftHalf + i, ar - tr},
+			{fftOutIm + fftHalf + i, ai - ti},
+		}
+		for _, c := range checks {
+			if got := ff(mem[c.addr]); got != c.want {
+				return fmt.Errorf("kernels: fft out at %d = %v, want %v", c.addr, got, c.want)
+			}
+		}
+	}
+	return nil
+}
+
+// FFT returns the 1024-point FFT stage kernel spec.
+func FFT() *Spec {
+	return &Spec{
+		Name:   "FFT",
+		Desc:   "Fast Fourier Transform: Performs a 1024-point floating-point FFT.",
+		Source: fftSource("fft", 1),
+		Init:   fftInput,
+		Check:  fftCheck,
+	}
+}
+
+// FFTU4 returns the four-way-unrolled FFT kernel spec.
+func FFTU4() *Spec {
+	return &Spec{
+		Name:   "FFT-U4",
+		Desc:   "FFT with the inner loop unrolled four times.",
+		Source: fftSource("fft_u4", 4),
+		Init:   fftInput,
+		Check:  fftCheck,
+	}
+}

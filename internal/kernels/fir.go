@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FIR-FP: "Finite-Impulse-Response Filter: 56-tap floating-point FIR
+// filter" (Table 1), and FIR-INT: "FIR with 16-bit integer coefficients
+// and data". Each loop iteration produces one output sample as a
+// 56-tap dot product; coefficients are baked into the instruction
+// stream as immediates, as a DSP compiler would.
+
+const (
+	firTaps    = 56
+	firOutputs = 32
+	firIn      = 0
+	firOut     = 8192
+)
+
+// firCoefFP returns tap t's floating-point coefficient (a decaying
+// windowed response; the exact values only need to match the
+// reference).
+func firCoefFP(t int) float64 {
+	return math.Sin(float64(t+1)*0.19) / float64(t+3)
+}
+
+// firCoefInt returns tap t's 16-bit integer coefficient.
+func firCoefInt(t int) int64 {
+	return int64(math.Round(firCoefFP(t) * (1 << 12)))
+}
+
+func firSourceFP() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel fir_fp {\n")
+	fmt.Fprintf(&b, "  stream x @ %d float;\n", firIn)
+	fmt.Fprintf(&b, "  stream out @ %d float;\n", firOut)
+	fmt.Fprintf(&b, "  loop i = 0 .. %d {\n", firOutputs)
+	// Pairwise accumulation tree keeps the critical path logarithmic,
+	// as a real kernel would be written.
+	for t := 0; t < firTaps; t++ {
+		fmt.Fprintf(&b, "    var p%d = x[i + %d] * %s;\n", t, t, flit(firCoefFP(t)))
+	}
+	n := firTaps
+	level := 0
+	names := make([]string, n)
+	for t := 0; t < n; t++ {
+		names[t] = fmt.Sprintf("p%d", t)
+	}
+	for len(names) > 1 {
+		var next []string
+		for j := 0; j+1 < len(names); j += 2 {
+			nm := fmt.Sprintf("s%d_%d", level, j/2)
+			fmt.Fprintf(&b, "    var %s = %s + %s;\n", nm, names[j], names[j+1])
+			next = append(next, nm)
+		}
+		if len(names)%2 == 1 {
+			next = append(next, names[len(names)-1])
+		}
+		names = next
+		level++
+	}
+	fmt.Fprintf(&b, "    out[i] = %s;\n", names[0])
+	fmt.Fprintf(&b, "  }\n}\n")
+	return b.String()
+}
+
+func firSourceInt() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel fir_int {\n")
+	fmt.Fprintf(&b, "  stream x @ %d;\n", firIn)
+	fmt.Fprintf(&b, "  stream out @ %d;\n", firOut)
+	fmt.Fprintf(&b, "  loop i = 0 .. %d {\n", firOutputs)
+	for t := 0; t < firTaps; t++ {
+		fmt.Fprintf(&b, "    var p%d = x[i + %d] * %d;\n", t, t, firCoefInt(t))
+	}
+	names := make([]string, firTaps)
+	for t := 0; t < firTaps; t++ {
+		names[t] = fmt.Sprintf("p%d", t)
+	}
+	level := 0
+	for len(names) > 1 {
+		var next []string
+		for j := 0; j+1 < len(names); j += 2 {
+			nm := fmt.Sprintf("s%d_%d", level, j/2)
+			fmt.Fprintf(&b, "    var %s = %s + %s;\n", nm, names[j], names[j+1])
+			next = append(next, nm)
+		}
+		if len(names)%2 == 1 {
+			next = append(next, names[len(names)-1])
+		}
+		names = next
+		level++
+	}
+	fmt.Fprintf(&b, "    out[i] = %s >> 12;\n", names[0])
+	fmt.Fprintf(&b, "  }\n}\n")
+	return b.String()
+}
+
+func firInputFP() map[int64]int64 {
+	mem := make(map[int64]int64)
+	for i := int64(0); i < firOutputs+firTaps; i++ {
+		mem[firIn+i] = int64(math.Float64bits(math.Cos(float64(i) * 0.37)))
+	}
+	return mem
+}
+
+// firRefFP mirrors the kernel's pairwise accumulation order exactly so
+// floating-point rounding matches bit for bit.
+func firRefFP(x []float64) []float64 {
+	out := make([]float64, firOutputs)
+	for i := 0; i < firOutputs; i++ {
+		terms := make([]float64, firTaps)
+		for t := 0; t < firTaps; t++ {
+			terms[t] = x[i+t] * firCoefFP(t)
+		}
+		for len(terms) > 1 {
+			var next []float64
+			for j := 0; j+1 < len(terms); j += 2 {
+				next = append(next, terms[j]+terms[j+1])
+			}
+			if len(terms)%2 == 1 {
+				next = append(next, terms[len(terms)-1])
+			}
+			terms = next
+		}
+		out[i] = terms[0]
+	}
+	return out
+}
+
+func firCheckFP(mem map[int64]int64) error {
+	in := firInputFP()
+	x := make([]float64, firOutputs+firTaps)
+	for i := range x {
+		x[i] = math.Float64frombits(uint64(in[firIn+int64(i)]))
+	}
+	want := firRefFP(x)
+	for i := int64(0); i < firOutputs; i++ {
+		got := math.Float64frombits(uint64(mem[firOut+i]))
+		if got != want[i] {
+			return fmt.Errorf("kernels: fir_fp out[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+	return nil
+}
+
+func firInputInt() map[int64]int64 {
+	mem := make(map[int64]int64)
+	for i := int64(0); i < firOutputs+firTaps; i++ {
+		mem[firIn+i] = (i*73+19)%1024 - 512 // 16-bit data
+	}
+	return mem
+}
+
+func firCheckInt(mem map[int64]int64) error {
+	in := firInputInt()
+	for i := int64(0); i < firOutputs; i++ {
+		acc := int64(0)
+		for t := int64(0); t < firTaps; t++ {
+			acc += in[firIn+i+t] * firCoefInt(int(t))
+		}
+		if err := checkEq("fir_int out", firOut+i, mem[firOut+i], acc>>12); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FIRFP returns the floating-point FIR kernel spec.
+func FIRFP() *Spec {
+	return &Spec{
+		Name:   "FIR-FP",
+		Desc:   "Finite-Impulse-Response Filter: 56-tap floating-point FIR filter.",
+		Source: firSourceFP(),
+		Init:   firInputFP,
+		Check:  firCheckFP,
+	}
+}
+
+// FIRINT returns the integer FIR kernel spec.
+func FIRINT() *Spec {
+	return &Spec{
+		Name:   "FIR-INT",
+		Desc:   "FIR with 16-bit integer coefficients and data.",
+		Source: firSourceInt(),
+		Init:   firInputInt,
+		Check:  firCheckInt,
+	}
+}

@@ -1,0 +1,84 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/depgraph"
+	"repro/internal/machine"
+)
+
+// TestCentralGoldenIIs locks the central-machine initiation intervals.
+// On the central register file communication scheduling is trivial
+// (every stub is forced and conflict-free), so these values are pure
+// resource/recurrence properties of the kernels — the stable baseline
+// every Fig. 28 speedup is normalized against. A change here means the
+// kernels or the machine model changed, not the scheduler heuristics.
+func TestCentralGoldenIIs(t *testing.T) {
+	want := map[string]int{
+		"DCT":                8,
+		"FFT":                3,
+		"FFT-U4":             10,
+		"FIR-FP":             19,
+		"FIR-INT":            19,
+		"Block Warp":         4,
+		"Block Warp-U2":      8,
+		"Triangle Transform": 11,
+		"Sort":               64,
+		"Merge":              28,
+	}
+	m := machine.Central()
+	for _, spec := range All() {
+		k := spec.MustKernel()
+		s, err := core.Compile(k, m, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if s.II != want[spec.Name] {
+			t.Errorf("%s central II = %d, want %d", spec.Name, s.II, want[spec.Name])
+		}
+		// On central the II must equal the resource/recurrence bound:
+		// the machine imposes no communication constraints.
+		mii, err := depgraph.ResMII(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := depgraph.Build(k, m)
+		rec := g.RecMII(256)
+		lower := mii
+		if rec > lower {
+			lower = rec
+		}
+		if s.II != lower {
+			t.Errorf("%s: central II %d above its lower bound %d — scheduling artifacts on the baseline",
+				spec.Name, s.II, lower)
+		}
+	}
+}
+
+// TestDistributedIIBands locks loose bands for the distributed machine
+// so heuristic regressions surface without over-constraining.
+func TestDistributedIIBands(t *testing.T) {
+	maxRatio := map[string]float64{
+		"DCT": 1.3, "FFT": 1.05, "FFT-U4": 1.5, "FIR-FP": 1.05, "FIR-INT": 1.05,
+		"Block Warp": 1.05, "Block Warp-U2": 1.15, "Triangle Transform": 1.15,
+		"Sort": 1.2, "Merge": 1.4,
+	}
+	c := machine.Central()
+	d := machine.Distributed()
+	for _, spec := range All() {
+		k := spec.MustKernel()
+		base, err := core.Compile(k, c, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.Compile(k, d, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if ratio := float64(s.II) / float64(base.II); ratio > maxRatio[spec.Name] {
+			t.Errorf("%s: distributed/central II ratio %.2f exceeds band %.2f",
+				spec.Name, ratio, maxRatio[spec.Name])
+		}
+	}
+}

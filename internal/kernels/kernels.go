@@ -1,0 +1,110 @@
+// Package kernels provides the ten media-processing kernels of Table 1,
+// written in the kasm kernel language ("All kernels were written in a
+// limited subset of C. Each kernel consists of a short preamble
+// followed by a single software-pipelined loop", §5), together with
+// pure-Go reference implementations used to validate scheduled code end
+// to end on the cycle-accurate simulator.
+//
+// The suite:
+//
+//	DCT                 8×8 fixed-point discrete cosine transform
+//	FFT                 1024-point floating-point FFT (radix-2 stage)
+//	FFT-U4              FFT with the inner loop unrolled four times
+//	FIR-FP              56-tap floating-point FIR filter
+//	FIR-INT             FIR with 16-bit integer coefficients and data
+//	Block Warp          3-D perspective transform for point-sample rendering
+//	Block Warp-U2       Block Warp with the inner loop unrolled twice
+//	Triangle Transform  3-D perspective transform on a stream of triangles
+//	Sort                sorts 32 elements into an ordered set
+//	Merge               merges two sorted streams into one sorted stream
+package kernels
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/kasm"
+)
+
+// Spec is one evaluation kernel: its kasm source, input generator, and
+// output checker.
+type Spec struct {
+	// Name as reported in Table 1.
+	Name string
+	// Desc is the Table 1 description.
+	Desc string
+	// Source is the kasm program.
+	Source string
+	// Init builds the input memory image.
+	Init func() map[int64]int64
+	// Check validates the memory image after simulation against the
+	// reference implementation.
+	Check func(mem map[int64]int64) error
+
+	once sync.Once
+	k    *ir.Kernel
+	err  error
+}
+
+// Kernel compiles (and caches) the kasm source to IR.
+func (s *Spec) Kernel() (*ir.Kernel, error) {
+	s.once.Do(func() { s.k, s.err = kasm.Compile(s.Source) })
+	return s.k, s.err
+}
+
+// MustKernel is Kernel for the built-in suite; it panics on error.
+func (s *Spec) MustKernel() *ir.Kernel {
+	k, err := s.Kernel()
+	if err != nil {
+		panic(fmt.Sprintf("kernels: %s: %v", s.Name, err))
+	}
+	return k
+}
+
+// All returns the ten kernels in Table 1 order.
+func All() []*Spec {
+	return []*Spec{
+		DCT(),
+		FFT(),
+		FFTU4(),
+		FIRFP(),
+		FIRINT(),
+		BlockWarp(),
+		BlockWarpU2(),
+		TriangleTransform(),
+		Sort(),
+		Merge(),
+	}
+}
+
+// ByName returns the kernel with the given Table 1 name, or nil.
+func ByName(name string) *Spec {
+	for _, s := range All() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// flit renders a float64 as a kasm float literal, guaranteeing the
+// token lexes as a float (a bare "4" would lex as an int) while
+// round-tripping to the identical float64.
+func flit(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// checkEq is a helper for reference comparisons.
+func checkEq(what string, addr int64, got, want int64) error {
+	if got != want {
+		return fmt.Errorf("kernels: %s at %d = %d, want %d", what, addr, got, want)
+	}
+	return nil
+}

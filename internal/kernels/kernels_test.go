@@ -1,0 +1,100 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vliwsim"
+)
+
+func TestAllKernelsCompile(t *testing.T) {
+	specs := All()
+	if len(specs) != 10 {
+		t.Fatalf("suite has %d kernels, want 10 (Table 1)", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate kernel %s", s.Name)
+		}
+		names[s.Name] = true
+		k, err := s.Kernel()
+		if err != nil {
+			t.Fatalf("%s: %v\nsource:\n%s", s.Name, err, s.Source)
+		}
+		if len(k.Loop) == 0 {
+			t.Errorf("%s: empty loop", s.Name)
+		}
+		t.Logf("%-18s loop ops=%3d preamble ops=%2d trips=%d",
+			s.Name, len(k.Loop), len(k.Preamble), k.TripCount)
+	}
+	if ByName("DCT") == nil || ByName("nope") != nil {
+		t.Error("ByName misbehaves")
+	}
+}
+
+func TestByNameDescriptions(t *testing.T) {
+	for _, s := range All() {
+		if s.Desc == "" {
+			t.Errorf("%s: missing Table 1 description", s.Name)
+		}
+		if s.Init == nil || s.Check == nil {
+			t.Errorf("%s: missing reference hooks", s.Name)
+		}
+	}
+}
+
+// TestKernelsEndToEndCentral schedules and simulates the full suite on
+// the central machine, validating against the reference
+// implementations.
+func TestKernelsEndToEndCentral(t *testing.T) {
+	runSuite(t, machine.Central())
+}
+
+func TestKernelsEndToEndDistributed(t *testing.T) {
+	runSuite(t, machine.Distributed())
+}
+
+func TestKernelsEndToEndClustered4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustered scheduling is the slow case; run without -short")
+	}
+	runSuite(t, machine.Clustered(4))
+}
+
+func TestKernelsEndToEndClustered2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustered scheduling is the slow case; run without -short")
+	}
+	runSuite(t, machine.Clustered(2))
+}
+
+func runSuite(t *testing.T, m *machine.Machine) {
+	t.Helper()
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			k, err := spec.Kernel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := core.Compile(k, m, core.Options{})
+			if err != nil {
+				t.Fatalf("schedule: %v", err)
+			}
+			if err := core.VerifySchedule(s); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			res, err := vliwsim.Run(s, vliwsim.Config{InitMem: spec.Init()})
+			if err != nil {
+				t.Fatalf("simulate: %v", err)
+			}
+			if err := spec.Check(res.Mem); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s on %s: II=%d copies=%d cycles=%d",
+				spec.Name, m.Name, s.II, len(s.Ops)-len(k.Ops), res.Cycles)
+		})
+	}
+}

@@ -1,0 +1,46 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/vliwsim"
+)
+
+// TestPairedArchitecture evaluates the §8-style novel organization on
+// the full suite: the same compiler schedules it with no retargeting,
+// and every kernel still validates end to end.
+func TestPairedArchitecture(t *testing.T) {
+	m := machine.Paired()
+	if err := m.CopyConnected(); err != nil {
+		t.Fatal(err)
+	}
+	central := machine.Central()
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			k := spec.MustKernel()
+			base, err := core.Compile(k, central, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := core.Compile(k, m, core.Options{})
+			if err != nil {
+				t.Fatalf("paired: %v", err)
+			}
+			if err := core.VerifySchedule(s); err != nil {
+				t.Fatal(err)
+			}
+			res, err := vliwsim.Run(s, vliwsim.Config{InitMem: spec.Init()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := spec.Check(res.Mem); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: paired II=%d (speedup %.2f) copies=%d",
+				spec.Name, s.II, float64(base.II)/float64(s.II), s.Stats.CopiesInserted)
+		})
+	}
+}

@@ -1,0 +1,36 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// Scheduling-throughput benchmarks over representative kernels: the
+// mid-size FIR, the comparator-heavy Merge and Sort networks (the
+// scheduler's stress cases), and Sort on the copy-bound clustered
+// machine. Run with:
+//
+//	go test ./internal/kernels -bench Sched -benchmem
+
+func benchCompile(b *testing.B, spec *Spec, m *machine.Machine) {
+	b.Helper()
+	k := spec.MustKernel()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := core.Compile(k, m, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(s.II), "II")
+			b.ReportMetric(float64(s.Stats.Attempts), "attempts")
+		}
+	}
+}
+
+func BenchmarkSchedFIRINTDistributed(b *testing.B) { benchCompile(b, FIRINT(), machine.Distributed()) }
+func BenchmarkSchedMergeDistributed(b *testing.B)  { benchCompile(b, Merge(), machine.Distributed()) }
+func BenchmarkSchedSortDistributed(b *testing.B)   { benchCompile(b, Sort(), machine.Distributed()) }
+func BenchmarkSchedSortClustered4(b *testing.B)    { benchCompile(b, Sort(), machine.Clustered(4)) }

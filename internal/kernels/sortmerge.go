@@ -1,0 +1,224 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Sort: "Sorts 32 elements into an ordered set" (Table 1). Each loop
+// iteration sorts one 32-element block with Batcher's odd-even
+// merge-sort network, expressed as straight-line compare-exchange
+// (min/max) pairs — the branch-free formulation a VLIW media processor
+// uses.
+//
+// Merge: "Merges two streams of sorted elements into a single sorted
+// stream." Each iteration merges a sorted 16-element run from each
+// input into one sorted 32-element run using Batcher's bitonic merge
+// network.
+
+const (
+	sortN      = 32
+	sortBlocks = 4
+	sortIn     = 0
+	sortOut    = 4096
+
+	mergeRun    = 16
+	mergeBlocks = 4
+	mergeA      = 0
+	mergeB      = 2048
+	mergeOut    = 4096
+)
+
+// comparator is one compare-exchange: after it, element Lo holds the
+// minimum and element Hi the maximum.
+type comparator struct{ Lo, Hi int }
+
+// oddEvenMergeSortNetwork returns Batcher's odd-even merge-sort
+// network for n a power of two.
+func oddEvenMergeSortNetwork(n int) []comparator {
+	var cs []comparator
+	var mergeRange func(lo, m, r int)
+	mergeRange = func(lo, m, r int) {
+		step := r * 2
+		if step < m {
+			mergeRange(lo, m, step)
+			mergeRange(lo+r, m, step)
+			for i := lo + r; i+r < lo+m; i += step {
+				cs = append(cs, comparator{i, i + r})
+			}
+		} else {
+			cs = append(cs, comparator{lo, lo + r})
+		}
+	}
+	var sortRange func(lo, m int)
+	sortRange = func(lo, m int) {
+		if m > 1 {
+			h := m / 2
+			sortRange(lo, h)
+			sortRange(lo+h, h)
+			mergeRange(lo, m, 1)
+		}
+	}
+	sortRange(0, n)
+	return cs
+}
+
+// bitonicMergeNetwork returns the network merging two sorted runs of
+// n/2 (the second reversed) into a sorted run of n.
+func bitonicMergeNetwork(n int) []comparator {
+	var cs []comparator
+	var rec func(lo, m int)
+	rec = func(lo, m int) {
+		if m <= 1 {
+			return
+		}
+		h := m / 2
+		for i := lo; i < lo+h; i++ {
+			cs = append(cs, comparator{i, i + h})
+		}
+		rec(lo, h)
+		rec(lo+h, h)
+	}
+	rec(0, n)
+	return cs
+}
+
+// networkSource emits a kernel that loads n elements per block, runs
+// the comparator network, and stores the result. loadExpr emits the
+// load statements for element j.
+func networkSource(name string, n int, cs []comparator, loads func(b *strings.Builder)) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s {\n", name)
+	fmt.Fprintf(&b, "  stream a @ %d;\n", mergeA)
+	fmt.Fprintf(&b, "  stream bb @ %d;\n", mergeB)
+	fmt.Fprintf(&b, "  stream out @ %d;\n", sortOut)
+	fmt.Fprintf(&b, "  loop i = 0 .. %d {\n", sortBlocks)
+	fmt.Fprintf(&b, "    var base = i << 5;\n")
+	loads(&b)
+	// Compare-exchange stages; values are renamed SSA-style by
+	// reassigning the element variables.
+	for k, c := range cs {
+		fmt.Fprintf(&b, "    var t%d = min(e%d, e%d);\n", k, c.Lo, c.Hi)
+		fmt.Fprintf(&b, "    e%d = max(e%d, e%d);\n", c.Hi, c.Lo, c.Hi)
+		fmt.Fprintf(&b, "    e%d = t%d;\n", c.Lo, k)
+	}
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "    out[base + %d] = e%d;\n", j, j)
+	}
+	fmt.Fprintf(&b, "  }\n}\n")
+	return b.String()
+}
+
+func sortSource() string {
+	cs := oddEvenMergeSortNetwork(sortN)
+	return networkSource("sort32", sortN, cs, func(b *strings.Builder) {
+		for j := 0; j < sortN; j++ {
+			fmt.Fprintf(b, "    var e%d = a[base + %d];\n", j, j)
+		}
+	})
+}
+
+func mergeSource() string {
+	cs := bitonicMergeNetwork(2 * mergeRun)
+	return networkSource("merge", 2*mergeRun, cs, func(b *strings.Builder) {
+		// First run ascending, second run loaded reversed to form a
+		// bitonic sequence. The second stream uses a 16-element stride
+		// per block (base2 = i << 4).
+		fmt.Fprintf(b, "    var base2 = i << 4;\n")
+		for j := 0; j < mergeRun; j++ {
+			fmt.Fprintf(b, "    var e%d = a[base2 + %d];\n", j, j)
+		}
+		for j := 0; j < mergeRun; j++ {
+			fmt.Fprintf(b, "    var e%d = bb[base2 + %d];\n", mergeRun+j, mergeRun-1-j)
+		}
+	})
+}
+
+// NOTE: merge writes 32 outputs per block but reads 16 from each input
+// stream, so out blocks advance by 32 (base = i<<5) while inputs
+// advance by 16 (base2 = i<<4).
+
+func sortInput() map[int64]int64 {
+	mem := make(map[int64]int64)
+	for i := int64(0); i < sortN*sortBlocks; i++ {
+		mem[mergeA+i] = (i*1103515245 + 12345) % 1000
+	}
+	return mem
+}
+
+func sortCheck(mem map[int64]int64) error {
+	in := sortInput()
+	for blk := int64(0); blk < sortBlocks; blk++ {
+		vals := make([]int64, sortN)
+		for j := int64(0); j < sortN; j++ {
+			vals[j] = in[mergeA+blk*sortN+j]
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		for j := int64(0); j < sortN; j++ {
+			if err := checkEq("sort out", sortOut+blk*sortN+j, mem[sortOut+blk*sortN+j], vals[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func mergeInput() map[int64]int64 {
+	mem := make(map[int64]int64)
+	for blk := int64(0); blk < mergeBlocks; blk++ {
+		a := make([]int64, mergeRun)
+		b := make([]int64, mergeRun)
+		for j := int64(0); j < mergeRun; j++ {
+			a[j] = (blk*131 + j*j*7 + 3) % 512
+			b[j] = (blk*57 + j*13 + 1) % 512
+		}
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		sort.Slice(b, func(x, y int) bool { return b[x] < b[y] })
+		for j := int64(0); j < mergeRun; j++ {
+			mem[mergeA+blk*mergeRun+j] = a[j]
+			mem[mergeB+blk*mergeRun+j] = b[j]
+		}
+	}
+	return mem
+}
+
+func mergeCheck(mem map[int64]int64) error {
+	in := mergeInput()
+	for blk := int64(0); blk < mergeBlocks; blk++ {
+		vals := make([]int64, 0, 2*mergeRun)
+		for j := int64(0); j < mergeRun; j++ {
+			vals = append(vals, in[mergeA+blk*mergeRun+j], in[mergeB+blk*mergeRun+j])
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a] < vals[b] })
+		for j := int64(0); j < 2*mergeRun; j++ {
+			addr := mergeOut + blk*2*mergeRun + j
+			if err := checkEq("merge out", addr, mem[addr], vals[j]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sort returns the 32-element sorting kernel spec.
+func Sort() *Spec {
+	return &Spec{
+		Name:   "Sort",
+		Desc:   "Sorts 32 elements into an ordered set.",
+		Source: sortSource(),
+		Init:   sortInput,
+		Check:  sortCheck,
+	}
+}
+
+// Merge returns the sorted-stream merging kernel spec.
+func Merge() *Spec {
+	return &Spec{
+		Name:   "Merge",
+		Desc:   "Merges two streams of sorted elements into a single sorted stream.",
+		Source: mergeSource(),
+		Init:   mergeInput,
+		Check:  mergeCheck,
+	}
+}

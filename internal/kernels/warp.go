@@ -1,0 +1,227 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Block Warp: "Performs a 3-D perspective transformation used for
+// point-sample rendering" (Table 1, citing Grossman & Dally [8]). Each
+// iteration transforms one point through a fixed-point 3×4 matrix,
+// computes the perspective reciprocal with a divide, and stores screen
+// coordinates and depth. Block Warp-U2 unrolls the loop twice.
+//
+// Triangle Transform: "Performs a 3-D perspective transformation on a
+// stream of triangles" — three vertices per iteration in floating
+// point, with one reciprocal per vertex.
+
+const (
+	warpPoints = 32
+	warpX      = 0
+	warpY      = 512
+	warpZ      = 1024
+	warpOutX   = 1536
+	warpOutY   = 2048
+	warpOutW   = 2560
+)
+
+// warpM is the fixed-point (Q8) transform matrix: rows produce eye x,
+// eye y, and w.
+var warpM = [3][4]int64{
+	{243, -31, 57, 4096},
+	{22, 251, -44, 2048},
+	{13, 29, 247, 65536},
+}
+
+func warpSource(name string, unroll int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s {\n", name)
+	fmt.Fprintf(&b, "  stream x @ %d;\n", warpX)
+	fmt.Fprintf(&b, "  stream y @ %d;\n", warpY)
+	fmt.Fprintf(&b, "  stream z @ %d;\n", warpZ)
+	fmt.Fprintf(&b, "  stream ox @ %d;\n", warpOutX)
+	fmt.Fprintf(&b, "  stream oy @ %d;\n", warpOutY)
+	fmt.Fprintf(&b, "  stream ow @ %d;\n", warpOutW)
+	unrollClause := ""
+	if unroll > 1 {
+		unrollClause = fmt.Sprintf(" unroll %d", unroll)
+	}
+	fmt.Fprintf(&b, "  loop i = 0 .. %d%s {\n", warpPoints, unrollClause)
+	fmt.Fprintf(&b, "    var px = x[i];\n")
+	fmt.Fprintf(&b, "    var py = y[i];\n")
+	fmt.Fprintf(&b, "    var pz = z[i];\n")
+	rows := []string{"ex", "ey", "ew"}
+	for r, nm := range rows {
+		fmt.Fprintf(&b, "    var %s = (px * %d + py * %d + pz * %d + %d) >> 8;\n",
+			nm, warpM[r][0], warpM[r][1], warpM[r][2], warpM[r][3])
+	}
+	// Perspective divide via a Q16 reciprocal, then two multiplies.
+	fmt.Fprintf(&b, "    var rw = %d / max(ew, 1);\n", int64(1)<<16)
+	fmt.Fprintf(&b, "    ox[i] = (ex * rw) >> 16;\n")
+	fmt.Fprintf(&b, "    oy[i] = (ey * rw) >> 16;\n")
+	fmt.Fprintf(&b, "    ow[i] = ew;\n")
+	fmt.Fprintf(&b, "  }\n}\n")
+	return b.String()
+}
+
+func warpInput() map[int64]int64 {
+	mem := make(map[int64]int64)
+	for i := int64(0); i < warpPoints; i++ {
+		mem[warpX+i] = (i*97+5)%777 - 300
+		mem[warpY+i] = (i*61+29)%600 - 250
+		mem[warpZ+i] = (i*41+400)%900 + 200 // positive depths
+	}
+	return mem
+}
+
+func warpRef(px, py, pz int64) (ox, oy, ow int64) {
+	row := func(r int) int64 {
+		return (px*warpM[r][0] + py*warpM[r][1] + pz*warpM[r][2] + warpM[r][3]) >> 8
+	}
+	ex, ey, ew := row(0), row(1), row(2)
+	den := ew
+	if den < 1 {
+		den = 1
+	}
+	rw := int64(1<<16) / den
+	return (ex * rw) >> 16, (ey * rw) >> 16, ew
+}
+
+func warpCheck(mem map[int64]int64) error {
+	in := warpInput()
+	for i := int64(0); i < warpPoints; i++ {
+		ox, oy, ow := warpRef(in[warpX+i], in[warpY+i], in[warpZ+i])
+		if err := checkEq("warp ox", warpOutX+i, mem[warpOutX+i], ox); err != nil {
+			return err
+		}
+		if err := checkEq("warp oy", warpOutY+i, mem[warpOutY+i], oy); err != nil {
+			return err
+		}
+		if err := checkEq("warp ow", warpOutW+i, mem[warpOutW+i], ow); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BlockWarp returns the point-sample perspective-transform kernel spec.
+func BlockWarp() *Spec {
+	return &Spec{
+		Name:   "Block Warp",
+		Desc:   "Performs a 3-D perspective transformation used for point-sample rendering.",
+		Source: warpSource("block_warp", 1),
+		Init:   warpInput,
+		Check:  warpCheck,
+	}
+}
+
+// BlockWarpU2 returns the twice-unrolled Block Warp kernel spec.
+func BlockWarpU2() *Spec {
+	return &Spec{
+		Name:   "Block Warp-U2",
+		Desc:   "Block Warp with the inner loop unrolled twice.",
+		Source: warpSource("block_warp_u2", 2),
+		Init:   warpInput,
+		Check:  warpCheck,
+	}
+}
+
+// Triangle Transform layout: three vertex-component streams per axis.
+const (
+	triCount = 16
+	triBase  = 0    // 9 streams of triCount each, laid out consecutively
+	triOut   = 4096 // 9 output streams
+)
+
+func triStreamBase(v, axis int) int64 { return triBase + int64(3*v+axis)*triCount }
+func triOutBase(v, axis int) int64    { return triOut + int64(3*v+axis)*triCount }
+
+// triM is the floating-point view transform.
+var triM = [3][4]float64{
+	{0.92, -0.11, 0.21, 1.5},
+	{0.08, 0.97, -0.17, 0.75},
+	{0.05, 0.11, 0.96, 4.0},
+}
+
+func triangleSource() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel triangle {\n")
+	axes := []string{"x", "y", "z"}
+	for v := 0; v < 3; v++ {
+		for a, ax := range axes {
+			fmt.Fprintf(&b, "  stream v%d%s @ %d float;\n", v, ax, triStreamBase(v, a))
+			fmt.Fprintf(&b, "  stream o%d%s @ %d float;\n", v, ax, triOutBase(v, a))
+		}
+	}
+	fmt.Fprintf(&b, "  loop i = 0 .. %d {\n", triCount)
+	for v := 0; v < 3; v++ {
+		fmt.Fprintf(&b, "    var x%d = v%dx[i];\n", v, v)
+		fmt.Fprintf(&b, "    var y%d = v%dy[i];\n", v, v)
+		fmt.Fprintf(&b, "    var z%d = v%dz[i];\n", v, v)
+		rows := []string{"ex", "ey", "ez"}
+		for r, nm := range rows {
+			fmt.Fprintf(&b, "    var %s%d = x%d * %s + y%d * %s + z%d * %s + %s;\n",
+				nm, v, v, flit(triM[r][0]), v, flit(triM[r][1]), v, flit(triM[r][2]), flit(triM[r][3]))
+		}
+		fmt.Fprintf(&b, "    var rz%d = 1.0 / ez%d;\n", v, v)
+		fmt.Fprintf(&b, "    o%dx[i] = ex%d * rz%d;\n", v, v, v)
+		fmt.Fprintf(&b, "    o%dy[i] = ey%d * rz%d;\n", v, v, v)
+		fmt.Fprintf(&b, "    o%dz[i] = ez%d;\n", v, v)
+	}
+	fmt.Fprintf(&b, "  }\n}\n")
+	return b.String()
+}
+
+func triangleInput() map[int64]int64 {
+	mem := make(map[int64]int64)
+	fb := func(f float64) int64 { return int64(math.Float64bits(f)) }
+	for v := 0; v < 3; v++ {
+		for a := 0; a < 3; a++ {
+			base := triStreamBase(v, a)
+			for i := int64(0); i < triCount; i++ {
+				f := math.Sin(float64(i)*0.31+float64(v)) + float64(a)*0.4 + 2.5
+				mem[base+i] = fb(f)
+			}
+		}
+	}
+	return mem
+}
+
+func triangleCheck(mem map[int64]int64) error {
+	in := triangleInput()
+	ff := func(a int64) float64 { return math.Float64frombits(uint64(a)) }
+	for v := 0; v < 3; v++ {
+		for i := int64(0); i < triCount; i++ {
+			x := ff(in[triStreamBase(v, 0)+i])
+			y := ff(in[triStreamBase(v, 1)+i])
+			z := ff(in[triStreamBase(v, 2)+i])
+			row := func(r int) float64 {
+				return x*triM[r][0] + y*triM[r][1] + z*triM[r][2] + triM[r][3]
+			}
+			ex, ey, ez := row(0), row(1), row(2)
+			rz := 1.0 / ez
+			want := [3]float64{ex * rz, ey * rz, ez}
+			for a := 0; a < 3; a++ {
+				got := ff(mem[triOutBase(v, a)+i])
+				if got != want[a] {
+					return fmt.Errorf("kernels: triangle v%d axis %d at %d = %v, want %v",
+						v, a, i, got, want[a])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TriangleTransform returns the triangle perspective-transform kernel
+// spec.
+func TriangleTransform() *Spec {
+	return &Spec{
+		Name:   "Triangle Transform",
+		Desc:   "Performs a 3-D perspective transformation on a stream of triangles.",
+		Source: triangleSource(),
+		Init:   triangleInput,
+		Check:  triangleCheck,
+	}
+}

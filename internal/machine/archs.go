@@ -1,0 +1,348 @@
+package machine
+
+import "fmt"
+
+// The evaluated unit mix (§5): "four load/store (l/s) units and twelve
+// functional units: six adders, three multipliers, a divider, a
+// permutation unit (pu), and a scratchpad (sp)".
+const (
+	NumAdders      = 6
+	NumMultipliers = 3
+	NumDividers    = 1
+	NumPermUnits   = 1
+	NumScratchpads = 1
+	NumLoadStores  = 4
+	NumUnits       = NumAdders + NumMultipliers + NumDividers + NumPermUnits + NumScratchpads + NumLoadStores
+)
+
+// NumGlobalBuses is the distributed architecture's shared bus count:
+// "each functional unit output can drive any one of ten global buses"
+// (§5).
+const NumGlobalBuses = 10
+
+// unitSpec describes one unit of the standard mix.
+type unitSpec struct {
+	name string
+	kind FUKind
+}
+
+// standardMix returns the 16-unit mix in a fixed order.
+func standardMix() []unitSpec {
+	var specs []unitSpec
+	for i := 0; i < NumAdders; i++ {
+		specs = append(specs, unitSpec{fmt.Sprintf("add%d", i), Adder})
+	}
+	for i := 0; i < NumMultipliers; i++ {
+		specs = append(specs, unitSpec{fmt.Sprintf("mul%d", i), Multiplier})
+	}
+	specs = append(specs, unitSpec{"div0", Divider})
+	specs = append(specs, unitSpec{"pu0", PermUnit})
+	specs = append(specs, unitSpec{"sp0", Scratchpad})
+	for i := 0; i < NumLoadStores; i++ {
+		specs = append(specs, unitSpec{fmt.Sprintf("ls%d", i), LoadStore})
+	}
+	return specs
+}
+
+// clusterAssignment4 distributes the standard mix over four clusters so
+// that each cluster holds a load/store unit and a balanced arithmetic
+// mix, following Fig. 26.
+var clusterAssignment4 = map[string]int{
+	"add0": 0, "add1": 0, "mul0": 0, "ls0": 0,
+	"add2": 1, "mul1": 1, "div0": 1, "ls1": 1,
+	"add3": 2, "add4": 2, "mul2": 2, "ls2": 2,
+	"add5": 3, "pu0": 3, "sp0": 3, "ls3": 3,
+}
+
+// clusterOf returns the cluster of a standard-mix unit for a k-cluster
+// machine. The two-cluster machine merges clusters {0,1} and {2,3}
+// ("two cluster division", Fig. 26).
+func clusterOf(name string, k int) int {
+	c4 := clusterAssignment4[name]
+	if k == 4 {
+		return c4
+	}
+	if k == 2 {
+		return c4 / 2
+	}
+	panic(fmt.Sprintf("unsupported cluster count %d", k))
+}
+
+// Central builds the central register file architecture of Fig. 1 /
+// Fig. 25: every functional-unit input and output has a dedicated bus
+// and a dedicated port on one register file. Communication scheduling
+// is trivial here — every stub is forced and every route forms without
+// copies — so the machine serves as the performance baseline.
+func Central() *Machine {
+	b := NewBuilder("central")
+	rf := b.AddRF("crf", -1, 256)
+	for _, spec := range standardMix() {
+		fu := b.AddFU(spec.name, spec.kind, -1, 2)
+		b.DedicatedRead(rf, fu, 0)
+		b.DedicatedRead(rf, fu, 1)
+		b.DedicatedWrite(fu, rf)
+		if spec.kind == Divider {
+			b.SetIssueInterval(fu, 2)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Clustered builds the clustered register file architecture of Fig. 2 /
+// Fig. 26 with k clusters (k = 2 or 4). Each cluster has its own
+// register file with dedicated ports and buses for its units. "For
+// consistency, the clustered architecture is modeled with special
+// 'copy units' driving the global buses between register files" (§5):
+// each cluster has one copy unit whose output can drive any of the k
+// shared global buses, and each cluster register file has one shared
+// write port that any global bus can feed — the shared-bus topology of
+// Fig. 2.
+func Clustered(k int) *Machine {
+	if k != 2 && k != 4 {
+		panic(fmt.Sprintf("machine.Clustered: unsupported cluster count %d", k))
+	}
+	b := NewBuilder(fmt.Sprintf("clustered%d", k))
+	regsPer := 256 / k
+	rfs := make([]RFID, k)
+	for c := 0; c < k; c++ {
+		rfs[c] = b.AddRF(fmt.Sprintf("rf%d", c), c, regsPer)
+	}
+	for _, spec := range standardMix() {
+		c := clusterOf(spec.name, k)
+		fu := b.AddFU(spec.name, spec.kind, c, 2)
+		b.DedicatedRead(rfs[c], fu, 0)
+		b.DedicatedRead(rfs[c], fu, 1)
+		b.DedicatedWrite(fu, rfs[c])
+		if spec.kind == Divider {
+			b.SetIssueInterval(fu, 2)
+		}
+	}
+	// Global buses and the copy units that drive them.
+	buses := make([]BusID, k)
+	for i := 0; i < k; i++ {
+		buses[i] = b.AddBus(fmt.Sprintf("gbus%d", i), true)
+	}
+	for c := 0; c < k; c++ {
+		cp := b.AddFU(fmt.Sprintf("cp%d", c), CopyUnit, c, 1)
+		b.DedicatedRead(rfs[c], cp, 0)
+		for _, bus := range buses {
+			b.ConnectOutBus(cp, bus)
+		}
+	}
+	for c := 0; c < k; c++ {
+		wp := b.AddWritePort(rfs[c], fmt.Sprintf("rf%d.gw", c))
+		for _, bus := range buses {
+			b.ConnectBusWP(bus, wp)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Distributed builds the distributed register file architecture of
+// Fig. 3 / Fig. 27: "each functional unit input is connected to the
+// single read port of a dedicated register file and all functional unit
+// outputs are connected by shared buses to the single shared write port
+// of each register file" (§1). Each output can drive any one of the ten
+// global buses and each register file's write port can be driven by any
+// of those buses (§5). All units except the scratchpad implement the
+// copy operation.
+func Distributed() *Machine {
+	b := NewBuilder("distributed")
+	buses := make([]BusID, NumGlobalBuses)
+	for i := range buses {
+		buses[i] = b.AddBus(fmt.Sprintf("gbus%d", i), true)
+	}
+	for _, spec := range standardMix() {
+		fu := b.AddFU(spec.name, spec.kind, -1, 2)
+		for slot := 0; slot < 2; slot++ {
+			rf := b.AddRF(fmt.Sprintf("%s.rf%d", spec.name, slot), -1, 8)
+			b.DedicatedRead(rf, fu, slot)
+			wp := b.AddWritePort(rf, fmt.Sprintf("%s.rf%d.w", spec.name, slot))
+			for _, bus := range buses {
+				b.ConnectBusWP(bus, wp)
+			}
+		}
+		for _, bus := range buses {
+			b.ConnectOutBus(fu, bus)
+		}
+		if spec.kind != Scratchpad {
+			b.SetCanCopy(fu, true)
+		}
+		if spec.kind == Divider {
+			b.SetIssueInterval(fu, 2)
+		}
+	}
+	return b.MustBuild()
+}
+
+// ScaledCentral builds a central-file machine with the given number of
+// arithmetic units, used by the cost model's scaling studies ("For an
+// architecture with forty-eight functional units...", §8). Register
+// count scales with the unit count as in [15].
+func ScaledCentral(units int) *Machine {
+	b := NewBuilder(fmt.Sprintf("central%d", units))
+	rf := b.AddRF("crf", -1, 16*units)
+	for i := 0; i < units; i++ {
+		fu := b.AddFU(fmt.Sprintf("u%d", i), Adder, -1, 2)
+		b.DedicatedRead(rf, fu, 0)
+		b.DedicatedRead(rf, fu, 1)
+		b.DedicatedWrite(fu, rf)
+	}
+	return b.MustBuild()
+}
+
+// ScaledClustered builds a k-cluster machine with the given unit count
+// for cost scaling studies.
+func ScaledClustered(units, k int) *Machine {
+	b := NewBuilder(fmt.Sprintf("clustered%d_%d", k, units))
+	rfs := make([]RFID, k)
+	for c := 0; c < k; c++ {
+		rfs[c] = b.AddRF(fmt.Sprintf("rf%d", c), c, 16*units/k)
+	}
+	for i := 0; i < units; i++ {
+		c := i % k
+		fu := b.AddFU(fmt.Sprintf("u%d", i), Adder, c, 2)
+		b.DedicatedRead(rfs[c], fu, 0)
+		b.DedicatedRead(rfs[c], fu, 1)
+		b.DedicatedWrite(fu, rfs[c])
+	}
+	buses := make([]BusID, k)
+	for i := range buses {
+		buses[i] = b.AddBus(fmt.Sprintf("gbus%d", i), true)
+	}
+	for c := 0; c < k; c++ {
+		cp := b.AddFU(fmt.Sprintf("cp%d", c), CopyUnit, c, 1)
+		b.DedicatedRead(rfs[c], cp, 0)
+		for _, bus := range buses {
+			b.ConnectOutBus(cp, bus)
+		}
+		wp := b.AddWritePort(rfs[c], fmt.Sprintf("rf%d.gw", c))
+		for _, bus := range buses {
+			b.ConnectBusWP(bus, wp)
+		}
+	}
+	return b.MustBuild()
+}
+
+// ScaledDistributed builds a distributed machine with the given unit
+// count for cost scaling studies. The global bus count scales with the
+// units as in the paper's configuration (10 buses for 16 units).
+func ScaledDistributed(units int) *Machine {
+	b := NewBuilder(fmt.Sprintf("distributed%d", units))
+	nbus := (10*units + 15) / 16
+	buses := make([]BusID, nbus)
+	for i := range buses {
+		buses[i] = b.AddBus(fmt.Sprintf("gbus%d", i), true)
+	}
+	for i := 0; i < units; i++ {
+		fu := b.AddFU(fmt.Sprintf("u%d", i), Adder, -1, 2)
+		b.SetCanCopy(fu, true)
+		for slot := 0; slot < 2; slot++ {
+			rf := b.AddRF(fmt.Sprintf("u%d.rf%d", i, slot), -1, 8)
+			b.DedicatedRead(rf, fu, slot)
+			wp := b.AddWritePort(rf, fmt.Sprintf("u%d.rf%d.w", i, slot))
+			for _, bus := range buses {
+				b.ConnectBusWP(bus, wp)
+			}
+		}
+		for _, bus := range buses {
+			b.ConnectOutBus(fu, bus)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Paired builds a register-file organization beyond the paper's four —
+// the kind of exploration §8 calls for ("other architectures may yield
+// even better results"). It halves the distributed machine's file
+// count: each register file serves the same-numbered inputs of two
+// adjacent units through two dedicated read ports, and takes writes
+// through two shared-bus write ports. Files are larger but fewer, and
+// each value deposit becomes readable by two units at once, reducing
+// both copy pressure and per-file port thrash.
+func Paired() *Machine {
+	b := NewBuilder("paired")
+	buses := make([]BusID, NumGlobalBuses)
+	for i := range buses {
+		buses[i] = b.AddBus(fmt.Sprintf("gbus%d", i), true)
+	}
+	specs := standardMix()
+	fus := make([]FUID, len(specs))
+	for i, spec := range specs {
+		fus[i] = b.AddFU(spec.name, spec.kind, -1, 2)
+		for _, bus := range buses {
+			b.ConnectOutBus(fus[i], bus)
+		}
+		if spec.kind != Scratchpad {
+			b.SetCanCopy(fus[i], true)
+		}
+		if spec.kind == Divider {
+			b.SetIssueInterval(fus[i], 2)
+		}
+	}
+	// Pair units (0,1), (2,3), ... sharing one file per input slot.
+	for p := 0; p+1 < len(fus); p += 2 {
+		for slot := 0; slot < 2; slot++ {
+			rf := b.AddRF(fmt.Sprintf("p%d.rf%d", p/2, slot), -1, 16)
+			b.DedicatedRead(rf, fus[p], slot)
+			b.DedicatedRead(rf, fus[p+1], slot)
+			for w := 0; w < 2; w++ {
+				wp := b.AddWritePort(rf, fmt.Sprintf("p%d.rf%d.w%d", p/2, slot, w))
+				for _, bus := range buses {
+					b.ConnectBusWP(bus, wp)
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// MotivatingExample builds the small machine of Fig. 5: two adders and
+// a load/store unit, three register files, two shared writeback buses,
+// and a shared write port on the center register file. ADD0 reads the
+// left register file, the load/store unit reads the center one, ADD1
+// reads the right one. Bus A is shared by ADD0 and the load/store
+// output and feeds the left and center files; bus B is shared by ADD1
+// and the load/store output and feeds the right and center files;
+// either bus can drive the center file's single shared write port. All
+// three units implement the copy operation, which keeps the machine
+// copy-connected (Appendix A). Operations run with unit latency, as in
+// §2.
+func MotivatingExample() *Machine {
+	b := NewBuilder("fig5")
+	b.SetLatencies(UnitLatencies())
+	rfL := b.AddRF("rfL", -1, 16)
+	rfC := b.AddRF("rfC", -1, 16)
+	rfR := b.AddRF("rfR", -1, 16)
+
+	add0 := b.AddFU("add0", Adder, -1, 2)
+	ls := b.AddFU("ls", LoadStore, -1, 2)
+	add1 := b.AddFU("add1", Adder, -1, 2)
+	for _, fu := range []FUID{add0, ls, add1} {
+		b.SetCanCopy(fu, true)
+	}
+
+	b.DedicatedRead(rfL, add0, 0)
+	b.DedicatedRead(rfL, add0, 1)
+	b.DedicatedRead(rfC, ls, 0)
+	b.DedicatedRead(rfC, ls, 1)
+	b.DedicatedRead(rfR, add1, 0)
+	b.DedicatedRead(rfR, add1, 1)
+
+	busA := b.AddBus("busA", true)
+	busB := b.AddBus("busB", true)
+	b.ConnectOutBus(add0, busA)
+	b.ConnectOutBus(ls, busA)
+	b.ConnectOutBus(ls, busB)
+	b.ConnectOutBus(add1, busB)
+
+	wpL := b.AddWritePort(rfL, "rfL.w")
+	wpC := b.AddWritePort(rfC, "rfC.w") // the shared write port
+	wpR := b.AddWritePort(rfR, "rfR.w")
+	b.ConnectBusWP(busA, wpL)
+	b.ConnectBusWP(busA, wpC)
+	b.ConnectBusWP(busB, wpC)
+	b.ConnectBusWP(busB, wpR)
+
+	return b.MustBuild()
+}

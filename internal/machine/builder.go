@@ -1,0 +1,545 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Builder assembles a Machine incrementally. All Add/Connect methods
+// record the first error and become no-ops afterwards; Build returns it.
+type Builder struct {
+	m   *Machine
+	err error
+}
+
+// NewBuilder returns a builder for a machine with the given name, using
+// the default latency table.
+func NewBuilder(name string) *Builder {
+	return &Builder{m: &Machine{
+		Name:      name,
+		Latencies: DefaultLatencies(),
+	}}
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("machine build %s: %s", b.m.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// SetLatencies replaces the latency table.
+func (b *Builder) SetLatencies(t LatencyTable) *Builder {
+	b.m.Latencies = t
+	return b
+}
+
+// AddFU adds a functional unit and returns its id.
+func (b *Builder) AddFU(name string, kind FUKind, cluster, numInputs int) FUID {
+	if b.err != nil {
+		return NoFU
+	}
+	if numInputs < 1 || numInputs > 4 {
+		b.fail("fu %s: bad input count %d", name, numInputs)
+		return NoFU
+	}
+	id := FUID(len(b.m.FUs))
+	b.m.FUs = append(b.m.FUs, &FU{
+		ID: id, Name: name, Kind: kind, Cluster: cluster,
+		NumInputs: numInputs, IssueInterval: 1,
+	})
+	b.m.OutToBus = append(b.m.OutToBus, nil)
+	return id
+}
+
+// SetCanCopy marks a unit as implementing the copy operation.
+func (b *Builder) SetCanCopy(fu FUID, can bool) *Builder {
+	if b.err == nil {
+		b.m.FUs[fu].CanCopy = can
+	}
+	return b
+}
+
+// SetIssueInterval sets the minimum cycles between issues to fu.
+func (b *Builder) SetIssueInterval(fu FUID, ii int) *Builder {
+	if b.err == nil {
+		if ii < 1 {
+			b.fail("fu %s: bad issue interval %d", b.m.FUs[fu].Name, ii)
+		} else {
+			b.m.FUs[fu].IssueInterval = ii
+		}
+	}
+	return b
+}
+
+// AddRF adds a register file and returns its id.
+func (b *Builder) AddRF(name string, cluster, numRegs int) RFID {
+	if b.err != nil {
+		return NoRF
+	}
+	id := RFID(len(b.m.RegFiles))
+	b.m.RegFiles = append(b.m.RegFiles, &RegFile{ID: id, Name: name, Cluster: cluster, NumRegs: numRegs})
+	return id
+}
+
+// AddBus adds a bus and returns its id.
+func (b *Builder) AddBus(name string, global bool) BusID {
+	if b.err != nil {
+		return NoBus
+	}
+	id := BusID(len(b.m.Buses))
+	b.m.Buses = append(b.m.Buses, &Bus{ID: id, Name: name, Global: global})
+	b.m.BusToWP = append(b.m.BusToWP, nil)
+	b.m.BusToIn = append(b.m.BusToIn, nil)
+	return id
+}
+
+// AddReadPort adds a read port to rf and returns its id.
+func (b *Builder) AddReadPort(rf RFID, name string) RPID {
+	if b.err != nil {
+		return NoRP
+	}
+	if int(rf) >= len(b.m.RegFiles) {
+		b.fail("read port %s: bad rf %d", name, rf)
+		return NoRP
+	}
+	id := RPID(len(b.m.ReadPorts))
+	b.m.ReadPorts = append(b.m.ReadPorts, &ReadPort{ID: id, RF: rf, Name: name})
+	b.m.RPToBus = append(b.m.RPToBus, nil)
+	return id
+}
+
+// AddWritePort adds a write port to rf and returns its id.
+func (b *Builder) AddWritePort(rf RFID, name string) WPID {
+	if b.err != nil {
+		return NoWP
+	}
+	if int(rf) >= len(b.m.RegFiles) {
+		b.fail("write port %s: bad rf %d", name, rf)
+		return NoWP
+	}
+	id := WPID(len(b.m.WritePorts))
+	b.m.WritePorts = append(b.m.WritePorts, &WritePort{ID: id, RF: rf, Name: name})
+	return id
+}
+
+// ConnectOutBus lets fu's output drive bus.
+func (b *Builder) ConnectOutBus(fu FUID, bus BusID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.m.OutToBus[fu] = appendUniqueBus(b.m.OutToBus[fu], bus)
+	return b
+}
+
+// ConnectBusWP lets bus feed write port wp.
+func (b *Builder) ConnectBusWP(bus BusID, wp WPID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.m.BusToWP[bus] = appendUniqueWP(b.m.BusToWP[bus], wp)
+	return b
+}
+
+// ConnectRPBus lets read port rp drive bus.
+func (b *Builder) ConnectRPBus(rp RPID, bus BusID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	b.m.RPToBus[rp] = appendUniqueBus(b.m.RPToBus[rp], bus)
+	return b
+}
+
+// ConnectBusIn lets bus feed operand slot of fu.
+func (b *Builder) ConnectBusIn(bus BusID, fu FUID, slot int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if slot >= b.m.FUs[fu].NumInputs {
+		b.fail("bus %d -> fu %s slot %d: unit has %d inputs",
+			bus, b.m.FUs[fu].Name, slot, b.m.FUs[fu].NumInputs)
+		return b
+	}
+	ins := b.m.BusToIn[bus]
+	for _, in := range ins {
+		if in.FU == fu && in.Slot == slot {
+			return b
+		}
+	}
+	b.m.BusToIn[bus] = append(ins, InputRef{FU: fu, Slot: slot})
+	return b
+}
+
+// DedicatedRead wires a dedicated read path: a fresh read port on rf, a
+// fresh private bus, connected to operand slot of fu. This is the
+// "dedicated bus and dedicated register file port" topology of the
+// central and clustered architectures (Figs. 1–2).
+func (b *Builder) DedicatedRead(rf RFID, fu FUID, slot int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	name := fmt.Sprintf("%s.r%d", b.m.FUs[fu].Name, slot)
+	rp := b.AddReadPort(rf, name)
+	bus := b.AddBus("rb."+name, false)
+	return b.ConnectRPBus(rp, bus).ConnectBusIn(bus, fu, slot)
+}
+
+// DedicatedWrite wires a dedicated write path: fu's output over a fresh
+// private bus into a fresh write port on rf.
+func (b *Builder) DedicatedWrite(fu FUID, rf RFID) *Builder {
+	if b.err != nil {
+		return b
+	}
+	name := fmt.Sprintf("%s.w", b.m.FUs[fu].Name)
+	bus := b.AddBus("wb."+name, false)
+	wp := b.AddWritePort(rf, name)
+	return b.ConnectOutBus(fu, bus).ConnectBusWP(bus, wp)
+}
+
+// Build validates the description, computes the derived stub and copy
+// tables, and returns the finished machine.
+func (b *Builder) Build() (*Machine, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	m := b.m
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	m.computeStubs()
+	m.computeClassUnits()
+	m.computeCopyGraph()
+	m.computeMinCopies()
+	m.computeDistances()
+	if err := m.checkSchedulable(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustBuild is Build for statically known-good machines; it panics on
+// error.
+func (b *Builder) MustBuild() *Machine {
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func appendUniqueBus(s []BusID, v BusID) []BusID {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func appendUniqueWP(s []WPID, v WPID) []WPID {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// validate checks structural sanity of the raw description.
+func (m *Machine) validate() error {
+	if len(m.FUs) == 0 {
+		return fmt.Errorf("machine %s: no functional units", m.Name)
+	}
+	if len(m.RegFiles) == 0 {
+		return fmt.Errorf("machine %s: no register files", m.Name)
+	}
+	for fu, buses := range m.OutToBus {
+		for _, bus := range buses {
+			if int(bus) >= len(m.Buses) {
+				return fmt.Errorf("machine %s: fu %d drives unknown bus %d", m.Name, fu, bus)
+			}
+		}
+	}
+	for bus, wps := range m.BusToWP {
+		for _, wp := range wps {
+			if int(wp) >= len(m.WritePorts) {
+				return fmt.Errorf("machine %s: bus %d feeds unknown write port %d", m.Name, bus, wp)
+			}
+		}
+	}
+	for rp, buses := range m.RPToBus {
+		for _, bus := range buses {
+			if int(bus) >= len(m.Buses) {
+				return fmt.Errorf("machine %s: read port %d drives unknown bus %d", m.Name, rp, bus)
+			}
+		}
+	}
+	for bus, ins := range m.BusToIn {
+		for _, in := range ins {
+			if int(in.FU) >= len(m.FUs) || in.Slot >= m.FUs[in.FU].NumInputs {
+				return fmt.Errorf("machine %s: bus %d feeds unknown input fu%d.%d", m.Name, bus, in.FU, in.Slot)
+			}
+		}
+	}
+	return nil
+}
+
+// computeStubs enumerates the valid read and write stubs per unit.
+func (m *Machine) computeStubs() {
+	// Invert bus→input and bus→wp edges.
+	inBuses := make(map[InputRef][]BusID)
+	for bus, ins := range m.BusToIn {
+		for _, in := range ins {
+			inBuses[in] = append(inBuses[in], BusID(bus))
+		}
+	}
+	busRPs := make([][]RPID, len(m.Buses))
+	for rp, buses := range m.RPToBus {
+		for _, bus := range buses {
+			busRPs[bus] = append(busRPs[bus], RPID(rp))
+		}
+	}
+	m.readStubs = make([][][]ReadStub, len(m.FUs))
+	for _, fu := range m.FUs {
+		m.readStubs[fu.ID] = make([][]ReadStub, fu.NumInputs)
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			var stubs []ReadStub
+			for _, bus := range inBuses[InputRef{FU: fu.ID, Slot: slot}] {
+				for _, rp := range busRPs[bus] {
+					stubs = append(stubs, ReadStub{
+						RF: m.ReadPorts[rp].RF, Port: rp, Bus: bus, FU: fu.ID, Slot: slot,
+					})
+				}
+			}
+			sort.Slice(stubs, func(i, j int) bool {
+				if stubs[i].RF != stubs[j].RF {
+					return stubs[i].RF < stubs[j].RF
+				}
+				if stubs[i].Bus != stubs[j].Bus {
+					return stubs[i].Bus < stubs[j].Bus
+				}
+				return stubs[i].Port < stubs[j].Port
+			})
+			m.readStubs[fu.ID][slot] = stubs
+		}
+	}
+	m.writeStubs = make([][]WriteStub, len(m.FUs))
+	for _, fu := range m.FUs {
+		var stubs []WriteStub
+		for _, bus := range m.OutToBus[fu.ID] {
+			for _, wp := range m.BusToWP[bus] {
+				stubs = append(stubs, WriteStub{
+					FU: fu.ID, Bus: bus, Port: wp, RF: m.WritePorts[wp].RF,
+				})
+			}
+		}
+		sort.Slice(stubs, func(i, j int) bool {
+			if stubs[i].RF != stubs[j].RF {
+				return stubs[i].RF < stubs[j].RF
+			}
+			if stubs[i].Bus != stubs[j].Bus {
+				return stubs[i].Bus < stubs[j].Bus
+			}
+			return stubs[i].Port < stubs[j].Port
+		})
+		m.writeStubs[fu.ID] = stubs
+	}
+}
+
+func (m *Machine) computeClassUnits() {
+	m.classUnits = make(map[ir.Class][]FUID)
+	for c := ir.Class(0); c < ir.NumClasses; c++ {
+		for _, fu := range m.FUs {
+			if fu.Executes(c) {
+				m.classUnits[c] = append(m.classUnits[c], fu.ID)
+			}
+		}
+	}
+}
+
+// computeCopyGraph builds the register-file copy reachability tables:
+// which single copies are possible, and the minimum copy count between
+// every pair of register files.
+func (m *Machine) computeCopyGraph() {
+	n := len(m.RegFiles)
+	m.CopySteps = make([][]CopyStep, n)
+	for _, fu := range m.FUs {
+		if !fu.Executes(ir.ClsCopy) {
+			continue
+		}
+		// A copy on fu reads its operand at any input slot and writes
+		// through its output.
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			for _, rs := range m.readStubs[fu.ID][slot] {
+				for _, ws := range m.writeStubs[fu.ID] {
+					if rs.RF == ws.RF {
+						continue // not a move
+					}
+					dup := false
+					for _, st := range m.CopySteps[rs.RF] {
+						if st.FU == fu.ID && st.Slot == slot && st.To == ws.RF {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						m.CopySteps[rs.RF] = append(m.CopySteps[rs.RF],
+							CopyStep{FU: fu.ID, Slot: slot, From: rs.RF, To: ws.RF})
+					}
+				}
+			}
+		}
+	}
+	// BFS from every register file.
+	m.copyDist = make([][]int, n)
+	for src := 0; src < n; src++ {
+		dist := make([]int, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		queue := []int{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, st := range m.CopySteps[cur] {
+				if dist[st.To] == -1 {
+					dist[st.To] = dist[cur] + 1
+					queue = append(queue, int(st.To))
+				}
+			}
+		}
+		m.copyDist[src] = dist
+	}
+}
+
+// computeDistances fills the output→file, file→input, and writable-set
+// tables the scheduler's candidate scoring reads in its hot path.
+func (m *Machine) computeDistances() {
+	nRF := len(m.RegFiles)
+	m.distFUToRF = make([][]int, len(m.FUs))
+	m.writableRFs = make([][]RFID, len(m.FUs))
+	for _, fu := range m.FUs {
+		row := make([]int, nRF)
+		for rf := range row {
+			best := -1
+			for _, ws := range m.writeStubs[fu.ID] {
+				if d := m.copyDist[ws.RF][rf]; d >= 0 && (best < 0 || d < best) {
+					best = d
+				}
+			}
+			row[rf] = best
+		}
+		m.distFUToRF[fu.ID] = row
+		seen := make(map[RFID]bool)
+		for _, ws := range m.writeStubs[fu.ID] {
+			if !seen[ws.RF] {
+				seen[ws.RF] = true
+				m.writableRFs[fu.ID] = append(m.writableRFs[fu.ID], ws.RF)
+			}
+		}
+	}
+	m.wpCount = make([]int, nRF)
+	for _, wp := range m.WritePorts {
+		m.wpCount[wp.RF]++
+	}
+	m.distRFToIn = make([][][]int, nRF)
+	for rf := 0; rf < nRF; rf++ {
+		m.distRFToIn[rf] = make([][]int, len(m.FUs))
+		for _, fu := range m.FUs {
+			row := make([]int, fu.NumInputs)
+			for slot := range row {
+				best := -1
+				for _, rs := range m.readStubs[fu.ID][slot] {
+					if d := m.copyDist[rf][rs.RF]; d >= 0 && (best < 0 || d < best) {
+						best = d
+					}
+				}
+				row[slot] = best
+			}
+			m.distRFToIn[rf][fu.ID] = row
+		}
+	}
+}
+
+// computeMinCopies fills the per-(output, input) minimum-copy table
+// from the register-file copy distances.
+func (m *Machine) computeMinCopies() {
+	m.minCopies = make([][][]int, len(m.FUs))
+	for _, from := range m.FUs {
+		m.minCopies[from.ID] = make([][]int, len(m.FUs))
+		for _, to := range m.FUs {
+			row := make([]int, to.NumInputs)
+			for slot := range row {
+				best := -1
+				for _, ws := range m.writeStubs[from.ID] {
+					for _, rs := range m.readStubs[to.ID][slot] {
+						if d := m.copyDist[ws.RF][rs.RF]; d >= 0 && (best < 0 || d < best) {
+							best = d
+						}
+					}
+				}
+				row[slot] = best
+			}
+			m.minCopies[from.ID][to.ID] = row
+		}
+	}
+}
+
+// checkSchedulable verifies that every unit that can execute some class
+// has at least one write stub (if its class produces results) and read
+// stubs for every operand slot. Without this, an operation assigned to
+// the unit could never communicate.
+func (m *Machine) checkSchedulable() error {
+	for _, fu := range m.FUs {
+		if len(m.writeStubs[fu.ID]) == 0 {
+			return fmt.Errorf("machine %s: fu %s has no write stubs", m.Name, fu.Name)
+		}
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			if len(m.readStubs[fu.ID][slot]) == 0 {
+				return fmt.Errorf("machine %s: fu %s input %d has no read stubs", m.Name, fu.Name, slot)
+			}
+		}
+	}
+	return nil
+}
+
+// CopyConnected checks the Appendix A property: for every pair of
+// classes (c1 producing a value, c2 consuming it at some slot), every
+// unit executing c1 can deposit the value in some register file from
+// which zero or more copies reach a register file readable by every
+// unit executing c2 at that slot. Communication scheduling is complete
+// only on machines with this property.
+func (m *Machine) CopyConnected() error {
+	for c1 := ir.Class(1); c1 < ir.NumClasses; c1++ {
+		for _, f1 := range m.classUnits[c1] {
+			for c2 := ir.Class(1); c2 < ir.NumClasses; c2++ {
+				for _, f2 := range m.classUnits[c2] {
+					fu2 := m.FUs[f2]
+					for slot := 0; slot < fu2.NumInputs; slot++ {
+						if !m.copyCompletable(f1, f2, slot) {
+							return fmt.Errorf(
+								"machine %s: no copy path from %s output to %s input %d",
+								m.Name, m.FUs[f1].Name, fu2.Name, slot)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// copyCompletable reports whether a value produced on f1 can reach
+// operand slot of f2 through zero or more copies.
+func (m *Machine) copyCompletable(f1, f2 FUID, slot int) bool {
+	for _, ws := range m.writeStubs[f1] {
+		for _, rs := range m.readStubs[f2][slot] {
+			if d := m.copyDist[ws.RF][rs.RF]; d >= 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package machine
+
+import "repro/internal/ir"
+
+// LatencyTable maps opcodes to result latency in cycles: an operation
+// issued on cycle c reads its operands on cycle c and completes — its
+// write stub is allocated — on cycle c+latency-1, so a dependent
+// operation can issue on cycle c+latency. The motivating example's unit
+// latency corresponds to latency 1.
+type LatencyTable map[ir.Opcode]int
+
+// DefaultLatencies returns the latency table used for all four paper
+// architectures. The paper holds "the mix of functional units and
+// operation latency (including register file access time) ... the same
+// for all architectures" (§5); the values here are modeled on the
+// Imagine Stream Processor's arithmetic pipelines.
+func DefaultLatencies() LatencyTable {
+	t := LatencyTable{}
+	// Integer ALU operations.
+	for _, op := range []ir.Opcode{
+		ir.MovI, ir.Add, ir.Sub, ir.Neg, ir.And, ir.Or, ir.Xor, ir.Not,
+		ir.Shl, ir.Shr, ir.Asr, ir.Min, ir.Max, ir.Abs,
+		ir.CmpLT, ir.CmpLE, ir.CmpEQ, ir.CmpNE, ir.Select,
+	} {
+		t[op] = 1
+	}
+	// Floating-point adder operations.
+	for _, op := range []ir.Opcode{
+		ir.FAdd, ir.FSub, ir.FNeg, ir.FMin, ir.FMax, ir.FCmpLT, ir.FAbs,
+		ir.ItoF, ir.FtoI,
+	} {
+		t[op] = 2
+	}
+	t[ir.Mul] = 2
+	t[ir.MulHi] = 2
+	t[ir.MulQ] = 2
+	t[ir.FMul] = 3
+	t[ir.Div] = 6
+	t[ir.Rem] = 6
+	t[ir.FDiv] = 9
+	t[ir.FSqrt] = 9
+	t[ir.Load] = 3
+	t[ir.Store] = 1
+	t[ir.SPRead] = 2
+	t[ir.SPWrite] = 1
+	t[ir.Perm] = 1
+	t[ir.Shuffle] = 1
+	t[ir.Copy] = 1
+	return t
+}
+
+// UnitLatencies returns a table in which every opcode has latency 1, as
+// in the paper's motivating example ("For illustrative purposes, all
+// operations have unit latency", §2).
+func UnitLatencies() LatencyTable {
+	t := DefaultLatencies()
+	for op := range t {
+		t[op] = 1
+	}
+	return t
+}
+
+// Latency returns the result latency of op, defaulting to 1 for opcodes
+// absent from the table.
+func (m *Machine) Latency(op ir.Opcode) int {
+	if l, ok := m.Latencies[op]; ok && l > 0 {
+		return l
+	}
+	return 1
+}

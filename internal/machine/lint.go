@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Lint reports structural oddities in a machine description that Build
+// accepts but that usually indicate mistakes in hand-written
+// descriptions: dead buses, write-only or read-only register files,
+// files no value can ever reach, and sink files that trap staged
+// values. The machine remains usable; these are warnings, not errors.
+func (m *Machine) Lint() []string {
+	var warns []string
+
+	// Bus connectivity.
+	drivers := make([]int, len(m.Buses))
+	sinks := make([]int, len(m.Buses))
+	for _, buses := range m.OutToBus {
+		for _, b := range buses {
+			drivers[b]++
+		}
+	}
+	for _, buses := range m.RPToBus {
+		for _, b := range buses {
+			drivers[b]++
+		}
+	}
+	for b, wps := range m.BusToWP {
+		sinks[b] += len(wps)
+	}
+	for b, ins := range m.BusToIn {
+		sinks[b] += len(ins)
+	}
+	for b, bus := range m.Buses {
+		switch {
+		case drivers[b] == 0 && sinks[b] == 0:
+			warns = append(warns, fmt.Sprintf("bus %s is disconnected", bus.Name))
+		case drivers[b] == 0:
+			warns = append(warns, fmt.Sprintf("bus %s has sinks but no driver", bus.Name))
+		case sinks[b] == 0:
+			warns = append(warns, fmt.Sprintf("bus %s has drivers but no sink", bus.Name))
+		}
+	}
+
+	// Register file reachability and usefulness.
+	readable := make([]bool, len(m.RegFiles))
+	writable := make([]bool, len(m.RegFiles))
+	for _, rp := range m.ReadPorts {
+		// A read port only matters if some input can be fed from it.
+		for _, bus := range m.RPToBus[rp.ID] {
+			if len(m.BusToIn[bus]) > 0 {
+				readable[rp.RF] = true
+			}
+		}
+	}
+	for _, fu := range m.FUs {
+		for _, ws := range m.WriteStubs(fu.ID) {
+			writable[ws.RF] = true
+		}
+	}
+	for i, rf := range m.RegFiles {
+		switch {
+		case !readable[i] && !writable[i]:
+			warns = append(warns, fmt.Sprintf("register file %s is neither readable nor writable", rf.Name))
+		case !readable[i]:
+			warns = append(warns, fmt.Sprintf("register file %s is write-only (no input can read it)", rf.Name))
+		case !writable[i]:
+			warns = append(warns, fmt.Sprintf("register file %s is read-only (no output can reach it)", rf.Name))
+		}
+		if rf.NumRegs <= 0 {
+			warns = append(warns, fmt.Sprintf("register file %s has no registers", rf.Name))
+		}
+	}
+
+	// Sink files: readable only by units that cannot copy, so a value
+	// staged there for a different consumer is stuck. Informational —
+	// the distributed machine's scratchpad files are like this by
+	// design — but worth knowing when hand-building machines.
+	if len(m.RegFiles) > 1 {
+		for i, rf := range m.RegFiles {
+			if !readable[i] || !writable[i] {
+				continue
+			}
+			if len(m.CopySteps[i]) == 0 {
+				warns = append(warns, fmt.Sprintf(
+					"register file %s is a sink: values staged there cannot be copied out", rf.Name))
+			}
+		}
+	}
+
+	// Copy capability.
+	if len(m.UnitsFor(ir.ClsCopy)) == 0 && len(m.RegFiles) > 1 {
+		if err := m.CopyConnected(); err != nil {
+			warns = append(warns, "no unit implements the copy operation and the machine is not copy-connected")
+		}
+	}
+	return warns
+}

@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+)
+
+func TestScaledConstructors(t *testing.T) {
+	c := ScaledCentral(48)
+	if len(c.FUs) != 48 || len(c.RegFiles) != 1 {
+		t.Errorf("scaled central shape: %s", c.Summary())
+	}
+	cl := ScaledClustered(48, 4)
+	if len(cl.FUs) != 48+4 || len(cl.RegFiles) != 4 {
+		t.Errorf("scaled clustered shape: %s", cl.Summary())
+	}
+	if err := cl.CopyConnected(); err != nil {
+		t.Errorf("scaled clustered not copy-connected: %v", err)
+	}
+	d := ScaledDistributed(48)
+	if len(d.FUs) != 48 || len(d.RegFiles) != 96 {
+		t.Errorf("scaled distributed shape: %s", d.Summary())
+	}
+	globals := 0
+	for _, bus := range d.Buses {
+		if bus.Global {
+			globals++
+		}
+	}
+	if globals != 30 {
+		t.Errorf("scaled distributed has %d global buses, want 30 (10 per 16 units)", globals)
+	}
+}
+
+// TestDistanceTablesConsistent cross-checks the precomputed distance
+// tables against direct stub/copy-graph computation on random resource
+// pairs.
+func TestDistanceTablesConsistent(t *testing.T) {
+	for _, m := range []*Machine{Central(), Clustered(4), Distributed()} {
+		m := m
+		f := func(fuRaw, rfRaw uint8, slotRaw uint8) bool {
+			fu := FUID(int(fuRaw) % len(m.FUs))
+			rf := RFID(int(rfRaw) % len(m.RegFiles))
+			slot := int(slotRaw) % m.FUs[fu].NumInputs
+
+			// DistFUToRF == min over write stubs of CopyDistance.
+			best := -1
+			for _, ws := range m.WriteStubs(fu) {
+				if d := m.CopyDistance(ws.RF, rf); d >= 0 && (best < 0 || d < best) {
+					best = d
+				}
+			}
+			if m.DistFUToRF(fu, rf) != best {
+				return false
+			}
+			// DistRFToInput == min over read stubs of CopyDistance.
+			best = -1
+			for _, rs := range m.ReadStubs(fu, slot) {
+				if d := m.CopyDistance(rf, rs.RF); d >= 0 && (best < 0 || d < best) {
+					best = d
+				}
+			}
+			return m.DistRFToInput(rf, fu, slot) == best
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// TestMinCopiesMatchesDistances: MinCopies is the min over write stubs
+// of DistRFToInput.
+func TestMinCopiesMatchesDistances(t *testing.T) {
+	m := Distributed()
+	for _, from := range m.FUs {
+		for _, to := range m.FUs {
+			for slot := 0; slot < to.NumInputs; slot++ {
+				best := -1
+				for _, ws := range m.WriteStubs(from.ID) {
+					if d := m.DistRFToInput(ws.RF, to.ID, slot); d >= 0 && (best < 0 || d < best) {
+						best = d
+					}
+				}
+				if got := m.MinCopies(from.ID, to.ID, slot); got != best {
+					t.Fatalf("MinCopies(%s,%s,%d) = %d, want %d",
+						from.Name, to.Name, slot, got, best)
+				}
+			}
+		}
+	}
+}
+
+func TestNumWritePorts(t *testing.T) {
+	c := Central()
+	if got := c.NumWritePorts(0); got != NumUnits {
+		t.Errorf("central write ports = %d, want %d", got, NumUnits)
+	}
+	d := Distributed()
+	for rf := range d.RegFiles {
+		if got := d.NumWritePorts(RFID(rf)); got != 1 {
+			t.Errorf("distributed rf%d write ports = %d, want 1", rf, got)
+		}
+	}
+	cl := Clustered(4)
+	// Per cluster: one dedicated port per unit (4 units) + the shared
+	// global port.
+	for rf := range cl.RegFiles {
+		if got := cl.NumWritePorts(RFID(rf)); got != 5 {
+			t.Errorf("clustered rf%d write ports = %d, want 5", rf, got)
+		}
+	}
+}
+
+func TestWritableRFs(t *testing.T) {
+	d := Distributed()
+	for _, fu := range d.FUs {
+		if got := len(d.WritableRFs(fu.ID)); got != 2*NumUnits {
+			t.Errorf("%s writable files = %d, want %d", fu.Name, got, 2*NumUnits)
+		}
+	}
+	c := Central()
+	for _, fu := range c.FUs {
+		if got := len(c.WritableRFs(fu.ID)); got != 1 {
+			t.Errorf("central %s writable files = %d, want 1", fu.Name, got)
+		}
+	}
+}
+
+func TestUnitLatenciesTable(t *testing.T) {
+	t1 := UnitLatencies()
+	for op, l := range t1 {
+		if l != 1 {
+			t.Errorf("unit latency table has %v=%d", op, l)
+		}
+	}
+}
+
+func TestExecutesCopy(t *testing.T) {
+	cl := Clustered(4)
+	copyUnits := 0
+	for _, fu := range cl.FUs {
+		if fu.Executes(ir.ClsCopy) {
+			copyUnits++
+			if fu.Kind != CopyUnit {
+				t.Errorf("%s executes copies but is not a copy unit", fu.Name)
+			}
+		}
+	}
+	if copyUnits != 4 {
+		t.Errorf("clustered4 copy-capable units = %d, want 4", copyUnits)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Central().Summary()
+	if s == "" || len(s) < 10 {
+		t.Errorf("summary too short: %q", s)
+	}
+}

@@ -1,0 +1,313 @@
+package machine
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestCentralShape(t *testing.T) {
+	m := Central()
+	if got := len(m.FUs); got != NumUnits {
+		t.Fatalf("central has %d FUs, want %d", got, NumUnits)
+	}
+	if len(m.RegFiles) != 1 {
+		t.Fatalf("central has %d RFs, want 1", len(m.RegFiles))
+	}
+	// 2 read ports + 1 write port per unit, all on the one file.
+	if got, want := len(m.ReadPorts), 2*NumUnits; got != want {
+		t.Errorf("read ports = %d, want %d", got, want)
+	}
+	if got, want := len(m.WritePorts), NumUnits; got != want {
+		t.Errorf("write ports = %d, want %d", got, want)
+	}
+	// Every stub is forced: exactly one per input / output.
+	for _, fu := range m.FUs {
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			if got := len(m.ReadStubs(fu.ID, slot)); got != 1 {
+				t.Errorf("central %s.in%d has %d read stubs, want 1", fu.Name, slot, got)
+			}
+		}
+		if got := len(m.WriteStubs(fu.ID)); got != 1 {
+			t.Errorf("central %s has %d write stubs, want 1", fu.Name, got)
+		}
+	}
+	if err := m.CopyConnected(); err != nil {
+		t.Errorf("central not copy-connected: %v", err)
+	}
+}
+
+func TestClusteredShape(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		m := Clustered(k)
+		if got, want := len(m.FUs), NumUnits+k; got != want {
+			t.Errorf("clustered%d has %d FUs, want %d (incl. copy units)", k, got, want)
+		}
+		if got := len(m.RegFiles); got != k {
+			t.Errorf("clustered%d has %d RFs, want %d", k, got, k)
+		}
+		copyUnits := m.UnitsFor(ir.ClsCopy)
+		if len(copyUnits) != k {
+			t.Errorf("clustered%d has %d copy-capable units, want %d", k, len(copyUnits), k)
+		}
+		// A copy unit can reach every other cluster's file in one copy.
+		for a := range m.RegFiles {
+			for b := range m.RegFiles {
+				want := 0
+				if a != b {
+					want = 1
+				}
+				if got := m.CopyDistance(RFID(a), RFID(b)); got != want {
+					t.Errorf("clustered%d copy distance rf%d->rf%d = %d, want %d", k, a, b, got, want)
+				}
+			}
+		}
+		if err := m.CopyConnected(); err != nil {
+			t.Errorf("clustered%d not copy-connected: %v", k, err)
+		}
+		// Standard units have dedicated (forced) stubs.
+		for _, fu := range m.FUs {
+			if fu.Kind == CopyUnit {
+				if got := len(m.WriteStubs(fu.ID)); got != k*k {
+					// k global buses × k shared write ports.
+					t.Errorf("clustered%d copy unit has %d write stubs, want %d", k, got, k*k)
+				}
+				continue
+			}
+			if got := len(m.WriteStubs(fu.ID)); got != 1 {
+				t.Errorf("clustered%d %s has %d write stubs, want 1", k, fu.Name, got)
+			}
+		}
+	}
+}
+
+func TestDistributedShape(t *testing.T) {
+	m := Distributed()
+	if got := len(m.FUs); got != NumUnits {
+		t.Fatalf("distributed has %d FUs, want %d", got, NumUnits)
+	}
+	if got, want := len(m.RegFiles), 2*NumUnits; got != want {
+		t.Fatalf("distributed has %d RFs, want %d", got, want)
+	}
+	globals := 0
+	for _, bus := range m.Buses {
+		if bus.Global {
+			globals++
+		}
+	}
+	if globals != NumGlobalBuses {
+		t.Errorf("distributed has %d global buses, want %d", globals, NumGlobalBuses)
+	}
+	for _, fu := range m.FUs {
+		// Read stubs are forced: the single read port of the input's
+		// dedicated register file.
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			if got := len(m.ReadStubs(fu.ID, slot)); got != 1 {
+				t.Errorf("distributed %s.in%d has %d read stubs, want 1", fu.Name, slot, got)
+			}
+		}
+		// Write stubs: any of 10 buses into any of 32 write ports.
+		if got, want := len(m.WriteStubs(fu.ID)), NumGlobalBuses*2*NumUnits; got != want {
+			t.Errorf("distributed %s has %d write stubs, want %d", fu.Name, got, want)
+		}
+		wantCopy := fu.Kind != Scratchpad
+		if fu.CanCopy != wantCopy {
+			t.Errorf("distributed %s CanCopy = %v, want %v", fu.Name, fu.CanCopy, wantCopy)
+		}
+	}
+	if err := m.CopyConnected(); err != nil {
+		t.Errorf("distributed not copy-connected: %v", err)
+	}
+	// Any register file attached to a copy-capable unit reaches any
+	// other file in exactly one copy (the owning unit reads it and can
+	// write any file). The scratchpad cannot copy, so its two dedicated
+	// files are sinks: values staged there cannot move out, and
+	// communication scheduling must never stage a value there for a
+	// different consumer.
+	for a, rfa := range m.RegFiles {
+		owner := ownerOf(m, RFID(a))
+		for b := range m.RegFiles {
+			d := m.CopyDistance(RFID(a), RFID(b))
+			switch {
+			case a == b:
+				if d != 0 {
+					t.Errorf("distributed copy distance rf%d->rf%d = %d, want 0", a, b, d)
+				}
+			case owner.CanCopy:
+				if d != 1 {
+					t.Errorf("distributed copy distance %s->rf%d = %d, want 1", rfa.Name, b, d)
+				}
+			default:
+				if d != -1 {
+					t.Errorf("distributed copy distance out of sink %s = %d, want -1", rfa.Name, d)
+				}
+			}
+		}
+	}
+}
+
+// ownerOf returns the unit whose input reads rf on the distributed
+// machine (each file has exactly one reader there).
+func ownerOf(m *Machine, rf RFID) *FU {
+	for _, fu := range m.FUs {
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			for _, rs := range m.ReadStubs(fu.ID, slot) {
+				if rs.RF == rf {
+					return fu
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func TestMotivatingExampleShape(t *testing.T) {
+	m := MotivatingExample()
+	if len(m.FUs) != 3 || len(m.RegFiles) != 3 {
+		t.Fatalf("fig5 has %d FUs / %d RFs, want 3/3", len(m.FUs), len(m.RegFiles))
+	}
+	if err := m.CopyConnected(); err != nil {
+		t.Errorf("fig5 not copy-connected: %v", err)
+	}
+	// Unit latency table, per §2.
+	if got := m.Latency(ir.Mul); got != 1 {
+		t.Errorf("fig5 mul latency = %d, want 1", got)
+	}
+	// The load/store unit can write both shared buses; each adder only
+	// its own side.
+	var ls, add0 *FU
+	for _, fu := range m.FUs {
+		switch fu.Name {
+		case "ls":
+			ls = fu
+		case "add0":
+			add0 = fu
+		}
+	}
+	lsBuses := map[BusID]bool{}
+	for _, ws := range m.WriteStubs(ls.ID) {
+		if m.Buses[ws.Bus].Global {
+			lsBuses[ws.Bus] = true
+		}
+	}
+	if len(lsBuses) != 2 {
+		t.Errorf("ls drives %d shared buses, want 2", len(lsBuses))
+	}
+	a0Buses := map[BusID]bool{}
+	for _, ws := range m.WriteStubs(add0.ID) {
+		a0Buses[ws.Bus] = true
+	}
+	if len(a0Buses) != 1 {
+		t.Errorf("add0 drives %d buses, want 1", len(a0Buses))
+	}
+}
+
+func TestUnitsForClasses(t *testing.T) {
+	m := Central()
+	cases := []struct {
+		class ir.Class
+		want  int
+	}{
+		{ir.ClsAdd, NumAdders},
+		{ir.ClsMul, NumMultipliers},
+		{ir.ClsDiv, NumDividers},
+		{ir.ClsPerm, NumPermUnits},
+		{ir.ClsSP, NumScratchpads},
+		{ir.ClsMem, NumLoadStores},
+		{ir.ClsCopy, 0},
+	}
+	for _, c := range cases {
+		if got := len(m.UnitsFor(c.class)); got != c.want {
+			t.Errorf("central units for %v = %d, want %d", c.class, got, c.want)
+		}
+	}
+	d := Distributed()
+	if got, want := len(d.UnitsFor(ir.ClsCopy)), NumUnits-NumScratchpads; got != want {
+		t.Errorf("distributed copy units = %d, want %d", got, want)
+	}
+}
+
+func TestLatencyDefaults(t *testing.T) {
+	m := Central()
+	cases := []struct {
+		op   ir.Opcode
+		want int
+	}{
+		{ir.Add, 1}, {ir.FAdd, 2}, {ir.Mul, 2}, {ir.FMul, 3},
+		{ir.Div, 6}, {ir.FDiv, 9}, {ir.Load, 3}, {ir.Copy, 1},
+	}
+	for _, c := range cases {
+		if got := m.Latency(c.op); got != c.want {
+			t.Errorf("latency(%v) = %d, want %d", c.op, got, c.want)
+		}
+	}
+	// Unknown opcodes default to 1.
+	if got := m.Latency(ir.Nop); got != 1 {
+		t.Errorf("latency(nop) = %d, want 1", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder("bad")
+	fu := b.AddFU("f", Adder, -1, 2)
+	b.ConnectBusIn(0, fu, 5) // no such bus/slot
+	if _, err := b.Build(); err == nil {
+		t.Fatal("Build accepted bad connection")
+	}
+
+	b2 := NewBuilder("no-rf")
+	b2.AddFU("f", Adder, -1, 2)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("Build accepted machine without register files")
+	}
+
+	b3 := NewBuilder("no-stubs")
+	b3.AddRF("rf", -1, 16)
+	b3.AddFU("f", Adder, -1, 2)
+	if _, err := b3.Build(); err == nil {
+		t.Fatal("Build accepted unit without stubs")
+	}
+}
+
+func TestCopyStepFUs(t *testing.T) {
+	m := Clustered(4)
+	// Moving from rf0 to rf1 takes one copy, on cluster 0's copy unit.
+	choices := m.CopyStepFUs(0, 1)
+	if len(choices) == 0 {
+		t.Fatal("no copy choices rf0->rf1")
+	}
+	for _, c := range choices {
+		if m.FUs[c.FU].Kind != CopyUnit || m.FUs[c.FU].Cluster != 0 {
+			t.Errorf("unexpected copy choice %+v", c)
+		}
+		if c.To != 1 || c.Remaining != 0 {
+			t.Errorf("copy choice lands at rf%d remaining %d", c.To, c.Remaining)
+		}
+	}
+	// Same file: no copies needed, no choices.
+	if got := m.CopyStepFUs(2, 2); got != nil {
+		t.Errorf("CopyStepFUs(2,2) = %v, want nil", got)
+	}
+}
+
+func TestNotCopyConnected(t *testing.T) {
+	// Two isolated clusters without copy units: values cannot move.
+	b := NewBuilder("island")
+	rf0 := b.AddRF("rf0", 0, 16)
+	rf1 := b.AddRF("rf1", 1, 16)
+	f0 := b.AddFU("a0", Adder, 0, 2)
+	f1 := b.AddFU("a1", Adder, 1, 2)
+	b.DedicatedRead(rf0, f0, 0)
+	b.DedicatedRead(rf0, f0, 1)
+	b.DedicatedWrite(f0, rf0)
+	b.DedicatedRead(rf1, f1, 0)
+	b.DedicatedRead(rf1, f1, 1)
+	b.DedicatedWrite(f1, rf1)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CopyConnected(); err == nil {
+		t.Fatal("island machine reported copy-connected")
+	}
+}

@@ -1,0 +1,379 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file defines a line-oriented text format for machine
+// descriptions, so novel register-file organizations can be explored
+// from the command line without writing Go — completing §8's "it can be
+// used to explore novel register files architectures without
+// implementing a custom compiler for each architecture" at the tool
+// level.
+//
+// Grammar (# starts a comment; one directive per line):
+//
+//	machine NAME
+//	unitlatency                       # use the unit-latency table (§2)
+//	fu NAME KIND inputs=N [cancopy] [interval=N] [cluster=N]
+//	rf NAME [regs=N] [cluster=N]
+//	bus NAME [global]
+//	rport RF NAME                     # read port NAME on file RF
+//	wport RF NAME                     # write port NAME on file RF
+//	connect FU.out -> BUS             # output drives bus
+//	connect BUS -> WPORT              # bus feeds write port
+//	connect RPORT -> BUS              # read port drives bus
+//	connect BUS -> FU.inK             # bus feeds input K
+//	read RF -> FU.inK                 # sugar: dedicated read path
+//	write FU -> RF                    # sugar: dedicated write path
+//
+// KIND is one of add, mul, div, pu, sp, ls, cp. Port names are global
+// (qualify them, e.g. "crf.w3", if you like — the format does not
+// interpret dots in port names).
+
+// ParseText builds a machine from its text description.
+func ParseText(src string) (*Machine, error) {
+	p := &textParser{
+		fus:    make(map[string]FUID),
+		rfs:    make(map[string]RFID),
+		buses:  make(map[string]BusID),
+		rports: make(map[string]RPID),
+		wports: make(map[string]WPID),
+	}
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if err := p.directive(fields); err != nil {
+			return nil, fmt.Errorf("machine text:%d: %w", i+1, err)
+		}
+	}
+	if p.b == nil {
+		return nil, fmt.Errorf("machine text: missing 'machine NAME' header")
+	}
+	return p.b.Build()
+}
+
+type textParser struct {
+	b      *Builder
+	fus    map[string]FUID
+	rfs    map[string]RFID
+	buses  map[string]BusID
+	rports map[string]RPID
+	wports map[string]WPID
+}
+
+func (p *textParser) directive(f []string) error {
+	if f[0] != "machine" && p.b == nil {
+		return fmt.Errorf("first directive must be 'machine NAME'")
+	}
+	switch f[0] {
+	case "machine":
+		if len(f) != 2 {
+			return fmt.Errorf("usage: machine NAME")
+		}
+		p.b = NewBuilder(f[1])
+		return nil
+	case "unitlatency":
+		p.b.SetLatencies(UnitLatencies())
+		return nil
+	case "fu":
+		return p.fuDirective(f)
+	case "rf":
+		return p.rfDirective(f)
+	case "bus":
+		if len(f) < 2 || len(f) > 3 {
+			return fmt.Errorf("usage: bus NAME [global]")
+		}
+		global := len(f) == 3 && f[2] == "global"
+		if len(f) == 3 && !global {
+			return fmt.Errorf("unknown bus attribute %q", f[2])
+		}
+		if _, dup := p.buses[f[1]]; dup {
+			return fmt.Errorf("bus %s redeclared", f[1])
+		}
+		p.buses[f[1]] = p.b.AddBus(f[1], global)
+		return nil
+	case "rport", "wport":
+		if len(f) != 3 {
+			return fmt.Errorf("usage: %s RF NAME", f[0])
+		}
+		rf, ok := p.rfs[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown register file %q", f[1])
+		}
+		if f[0] == "rport" {
+			if _, dup := p.rports[f[2]]; dup {
+				return fmt.Errorf("read port %s redeclared", f[2])
+			}
+			p.rports[f[2]] = p.b.AddReadPort(rf, f[2])
+		} else {
+			if _, dup := p.wports[f[2]]; dup {
+				return fmt.Errorf("write port %s redeclared", f[2])
+			}
+			p.wports[f[2]] = p.b.AddWritePort(rf, f[2])
+		}
+		return nil
+	case "connect":
+		if len(f) != 4 || f[2] != "->" {
+			return fmt.Errorf("usage: connect A -> B")
+		}
+		return p.connect(f[1], f[3])
+	case "read":
+		if len(f) != 4 || f[2] != "->" {
+			return fmt.Errorf("usage: read RF -> FU.inK")
+		}
+		rf, ok := p.rfs[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown register file %q", f[1])
+		}
+		fu, slot, err := p.input(f[3])
+		if err != nil {
+			return err
+		}
+		p.b.DedicatedRead(rf, fu, slot)
+		return nil
+	case "write":
+		if len(f) != 4 || f[2] != "->" {
+			return fmt.Errorf("usage: write FU -> RF")
+		}
+		fu, ok := p.fus[f[1]]
+		if !ok {
+			return fmt.Errorf("unknown unit %q", f[1])
+		}
+		rf, ok := p.rfs[f[3]]
+		if !ok {
+			return fmt.Errorf("unknown register file %q", f[3])
+		}
+		p.b.DedicatedWrite(fu, rf)
+		return nil
+	}
+	return fmt.Errorf("unknown directive %q", f[0])
+}
+
+var kindNames = map[string]FUKind{
+	"add": Adder, "mul": Multiplier, "div": Divider,
+	"pu": PermUnit, "sp": Scratchpad, "ls": LoadStore, "cp": CopyUnit,
+}
+
+func (p *textParser) fuDirective(f []string) error {
+	if len(f) < 3 {
+		return fmt.Errorf("usage: fu NAME KIND inputs=N [cancopy] [interval=N] [cluster=N]")
+	}
+	kind, ok := kindNames[f[2]]
+	if !ok {
+		return fmt.Errorf("unknown unit kind %q", f[2])
+	}
+	inputs, cluster, interval := 2, -1, 1
+	canCopy := false
+	for _, attr := range f[3:] {
+		switch {
+		case attr == "cancopy":
+			canCopy = true
+		case strings.HasPrefix(attr, "inputs="):
+			n, err := strconv.Atoi(attr[len("inputs="):])
+			if err != nil {
+				return fmt.Errorf("bad inputs: %v", err)
+			}
+			inputs = n
+		case strings.HasPrefix(attr, "interval="):
+			n, err := strconv.Atoi(attr[len("interval="):])
+			if err != nil {
+				return fmt.Errorf("bad interval: %v", err)
+			}
+			interval = n
+		case strings.HasPrefix(attr, "cluster="):
+			n, err := strconv.Atoi(attr[len("cluster="):])
+			if err != nil {
+				return fmt.Errorf("bad cluster: %v", err)
+			}
+			cluster = n
+		default:
+			return fmt.Errorf("unknown unit attribute %q", attr)
+		}
+	}
+	if _, dup := p.fus[f[1]]; dup {
+		return fmt.Errorf("unit %s redeclared", f[1])
+	}
+	fu := p.b.AddFU(f[1], kind, cluster, inputs)
+	p.b.SetCanCopy(fu, canCopy)
+	if interval != 1 {
+		p.b.SetIssueInterval(fu, interval)
+	}
+	p.fus[f[1]] = fu
+	return nil
+}
+
+func (p *textParser) rfDirective(f []string) error {
+	if len(f) < 2 {
+		return fmt.Errorf("usage: rf NAME [regs=N] [cluster=N]")
+	}
+	regs, cluster := 16, -1
+	for _, attr := range f[2:] {
+		switch {
+		case strings.HasPrefix(attr, "regs="):
+			n, err := strconv.Atoi(attr[len("regs="):])
+			if err != nil {
+				return fmt.Errorf("bad regs: %v", err)
+			}
+			regs = n
+		case strings.HasPrefix(attr, "cluster="):
+			n, err := strconv.Atoi(attr[len("cluster="):])
+			if err != nil {
+				return fmt.Errorf("bad cluster: %v", err)
+			}
+			cluster = n
+		default:
+			return fmt.Errorf("unknown file attribute %q", attr)
+		}
+	}
+	if _, dup := p.rfs[f[1]]; dup {
+		return fmt.Errorf("register file %s redeclared", f[1])
+	}
+	p.rfs[f[1]] = p.b.AddRF(f[1], cluster, regs)
+	return nil
+}
+
+// input parses "FU.inK".
+func (p *textParser) input(s string) (FUID, int, error) {
+	dot := strings.LastIndex(s, ".in")
+	if dot < 0 {
+		return NoFU, 0, fmt.Errorf("expected FU.inK, got %q", s)
+	}
+	fu, ok := p.fus[s[:dot]]
+	if !ok {
+		return NoFU, 0, fmt.Errorf("unknown unit %q", s[:dot])
+	}
+	slot, err := strconv.Atoi(s[dot+3:])
+	if err != nil {
+		return NoFU, 0, fmt.Errorf("bad input slot in %q", s)
+	}
+	return fu, slot, nil
+}
+
+// connect dispatches on the endpoint kinds.
+func (p *textParser) connect(a, bEnd string) error {
+	// FU.out -> BUS
+	if strings.HasSuffix(a, ".out") {
+		fu, ok := p.fus[strings.TrimSuffix(a, ".out")]
+		if !ok {
+			return fmt.Errorf("unknown unit %q", strings.TrimSuffix(a, ".out"))
+		}
+		bus, ok := p.buses[bEnd]
+		if !ok {
+			return fmt.Errorf("unknown bus %q", bEnd)
+		}
+		p.b.ConnectOutBus(fu, bus)
+		return nil
+	}
+	if bus, ok := p.buses[a]; ok {
+		// BUS -> WPORT or BUS -> FU.inK
+		if wp, ok := p.wports[bEnd]; ok {
+			p.b.ConnectBusWP(bus, wp)
+			return nil
+		}
+		if fu, slot, err := p.input(bEnd); err == nil {
+			p.b.ConnectBusIn(bus, fu, slot)
+			return nil
+		}
+		return fmt.Errorf("unknown bus sink %q", bEnd)
+	}
+	if rp, ok := p.rports[a]; ok {
+		bus, ok := p.buses[bEnd]
+		if !ok {
+			return fmt.Errorf("unknown bus %q", bEnd)
+		}
+		p.b.ConnectRPBus(rp, bus)
+		return nil
+	}
+	return fmt.Errorf("unknown connection source %q", a)
+}
+
+// FormatText renders a machine in the text format; ParseText of the
+// result reconstructs an equivalent machine (same stub tables).
+func (m *Machine) FormatText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine %s\n", m.Name)
+	for _, fu := range m.FUs {
+		kind := ""
+		for name, k := range kindNames {
+			if k == fu.Kind {
+				kind = name
+			}
+		}
+		fmt.Fprintf(&b, "fu %s %s inputs=%d", fu.Name, kind, fu.NumInputs)
+		if fu.CanCopy {
+			b.WriteString(" cancopy")
+		}
+		if fu.IssueInterval != 1 {
+			fmt.Fprintf(&b, " interval=%d", fu.IssueInterval)
+		}
+		if fu.Cluster >= 0 {
+			fmt.Fprintf(&b, " cluster=%d", fu.Cluster)
+		}
+		b.WriteByte('\n')
+	}
+	for _, rf := range m.RegFiles {
+		fmt.Fprintf(&b, "rf %s regs=%d", rf.Name, rf.NumRegs)
+		if rf.Cluster >= 0 {
+			fmt.Fprintf(&b, " cluster=%d", rf.Cluster)
+		}
+		b.WriteByte('\n')
+	}
+	for _, bus := range m.Buses {
+		fmt.Fprintf(&b, "bus %s", bus.Name)
+		if bus.Global {
+			b.WriteString(" global")
+		}
+		b.WriteByte('\n')
+	}
+	for _, rp := range m.ReadPorts {
+		fmt.Fprintf(&b, "rport %s %s\n", m.RegFiles[rp.RF].Name, portName("rp", int(rp.ID), rp.Name))
+	}
+	for _, wp := range m.WritePorts {
+		fmt.Fprintf(&b, "wport %s %s\n", m.RegFiles[wp.RF].Name, portName("wp", int(wp.ID), wp.Name))
+	}
+	var lines []string
+	for fu, buses := range m.OutToBus {
+		for _, bus := range buses {
+			lines = append(lines, fmt.Sprintf("connect %s.out -> %s", m.FUs[fu].Name, m.Buses[bus].Name))
+		}
+	}
+	for bus, wps := range m.BusToWP {
+		for _, wp := range wps {
+			lines = append(lines, fmt.Sprintf("connect %s -> %s",
+				m.Buses[bus].Name, portName("wp", int(wp), m.WritePorts[wp].Name)))
+		}
+	}
+	for rp, buses := range m.RPToBus {
+		for _, bus := range buses {
+			lines = append(lines, fmt.Sprintf("connect %s -> %s",
+				portName("rp", rp, m.ReadPorts[rp].Name), m.Buses[bus].Name))
+		}
+	}
+	for bus, ins := range m.BusToIn {
+		for _, in := range ins {
+			lines = append(lines, fmt.Sprintf("connect %s -> %s.in%d",
+				m.Buses[bus].Name, m.FUs[in.FU].Name, in.Slot))
+		}
+	}
+	sort.Strings(lines)
+	b.WriteString(strings.Join(lines, "\n"))
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// portName disambiguates port names: the builder's generated names can
+// collide across files, so the export qualifies them with their index.
+func portName(prefix string, id int, name string) string {
+	clean := strings.ReplaceAll(name, " ", "_")
+	return fmt.Sprintf("%s%d_%s", prefix, id, clean)
+}

@@ -1,0 +1,187 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const tinyMachineSrc = `
+# A two-adder shared-bus machine.
+machine tiny
+unitlatency
+fu a0 add inputs=2 cancopy
+fu a1 add inputs=2 cancopy
+fu ls0 ls inputs=2 cancopy
+rf r0 regs=16
+rf r1 regs=16
+bus g0 global
+bus g1 global
+
+read r0 -> a0.in0
+read r0 -> a0.in1
+read r1 -> a1.in0
+read r1 -> a1.in1
+read r0 -> ls0.in0
+read r0 -> ls0.in1
+
+wport r0 w0
+wport r1 w1
+connect a0.out -> g0
+connect a1.out -> g1
+connect ls0.out -> g0
+connect ls0.out -> g1
+connect g0 -> w0
+connect g0 -> w1
+connect g1 -> w0
+connect g1 -> w1
+`
+
+func TestParseTextBuildsMachine(t *testing.T) {
+	m, err := ParseText(tinyMachineSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "tiny" || len(m.FUs) != 3 || len(m.RegFiles) != 2 {
+		t.Fatalf("shape: %s", m.Summary())
+	}
+	if err := m.CopyConnected(); err != nil {
+		t.Fatalf("not copy-connected: %v", err)
+	}
+	if m.Latency(ir.Mul) != 1 {
+		t.Error("unitlatency directive ignored")
+	}
+	// a0's output reaches both files (one bus to two write ports).
+	if got := len(m.WritableRFs(0)); got != 2 {
+		t.Errorf("a0 writable files = %d, want 2", got)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"fu a add inputs=2", "machine NAME"},
+		{"machine m\nfu a nosuch inputs=2", "unknown unit kind"},
+		{"machine m\nfu a add inputs=2\nfu a add inputs=2", "redeclared"},
+		{"machine m\nbus b\nbus b", "redeclared"},
+		{"machine m\nconnect x -> y", "unknown connection source"},
+		{"machine m\nread r -> a.in0", "unknown register file"},
+		{"machine m\nrf r\nread r -> a.in0", "unknown unit"},
+		{"machine m\nrf r\nfu a add inputs=2\nread r -> a.inX", "bad input slot"},
+		{"machine m\nfrobnicate", "unknown directive"},
+		{"machine m\nfu a add inputs=2 wat=1", "unknown unit attribute"},
+		{"machine m\nrf r bogus=2", "unknown file attribute"},
+		{"machine m", "no functional units"},
+	}
+	for _, c := range cases {
+		_, err := ParseText(c.src)
+		if err == nil {
+			t.Errorf("accepted %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error for %q = %v, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestRoundTripPaperMachines exports each catalog machine and re-parses
+// it; the reconstruction must expose identical stub tables and copy
+// distances.
+func TestRoundTripPaperMachines(t *testing.T) {
+	for _, m := range []*Machine{
+		Central(), Clustered(2), Clustered(4), Distributed(), Paired(), MotivatingExample(),
+	} {
+		t.Run(m.Name, func(t *testing.T) {
+			m2, err := ParseText(m.FormatText())
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			if len(m2.FUs) != len(m.FUs) || len(m2.RegFiles) != len(m.RegFiles) ||
+				len(m2.Buses) != len(m.Buses) ||
+				len(m2.ReadPorts) != len(m.ReadPorts) || len(m2.WritePorts) != len(m.WritePorts) {
+				t.Fatalf("shape mismatch: %s vs %s", m.Summary(), m2.Summary())
+			}
+			for _, fu := range m.FUs {
+				for slot := 0; slot < fu.NumInputs; slot++ {
+					a, b := m.ReadStubs(fu.ID, slot), m2.ReadStubs(fu.ID, slot)
+					if len(a) != len(b) {
+						t.Fatalf("%s.in%d stub count %d vs %d", fu.Name, slot, len(a), len(b))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("%s.in%d stub %d: %v vs %v", fu.Name, slot, i, a[i], b[i])
+						}
+					}
+				}
+				a, b := m.WriteStubs(fu.ID), m2.WriteStubs(fu.ID)
+				if len(a) != len(b) {
+					t.Fatalf("%s write stubs %d vs %d", fu.Name, len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s write stub %d: %v vs %v", fu.Name, i, a[i], b[i])
+					}
+				}
+			}
+			for a := range m.RegFiles {
+				for bb := range m.RegFiles {
+					if m.CopyDistance(RFID(a), RFID(bb)) != m2.CopyDistance(RFID(a), RFID(bb)) {
+						t.Fatalf("copy distance rf%d->rf%d differs", a, bb)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLintCleanOnCatalog(t *testing.T) {
+	for _, m := range []*Machine{Central(), Clustered(2), Clustered(4), Paired(), MotivatingExample()} {
+		if warns := m.Lint(); len(warns) != 0 {
+			t.Errorf("%s: unexpected lint warnings: %v", m.Name, warns)
+		}
+	}
+	// The distributed machine's scratchpad input files are sinks by
+	// design: exactly two warnings.
+	warns := Distributed().Lint()
+	if len(warns) != 2 {
+		t.Errorf("distributed lint = %v, want the two scratchpad sink notes", warns)
+	}
+	for _, w := range warns {
+		if !strings.Contains(w, "sink") || !strings.Contains(w, "sp0") {
+			t.Errorf("unexpected warning %q", w)
+		}
+	}
+}
+
+func TestLintFindsProblems(t *testing.T) {
+	b := NewBuilder("lintbait")
+	rf := b.AddRF("r0", -1, 16)
+	dead := b.AddRF("deadrf", -1, 0)
+	_ = dead
+	fu := b.AddFU("a0", Adder, -1, 2)
+	b.DedicatedRead(rf, fu, 0)
+	b.DedicatedRead(rf, fu, 1)
+	b.DedicatedWrite(fu, rf)
+	b.AddBus("floating", true)            // disconnected bus
+	ghost := b.AddBus("driverless", true) // sinks but no driver
+	wp := b.AddWritePort(rf, "gw")
+	b.ConnectBusWP(ghost, wp)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns := m.Lint()
+	wantSubs := []string{"disconnected", "no driver", "deadrf", "no registers"}
+	for _, want := range wantSubs {
+		found := false
+		for _, w := range warns {
+			if strings.Contains(w, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("lint missing a warning about %q: %v", want, warns)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package regalloc implements the register-allocation post-pass the
+// paper leaves as future work (§7): "When communication scheduling
+// assigns a communication to a route through a specific register file,
+// it implicitly allocates a register in that register file. Register
+// file overflows can be handled with a post pass that inserts
+// additional copy operations to 'spill' values into other register
+// files."
+//
+// The package computes the implicit per-register-file allocation of a
+// finished schedule — using modulo-variable-expansion accounting for
+// software-pipelined values, whose lifetimes overlap across iterations
+// — detects capacity overflows, and proposes a spill plan: for each
+// overflowing file, the longest-lived staged values are moved to
+// reachable files with headroom, each move costing a spill-out copy
+// after the write and a spill-in copy before the read (exactly the
+// paper's recipe).
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Interval is the lifetime of one value in one register file.
+type Interval struct {
+	Value ir.ValueID
+	RF    machine.RFID
+	// Write and LastRead are flat cycles in the owning block's
+	// timeline. Loop-carried reads extend LastRead by distance·II.
+	Write    int
+	LastRead int
+	Block    ir.BlockKind
+	// Invariant values (written in the preamble, read by the loop) stay
+	// allocated for the whole kernel: one register forever.
+	Invariant bool
+	// Registers is the count of physical registers the value occupies:
+	// ceil(lifetime / II) for software-pipelined values (modulo
+	// variable expansion), 1 otherwise.
+	Registers int
+}
+
+// Report is the allocation summary for one register file.
+type Report struct {
+	RF        machine.RFID
+	Name      string
+	Capacity  int
+	Demand    int // registers needed simultaneously
+	Intervals []Interval
+}
+
+// Overflow reports whether the file needs more registers than it has.
+func (r Report) Overflow() bool { return r.Demand > r.Capacity }
+
+// Analyze computes the implicit register allocation of a schedule.
+func Analyze(s *core.Schedule) []Report {
+	intervals := collect(s)
+	byRF := make(map[machine.RFID][]Interval)
+	for _, iv := range intervals {
+		byRF[iv.RF] = append(byRF[iv.RF], iv)
+	}
+	var reports []Report
+	for _, rf := range s.Machine.RegFiles {
+		ivs := byRF[rf.ID]
+		demand := 0
+		for _, iv := range ivs {
+			demand += iv.Registers
+		}
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].Registers > ivs[j].Registers })
+		reports = append(reports, Report{
+			RF: rf.ID, Name: rf.Name, Capacity: rf.NumRegs,
+			Demand: demand, Intervals: ivs,
+		})
+	}
+	return reports
+}
+
+// collect derives the per-(value, file) lifetimes from the schedule's
+// routes.
+func collect(s *core.Schedule) []Interval {
+	type key struct {
+		v  ir.ValueID
+		rf machine.RFID
+	}
+	m := make(map[key]*Interval)
+	for _, r := range s.Routes {
+		defOp, useOp := s.Ops[r.Def], s.Ops[r.Use]
+		wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(defOp.Opcode) - 1
+		k := key{r.Value, r.W.RF}
+		iv, ok := m[k]
+		if !ok {
+			iv = &Interval{
+				Value: r.Value, RF: r.W.RF, Write: wflat, LastRead: wflat,
+				Block: defOp.Block,
+			}
+			m[k] = iv
+		}
+		if defOp.Block == ir.PreambleBlock && useOp.Block == ir.LoopBlock {
+			iv.Invariant = true
+			continue
+		}
+		ii := 0
+		if useOp.Block == ir.LoopBlock {
+			ii = s.II
+		}
+		read := s.Assignments[r.Use].Cycle + r.Distance*ii
+		if read > iv.LastRead {
+			iv.LastRead = read
+		}
+	}
+	out := make([]Interval, 0, len(m))
+	for _, iv := range m {
+		switch {
+		case iv.Invariant:
+			iv.Registers = 1
+		case iv.Block == ir.LoopBlock && s.II > 0:
+			life := iv.LastRead - iv.Write
+			if life < 1 {
+				life = 1
+			}
+			iv.Registers = (life + s.II - 1) / s.II
+		default:
+			iv.Registers = 1
+		}
+		out = append(out, *iv)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RF != out[j].RF {
+			return out[i].RF < out[j].RF
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Check returns an error naming every overflowing register file.
+func Check(s *core.Schedule) error {
+	var bad []string
+	for _, r := range Analyze(s) {
+		if r.Overflow() {
+			bad = append(bad, fmt.Sprintf("%s needs %d/%d registers", r.Name, r.Demand, r.Capacity))
+		}
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return fmt.Errorf("regalloc: register file overflow: %s", strings.Join(bad, "; "))
+}
+
+// SpillMove is one proposed spill: evict value from From, staging it in
+// To between its write and its reads.
+type SpillMove struct {
+	Value ir.ValueID
+	From  machine.RFID
+	To    machine.RFID
+	// Registers freed in From (the value keeps 1 register there for the
+	// cycles around its write and final read, per the paper's "copying
+	// each value out of the overflowing register file just after it is
+	// computed and copying it back in just before use").
+	Freed int
+}
+
+// Plan proposes spill moves resolving every overflow, or an error when
+// no reachable file has headroom. The plan is advisory: applying it
+// inserts the spill copies as ordinary operations and reschedules,
+// which the scheduler performs when asked (the paper's post pass).
+func Plan(s *core.Schedule) ([]SpillMove, error) {
+	reports := Analyze(s)
+	head := make(map[machine.RFID]int)
+	for _, r := range reports {
+		head[r.RF] = r.Capacity - r.Demand
+	}
+	var moves []SpillMove
+	for _, r := range reports {
+		over := r.Demand - r.Capacity
+		for _, iv := range r.Intervals {
+			if over <= 0 {
+				break
+			}
+			if iv.Registers < 2 {
+				continue // spilling frees lifetime-2+ values only
+			}
+			freed := iv.Registers - 1
+			to, ok := findTarget(s.Machine, r.RF, freed, head)
+			if !ok {
+				return nil, fmt.Errorf("regalloc: no spill target with %d free registers reachable from %s",
+					freed, r.Name)
+			}
+			head[to] -= freed
+			head[r.RF] += freed
+			over -= freed
+			moves = append(moves, SpillMove{Value: iv.Value, From: r.RF, To: to, Freed: freed})
+		}
+		if over > 0 {
+			return nil, fmt.Errorf("regalloc: %s overflow of %d registers cannot be spilled", r.Name, over)
+		}
+	}
+	return moves, nil
+}
+
+// findTarget picks the copy-reachable register file with the most
+// headroom.
+func findTarget(m *machine.Machine, from machine.RFID, need int, head map[machine.RFID]int) (machine.RFID, bool) {
+	best, bestHead := machine.NoRF, 0
+	for _, rf := range m.RegFiles {
+		if rf.ID == from {
+			continue
+		}
+		if m.CopyDistance(from, rf.ID) < 0 || m.CopyDistance(rf.ID, from) < 0 {
+			continue
+		}
+		if h := head[rf.ID]; h >= need && h > bestHead {
+			best, bestHead = rf.ID, h
+		}
+	}
+	return best, best != machine.NoRF
+}
+
+// FormatReport renders the per-file allocation table.
+func FormatReport(s *core.Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %9s %8s %9s\n", "register file", "capacity", "demand", "overflow")
+	for _, r := range Analyze(s) {
+		over := ""
+		if r.Overflow() {
+			over = "OVERFLOW"
+		}
+		fmt.Fprintf(&b, "%-16s %9d %8d %9s\n", r.Name, r.Capacity, r.Demand, over)
+	}
+	return b.String()
+}

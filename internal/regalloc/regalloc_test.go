@@ -1,0 +1,198 @@
+package regalloc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// pipelineKernel builds a loop whose values live across several
+// iterations (long load-to-use distance), inflating register demand.
+func pipelineKernel(t *testing.T) *ir.Kernel {
+	t.Helper()
+	b := ir.NewBuilder("pipe")
+	iv, _ := b.InductionVar("i", 0, 1)
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	p := b.Emit(ir.Mul, "p", b.Val(x), b.Const(3))
+	q := b.Emit(ir.Mul, "q", b.Val(p), b.Const(5))
+	r := b.Emit(ir.Add, "r", b.Val(q), b.Val(x)) // x stays live across both multiplies
+	b.Emit(ir.Store, "", b.Val(r), iv, b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAnalyzeCentral(t *testing.T) {
+	k := pipelineKernel(t)
+	s, err := core.Compile(k, machine.Central(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Analyze(s)
+	if len(reports) != 1 {
+		t.Fatalf("central has %d reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Demand <= 0 {
+		t.Fatal("no register demand computed")
+	}
+	if r.Overflow() {
+		t.Errorf("central 256-register file overflows with demand %d", r.Demand)
+	}
+	// x is read by the add several cycles after its write; at II=1 it
+	// needs multiple registers (modulo variable expansion).
+	foundMulti := false
+	for _, iv := range r.Intervals {
+		if iv.Registers > 1 {
+			foundMulti = true
+		}
+		if iv.LastRead < iv.Write {
+			t.Errorf("interval v%d reads before write", iv.Value)
+		}
+	}
+	if s.II == 1 && !foundMulti {
+		t.Error("expected a multi-register lifetime at II=1")
+	}
+	if err := Check(s); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+}
+
+func TestDistributedPressurePlan(t *testing.T) {
+	// Communication scheduling ignores register capacity (§7), so a
+	// deeply pipelined schedule can overflow the distributed machine's
+	// 8-entry files; the post-pass must then produce a valid spill plan
+	// into files with headroom.
+	k := pipelineKernel(t)
+	s, err := core.Compile(k, machine.Distributed(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s); err == nil {
+		return // fits outright; nothing to plan
+	}
+	moves, err := Plan(s)
+	if err != nil {
+		t.Fatalf("planner failed on a small overflow: %v\n%s", err, FormatReport(s))
+	}
+	if len(moves) == 0 {
+		t.Fatal("overflow reported but plan is empty")
+	}
+	for _, mv := range moves {
+		if s.Machine.CopyDistance(mv.From, mv.To) < 0 || s.Machine.CopyDistance(mv.To, mv.From) < 0 {
+			t.Errorf("spill target not round-trip reachable: %+v", mv)
+		}
+	}
+}
+
+func TestInvariantAccounting(t *testing.T) {
+	b := ir.NewBuilder("inv")
+	iv, _ := b.InductionVar("i", 0, 1)
+	c1 := b.Emit(ir.MovI, "c1", b.Const(7))
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	p := b.Emit(ir.Mul, "p", b.Val(x), b.Val(c1))
+	b.Emit(ir.Store, "", b.Val(p), iv, b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.Compile(k, machine.Distributed(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range Analyze(s) {
+		for _, ivl := range r.Intervals {
+			if ivl.Invariant {
+				found = true
+				if ivl.Registers != 1 {
+					t.Errorf("invariant v%d uses %d registers, want 1", ivl.Value, ivl.Registers)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no invariant interval found for the loop constant")
+	}
+}
+
+func TestPlanOnTinyFiles(t *testing.T) {
+	// Shrink the distributed files to force an overflow and check the
+	// planner produces moves (or a clean error when nothing fits).
+	k := pipelineKernel(t)
+	m := tinyDistributed(2)
+	s, err := core.Compile(k, m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(s); err == nil {
+		t.Skip("schedule fits even 2-entry files; nothing to plan")
+	}
+	moves, err := Plan(s)
+	if err != nil {
+		t.Logf("planner reports: %v (acceptable when no headroom exists)", err)
+		return
+	}
+	if len(moves) == 0 {
+		t.Error("overflow reported but plan is empty")
+	}
+	for _, mv := range moves {
+		if mv.From == mv.To || mv.Freed < 1 {
+			t.Errorf("bad move %+v", mv)
+		}
+		if s.Machine.CopyDistance(mv.From, mv.To) < 0 {
+			t.Errorf("move target unreachable: %+v", mv)
+		}
+	}
+}
+
+// tinyDistributed is the distributed machine with tiny register files.
+func tinyDistributed(regs int) *machine.Machine {
+	b := machine.NewBuilder("tiny-dist")
+	buses := make([]machine.BusID, 10)
+	for i := range buses {
+		buses[i] = b.AddBus("g", true)
+	}
+	specs := []struct {
+		name string
+		kind machine.FUKind
+	}{
+		{"add0", machine.Adder}, {"add1", machine.Adder},
+		{"mul0", machine.Multiplier}, {"ls0", machine.LoadStore},
+	}
+	for _, sp := range specs {
+		fu := b.AddFU(sp.name, sp.kind, -1, 2)
+		b.SetCanCopy(fu, true)
+		for slot := 0; slot < 2; slot++ {
+			rf := b.AddRF(sp.name+".rf", -1, regs)
+			b.DedicatedRead(rf, fu, slot)
+			wp := b.AddWritePort(rf, "w")
+			for _, bus := range buses {
+				b.ConnectBusWP(bus, wp)
+			}
+		}
+		for _, bus := range buses {
+			b.ConnectOutBus(fu, bus)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestFormatReport(t *testing.T) {
+	k := pipelineKernel(t)
+	s, err := core.Compile(k, machine.Clustered(4), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatReport(s)
+	if !strings.Contains(out, "register file") || !strings.Contains(out, "rf0") {
+		t.Errorf("report malformed:\n%s", out)
+	}
+}

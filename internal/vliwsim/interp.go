@@ -1,0 +1,102 @@
+package vliwsim
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Interpret evaluates a kernel directly — program order, no machine
+// model — and returns the final memory image. It is the semantic
+// reference the cycle-accurate simulation is compared against in
+// property tests: for every kernel and machine, executing the schedule
+// must produce exactly the memory an order-faithful interpretation
+// produces.
+func Interpret(k *ir.Kernel, initMem map[int64]int64, scratchSize int) (map[int64]int64, error) {
+	if scratchSize == 0 {
+		scratchSize = 1024
+	}
+	st := &sim{
+		s:       nil,
+		mem:     make(map[int64]int64),
+		scratch: make([]int64, scratchSize),
+	}
+	for a, v := range initMem {
+		st.mem[a] = v
+	}
+	vals := make(map[instance]int64)
+
+	evalOp := func(op *ir.Op, iter int) error {
+		args := make([]int64, len(op.Args))
+		for slot, arg := range op.Args {
+			switch arg.Kind {
+			case ir.OperandConst:
+				args[slot] = arg.Const
+			case ir.OperandValue:
+				inst, err := resolveStatic(k, arg, iter, op.ID)
+				if err != nil {
+					return err
+				}
+				v, ok := vals[inst]
+				if !ok {
+					return fmt.Errorf("vliwsim: interpret: op%d reads undefined v%d(iter %d)",
+						op.ID, inst.value, inst.iter)
+				}
+				args[slot] = v
+			default:
+				return fmt.Errorf("vliwsim: interpret: op%d slot %d unset", op.ID, slot)
+			}
+		}
+		res, _, err := st.execute(event{op: op.ID, iter: iter}, op, args)
+		if err != nil {
+			return err
+		}
+		if op.Result != ir.NoValue {
+			vals[instance{op.Result, iter}] = res
+		}
+		return nil
+	}
+
+	for _, id := range k.Preamble {
+		if err := evalOp(k.Ops[id], -1); err != nil {
+			return nil, err
+		}
+	}
+	for iter := 0; iter < k.TripCount; iter++ {
+		for _, id := range k.Loop {
+			if err := evalOp(k.Ops[id], iter); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return st.mem, nil
+}
+
+// resolveStatic is resolveInstance against a bare kernel.
+func resolveStatic(k *ir.Kernel, arg ir.Operand, iter int, op ir.OpID) (instance, error) {
+	if len(arg.Srcs) == 1 {
+		src := arg.Srcs[0]
+		defIter := iter
+		if k.Ops[k.Values[src.Value].Def].Block == ir.PreambleBlock {
+			defIter = -1
+		} else {
+			defIter -= src.Distance
+			if defIter < 0 {
+				return instance{}, fmt.Errorf("vliwsim: interpret: op%d reads v%d before definition", op, src.Value)
+			}
+		}
+		return instance{src.Value, defIter}, nil
+	}
+	var init, carried ir.Src
+	for _, src := range arg.Srcs {
+		if k.Ops[k.Values[src.Value].Def].Block == ir.PreambleBlock {
+			init = src
+		} else {
+			carried = src
+		}
+	}
+	if iter < carried.Distance {
+		return instance{init.Value, -1}, nil
+	}
+	return instance{carried.Value, iter - carried.Distance}, nil
+}

@@ -1,0 +1,166 @@
+package vliwsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// These tests corrupt finished schedules and check that the simulator
+// — which re-derives every §4.2 rule dynamically — rejects them. They
+// guard the oracle itself: a simulator that accepts broken schedules
+// would validate nothing.
+
+func freshSchedule(t *testing.T) (*core.Schedule, map[int64]int64) {
+	t.Helper()
+	b := ir.NewBuilder("victim")
+	iv, _ := b.InductionVar("i", 0, 1)
+	c1 := b.Emit(ir.MovI, "c1", b.Const(3))
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	p := b.Emit(ir.Mul, "p", b.Val(x), b.Val(c1))
+	q := b.Emit(ir.Add, "q", b.Val(p), b.Const(7))
+	b.Emit(ir.Store, "", b.Val(q), iv, b.Const(100))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TripCount = 8
+	s, err := core.Compile(k, machine.Distributed(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := map[int64]int64{}
+	for i := int64(0); i < 8; i++ {
+		mem[i] = i + 1
+	}
+	return s, mem
+}
+
+func mustFail(t *testing.T, s *core.Schedule, mem map[int64]int64, wantSub string) {
+	t.Helper()
+	_, err := Run(s, Config{InitMem: mem})
+	if err == nil {
+		t.Fatalf("simulator accepted a corrupted schedule (want error containing %q)", wantSub)
+	}
+	if !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error = %v, want substring %q", err, wantSub)
+	}
+}
+
+func TestSimRejectsDoubleIssue(t *testing.T) {
+	s, mem := freshSchedule(t)
+	// Force two loop ops onto the same unit and cycle.
+	var first ir.OpID = ir.NoOp
+	for _, op := range s.Ops {
+		if op.Block != ir.LoopBlock || !op.Opcode.HasResult() {
+			continue
+		}
+		if first == ir.NoOp {
+			first = op.ID
+			continue
+		}
+		if s.Machine.FU(s.Assignments[first].FU).Executes(op.Opcode.Class()) {
+			s.Assignments[op.ID] = s.Assignments[first]
+			mustFail(t, s, mem, "issues")
+			return
+		}
+	}
+	t.Skip("no colliding pair found")
+}
+
+func TestSimRejectsBusConflict(t *testing.T) {
+	s, mem := freshSchedule(t)
+	// Give two different values' write stubs the same bus on the same
+	// cycle by forcing one route's bus to another's.
+	for i := range s.Routes {
+		for j := range s.Routes {
+			ri, rj := &s.Routes[i], &s.Routes[j]
+			if ri.Value == rj.Value || ri.W.Bus == rj.W.Bus {
+				continue
+			}
+			ci := s.Assignments[ri.Def].Cycle + s.Machine.Latency(s.Ops[ri.Def].Opcode)
+			cj := s.Assignments[rj.Def].Cycle + s.Machine.Latency(s.Ops[rj.Def].Opcode)
+			sameBlock := s.Ops[ri.Def].Block == s.Ops[rj.Def].Block
+			if !sameBlock || s.Ops[ri.Def].Block != ir.LoopBlock {
+				continue
+			}
+			if (ci-cj)%s.II != 0 {
+				continue
+			}
+			ri.W.Bus = rj.W.Bus
+			mustFail(t, s, mem, "bus")
+			return
+		}
+	}
+	t.Skip("no same-cycle pair found")
+}
+
+func TestSimRejectsMissingRoute(t *testing.T) {
+	s, mem := freshSchedule(t)
+	// Drop a route: its consumer's operand read must fail.
+	if len(s.Routes) == 0 {
+		t.Fatal("no routes")
+	}
+	s.Routes = s.Routes[1:]
+	_, err := Run(s, Config{InitMem: mem})
+	if err == nil {
+		t.Fatal("simulator accepted a schedule with a missing route")
+	}
+}
+
+func TestSimRejectsPrematureRead(t *testing.T) {
+	s, mem := freshSchedule(t)
+	// Pull a consumer before its producer's completion.
+	for _, r := range s.Routes {
+		defOp, useOp := s.Ops[r.Def], s.Ops[r.Use]
+		if defOp.Block != useOp.Block || r.Distance != 0 {
+			continue
+		}
+		if defOp.Opcode == ir.MovI {
+			continue
+		}
+		a := s.Assignments[r.Use]
+		a.Cycle = s.Assignments[r.Def].Cycle
+		s.Assignments[r.Use] = a
+		_, err := Run(s, Config{InitMem: mem})
+		if err == nil {
+			t.Fatal("simulator accepted a read at the producer's issue cycle")
+		}
+		return
+	}
+	t.Skip("no same-block route found")
+}
+
+func TestVerifierRejectsSameCorruptions(t *testing.T) {
+	// The static verifier must catch the same premature-read corruption.
+	s, _ := freshSchedule(t)
+	for _, r := range s.Routes {
+		defOp, useOp := s.Ops[r.Def], s.Ops[r.Use]
+		if defOp.Block != useOp.Block || r.Distance != 0 || defOp.Opcode == ir.MovI {
+			continue
+		}
+		a := s.Assignments[r.Use]
+		a.Cycle = s.Assignments[r.Def].Cycle
+		s.Assignments[r.Use] = a
+		if err := core.VerifySchedule(s); err == nil {
+			t.Fatal("verifier accepted a premature read")
+		}
+		return
+	}
+	t.Skip("no same-block route found")
+}
+
+func TestSimChecksLeafStubAgreement(t *testing.T) {
+	s, mem := freshSchedule(t)
+	// Desynchronize the operand read-stub table from the routes.
+	for key, stub := range s.Reads {
+		stub.Port++
+		s.Reads[key] = stub
+		mustFail(t, s, mem, "stub")
+		return
+	}
+}

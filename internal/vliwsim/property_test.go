@@ -1,0 +1,191 @@
+package vliwsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// This file holds the randomized properties the scheduler must uphold
+// on every input:
+//
+//   - any well-formed kernel schedules on any of the paper machines;
+//   - the schedule passes the independent structural verifier;
+//   - executing the schedule cycle-accurately produces exactly the
+//     memory image a direct program-order interpretation produces;
+//   - compilation is deterministic.
+
+// randomKernel generates a well-formed kernel from a seed: a preamble
+// of constants, a loop of random arithmetic over loads, loop-carried
+// accumulators, and stores of live results.
+func randomKernel(seed int64, aluOnly bool) *ir.Kernel {
+	rng := rand.New(rand.NewSource(seed))
+	b := ir.NewBuilder("rand")
+	iv, _ := b.InductionVar("i", 0, 1)
+
+	nconst := 1 + rng.Intn(3)
+	var pool []ir.ValueID // int-typed values usable as operands
+	for i := 0; i < nconst; i++ {
+		pool = append(pool, b.Emit(ir.MovI, "c", b.Const(int64(rng.Intn(64)+1))))
+	}
+	var accs []ir.ValueID
+	naccs := rng.Intn(3)
+	accInit := make([]ir.ValueID, naccs)
+	for i := 0; i < naccs; i++ {
+		accInit[i] = b.Emit(ir.MovI, "acc0", b.Const(int64(rng.Intn(16))))
+	}
+
+	b.Loop()
+	// Loads from distinct input regions.
+	nloads := 1 + rng.Intn(3)
+	for i := 0; i < nloads; i++ {
+		pool = append(pool, b.Emit(ir.Load, "x", iv, b.Const(int64(i*128))))
+	}
+	operand := func() ir.Operand {
+		if rng.Intn(4) == 0 {
+			return b.Const(int64(rng.Intn(32) + 1))
+		}
+		return b.Val(pool[rng.Intn(len(pool))])
+	}
+	opcodes := []ir.Opcode{ir.Add, ir.Sub, ir.Mul, ir.Min, ir.Max, ir.Xor, ir.And, ir.Or}
+	if aluOnly {
+		// The Fig. 5 machine has no multiplier.
+		opcodes = []ir.Opcode{ir.Add, ir.Sub, ir.Min, ir.Max, ir.Xor, ir.And, ir.Or}
+	}
+	nops := 2 + rng.Intn(10)
+	for i := 0; i < nops; i++ {
+		opc := opcodes[rng.Intn(len(opcodes))]
+		pool = append(pool, b.Emit(opc, "t", operand(), operand()))
+	}
+	for i := 0; i < naccs; i++ {
+		accs = append(accs, b.Accumulator(ir.Add, "acc", accInit[i], operand()))
+	}
+	// Store a handful of live values to distinct output regions.
+	nstores := 1 + rng.Intn(3)
+	for i := 0; i < nstores; i++ {
+		v := pool[len(pool)-1-rng.Intn(minInt(4, len(pool)))]
+		if len(accs) > 0 && rng.Intn(2) == 0 {
+			v = accs[rng.Intn(len(accs))]
+		}
+		b.Emit(ir.Store, "", ir.ValueOperand(v), iv, b.Const(int64(2048+i*128)))
+	}
+	b.SetTripCount(5 + rng.Intn(8))
+	return b.MustFinish()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func randomMem(seed int64) map[int64]int64 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	mem := make(map[int64]int64)
+	for a := int64(0); a < 512; a++ {
+		mem[a] = int64(rng.Intn(1000) - 500)
+	}
+	return mem
+}
+
+// TestPropertyScheduleAndSimulate is the main end-to-end property: for
+// random kernels and every paper machine, scheduling succeeds, the
+// verifier passes, and cycle-accurate execution matches the direct
+// interpreter exactly.
+func TestPropertyScheduleAndSimulate(t *testing.T) {
+	machines := allMachines()
+	machines = append(machines, machine.MotivatingExample())
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		m := machines[int(seed)%len(machines)]
+		k := randomKernel(seed, m.Name == "fig5")
+		mem := randomMem(seed)
+		want, err := Interpret(k, mem, 0)
+		if err != nil {
+			t.Fatalf("seed %d: interpret: %v\n%s", seed, err, k.Dump())
+		}
+		s, err := core.Compile(k, m, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d on %s: %v\n%s", seed, m.Name, err, k.Dump())
+		}
+		if err := core.VerifySchedule(s); err != nil {
+			t.Fatalf("seed %d on %s: verify: %v\n%s", seed, m.Name, err, s.Dump())
+		}
+		res, err := Run(s, Config{InitMem: mem})
+		if err != nil {
+			t.Fatalf("seed %d on %s: simulate: %v\n%s", seed, m.Name, err, s.Dump())
+		}
+		for addr, wv := range want {
+			if res.Mem[addr] != wv {
+				t.Fatalf("seed %d on %s: mem[%d] = %d, want %d",
+					seed, m.Name, addr, res.Mem[addr], wv)
+			}
+		}
+	}
+}
+
+// TestPropertyDeterminism: compiling the same kernel twice yields
+// identical placements.
+func TestPropertyDeterminism(t *testing.T) {
+	k := randomKernel(7, false)
+	m := machine.Distributed()
+	a, err := core.Compile(k, m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.Compile(k, m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.II != b.II || len(a.Ops) != len(b.Ops) {
+		t.Fatalf("nondeterministic: II %d vs %d, ops %d vs %d", a.II, b.II, len(a.Ops), len(b.Ops))
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatalf("nondeterministic placement of op %d: %+v vs %+v",
+				i, a.Assignments[i], b.Assignments[i])
+		}
+	}
+}
+
+// TestQuickRouteInvariants uses testing/quick to fuzz seeds and check
+// that every route of a compiled schedule meets the §4.2 structure: the
+// stubs meet in one register file and belong to the endpoint units.
+func TestQuickRouteInvariants(t *testing.T) {
+	f := func(seed int64, archIdx uint8) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		k := randomKernel(seed%1000+1, false)
+		m := allMachines()[int(archIdx)%4]
+		s, err := core.Compile(k, m, core.Options{})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, r := range s.Routes {
+			if r.W.RF != r.R.RF {
+				return false
+			}
+			if r.W.FU != s.Assignments[r.Def].FU || r.R.FU != s.Assignments[r.Use].FU {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 12}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,570 @@
+// Package vliwsim executes finished schedules cycle by cycle on a
+// software model of the target machine, serving as an oracle that is
+// independent of the scheduler's own bookkeeping.
+//
+// The simulator software-pipelines the loop exactly as the hardware
+// would: iteration k issues its operations at preambleLength + k·II +
+// cycle, so consecutive iterations overlap. Every cycle it fires
+// functional-unit issues, drives buses, reads and writes register-file
+// ports, and checks that
+//
+//   - no functional unit issues two operations in one cycle,
+//   - no bus carries two different values in one cycle,
+//   - no port moves two different values in one cycle,
+//   - every operand read finds the exact dynamic value instance the
+//     program semantics require, already present in the register file
+//     the read stub names.
+//
+// Because it also computes concrete results (including memory and
+// scratchpad state), comparing the final memory against a reference
+// implementation validates end-to-end correctness of both the schedule
+// and the routing.
+package vliwsim
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Config controls one simulation run.
+type Config struct {
+	// TripCount overrides the kernel's nominal trip count when > 0.
+	TripCount int
+	// InitMem seeds data memory (word addressed).
+	InitMem map[int64]int64
+	// ScratchSize is the scratchpad size in words (default 1024).
+	ScratchSize int
+	// Trace, when non-nil, receives a per-cycle execution log: every
+	// issue with its resolved operand values and every register-file
+	// write with its bus — the overlapped-iteration view a pipeline
+	// debugger needs (iteration indices included).
+	Trace io.Writer
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Cycles        int
+	Mem           map[int64]int64
+	Reads         int // operand reads checked
+	Writes        int // register-file writes performed
+	BusTransfers  int
+	StoresDone    int
+	IterationsRun int
+}
+
+// instance identifies one dynamic value: an SSA value produced in one
+// iteration. Preamble definitions use iteration -1.
+type instance struct {
+	value ir.ValueID
+	iter  int
+}
+
+type busClaim struct {
+	driverKind byte // 'o' or 'p'
+	driver     int
+	inst       instance
+}
+
+type sim struct {
+	s    *core.Schedule
+	cfg  Config
+	trip int
+	base int // global cycle the loop's iteration 0 starts at
+
+	// leafRoute maps (operand, original source value) to the final
+	// route delivering it, which names the (possibly copy-renamed)
+	// value actually deposited in the read stub's register file.
+	leafRoute map[core.OperandKey]map[ir.ValueID]core.Route
+
+	vals    map[instance]int64
+	rf      map[machine.RFID]map[instance]int // instance → global write cycle
+	mem     map[int64]int64
+	scratch []int64
+
+	res Result
+}
+
+// Run executes the schedule and returns the result, or an error
+// describing the first structural or semantic violation.
+func Run(s *core.Schedule, cfg Config) (*Result, error) {
+	trip := s.Kernel.TripCount
+	if cfg.TripCount > 0 {
+		trip = cfg.TripCount
+	}
+	scratchSize := cfg.ScratchSize
+	if scratchSize == 0 {
+		scratchSize = 1024
+	}
+	sm := &sim{
+		s:       s,
+		cfg:     cfg,
+		trip:    trip,
+		base:    s.PreambleLen,
+		vals:    make(map[instance]int64),
+		rf:      make(map[machine.RFID]map[instance]int),
+		mem:     make(map[int64]int64),
+		scratch: make([]int64, scratchSize),
+	}
+	for a, v := range cfg.InitMem {
+		sm.mem[a] = v
+	}
+	sm.buildLeafRoutes()
+	if err := sm.run(); err != nil {
+		return nil, err
+	}
+	sm.res.Mem = sm.mem
+	sm.res.IterationsRun = trip
+	return &sm.res, nil
+}
+
+// event is one operation issue at a global cycle.
+type event struct {
+	op   ir.OpID
+	iter int // -1 for preamble
+}
+
+func (sm *sim) run() error {
+	s := sm.s
+	// Build the global issue timetable.
+	lastCycle := 0
+	events := make(map[int][]event)
+	addEvent := func(cycle int, ev event) {
+		events[cycle] = append(events[cycle], ev)
+		lat := s.Machine.Latency(s.Ops[ev.op].Opcode)
+		if end := cycle + lat; end > lastCycle {
+			lastCycle = end
+		}
+	}
+	for _, op := range s.Ops {
+		a := s.Assignments[op.ID]
+		if op.Block == ir.PreambleBlock {
+			addEvent(a.Cycle, event{op: op.ID, iter: -1})
+			continue
+		}
+		for k := 0; k < sm.trip; k++ {
+			addEvent(sm.base+k*s.II+a.Cycle, event{op: op.ID, iter: k})
+		}
+	}
+	// Routes grouped by def op (write side) and operand (read side).
+	writesByDef := make(map[ir.OpID][]core.Route)
+	for _, r := range s.Routes {
+		writesByDef[r.Def] = append(writesByDef[r.Def], r)
+	}
+
+	type pendingWrite struct {
+		cycle int
+		ev    event
+	}
+	completions := make(map[int][]event)
+
+	for cycle := 0; cycle <= lastCycle; cycle++ {
+		busUse := make(map[machine.BusID]busClaim)
+		portR := make(map[machine.RPID]instance)
+		portW := make(map[machine.WPID]instance)
+		fuUse := make(map[machine.FUID]ir.OpID)
+		var stores []event
+
+		// Issue phase: operand reads and functional-unit occupancy.
+		for _, ev := range events[cycle] {
+			op := s.Ops[ev.op]
+			a := s.Assignments[ev.op]
+			if prev, busy := fuUse[a.FU]; busy {
+				return fmt.Errorf("vliwsim: cycle %d: unit %s issues op%d and op%d",
+					cycle, s.Machine.FU(a.FU).Name, prev, ev.op)
+			}
+			fuUse[a.FU] = ev.op
+
+			args, err := sm.readOperands(ev, cycle, busUse, portR)
+			if err != nil {
+				return err
+			}
+			result, isStore, err := sm.execute(ev, op, args)
+			if err != nil {
+				return err
+			}
+			if sm.cfg.Trace != nil {
+				sm.traceIssue(cycle, ev, op, a.FU, args, result)
+			}
+			if isStore {
+				stores = append(stores, ev)
+				_ = result
+			} else if op.Result != ir.NoValue {
+				sm.vals[instance{op.Result, ev.iter}] = result
+			}
+			lat := s.Machine.Latency(op.Opcode)
+			completions[cycle+lat-1] = append(completions[cycle+lat-1], ev)
+		}
+
+		// Completion phase: drive write stubs.
+		for _, ev := range completions[cycle] {
+			op := s.Ops[ev.op]
+			if op.Result == ir.NoValue {
+				continue
+			}
+			inst := instance{op.Result, ev.iter}
+			seen := make(map[machine.WriteStub]bool)
+			for _, r := range writesByDef[ev.op] {
+				if seen[r.W] {
+					continue
+				}
+				seen[r.W] = true
+				if err := sm.driveWrite(cycle, r.W, inst, busUse, portW); err != nil {
+					return err
+				}
+				if sm.cfg.Trace != nil {
+					fmt.Fprintf(sm.cfg.Trace, "cycle %4d | writeback %s=%d (iter %d) via %s -> %s\n",
+						cycle, sm.s.Values[inst.value].Name, sm.vals[inst], ev.iter,
+						sm.s.Machine.Buses[r.W.Bus].Name, sm.s.Machine.RegFiles[r.W.RF].Name)
+				}
+			}
+		}
+		delete(completions, cycle)
+
+		// Memory updates become visible to later cycles.
+		for range stores {
+			sm.res.StoresDone++
+		}
+	}
+	sm.res.Cycles = lastCycle + 1
+	return nil
+}
+
+// rootOf resolves a (possibly copy-produced) value to the original
+// kernel value it carries.
+func (sm *sim) rootOf(v ir.ValueID) ir.ValueID {
+	for {
+		def := sm.s.Ops[sm.s.Values[v].Def]
+		if def.Opcode == ir.Copy && int(def.ID) >= len(sm.s.Kernel.Ops) {
+			v = def.Args[0].Srcs[0].Value
+			continue
+		}
+		return v
+	}
+}
+
+// buildLeafRoutes indexes, for every operand, the final delivering
+// route per original source value.
+func (sm *sim) buildLeafRoutes() {
+	sm.leafRoute = make(map[core.OperandKey]map[ir.ValueID]core.Route)
+	for _, r := range sm.s.Routes {
+		key := core.OperandKey{Op: r.Use, Slot: r.Slot}
+		if sm.leafRoute[key] == nil {
+			sm.leafRoute[key] = make(map[ir.ValueID]core.Route)
+		}
+		sm.leafRoute[key][sm.rootOf(r.Value)] = r
+	}
+}
+
+// traceIssue logs one operation issue.
+func (sm *sim) traceIssue(cycle int, ev event, op *ir.Op, fu machine.FUID, args []int64, result int64) {
+	name := op.Name
+	if name == "" {
+		name = op.Opcode.String()
+	}
+	fmt.Fprintf(sm.cfg.Trace, "cycle %4d | %-6s iter %3d  %-8s %s args=%v",
+		cycle, sm.s.Machine.FU(fu).Name, ev.iter, op.Opcode, name, args)
+	if op.Result != ir.NoValue {
+		fmt.Fprintf(sm.cfg.Trace, " -> %d", result)
+	}
+	fmt.Fprintln(sm.cfg.Trace)
+}
+
+// readOperands resolves, checks, and fetches every operand of an
+// issuing operation through its read stub.
+func (sm *sim) readOperands(ev event, cycle int, busUse map[machine.BusID]busClaim, portR map[machine.RPID]instance) ([]int64, error) {
+	s := sm.s
+	op := s.Ops[ev.op]
+	args := make([]int64, len(op.Args))
+	for slot, arg := range op.Args {
+		switch arg.Kind {
+		case ir.OperandConst:
+			args[slot] = arg.Const
+			continue
+		case ir.OperandValue:
+		default:
+			return nil, fmt.Errorf("vliwsim: op%d slot %d: bad operand", ev.op, slot)
+		}
+		orig, err := sm.resolveInstance(ev, arg)
+		if err != nil {
+			return nil, err
+		}
+		key := core.OperandKey{Op: ev.op, Slot: slot}
+		stub, ok := s.Reads[key]
+		if !ok {
+			return nil, fmt.Errorf("vliwsim: op%d slot %d has no read stub", ev.op, slot)
+		}
+		// Copies rename values along the route; the register file holds
+		// the leaf route's value, produced in the original definition's
+		// iteration (in-loop copies run in their source's iteration,
+		// cross-block copies in the preamble).
+		// Normalize through copy chains: a copy's own operand names its
+		// immediate source, which may itself be a copy result.
+		leaf, ok := sm.leafRoute[key][sm.rootOf(orig.value)]
+		if !ok {
+			return nil, fmt.Errorf("vliwsim: op%d slot %d: no route delivers v%d", ev.op, slot, orig.value)
+		}
+		if leaf.R != stub {
+			return nil, fmt.Errorf("vliwsim: op%d slot %d: leaf route stub %v disagrees with operand stub %v",
+				ev.op, slot, leaf.R, stub)
+		}
+		inst := instance{leaf.Value, orig.iter}
+		if s.Ops[leaf.Def].Block == ir.PreambleBlock {
+			inst.iter = -1
+		}
+		// The instance must already be present in the stub's file.
+		wcycle, present := sm.rf[stub.RF][inst]
+		if !present {
+			return nil, fmt.Errorf("vliwsim: cycle %d: op%d slot %d reads v%d(iter %d) absent from %s",
+				cycle, ev.op, slot, inst.value, inst.iter, s.Machine.RegFiles[stub.RF].Name)
+		}
+		if wcycle >= cycle {
+			return nil, fmt.Errorf("vliwsim: cycle %d: op%d slot %d reads v%d(iter %d) written only at %d",
+				cycle, ev.op, slot, inst.value, inst.iter, wcycle)
+		}
+		// Port and bus sharing rules.
+		if prev, busy := portR[stub.Port]; busy && prev != inst {
+			return nil, fmt.Errorf("vliwsim: cycle %d: read port %d carries two values", cycle, stub.Port)
+		}
+		portR[stub.Port] = inst
+		claim := busClaim{driverKind: 'p', driver: int(stub.Port), inst: inst}
+		if prev, busy := busUse[stub.Bus]; busy && prev != claim {
+			return nil, fmt.Errorf("vliwsim: cycle %d: bus %d double-driven (read)", cycle, stub.Bus)
+		}
+		busUse[stub.Bus] = claim
+		sm.res.Reads++
+		sm.res.BusTransfers++
+		v, ok := sm.vals[inst]
+		if !ok {
+			return nil, fmt.Errorf("vliwsim: cycle %d: v%d(iter %d) has no computed value", cycle, inst.value, inst.iter)
+		}
+		args[slot] = v
+	}
+	return args, nil
+}
+
+// resolveInstance maps an operand to the dynamic instance program
+// semantics require at this iteration.
+func (sm *sim) resolveInstance(ev event, arg ir.Operand) (instance, error) {
+	s := sm.s
+	if len(arg.Srcs) == 1 {
+		src := arg.Srcs[0]
+		defIter := ev.iter
+		if s.Ops[s.Values[src.Value].Def].Block == ir.PreambleBlock {
+			defIter = -1
+		} else {
+			defIter -= src.Distance
+			if defIter < 0 {
+				return instance{}, fmt.Errorf("vliwsim: op%d reads v%d before first definition", ev.op, src.Value)
+			}
+		}
+		return instance{src.Value, defIter}, nil
+	}
+	// Phi: the initial (preamble) source covers the first iterations,
+	// the loop-carried source the rest.
+	var init ir.Src
+	var carried ir.Src
+	for _, src := range arg.Srcs {
+		if s.Ops[s.Values[src.Value].Def].Block == ir.PreambleBlock {
+			init = src
+		} else {
+			carried = src
+		}
+	}
+	if ev.iter < carried.Distance {
+		return instance{init.Value, -1}, nil
+	}
+	return instance{carried.Value, ev.iter - carried.Distance}, nil
+}
+
+// driveWrite sends a completed result through one write stub.
+func (sm *sim) driveWrite(cycle int, w machine.WriteStub, inst instance, busUse map[machine.BusID]busClaim, portW map[machine.WPID]instance) error {
+	claim := busClaim{driverKind: 'o', driver: int(w.FU), inst: inst}
+	if prev, busy := busUse[w.Bus]; busy && prev != claim {
+		return fmt.Errorf("vliwsim: cycle %d: bus %d double-driven (write v%d)", cycle, w.Bus, inst.value)
+	}
+	busUse[w.Bus] = claim
+	if prev, busy := portW[w.Port]; busy && prev != inst {
+		return fmt.Errorf("vliwsim: cycle %d: write port %d carries two values", cycle, w.Port)
+	}
+	portW[w.Port] = inst
+	if sm.rf[w.RF] == nil {
+		sm.rf[w.RF] = make(map[instance]int)
+	}
+	if _, dup := sm.rf[w.RF][inst]; !dup {
+		sm.rf[w.RF][inst] = cycle
+	}
+	sm.res.Writes++
+	sm.res.BusTransfers++
+	return nil
+}
+
+// execute evaluates one operation's semantics.
+func (sm *sim) execute(ev event, op *ir.Op, args []int64) (int64, bool, error) {
+	f := func(x int64) float64 { return math.Float64frombits(uint64(x)) }
+	fi := func(x float64) int64 { return int64(math.Float64bits(x)) }
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op.Opcode {
+	case ir.MovI:
+		return args[0], false, nil
+	case ir.Add:
+		return args[0] + args[1], false, nil
+	case ir.Sub:
+		return args[0] - args[1], false, nil
+	case ir.Neg:
+		return -args[0], false, nil
+	case ir.And:
+		return args[0] & args[1], false, nil
+	case ir.Or:
+		return args[0] | args[1], false, nil
+	case ir.Xor:
+		return args[0] ^ args[1], false, nil
+	case ir.Not:
+		return ^args[0], false, nil
+	case ir.Shl:
+		return args[0] << uint(args[1]&63), false, nil
+	case ir.Shr:
+		return int64(uint64(args[0]) >> uint(args[1]&63)), false, nil
+	case ir.Asr:
+		return args[0] >> uint(args[1]&63), false, nil
+	case ir.Min:
+		if args[0] < args[1] {
+			return args[0], false, nil
+		}
+		return args[1], false, nil
+	case ir.Max:
+		if args[0] > args[1] {
+			return args[0], false, nil
+		}
+		return args[1], false, nil
+	case ir.Abs:
+		if args[0] < 0 {
+			return -args[0], false, nil
+		}
+		return args[0], false, nil
+	case ir.CmpLT:
+		return b2i(args[0] < args[1]), false, nil
+	case ir.CmpLE:
+		return b2i(args[0] <= args[1]), false, nil
+	case ir.CmpEQ:
+		return b2i(args[0] == args[1]), false, nil
+	case ir.CmpNE:
+		return b2i(args[0] != args[1]), false, nil
+	case ir.Select:
+		if args[0] != 0 {
+			return args[0], false, nil
+		}
+		return args[1], false, nil
+	case ir.FAdd:
+		return fi(f(args[0]) + f(args[1])), false, nil
+	case ir.FSub:
+		return fi(f(args[0]) - f(args[1])), false, nil
+	case ir.FNeg:
+		return fi(-f(args[0])), false, nil
+	case ir.FMin:
+		return fi(math.Min(f(args[0]), f(args[1]))), false, nil
+	case ir.FMax:
+		return fi(math.Max(f(args[0]), f(args[1]))), false, nil
+	case ir.FCmpLT:
+		return b2i(f(args[0]) < f(args[1])), false, nil
+	case ir.FAbs:
+		return fi(math.Abs(f(args[0]))), false, nil
+	case ir.ItoF:
+		return fi(float64(args[0])), false, nil
+	case ir.FtoI:
+		return int64(f(args[0])), false, nil
+	case ir.Mul:
+		return args[0] * args[1], false, nil
+	case ir.MulHi:
+		hi, _ := mul128(args[0], args[1])
+		return hi, false, nil
+	case ir.MulQ:
+		return (args[0] * args[1]) >> uint(args[2]&63), false, nil
+	case ir.FMul:
+		return fi(f(args[0]) * f(args[1])), false, nil
+	case ir.Div:
+		if args[1] == 0 {
+			return 0, false, nil
+		}
+		return args[0] / args[1], false, nil
+	case ir.Rem:
+		if args[1] == 0 {
+			return 0, false, nil
+		}
+		return args[0] % args[1], false, nil
+	case ir.FDiv:
+		return fi(f(args[0]) / f(args[1])), false, nil
+	case ir.FSqrt:
+		return fi(math.Sqrt(f(args[0]))), false, nil
+	case ir.Load:
+		return sm.mem[args[0]+args[1]], false, nil
+	case ir.Store:
+		sm.mem[args[1]+args[2]] = args[0]
+		return 0, true, nil
+	case ir.SPRead:
+		idx := args[0]
+		if idx < 0 || idx >= int64(len(sm.scratch)) {
+			return 0, false, fmt.Errorf("vliwsim: scratchpad read out of range: %d", idx)
+		}
+		return sm.scratch[idx], false, nil
+	case ir.SPWrite:
+		idx := args[1]
+		if idx < 0 || idx >= int64(len(sm.scratch)) {
+			return 0, true, fmt.Errorf("vliwsim: scratchpad write out of range: %d", idx)
+		}
+		sm.scratch[idx] = args[0]
+		return 0, true, nil
+	case ir.Perm:
+		// Byte permutation: rearrange args[0]'s bytes per args[1]'s
+		// nibble selectors.
+		var out int64
+		for i := 0; i < 8; i++ {
+			sel := (args[1] >> (4 * i)) & 0xf
+			byteVal := (args[0] >> (8 * (sel & 7))) & 0xff
+			out |= byteVal << (8 * i)
+		}
+		return out, false, nil
+	case ir.Shuffle:
+		// Half-word interleave of the two operands.
+		lo := args[0] & 0xffffffff
+		hi := args[1] & 0xffffffff
+		return lo | hi<<32, false, nil
+	case ir.Copy:
+		return args[0], false, nil
+	}
+	return 0, false, fmt.Errorf("vliwsim: op%d: unimplemented opcode %v", op.ID, op.Opcode)
+}
+
+func mul128(a, b int64) (hi, lo int64) {
+	// 64×64→128 signed multiply via unsigned pieces.
+	au, bu := uint64(a), uint64(b)
+	alo, ahi := au&0xffffffff, au>>32
+	blo, bhi := bu&0xffffffff, bu>>32
+	t := alo * blo
+	w0 := t & 0xffffffff
+	k := t >> 32
+	t = ahi*blo + k
+	w1 := t & 0xffffffff
+	w2 := t >> 32
+	t = alo*bhi + w1
+	k = t >> 32
+	hiU := ahi*bhi + w2 + k
+	loU := (t << 32) + w0
+	hi = int64(hiU)
+	if a < 0 {
+		hi -= b
+	}
+	if b < 0 {
+		hi -= a
+	}
+	return hi, int64(loU)
+}

@@ -1,0 +1,212 @@
+package vliwsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+func allMachines() []*machine.Machine {
+	return []*machine.Machine{
+		machine.Central(), machine.Clustered(2), machine.Clustered(4), machine.Distributed(),
+	}
+}
+
+func compile(t *testing.T, k *ir.Kernel, m *machine.Machine) *core.Schedule {
+	t.Helper()
+	s, err := core.Compile(k, m, core.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name, err)
+	}
+	if err := core.VerifySchedule(s); err != nil {
+		t.Fatalf("%s: %v", m.Name, err)
+	}
+	return s
+}
+
+// TestDotProductEndToEnd schedules a multiply-accumulate loop on every
+// architecture, simulates it, and compares the stored result with a
+// pure-Go reference.
+func TestDotProductEndToEnd(t *testing.T) {
+	const n = 24
+	b := ir.NewBuilder("dot")
+	iv, _ := b.InductionVar("i", 0, 1)
+	acc0 := b.Emit(ir.MovI, "acc0", b.Const(0))
+	outAddr := b.Emit(ir.MovI, "out", b.Const(1000))
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	xoff := b.Emit(ir.Add, "i2", iv, b.Const(100))
+	y := b.Emit(ir.Load, "y", b.Val(xoff), b.Const(0))
+	p := b.Emit(ir.Mul, "p", b.Val(x), b.Val(y))
+	acc := b.Accumulator(ir.Add, "acc", acc0, b.Val(p))
+	b.Emit(ir.Store, "", ir.ValueOperand(acc), b.Val(outAddr), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TripCount = n
+
+	mem := map[int64]int64{}
+	want := int64(0)
+	acc2 := int64(0)
+	for i := int64(0); i < n; i++ {
+		mem[i] = i + 1
+		mem[100+i] = 2*i + 3
+		acc2 += (i + 1) * (2*i + 3)
+	}
+	want = acc2
+
+	for _, m := range allMachines() {
+		s := compile(t, k, m)
+		res, err := Run(s, Config{InitMem: mem})
+		if err != nil {
+			t.Fatalf("%s: %v\n%s", m.Name, err, s.Dump())
+		}
+		if got := res.Mem[1000]; got != want {
+			t.Errorf("%s: dot product = %d, want %d", m.Name, got, want)
+		}
+		if res.IterationsRun != n {
+			t.Errorf("%s: ran %d iterations, want %d", m.Name, res.IterationsRun, n)
+		}
+		t.Logf("%s: II=%d cycles=%d reads=%d writes=%d bus=%d",
+			m.Name, s.II, res.Cycles, res.Reads, res.Writes, res.BusTransfers)
+	}
+}
+
+// TestElementwiseEndToEnd checks a streaming kernel: out[i] = 3*in[i]+7.
+func TestElementwiseEndToEnd(t *testing.T) {
+	const n = 16
+	b := ir.NewBuilder("axpb")
+	iv, _ := b.InductionVar("i", 0, 1)
+	c3 := b.Emit(ir.MovI, "c3", b.Const(3))
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	p := b.Emit(ir.Mul, "p", b.Val(x), b.Val(c3))
+	q := b.Emit(ir.Add, "q", b.Val(p), b.Const(7))
+	dst := b.Emit(ir.Add, "dst", iv, b.Const(500))
+	b.Emit(ir.Store, "", b.Val(q), b.Val(dst), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TripCount = n
+	mem := map[int64]int64{}
+	for i := int64(0); i < n; i++ {
+		mem[i] = 10 * i
+	}
+	for _, m := range allMachines() {
+		s := compile(t, k, m)
+		res, err := Run(s, Config{InitMem: mem})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := int64(0); i < n; i++ {
+			if got, want := res.Mem[500+i], 3*(10*i)+7; got != want {
+				t.Errorf("%s: out[%d] = %d, want %d", m.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestFloatingPointEndToEnd exercises the float opcode path: out[i] =
+// sqrt(a[i]) * 2.5 using bit-carried float64 values.
+func TestFloatingPointEndToEnd(t *testing.T) {
+	const n = 8
+	b := ir.NewBuilder("fsqrt")
+	iv, _ := b.InductionVar("i", 0, 1)
+	scale := b.Emit(ir.MovI, "scale", b.Const(int64(math.Float64bits(2.5))))
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	r := b.Emit(ir.FSqrt, "r", b.Val(x))
+	pr := b.Emit(ir.FMul, "pr", b.Val(r), b.Val(scale))
+	dst := b.Emit(ir.Add, "dst", iv, b.Const(300))
+	b.Emit(ir.Store, "", b.Val(pr), b.Val(dst), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TripCount = n
+	mem := map[int64]int64{}
+	for i := int64(0); i < n; i++ {
+		mem[i] = int64(math.Float64bits(float64(i * i)))
+	}
+	for _, m := range allMachines() {
+		s := compile(t, k, m)
+		res, err := Run(s, Config{InitMem: mem})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := int64(0); i < n; i++ {
+			got := math.Float64frombits(uint64(res.Mem[300+i]))
+			want := float64(i) * 2.5
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("%s: out[%d] = %v, want %v", m.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestScratchpadRoundTrip stores into the scratchpad and reads back
+// with memory-order dependences.
+func TestScratchpadRoundTrip(t *testing.T) {
+	const n = 8
+	b := ir.NewBuilder("spad")
+	iv, _ := b.InductionVar("i", 0, 1)
+	b.Loop()
+	x := b.Emit(ir.Load, "x", iv, b.Const(0))
+	d := b.Emit(ir.Mul, "d", b.Val(x), b.Const(5))
+	b.EmitMem(ir.SPWrite, "", 1, b.Val(d), iv)
+	y := b.EmitMem(ir.SPRead, "y", 1, iv)
+	dst := b.Emit(ir.Add, "dst", iv, b.Const(700))
+	b.Emit(ir.Store, "", b.Val(y), b.Val(dst), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.TripCount = n
+	mem := map[int64]int64{}
+	for i := int64(0); i < n; i++ {
+		mem[i] = i + 2
+	}
+	for _, m := range allMachines() {
+		s := compile(t, k, m)
+		res, err := Run(s, Config{InitMem: mem})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		for i := int64(0); i < n; i++ {
+			if got, want := res.Mem[700+i], 5*(i+2); got != want {
+				t.Errorf("%s: out[%d] = %d, want %d", m.Name, i, got, want)
+			}
+		}
+	}
+}
+
+// TestMotivatingExampleSimulates runs the Fig. 4/7 example end to end
+// on the Fig. 5 machine.
+func TestMotivatingExampleSimulates(t *testing.T) {
+	b := ir.NewBuilder("fig4")
+	a := b.Emit(ir.Load, "a", b.Const(100), b.Const(0))
+	bb := b.Emit(ir.Add, "b", b.Const(1), b.Const(2))
+	c := b.Emit(ir.Add, "c", b.Const(3), b.Const(4))
+	d := b.Emit(ir.Add, "d", b.Val(a), b.Val(bb))
+	e := b.Emit(ir.Add, "e", b.Val(a), b.Val(c))
+	b.Emit(ir.Store, "", b.Val(d), b.Const(200), b.Const(0))
+	b.Emit(ir.Store, "", b.Val(e), b.Const(201), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.MotivatingExample()
+	s := compile(t, k, m)
+	res, err := Run(s, Config{InitMem: map[int64]int64{100: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem[200] != 43 || res.Mem[201] != 47 {
+		t.Errorf("results = %d, %d; want 43, 47", res.Mem[200], res.Mem[201])
+	}
+}

@@ -1,0 +1,102 @@
+package vlsi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// The model's qualitative behavior must follow the physics it encodes:
+// port growth hurts many-ported files superlinearly, per-file overhead
+// hurts many-filed organizations, bus taps charge shared interconnect.
+
+func TestPortPitchSensitivity(t *testing.T) {
+	base := DefaultParams()
+	wide := base
+	wide.DeltaW *= 2
+	wide.DeltaH *= 2
+	c0 := Analyze(machine.Central(), base)
+	d0 := Analyze(machine.Distributed(), base)
+	c1 := Analyze(machine.Central(), wide)
+	d1 := Analyze(machine.Distributed(), wide)
+	// Doubling the per-port pitch must hurt the 48-port central file
+	// far more than the 2-port distributed files.
+	cGrow := c1.Area / c0.Area
+	dGrow := d1.Area / d0.Area
+	if cGrow <= dGrow {
+		t.Errorf("port pitch: central grew %.2fx vs distributed %.2fx; want central to grow more", cGrow, dGrow)
+	}
+}
+
+func TestPeriphSensitivity(t *testing.T) {
+	base := DefaultParams()
+	heavy := base
+	heavy.PeriphArea *= 2
+	c0 := Analyze(machine.Central(), base)
+	d0 := Analyze(machine.Distributed(), base)
+	c1 := Analyze(machine.Central(), heavy)
+	d1 := Analyze(machine.Distributed(), heavy)
+	// Per-file overhead hits the 32-file organization hardest.
+	if d1.Area/d0.Area <= c1.Area/c0.Area {
+		t.Error("per-file overhead did not penalize the many-file organization more")
+	}
+}
+
+func TestTapSensitivity(t *testing.T) {
+	base := DefaultParams()
+	wires := base
+	wires.TapPitch *= 4
+	d0 := Analyze(machine.Distributed(), base)
+	d1 := Analyze(machine.Distributed(), wires)
+	c0 := Analyze(machine.Central(), base)
+	c1 := Analyze(machine.Central(), wires)
+	if d1.Area/d0.Area <= c1.Area/c0.Area {
+		t.Error("bus-tap pitch did not penalize the shared-bus organization more")
+	}
+}
+
+func TestDelayMonotoneInSize(t *testing.T) {
+	p := DefaultParams()
+	small := Analyze(machine.ScaledCentral(8), p)
+	big := Analyze(machine.ScaledCentral(32), p)
+	if big.Delay <= small.Delay {
+		t.Errorf("delay not monotone: %0.f -> %0.f", small.Delay, big.Delay)
+	}
+	if big.Power <= small.Power || big.Area <= small.Area {
+		t.Error("area/power not monotone in machine size")
+	}
+}
+
+func TestCostBreakdownConsistent(t *testing.T) {
+	p := DefaultParams()
+	for _, m := range []*machine.Machine{
+		machine.Central(), machine.Clustered(2), machine.Clustered(4),
+		machine.Distributed(), machine.Paired(),
+	} {
+		c := Analyze(m, p)
+		if c.Area <= 0 || c.Power <= 0 || c.Delay <= 0 {
+			t.Errorf("%s: non-positive cost %+v", m.Name, c)
+		}
+		if c.CellArea+c.WireArea != c.Area {
+			t.Errorf("%s: breakdown does not sum: %v + %v != %v", m.Name, c.CellArea, c.WireArea, c.Area)
+		}
+		if c.NumRFs != len(m.RegFiles) {
+			t.Errorf("%s: NumRFs = %d", m.Name, c.NumRFs)
+		}
+	}
+}
+
+func TestPairedCostBetween(t *testing.T) {
+	p := DefaultParams()
+	d := Analyze(machine.Distributed(), p)
+	pr := Analyze(machine.Paired(), p)
+	c := Analyze(machine.Central(), p)
+	// Paired halves the file count: area at or below distributed (fewer
+	// peripheries), delay still far below central.
+	if pr.Area >= d.Area*1.2 {
+		t.Errorf("paired area %.0f not competitive with distributed %.0f", pr.Area, d.Area)
+	}
+	if pr.Delay >= c.Delay/1.5 {
+		t.Errorf("paired delay %.0f too close to central %.0f", pr.Delay, c.Delay)
+	}
+}

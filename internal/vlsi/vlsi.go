@@ -1,0 +1,165 @@
+// Package vlsi estimates register-file area, power, and access delay
+// for the machine descriptions, following the grid model of Rixner et
+// al., "Register organization for media processing" (HPCA 2000) — the
+// paper's reference [15] and the source of the bars in Figs. 25–27.
+//
+// Each register-file storage cell grows linearly in both dimensions
+// with the port count (every port adds a wordline and a bitline), so a
+// file with R registers of b bits and p ports occupies
+//
+//	area ≈ R·b·(w0 + Δ·p)·(h0 + Δ·p) + decoder and periphery ∝ p·R,
+//
+// access energy follows the wordline and bitline capacitances, and
+// access delay is a fixed decode/sense term plus a wire term growing
+// with the square root of the file's area. Shared buses contribute
+// wiring area and switching energy proportional to their tap counts.
+//
+// With the central file's p ∝ N and R ∝ N this reproduces the paper's
+// asymptotics — area and power growing as N³ and delay as N^(3/2) —
+// while the distributed organization's fixed two-port files grow only
+// as N² (bus wiring) with delay ∝ N (§1). Constants are calibrated so
+// the 16-unit instance lands near the paper's reported ratios (9 %
+// area, 6 % power, 37 % delay for distributed vs. central; roughly half
+// the area and power of the four-cluster machine).
+package vlsi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// Params are the technology constants of the grid model, in normalized
+// (unitless) technology-independent terms.
+type Params struct {
+	Bits float64 // datapath width in bits
+
+	CellW  float64 // single-port cell width
+	CellH  float64 // single-port cell height
+	DeltaW float64 // width added per port (bitline pitch)
+	DeltaH float64 // height added per port (wordline pitch)
+
+	DecodeArea float64 // per port per register decoder/periphery area
+	PeriphArea float64 // fixed per-file overhead (sense amps, control)
+	PeriphPow  float64 // fixed per-file power overhead
+	TapPitch   float64 // wiring area per bus tap per bit
+
+	FixedDelay float64 // decode + sense delay per log2(R·b)
+	WireDelay  float64 // delay per sqrt(file area)
+	PortEnergy float64 // energy scale per port access
+	TapEnergy  float64 // switching energy per bus tap
+}
+
+// DefaultParams returns the calibrated constants.
+func DefaultParams() Params {
+	return Params{
+		Bits:       32,
+		CellW:      2,
+		CellH:      2,
+		DeltaW:     1,
+		DeltaH:     1,
+		DecodeArea: 8,
+		PeriphArea: 40000,
+		PeriphPow:  120,
+		TapPitch:   120,
+		FixedDelay: 150,
+		WireDelay:  0.3,
+		PortEnergy: 1,
+		TapEnergy:  50,
+	}
+}
+
+// Cost is the estimate for one machine.
+type Cost struct {
+	Area  float64
+	Power float64
+	Delay float64 // worst-case register-file access delay
+
+	// Breakdown for reporting.
+	CellArea float64
+	WireArea float64
+	NumRFs   int
+	MaxPorts int
+}
+
+// Analyze derives register-file geometry and bus tap counts from the
+// machine description and evaluates the model.
+func Analyze(m *machine.Machine, p Params) Cost {
+	ports := make([]int, len(m.RegFiles))
+	for _, rp := range m.ReadPorts {
+		ports[rp.RF]++
+	}
+	for _, wp := range m.WritePorts {
+		ports[wp.RF]++
+	}
+
+	var c Cost
+	c.NumRFs = len(m.RegFiles)
+	for i, rf := range m.RegFiles {
+		pp := float64(ports[i])
+		if ports[i] > c.MaxPorts {
+			c.MaxPorts = ports[i]
+		}
+		r := float64(rf.NumRegs)
+		cellArea := r * p.Bits * (p.CellW + p.DeltaW*pp) * (p.CellH + p.DeltaH*pp)
+		periph := pp*r*p.DecodeArea + p.PeriphArea
+		c.CellArea += cellArea + periph
+		c.Power += p.PeriphPow
+
+		// Worst access delay across files.
+		delay := p.FixedDelay*math.Log2(math.Max(2, r*p.Bits)) + p.WireDelay*math.Sqrt(cellArea)
+		if delay > c.Delay {
+			c.Delay = delay
+		}
+
+		// All ports active every cycle (peak streaming rate).
+		energy := (r*(p.CellH+p.DeltaH*pp) + p.Bits*(p.CellW+p.DeltaW*pp)) * p.PortEnergy
+		c.Power += pp * energy
+	}
+
+	// Bus wiring: taps are drivers (outputs, read ports) plus sinks
+	// (write ports, inputs).
+	taps := make([]int, len(m.Buses))
+	for _, buses := range m.OutToBus {
+		for _, b := range buses {
+			taps[b]++
+		}
+	}
+	for _, buses := range m.RPToBus {
+		for _, b := range buses {
+			taps[b]++
+		}
+	}
+	for b, wps := range m.BusToWP {
+		taps[b] += len(wps)
+	}
+	for b, ins := range m.BusToIn {
+		taps[b] += len(ins)
+	}
+	for _, t := range taps {
+		c.WireArea += float64(t) * p.TapPitch
+		c.Power += float64(t) * p.TapEnergy
+	}
+	c.Area = c.CellArea + c.WireArea
+	return c
+}
+
+// Relative returns cost ratios of m against base (base = 1.0).
+func Relative(mCost, base Cost) (area, power, delay float64) {
+	return mCost.Area / base.Area, mCost.Power / base.Power, mCost.Delay / base.Delay
+}
+
+// Report renders the Figs. 25–27 style normalized bars for a set of
+// machines, first entry as baseline.
+func Report(ms []*machine.Machine) string {
+	p := DefaultParams()
+	base := Analyze(ms[0], p)
+	out := fmt.Sprintf("%-14s %8s %8s %8s\n", "architecture", "area", "power", "delay")
+	for _, m := range ms {
+		c := Analyze(m, p)
+		a, pw, d := Relative(c, base)
+		out += fmt.Sprintf("%-14s %8.3f %8.3f %8.3f\n", m.Name, a, pw, d)
+	}
+	return out
+}

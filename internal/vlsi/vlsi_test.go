@@ -1,0 +1,130 @@
+package vlsi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func costs(t *testing.T) (central, cl2, cl4, dist Cost) {
+	t.Helper()
+	p := DefaultParams()
+	return Analyze(machine.Central(), p),
+		Analyze(machine.Clustered(2), p),
+		Analyze(machine.Clustered(4), p),
+		Analyze(machine.Distributed(), p)
+}
+
+// TestFig25to27Ordering checks the qualitative result of Figs. 25–27:
+// "more, smaller register files significantly reduce area, power
+// consumption, and access delay" — distributed < clustered < central on
+// every axis.
+func TestFig25to27Ordering(t *testing.T) {
+	central, cl2, cl4, dist := costs(t)
+	check := func(name string, c, c2, c4, d float64) {
+		if !(d < c4 && c4 < c && d < c2 && c2 < c) {
+			t.Errorf("%s ordering violated: central=%.0f cl2=%.0f cl4=%.0f dist=%.0f",
+				name, c, c2, c4, d)
+		}
+	}
+	check("area", central.Area, cl2.Area, cl4.Area, dist.Area)
+	check("power", central.Power, cl2.Power, cl4.Power, dist.Power)
+	check("delay", central.Delay, cl2.Delay, cl4.Delay, dist.Delay)
+}
+
+// TestHeadlineRatios checks the paper's headline cost claims within a
+// tolerance band: the distributed architecture needs roughly 9% of the
+// central file's area, 6% of its power, and 37% of its access delay
+// (§1, §8), and roughly half the area and power of the four-cluster
+// machine (56% and 50%).
+func TestHeadlineRatios(t *testing.T) {
+	central, _, cl4, dist := costs(t)
+	band := func(name string, got, want, tol float64) {
+		if got < want/tol || got > want*tol {
+			t.Errorf("%s = %.3f, want within %.1fx of %.3f", name, got, tol, want)
+		}
+	}
+	band("dist/central area", dist.Area/central.Area, 0.09, 2.0)
+	band("dist/central power", dist.Power/central.Power, 0.06, 2.0)
+	band("dist/central delay", dist.Delay/central.Delay, 0.37, 1.6)
+	band("dist/cl4 area", dist.Area/cl4.Area, 0.56, 1.8)
+	band("dist/cl4 power", dist.Power/cl4.Power, 0.50, 1.8)
+}
+
+// TestAsymptotics verifies the scaling laws of §1: growing the
+// arithmetic-unit count by 4x grows central area by ~64x (N³) but a
+// distributed organization by far less (~N²).
+func TestAsymptotics(t *testing.T) {
+	p := DefaultParams()
+	small := Analyze(scaledCentral(1), p)
+	big := Analyze(scaledCentral(4), p)
+	ratio := big.Area / small.Area
+	if ratio < 30 || ratio > 90 {
+		t.Errorf("central area scaling for 4x units = %.1fx, want ~64x (N^3)", ratio)
+	}
+	dsmall := Analyze(scaledDistributed(1), p)
+	dbig := Analyze(scaledDistributed(4), p)
+	dratio := dbig.Area / dsmall.Area
+	if dratio > ratio/2 {
+		t.Errorf("distributed area scaling %.1fx not much below central %.1fx", dratio, ratio)
+	}
+	// Delay: central ~N^1.5 vs distributed ~flat cell + N wires.
+	if !(dbig.Delay/dsmall.Delay < big.Delay/small.Delay) {
+		t.Errorf("distributed delay scaling not below central")
+	}
+}
+
+// scaledCentral builds a central machine with s×16 units and s×256
+// registers.
+func scaledCentral(s int) *machine.Machine {
+	b := machine.NewBuilder("central-scaled")
+	rf := b.AddRF("crf", -1, 256*s)
+	for i := 0; i < 16*s; i++ {
+		fu := b.AddFU("add", machine.Adder, -1, 2)
+		b.DedicatedRead(rf, fu, 0)
+		b.DedicatedRead(rf, fu, 1)
+		b.DedicatedWrite(fu, rf)
+	}
+	return b.MustBuild()
+}
+
+// scaledDistributed builds a distributed machine with s×16 units.
+func scaledDistributed(s int) *machine.Machine {
+	b := machine.NewBuilder("dist-scaled")
+	nbus := 10 * s
+	buses := make([]machine.BusID, nbus)
+	for i := range buses {
+		buses[i] = b.AddBus("g", true)
+	}
+	for i := 0; i < 16*s; i++ {
+		fu := b.AddFU("add", machine.Adder, -1, 2)
+		b.SetCanCopy(fu, true)
+		for slot := 0; slot < 2; slot++ {
+			rf := b.AddRF("rf", -1, 8)
+			b.DedicatedRead(rf, fu, slot)
+			wp := b.AddWritePort(rf, "w")
+			for _, bus := range buses {
+				b.ConnectBusWP(bus, wp)
+			}
+		}
+		for _, bus := range buses {
+			b.ConnectOutBus(fu, bus)
+		}
+	}
+	return b.MustBuild()
+}
+
+func TestReportRenders(t *testing.T) {
+	out := Report([]*machine.Machine{
+		machine.Central(), machine.Clustered(2), machine.Clustered(4), machine.Distributed(),
+	})
+	for _, want := range []string{"central", "clustered2", "clustered4", "distributed", "area", "power", "delay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "1.000") {
+		t.Errorf("baseline row not normalized to 1.000:\n%s", out)
+	}
+}

@@ -1,0 +1,232 @@
+package commsched
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests check the paper's §5 and §8 claims in band form: the
+// substrate differs from the authors' testbed, so shape — who wins, by
+// roughly what factor — is asserted rather than exact values.
+
+// evalSuite runs the full evaluation once per test binary.
+var suiteCache *SuiteResult
+
+func evalSuite(t *testing.T) *SuiteResult {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-suite evaluation is slow; run without -short")
+	}
+	if suiteCache != nil {
+		return suiteCache
+	}
+	res, err := Evaluate(EvalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suiteCache = res
+	return res
+}
+
+// TestFigure29Shape checks the overall speedups of Fig. 29: central
+// 1.00, clustered ~0.82, distributed ~0.98, and the §1 headline that
+// the distributed machine delivers ~120% of the clustered machine's
+// performance.
+func TestFigure29Shape(t *testing.T) {
+	res := evalSuite(t)
+	central := res.Overall("central")
+	if math.Abs(central-1.0) > 1e-9 {
+		t.Errorf("central overall = %.3f, want exactly 1.0 (normalization)", central)
+	}
+	dist := res.Overall("distributed")
+	cl2 := res.Overall("clustered2")
+	cl4 := res.Overall("clustered4")
+	t.Logf("overall speedups: central=1.00 clustered2=%.2f clustered4=%.2f distributed=%.2f "+
+		"(paper: 0.82 / 0.82 / 0.98)", cl2, cl4, dist)
+	if dist < 0.85 {
+		t.Errorf("distributed overall = %.2f, want >= 0.85 (paper 0.98)", dist)
+	}
+	for _, cl := range []struct {
+		name string
+		v    float64
+	}{{"clustered2", cl2}, {"clustered4", cl4}} {
+		if cl.v < 0.55 || cl.v > 0.95 {
+			t.Errorf("%s overall = %.2f, want in [0.55, 0.95] (paper 0.82)", cl.name, cl.v)
+		}
+	}
+	if ratio := dist / cl4; ratio < 1.05 {
+		t.Errorf("distributed/clustered4 = %.2f, want >= 1.05 (paper 1.20)", ratio)
+	}
+}
+
+// TestFigure28Bands checks the per-kernel bands of Fig. 28: the
+// distributed machine stays close to central on every kernel (paper
+// minimum 0.91) while the clustered machines fall much further on
+// their worst kernel (paper minimum 0.56).
+func TestFigure28Bands(t *testing.T) {
+	res := evalSuite(t)
+	minD, kD := res.MinSpeedup("distributed")
+	t.Logf("min distributed speedup: %.2f (%s); paper 0.91", minD, kD)
+	if minD < 0.70 {
+		t.Errorf("min distributed speedup = %.2f (%s), want >= 0.70", minD, kD)
+	}
+	minC, kC := res.MinSpeedup("clustered4")
+	t.Logf("min clustered4 speedup: %.2f (%s); paper 0.56", minC, kC)
+	if minC > 0.90 {
+		t.Errorf("min clustered speedup = %.2f (%s): clustering should hurt some kernel", minC, kC)
+	}
+	for _, k := range res.Kernels {
+		for _, a := range res.Archs {
+			s := res.Speedup(k, a)
+			if s > 1.0+1e-9 {
+				t.Errorf("%s on %s: speedup %.2f > 1: the central file is the upper bound (§5)", k, a, s)
+			}
+		}
+	}
+}
+
+// TestNoBacktrackingOnDistributed checks §4.5's claim:
+// "Communication scheduling does not require backtracking to schedule
+// any of the evaluation kernels on the distributed register file
+// architecture."
+func TestNoBacktrackingOnDistributed(t *testing.T) {
+	res := evalSuite(t)
+	if n := res.TotalBacktracks("distributed"); n != 0 {
+		t.Errorf("distributed backtracking events = %d, want 0 (paper §4.5)", n)
+	}
+}
+
+// TestCostHeadlines checks the §1/§8 cost claims of the register-file
+// model within tolerance bands.
+func TestCostHeadlines(t *testing.T) {
+	p := DefaultCostParams()
+	c := AnalyzeCost(Central(), p)
+	d := AnalyzeCost(Distributed(), p)
+	c4 := AnalyzeCost(Clustered4(), p)
+	band := func(name string, got, want, tol float64) {
+		if got < want/tol || got > want*tol {
+			t.Errorf("%s = %.3f, want within %.1fx of %.3f (paper)", name, got, tol, want)
+		}
+	}
+	band("distributed/central area", d.Area/c.Area, 0.09, 2.0)
+	band("distributed/central power", d.Power/c.Power, 0.06, 2.0)
+	band("distributed/central delay", d.Delay/c.Delay, 0.37, 1.6)
+	band("distributed/clustered4 area", d.Area/c4.Area, 0.56, 1.8)
+	band("distributed/clustered4 power", d.Power/c4.Power, 0.50, 1.8)
+
+	// §8 scaling: the distributed advantage grows with unit count.
+	cl48 := AnalyzeCost(ScaledClustered(48, 4), p)
+	d48 := AnalyzeCost(ScaledDistributed(48), p)
+	r16 := d.Area / c4.Area
+	r48 := d48.Area / cl48.Area
+	t.Logf("distributed/clustered4 area: 16 units %.2f, 48 units %.2f (paper 0.56 -> 0.12)", r16, r48)
+	if r48 >= r16 {
+		t.Errorf("area advantage does not grow with scale: %.2f at 16 units, %.2f at 48", r16, r48)
+	}
+}
+
+// TestMotivatingExampleViaFacade reproduces §2 through the public API:
+// the Fig. 5 machine needs a copy operation, the schedule simulates
+// correctly, and the computation part fits in three cycles (Fig. 7).
+func TestMotivatingExampleViaFacade(t *testing.T) {
+	k := MotivatingKernel()
+	s, err := Compile(k, Fig5Machine(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if copies := len(s.Ops) - len(k.Ops); copies < 1 {
+		t.Errorf("no copy inserted; Fig. 7 requires one")
+	}
+	// Ops 1-5 (the paper's fragment) complete within 3 cycles; stores
+	// trail on the single load/store unit.
+	for i := 0; i < 5; i++ {
+		if c := s.Assignments[i].Cycle; c > 2 {
+			t.Errorf("op %d at cycle %d; the Fig. 7 fragment fits cycles 0-2", i, c)
+		}
+	}
+	res, err := Simulate(s, SimConfig{InitMem: map[int64]int64{100: 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mem[200] != 43 || res.Mem[201] != 47 {
+		t.Errorf("simulated results %d, %d; want 43, 47", res.Mem[200], res.Mem[201])
+	}
+}
+
+// TestEvaluateWithSimulation runs the Simulate path of the harness on a
+// reduced configuration: every schedule executes on the cycle-accurate
+// model and must match its reference implementation.
+func TestEvaluateWithSimulation(t *testing.T) {
+	res, err := Evaluate(EvalConfig{
+		Archs:    []*Machine{Central(), Distributed()},
+		Kernels:  []*KernelSpec{KernelByName("DCT"), KernelByName("Block Warp")},
+		Simulate: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range res.Kernels {
+		for _, a := range res.Archs {
+			kr := res.Result(k, a)
+			if !kr.Simulated || kr.CheckErr != nil {
+				t.Errorf("%s on %s: simulated=%v err=%v", k, a, kr.Simulated, kr.CheckErr)
+			}
+		}
+	}
+}
+
+// TestEvaluateFormatting exercises the report renderers on a reduced
+// configuration.
+func TestEvaluateFormatting(t *testing.T) {
+	res, err := Evaluate(EvalConfig{
+		Archs:   []*Machine{Central(), Distributed()},
+		Kernels: []*KernelSpec{KernelByName("FFT"), KernelByName("Block Warp")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f28 := res.FormatFigure28()
+	f29 := res.FormatFigure29()
+	for _, want := range []string{"FFT", "Block Warp", "distributed"} {
+		if !strings.Contains(f28, want) {
+			t.Errorf("Figure 28 output missing %q:\n%s", want, f28)
+		}
+	}
+	if !strings.Contains(f29, "Overall") {
+		t.Errorf("Figure 29 output malformed:\n%s", f29)
+	}
+	if res.Overall("central") != 1.0 {
+		t.Errorf("baseline not 1.0")
+	}
+	if !strings.Contains(res.FormatDetail(), "II") {
+		t.Errorf("detail output malformed")
+	}
+}
+
+// TestAblationCycleOrder checks the §4.6 design rationale: scheduling
+// in operation order along the critical path should not lose to the
+// cycle-order alternative on the distributed machine.
+func TestAblationCycleOrder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation evaluation is slow; run without -short")
+	}
+	kernels := []*KernelSpec{KernelByName("FFT"), KernelByName("Block Warp"), KernelByName("DCT")}
+	archs := []*Machine{Central(), Distributed()}
+	base, err := Evaluate(EvalConfig{Archs: archs, Kernels: kernels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyc, err := Evaluate(EvalConfig{Archs: archs, Kernels: kernels, Options: Options{CycleOrder: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, c := base.Overall("distributed"), cyc.Overall("distributed")
+	t.Logf("distributed overall: operation order %.2f vs cycle order %.2f", b, c)
+	if b < c-0.15 {
+		t.Errorf("operation order (%.2f) much worse than cycle order (%.2f)", b, c)
+	}
+}
