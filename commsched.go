@@ -19,6 +19,8 @@
 package commsched
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/kasm"
@@ -45,6 +47,14 @@ type (
 	Options = core.Options
 	// Schedule is a finished schedule with all interconnect allocated.
 	Schedule = core.Schedule
+	// PortfolioOptions configures CompilePortfolio's worker pool and
+	// racing lineup.
+	PortfolioOptions = core.PortfolioOptions
+	// PortfolioStats instruments a portfolio run: per-variant wall
+	// times, attempt and cancellation counts, and the winner.
+	PortfolioStats = core.PortfolioStats
+	// Variant is one racing configuration of a portfolio.
+	Variant = core.Variant
 	// Kernel is the scheduler's input program form.
 	Kernel = ir.Kernel
 	// KernelSpec is one of the built-in Table 1 evaluation kernels.
@@ -170,6 +180,22 @@ func ParseKernel(src string) (*Kernel, error) { return kasm.Compile(src) }
 func Compile(k *Kernel, m *Machine, opts Options) (*Schedule, error) {
 	return core.Compile(k, m, opts)
 }
+
+// CompilePortfolio schedules a kernel by racing a portfolio of
+// scheduler configurations (the §4.6 ablation variants) across a
+// bounded pool of workers, splitting the initiation-interval search
+// among them and cancelling attempts that can no longer win. The
+// result is deterministic — best II, then fewest copies, then lowest
+// variant index — so parallel runs are repeatable regardless of worker
+// count; only the returned PortfolioStats timings vary. workers ≤ 0
+// means GOMAXPROCS.
+func CompilePortfolio(ctx context.Context, k *Kernel, m *Machine, opts Options, workers int) (*Schedule, *PortfolioStats, error) {
+	return core.CompilePortfolio(ctx, k, m, opts, core.PortfolioOptions{Workers: workers})
+}
+
+// DefaultVariants returns the standard portfolio lineup derived from a
+// base configuration: the base plus its four ablation flips.
+func DefaultVariants(base Options) []Variant { return core.DefaultVariants(base) }
 
 // CompileSource parses kernel-language source and schedules it.
 func CompileSource(src string, m *Machine, opts Options) (*Schedule, error) {

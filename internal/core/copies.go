@@ -152,6 +152,9 @@ func (e *engine) scheduleCopy(id ir.OpID, choice machine.CopyChoice, lo, hi int,
 	}
 	if preferLate {
 		for cycle := hi; cycle >= lo; cycle-- {
+			if e.cancelled() {
+				return false
+			}
 			if tryCycle(cycle) {
 				return true
 			}
@@ -159,6 +162,9 @@ func (e *engine) scheduleCopy(id ir.OpID, choice machine.CopyChoice, lo, hi int,
 		return false
 	}
 	for cycle := lo; cycle <= hi; cycle++ {
+		if e.cancelled() {
+			return false
+		}
 		if tryCycle(cycle) {
 			return true
 		}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Degenerate kernel shapes the differential harness surfaced: the
+// scheduler must return errors on unschedulable inputs — never panic —
+// and must handle empty and near-empty blocks.
+
+// degenerateKernels builds the edge-case kernel shapes.
+func degenerateKernels(t *testing.T) map[string]*ir.Kernel {
+	t.Helper()
+	out := make(map[string]*ir.Kernel)
+	finish := func(name string, b *ir.Builder) {
+		k, err := b.Finish()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = k
+	}
+
+	b := ir.NewBuilder("empty")
+	finish("empty", b)
+
+	b = ir.NewBuilder("single-op-preamble")
+	b.Emit(ir.Add, "x", b.Const(1), b.Const(2))
+	finish("single-op-preamble", b)
+
+	b = ir.NewBuilder("preamble-only")
+	v := b.Emit(ir.Add, "x", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(v), b.Const(100), b.Const(0))
+	finish("preamble-only", b)
+
+	b = ir.NewBuilder("loop-only")
+	b.Loop()
+	lv := b.Emit(ir.Add, "y", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(lv), b.Const(101), b.Const(0))
+	finish("loop-only", b)
+
+	b = ir.NewBuilder("single-op-loop")
+	b.Loop()
+	b.Emit(ir.Add, "y", b.Const(1), b.Const(2))
+	finish("single-op-loop", b)
+
+	return out
+}
+
+// allOptionVariants exercises every ablation switch on top of the base.
+func allOptionVariants() []Options {
+	return []Options{
+		{},
+		{NoCostHeuristic: true},
+		{CycleOrder: true},
+		{TwoPhase: true},
+		{RegisterAware: true},
+	}
+}
+
+func TestCompileDegenerateKernels(t *testing.T) {
+	for name, k := range degenerateKernels(t) {
+		for _, opts := range allOptionVariants() {
+			s, err := Compile(k, machine.Distributed(), opts)
+			if err != nil {
+				t.Fatalf("%s %+v: %v", name, opts, err)
+			}
+			if err := VerifySchedule(s); err != nil {
+				t.Fatalf("%s %+v: verify: %v", name, opts, err)
+			}
+		}
+	}
+}
+
+func TestCompilePortfolioDegenerateKernels(t *testing.T) {
+	for name, k := range degenerateKernels(t) {
+		s, stats, err := CompilePortfolio(context.Background(), k, machine.Distributed(), Options{}, PortfolioOptions{Workers: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := VerifySchedule(s); err != nil {
+			t.Fatalf("%s: verify: %v", name, err)
+		}
+		if stats.Winner < 0 {
+			t.Fatalf("%s: no winner recorded", name)
+		}
+	}
+}
+
+// missingUnitKernel uses a multiplier in the preamble; the fig5
+// motivating-example machine has no multiplier. ResMII only validates
+// loop operations, so before checkUnits this slipped through — and with
+// TwoPhase the round-robin preassignment panicked with a divide by zero
+// on the empty unit list.
+func missingUnitKernel(t *testing.T) *ir.Kernel {
+	t.Helper()
+	b := ir.NewBuilder("premul")
+	v := b.Emit(ir.Mul, "x", b.Const(3), b.Const(4))
+	b.Emit(ir.Store, "", b.Val(v), b.Const(100), b.Const(0))
+	b.Loop()
+	lv := b.Emit(ir.Add, "y", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(lv), b.Const(101), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCompileMissingUnitReturnsError(t *testing.T) {
+	k := missingUnitKernel(t)
+	for _, opts := range allOptionVariants() {
+		s, err := Compile(k, machine.MotivatingExample(), opts)
+		if err == nil {
+			t.Fatalf("%+v: want error for unexecutable class, got schedule II=%d", opts, s.II)
+		}
+		if !strings.Contains(err.Error(), "no unit") {
+			t.Fatalf("%+v: unexpected error: %v", opts, err)
+		}
+	}
+}
+
+func TestCompilePortfolioMissingUnitReturnsError(t *testing.T) {
+	k := missingUnitKernel(t)
+	_, _, err := CompilePortfolio(context.Background(), k, machine.MotivatingExample(), Options{}, PortfolioOptions{Workers: 4})
+	if err == nil {
+		t.Fatal("want error for unexecutable class")
+	}
+	if !strings.Contains(err.Error(), "no unit") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/depgraph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// This file implements portfolio compilation: the §4.6 ablations show
+// that no single heuristic setting wins on every kernel/machine pair,
+// so instead of committing to one configuration, CompilePortfolio races
+// a portfolio of them and splits the initiation-interval search across
+// a bounded pool of workers, cancelling attempts that can no longer
+// win. Selection is deterministic — independent of worker count and
+// scheduling order — so parallel runs are repeatable.
+
+// Variant is one racing configuration of the portfolio.
+type Variant struct {
+	Name string
+	Opts Options
+}
+
+// DefaultVariants is the standard racing lineup derived from a base
+// configuration: the base itself plus the four ablation switches of
+// §4.6/§6/§7, each flipped relative to the base. The base rides at
+// index 0 so that on ties (same interval, same copies) the portfolio
+// reproduces the sequential scheduler's choice.
+func DefaultVariants(base Options) []Variant {
+	flip := func(name string, f func(*Options)) Variant {
+		o := base
+		f(&o)
+		return Variant{Name: name, Opts: o}
+	}
+	return []Variant{
+		{Name: "base", Opts: base},
+		flip("cost-heuristic", func(o *Options) { o.NoCostHeuristic = !o.NoCostHeuristic }),
+		flip("cycle-order", func(o *Options) { o.CycleOrder = !o.CycleOrder }),
+		flip("two-phase", func(o *Options) { o.TwoPhase = !o.TwoPhase }),
+		flip("register-aware", func(o *Options) { o.RegisterAware = !o.RegisterAware }),
+	}
+}
+
+// PortfolioOptions configure CompilePortfolio beyond the base scheduler
+// options.
+type PortfolioOptions struct {
+	// Workers bounds the goroutine pool; 0 or less means GOMAXPROCS.
+	Workers int
+	// Variants overrides the racing lineup; nil means
+	// DefaultVariants(base).
+	Variants []Variant
+}
+
+// VariantStats instruments one configuration's share of a portfolio
+// run. Wall times and cancellation counts depend on scheduling timing
+// and vary between runs; everything derived from completed attempts
+// (BestII, Copies) is deterministic.
+type VariantStats struct {
+	Name string
+	// IIsTried counts single-interval attempts run to completion.
+	IIsTried int
+	// Cancelled counts attempts killed mid-flight because a smaller
+	// interval had already been proven elsewhere.
+	Cancelled int
+	// BestII is the smallest interval this variant scheduled, 0 when it
+	// never succeeded; Copies is its copy count at BestII.
+	BestII int
+	Copies int
+	// Wall is the cumulative scheduling time across this variant's
+	// attempts (concurrent attempts accumulate in parallel, so the sum
+	// over variants can exceed the portfolio's wall clock).
+	Wall time.Duration
+}
+
+// PortfolioStats records how a portfolio run unfolded.
+type PortfolioStats struct {
+	Workers int
+	// MinII is the resource/recurrence lower bound on the interval.
+	MinII int
+	// Winner indexes Variants at the winning configuration, -1 when
+	// nothing scheduled; WinnerII is the winning interval.
+	Winner   int
+	WinnerII int
+	// IIsTried and Cancelled total the per-variant counters.
+	IIsTried  int
+	Cancelled int
+	Wall      time.Duration
+	Variants  []VariantStats
+}
+
+// WinnerName returns the winning variant's name, "" when none won.
+func (p *PortfolioStats) WinnerName() string {
+	if p.Winner < 0 || p.Winner >= len(p.Variants) {
+		return ""
+	}
+	return p.Variants[p.Winner].Name
+}
+
+// String renders a one-line-per-variant summary.
+func (p *PortfolioStats) String() string {
+	s := fmt.Sprintf("portfolio: %d workers, minII=%d, winner=%s II=%d, %d attempts (%d cancelled), %v",
+		p.Workers, p.MinII, p.WinnerName(), p.WinnerII, p.IIsTried, p.Cancelled, p.Wall.Round(time.Microsecond))
+	for _, v := range p.Variants {
+		s += fmt.Sprintf("\n  %-14s tried=%-3d cancelled=%-3d bestII=%-3d copies=%-3d %v",
+			v.Name, v.IIsTried, v.Cancelled, v.BestII, v.Copies, v.Wall.Round(time.Microsecond))
+	}
+	return s
+}
+
+// task is one cell of the (interval, variant) search grid.
+type task struct {
+	ii int
+	vi int
+}
+
+// won is one successful grid cell.
+type won struct {
+	sched  *Schedule
+	copies int
+}
+
+// CompilePortfolio schedules kernel k onto machine m by racing a
+// portfolio of scheduler configurations across a bounded worker pool.
+// The search space is the grid of (initiation interval, variant) cells,
+// explored in ascending interval order; a worker claims the next cell
+// and runs a complete single-interval scheduling attempt for it. As
+// soon as some cell schedules, cells at larger intervals are pruned and
+// any attempts already running there are cancelled through ctx-style
+// polling — including the moment a variant proves the ResMII lower
+// bound, which cancels everything else in flight.
+//
+// The winner is chosen deterministically: smallest interval, then
+// fewest inserted copies, then lowest variant index. Because every cell
+// at an interval no larger than the winning one is always run to
+// completion (cancellation only ever kills cells that cannot win), the
+// result is bit-identical across runs and worker counts; only the
+// PortfolioStats timing and cancellation counters vary.
+//
+// A nil or background ctx disables external cancellation. The zero
+// Options value races the paper configuration against its four ablation
+// flips (DefaultVariants); existing Compile call sites are unaffected.
+func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, base Options, pf PortfolioOptions) (*Schedule, *PortfolioStats, error) {
+	start := time.Now()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := k.Verify(); err != nil {
+		return nil, nil, err
+	}
+	if err := checkUnits(k, m); err != nil {
+		return nil, nil, err
+	}
+	g := depgraph.Build(k, m)
+	minII, err := depgraph.ResMII(k, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxII := base.MaxII
+	if maxII == 0 {
+		maxII = deriveMaxII(k, minII)
+	}
+	variants := pf.Variants
+	if len(variants) == 0 {
+		variants = DefaultVariants(base)
+	}
+	workers := pf.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	stats := &PortfolioStats{
+		Workers:  workers,
+		MinII:    minII,
+		Winner:   -1,
+		Variants: make([]VariantStats, len(variants)),
+	}
+	for i, v := range variants {
+		stats.Variants[i].Name = v.Name
+	}
+
+	// best is the smallest interval proven schedulable so far (maxII+1
+	// until one is); it only ever decreases. Attempts poll it locklessly
+	// so cells above the best die quickly.
+	var best atomic.Int64
+	best.Store(int64(maxII) + 1)
+
+	var (
+		mu      sync.Mutex
+		nextII  = minII
+		nextVar = 0
+		wins    = make(map[task]won)
+	)
+	// next claims the lexicographically next (interval, variant) cell.
+	// Generation halts once the interval passes the current best: those
+	// cells cannot improve the winner, and since best only decreases and
+	// cells are claimed in ascending order, every cell at or below the
+	// final winning interval is guaranteed to have been claimed.
+	next := func() (task, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		limit := int(best.Load())
+		if limit > maxII {
+			limit = maxII
+		}
+		if nextII > limit || ctx.Err() != nil {
+			return task{}, false
+		}
+		t := task{ii: nextII, vi: nextVar}
+		if nextVar++; nextVar == len(variants) {
+			nextVar, nextII = 0, nextII+1
+		}
+		return t, true
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t, ok := next()
+				if !ok {
+					return
+				}
+				// A cell is cancellable only while a strictly smaller
+				// interval has been proven: cells at the winning interval
+				// always complete, keeping the winning set — and with it
+				// the selection — deterministic.
+				cancel := func() bool {
+					return int(best.Load()) < t.ii || ctx.Err() != nil
+				}
+				var scratch Stats
+				t0 := time.Now()
+				e, aborted := tryII(k, m, g, variants[t.vi].Opts, t.ii, cancel, &scratch)
+				elapsed := time.Since(t0)
+
+				mu.Lock()
+				vs := &stats.Variants[t.vi]
+				vs.Wall += elapsed
+				if aborted {
+					vs.Cancelled++
+					stats.Cancelled++
+					mu.Unlock()
+					continue
+				}
+				vs.IIsTried++
+				stats.IIsTried++
+				if e != nil {
+					s := e.buildSchedule()
+					copies := len(s.Ops) - len(k.Ops)
+					wins[t] = won{sched: s, copies: copies}
+					if vs.BestII == 0 || t.ii < vs.BestII {
+						vs.BestII, vs.Copies = t.ii, copies
+					}
+					for {
+						cur := best.Load()
+						if int64(t.ii) >= cur || best.CompareAndSwap(cur, int64(t.ii)) {
+							break
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Wall = time.Since(start)
+
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	winII := int(best.Load())
+	if winII > maxII {
+		return nil, stats, fmt.Errorf("core: %s does not schedule on %s within II ≤ %d (portfolio of %d variants, %d attempts)",
+			k.Name, m.Name, maxII, len(variants), stats.IIsTried)
+	}
+	// Deterministic selection among the cells at the winning interval:
+	// fewest copies, then lowest variant index (the iteration order).
+	winner, chosen := -1, won{}
+	for vi := range variants {
+		if r, ok := wins[task{ii: winII, vi: vi}]; ok {
+			if winner < 0 || r.copies < chosen.copies {
+				winner, chosen = vi, r
+			}
+		}
+	}
+	stats.Winner = winner
+	stats.WinnerII = winII
+	return chosen.sched, stats, nil
+}

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/vliwsim"
+)
+
+// TestPortfolioDifferential is the differential harness: for every
+// Table 1 kernel on every paper architecture, the portfolio schedule
+// must pass the independent structural verifier, simulate cleanly on
+// the cycle-accurate machine model, match the kernel's reference
+// outputs, and leave memory bit-identical to the sequential Compile
+// schedule's simulation. The portfolio may pick a different (better)
+// interval or variant than the sequential scheduler; the program
+// semantics may not change.
+func TestPortfolioDifferential(t *testing.T) {
+	specs := kernels.All()
+	if testing.Short() {
+		// The fast representatives: one fixed-point, one floating-point,
+		// one unrolled, one control-heavy kernel.
+		var fast []*kernels.Spec
+		for _, s := range specs {
+			switch s.Name {
+			case "DCT", "FFT", "Block Warp", "Merge":
+				fast = append(fast, s)
+			}
+		}
+		specs = fast
+	}
+	archs := []*machine.Machine{
+		machine.Central(), machine.Clustered(2), machine.Clustered(4), machine.Distributed(),
+	}
+	for _, m := range archs {
+		for _, spec := range specs {
+			t.Run(m.Name+"/"+spec.Name, func(t *testing.T) {
+				k, err := spec.Kernel()
+				if err != nil {
+					t.Fatal(err)
+				}
+				seq, err := core.Compile(k, m, core.Options{})
+				if err != nil {
+					t.Fatalf("sequential: %v", err)
+				}
+				pf, stats, err := core.CompilePortfolio(context.Background(), k, m, core.Options{}, core.PortfolioOptions{Workers: 4})
+				if err != nil {
+					t.Fatalf("portfolio: %v", err)
+				}
+				if err := core.VerifySchedule(pf); err != nil {
+					t.Fatalf("portfolio schedule fails verification: %v", err)
+				}
+				if pf.II > seq.II {
+					t.Errorf("portfolio II=%d (winner %s) worse than sequential II=%d",
+						pf.II, stats.WinnerName(), seq.II)
+				}
+
+				cfg := vliwsim.Config{InitMem: spec.Init()}
+				seqRes, err := vliwsim.Run(seq, cfg)
+				if err != nil {
+					t.Fatalf("sequential simulation: %v", err)
+				}
+				pfRes, err := vliwsim.Run(pf, vliwsim.Config{InitMem: spec.Init()})
+				if err != nil {
+					t.Fatalf("portfolio simulation: %v", err)
+				}
+				if err := spec.Check(pfRes.Mem); err != nil {
+					t.Fatalf("portfolio outputs fail the reference check: %v", err)
+				}
+				if !reflect.DeepEqual(seqRes.Mem, pfRes.Mem) {
+					t.Fatalf("portfolio simulation memory differs from sequential")
+				}
+				if seqRes.IterationsRun != pfRes.IterationsRun {
+					t.Fatalf("iteration counts differ: sequential %d, portfolio %d",
+						seqRes.IterationsRun, pfRes.IterationsRun)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+func TestDefaultVariants(t *testing.T) {
+	vs := DefaultVariants(Options{})
+	if len(vs) != 5 {
+		t.Fatalf("got %d variants, want 5", len(vs))
+	}
+	if vs[0].Name != "base" || vs[0].Opts != (Options{}) {
+		t.Fatalf("variant 0 must be the untouched base, got %+v", vs[0])
+	}
+	if !vs[1].Opts.NoCostHeuristic || !vs[2].Opts.CycleOrder || !vs[3].Opts.TwoPhase || !vs[4].Opts.RegisterAware {
+		t.Fatalf("ablation flips missing: %+v", vs)
+	}
+	// Flips are relative to the base: a base with cycle-order on races a
+	// variant with it off.
+	vs = DefaultVariants(Options{CycleOrder: true})
+	if vs[2].Opts.CycleOrder {
+		t.Fatalf("cycle-order flip not relative to base: %+v", vs[2].Opts)
+	}
+	if !vs[1].Opts.CycleOrder {
+		t.Fatalf("other variants must inherit the base: %+v", vs[1].Opts)
+	}
+}
+
+func TestPortfolioBasic(t *testing.T) {
+	k := kernels.ByName("DCT").MustKernel()
+	m := machine.Distributed()
+	seq, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, stats, err := CompilePortfolio(context.Background(), k, m, Options{}, PortfolioOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(s); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if s.II > seq.II {
+		t.Fatalf("portfolio II=%d worse than sequential II=%d", s.II, seq.II)
+	}
+	if stats.Winner < 0 || stats.WinnerII != s.II {
+		t.Fatalf("stats inconsistent with schedule: %+v vs II=%d", stats, s.II)
+	}
+	if stats.WinnerName() != stats.Variants[stats.Winner].Name {
+		t.Fatalf("WinnerName mismatch: %q", stats.WinnerName())
+	}
+	if stats.IIsTried == 0 {
+		t.Fatal("no attempts recorded")
+	}
+	if got := len(stats.Variants); got != 5 {
+		t.Fatalf("got %d variant stats, want 5", got)
+	}
+}
+
+func TestPortfolioCustomVariants(t *testing.T) {
+	k := kernels.ByName("FFT").MustKernel()
+	m := machine.Central()
+	s, stats, err := CompilePortfolio(context.Background(), k, m, Options{}, PortfolioOptions{
+		Workers: 2,
+		Variants: []Variant{
+			{Name: "only", Opts: Options{}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySchedule(s); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Winner != 0 || stats.WinnerName() != "only" {
+		t.Fatalf("single-variant portfolio must pick it: %+v", stats)
+	}
+}
+
+func TestPortfolioContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k := kernels.ByName("Sort").MustKernel()
+	_, _, err := CompilePortfolio(ctx, k, machine.Clustered(4), Options{}, PortfolioOptions{Workers: 4})
+	if err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// schedKey projects the deterministic parts of a Schedule: the interval,
+// block spans, every placement, and every stub assignment. Stats and
+// timings are excluded by construction.
+type schedKey struct {
+	II, PreambleLen, LoopSpan int
+	Assignments               []Assignment
+	Routes                    []Route
+	Reads                     map[OperandKey]machine.ReadStub
+	Dump                      string
+}
+
+func keyOf(s *Schedule) schedKey {
+	return schedKey{
+		II: s.II, PreambleLen: s.PreambleLen, LoopSpan: s.LoopSpan,
+		Assignments: s.Assignments, Routes: s.Routes, Reads: s.Reads,
+		Dump: s.Dump(),
+	}
+}
+
+// TestPortfolioDeterminism runs the portfolio 20 times at worker counts
+// 1, 2, and 8 and requires bit-identical schedules: same interval, same
+// stub placements, same routes. The grid search guarantees every cell
+// at or below the winning interval completes, so neither goroutine
+// interleaving nor pool width may change the winner.
+func TestPortfolioDeterminism(t *testing.T) {
+	pairs := []struct {
+		kernel string
+		mach   *machine.Machine
+	}{
+		{"FFT", machine.Distributed()},
+		{"DCT", machine.Central()},
+	}
+	const runs = 20
+	for _, p := range pairs {
+		k := kernels.ByName(p.kernel).MustKernel()
+		var want schedKey
+		var have bool
+		for _, workers := range []int{1, 2, 8} {
+			for run := 0; run < runs; run++ {
+				s, _, err := CompilePortfolio(context.Background(), k, p.mach, Options{}, PortfolioOptions{Workers: workers})
+				if err != nil {
+					t.Fatalf("%s on %s workers=%d run=%d: %v", p.kernel, p.mach.Name, workers, run, err)
+				}
+				got := keyOf(s)
+				if !have {
+					want, have = got, true
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s on %s workers=%d run=%d: schedule differs from first run\nfirst:\n%s\nthis:\n%s",
+						p.kernel, p.mach.Name, workers, run, want.Dump, got.Dump)
+				}
+			}
+		}
+	}
+}
+
+// TestPortfolioBeatsSequentialSomewhere pins the quality property that
+// motivates the portfolio: on at least one paper pair an ablation
+// variant reaches a smaller interval than the sequential base
+// configuration (DCT on the distributed machine schedules at the ResMII
+// bound of 8 under register-aware routing; sequential base needs 10).
+func TestPortfolioBeatsSequentialSomewhere(t *testing.T) {
+	k := kernels.ByName("DCT").MustKernel()
+	m := machine.Distributed()
+	seq, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, stats, err := CompilePortfolio(context.Background(), k, m, Options{}, PortfolioOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.II >= seq.II {
+		t.Fatalf("portfolio II=%d (winner %s) does not beat sequential II=%d",
+			s.II, stats.WinnerName(), seq.II)
+	}
+}
+
+// TestPortfolioSelectionTieBreak pins the deterministic tie-break:
+// identical variants tie on interval and copies, so the lowest index
+// must win.
+func TestPortfolioSelectionTieBreak(t *testing.T) {
+	b := ir.NewBuilder("tiny")
+	b.Loop()
+	v := b.Emit(ir.Add, "x", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(v), b.Const(10), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := CompilePortfolio(context.Background(), k, machine.Central(), Options{}, PortfolioOptions{
+		Workers: 8,
+		Variants: []Variant{
+			{Name: "a", Opts: Options{}},
+			{Name: "b", Opts: Options{}},
+			{Name: "c", Opts: Options{}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Winner != 0 {
+		t.Fatalf("tie must break to the lowest index, got winner %d (%s)", stats.Winner, stats.WinnerName())
+	}
+}

@@ -64,6 +64,9 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	if err := k.Verify(); err != nil {
 		return nil, err
 	}
+	if err := checkUnits(k, m); err != nil {
+		return nil, err
+	}
 	g := depgraph.Build(k, m)
 	minII, err := depgraph.ResMII(k, m)
 	if err != nil {
@@ -71,28 +74,12 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	}
 	maxII := opts.MaxII
 	if maxII == 0 {
-		maxII = minII + 8*len(k.Loop) + 64
+		maxII = deriveMaxII(k, minII)
 	}
 	var agg Stats
 	try := func(ii int) *engine {
-		if len(k.Loop) > 0 && !g.RecMIIFeasible(ii) {
-			return nil
-		}
-		agg.IIsTried++
-		e := newEngine(k, m, g, opts, ii)
-		if e.scheduleBlock(ir.LoopBlock) {
-			if e.scheduleBlock(ir.PreambleBlock) {
-				return e
-			}
-			// The loop was placed but a cross-block communication could
-			// not complete in the preamble: the §4.5 backtracking case
-			// (the already-scheduled block is reopened by restarting).
-			agg.Backtracks++
-		}
-		agg.Attempts += e.stats.Attempts
-		agg.AttemptFailures += e.stats.AttemptFailures
-		agg.PermSteps += e.stats.PermSteps
-		return nil
+		e, _ := tryII(k, m, g, opts, ii, nil, &agg)
+		return e
 	}
 	// Escalating probe: when small intervals fail, grow the step so
 	// communication-bound kernels (whose feasible interval sits far
@@ -130,6 +117,56 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	return good.buildSchedule(), nil
 }
 
+// deriveMaxII is the default cap on the initiation-interval search: a
+// generous bound above the resource/recurrence minimum.
+func deriveMaxII(k *ir.Kernel, minII int) int {
+	return minII + 8*len(k.Loop) + 64
+}
+
+// checkUnits verifies that every operation — preamble included — has at
+// least one functional unit able to execute it. ResMII performs this
+// check for loop operations only, so a preamble-only class with no unit
+// used to slip through and either spin the interval search to
+// exhaustion or, under Options.TwoPhase, panic preassign with a
+// divide by zero on the empty unit list.
+func checkUnits(k *ir.Kernel, m *machine.Machine) error {
+	for _, op := range k.Ops {
+		if cls := op.Opcode.Class(); len(m.UnitsFor(cls)) == 0 {
+			return fmt.Errorf("core: no unit on %s executes %v (op %d %s)",
+				m.Name, cls, op.ID, op.Name)
+		}
+	}
+	return nil
+}
+
+// tryII attempts to schedule the kernel at exactly one initiation
+// interval, accumulating cross-interval counters into agg. It returns
+// the successful engine, or nil plus whether the attempt was abandoned
+// by the cancellation hook rather than proven infeasible.
+func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int, cancel func() bool, agg *Stats) (*engine, bool) {
+	if len(k.Loop) > 0 && !g.RecMIIFeasible(ii) {
+		return nil, false
+	}
+	agg.IIsTried++
+	e := newEngine(k, m, g, opts, ii)
+	e.cancel = cancel
+	if e.scheduleBlock(ir.LoopBlock) {
+		if e.scheduleBlock(ir.PreambleBlock) {
+			return e, false
+		}
+		// The loop was placed but a cross-block communication could
+		// not complete in the preamble: the §4.5 backtracking case
+		// (the already-scheduled block is reopened by restarting).
+		if !e.aborted {
+			agg.Backtracks++
+		}
+	}
+	agg.Attempts += e.stats.Attempts
+	agg.AttemptFailures += e.stats.AttemptFailures
+	agg.PermSteps += e.stats.PermSteps
+	return nil, e.aborted
+}
+
 // scheduleBlock schedules one block's operations in priority order.
 func (e *engine) scheduleBlock(block ir.BlockKind) bool {
 	order := e.graph.PriorityOrder(block)
@@ -140,7 +177,7 @@ func (e *engine) scheduleBlock(block ir.BlockKind) bool {
 		e.preassign(order)
 	}
 	for _, id := range order {
-		if !e.scheduleOp(id) {
+		if e.cancelled() || !e.scheduleOp(id) {
 			return false
 		}
 	}
@@ -157,6 +194,12 @@ func (e *engine) preassign(order []ir.OpID) {
 	for _, id := range order {
 		cls := e.ops[id].Opcode.Class()
 		units := e.mach.UnitsFor(cls)
+		if len(units) == 0 {
+			// Unexecutable class (checkUnits rejects these up front);
+			// leave the op unbound so scheduleOp fails cleanly instead
+			// of dividing by zero here.
+			continue
+		}
 		e.assigned[id] = units[next[cls]%len(units)]
 		next[cls]++
 	}
@@ -197,6 +240,9 @@ func (e *engine) scheduleOp(id ir.OpID) bool {
 		budget = 128
 	}
 	for cycle := lo; cycle <= scan; cycle++ {
+		if e.cancelled() {
+			return false
+		}
 		for _, fu := range e.fuCandidates(id, cycle) {
 			if !e.fuFree(block, fu, cycle) {
 				continue

@@ -116,6 +116,14 @@ type engine struct {
 	// inserted by communication scheduling stay free to pick units.
 	assigned map[ir.OpID]machine.FUID
 
+	// cancel, when non-nil, is polled during scheduling; once it returns
+	// true the engine abandons the current interval (CompilePortfolio
+	// uses it to kill attempts that can no longer win the race). aborted
+	// latches the first true poll so callers can tell a cancelled
+	// attempt from an infeasible one.
+	cancel  func() bool
+	aborted bool
+
 	// intervals and rfPressure implement §7's register-aware routing
 	// (Options.RegisterAware): implicit register demand per file.
 	intervals  map[livKey]liveInterval
@@ -160,6 +168,14 @@ func newEngine(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options
 	e.commsTo = make([][]CommID, len(k.Ops))
 	e.buildComms()
 	return e
+}
+
+// cancelled polls the engine's cancellation hook, latching the result.
+func (e *engine) cancelled() bool {
+	if !e.aborted && e.cancel != nil && e.cancel() {
+		e.aborted = true
+	}
+	return e.aborted
 }
 
 // log appends an undo action to the journal.

@@ -1,0 +1,43 @@
+package kasm_test
+
+import (
+	"testing"
+
+	"repro/internal/kasm"
+	"repro/internal/kernels"
+)
+
+// FuzzParseKernel drives the kernel-language frontend with arbitrary
+// source. Compile must never panic: it either produces a kernel whose
+// IR passes the structural verifier or returns an error. The corpus is
+// seeded with the whole Table 1 suite plus small degenerate programs.
+func FuzzParseKernel(f *testing.F) {
+	for _, spec := range kernels.All() {
+		f.Add(spec.Source)
+	}
+	for _, seed := range []string{
+		"",
+		"kernel empty() {}",
+		"kernel k() { int x = 1; }",
+		"kernel k() { loop 4 { } }",
+		"kernel k() { int a = 1 + 2; loop 8 { store(a, 100); } }",
+		"kernel k() { float f = 1.5; loop 2 { float g = f * 2.0; store(g, 0); } }",
+		"kernel k() { loop 1 { int i = i@1 + 1; } }",
+		"kernel 模块() { loop 1 { } }",
+		"kernel k() { int x = load(0); loop 3 { int y = x + 1; store(y, x); } }",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		k, err := kasm.Compile(src)
+		if err != nil {
+			return
+		}
+		if k == nil {
+			t.Fatal("Compile returned nil kernel without error")
+		}
+		if verr := k.Verify(); verr != nil {
+			t.Fatalf("Compile accepted source but produced invalid IR: %v\nsource:\n%s", verr, src)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package machine_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// FuzzParseMachine drives the machine text-format parser with arbitrary
+// descriptions. ParseText must never panic, and any machine it accepts
+// must round-trip: FormatText renders a description that reparses and
+// reformats to a fixed point. Seeds are the whole architecture catalog
+// plus the example machine description shipped in examples/.
+func FuzzParseMachine(f *testing.F) {
+	for _, m := range []*machine.Machine{
+		machine.Central(),
+		machine.Clustered(2),
+		machine.Clustered(4),
+		machine.Distributed(),
+		machine.MotivatingExample(),
+		machine.Paired(),
+		machine.ScaledCentral(8),
+	} {
+		f.Add(m.FormatText())
+	}
+	if src, err := os.ReadFile("../../examples/explore/lowcost.machine"); err == nil {
+		f.Add(string(src))
+	}
+	for _, seed := range []string{
+		"",
+		"machine m\n",
+		"machine m\nfu add0 adder\n",
+		"machine m\nrf r0 16\nfu a adder\nbus b shared\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := machine.ParseText(src)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("ParseText returned nil machine without error")
+		}
+		text := m.FormatText()
+		m2, err := machine.ParseText(text)
+		if err != nil {
+			t.Fatalf("accepted machine does not reparse: %v\nformatted:\n%s\noriginal:\n%s", err, text, src)
+		}
+		if text2 := m2.FormatText(); text2 != text {
+			t.Fatalf("FormatText not a fixed point\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+	})
+}

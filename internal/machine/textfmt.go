@@ -335,11 +335,33 @@ func (m *Machine) FormatText() string {
 		}
 		b.WriteByte('\n')
 	}
+	// Port names must reparse to the same topology: qualify them so they
+	// cannot shadow a bus (connect resolves bus sources first) and cannot
+	// be mistaken for the FU.out / FU.inK endpoint syntax. The renaming
+	// is idempotent, so a format→parse→format cycle is a fixed point.
+	used := make(map[string]bool)
+	for _, fu := range m.FUs {
+		used[fu.Name] = true
+	}
+	for _, rf := range m.RegFiles {
+		used[rf.Name] = true
+	}
+	for _, bus := range m.Buses {
+		used[bus.Name] = true
+	}
+	rpNames := make([]string, len(m.ReadPorts))
 	for _, rp := range m.ReadPorts {
-		fmt.Fprintf(&b, "rport %s %s\n", m.RegFiles[rp.RF].Name, portName("rp", int(rp.ID), rp.Name))
+		rpNames[rp.ID] = portName("rp", int(rp.ID), rp.Name, used)
+	}
+	wpNames := make([]string, len(m.WritePorts))
+	for _, wp := range m.WritePorts {
+		wpNames[wp.ID] = portName("wp", int(wp.ID), wp.Name, used)
+	}
+	for _, rp := range m.ReadPorts {
+		fmt.Fprintf(&b, "rport %s %s\n", m.RegFiles[rp.RF].Name, rpNames[rp.ID])
 	}
 	for _, wp := range m.WritePorts {
-		fmt.Fprintf(&b, "wport %s %s\n", m.RegFiles[wp.RF].Name, portName("wp", int(wp.ID), wp.Name))
+		fmt.Fprintf(&b, "wport %s %s\n", m.RegFiles[wp.RF].Name, wpNames[wp.ID])
 	}
 	var lines []string
 	for fu, buses := range m.OutToBus {
@@ -350,13 +372,13 @@ func (m *Machine) FormatText() string {
 	for bus, wps := range m.BusToWP {
 		for _, wp := range wps {
 			lines = append(lines, fmt.Sprintf("connect %s -> %s",
-				m.Buses[bus].Name, portName("wp", int(wp), m.WritePorts[wp].Name)))
+				m.Buses[bus].Name, wpNames[wp]))
 		}
 	}
 	for rp, buses := range m.RPToBus {
 		for _, bus := range buses {
 			lines = append(lines, fmt.Sprintf("connect %s -> %s",
-				portName("rp", rp, m.ReadPorts[rp].Name), m.Buses[bus].Name))
+				rpNames[rp], m.Buses[bus].Name))
 		}
 	}
 	for bus, ins := range m.BusToIn {
@@ -373,7 +395,24 @@ func (m *Machine) FormatText() string {
 
 // portName disambiguates port names: the builder's generated names can
 // collide across files, so the export qualifies them with their index.
-func portName(prefix string, id int, name string) string {
-	clean := strings.ReplaceAll(name, " ", "_")
-	return fmt.Sprintf("%s%d_%s", prefix, id, clean)
+// Dots are rewritten so the name cannot collide with the FU.out / FU.inK
+// endpoint syntax, names already carrying this port's qualifier are left
+// alone (keeping FormatText a fixed point under reparse), and anything
+// still shadowing another machine entity grows underscores until unique.
+func portName(prefix string, id int, name string, used map[string]bool) string {
+	clean := strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t', '.', '#':
+			return '_'
+		}
+		return r
+	}, name)
+	if q := fmt.Sprintf("%s%d_", prefix, id); !strings.HasPrefix(clean, q) {
+		clean = q + clean
+	}
+	for used[clean] {
+		clean += "_"
+	}
+	used[clean] = true
+	return clean
 }
