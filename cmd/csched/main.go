@@ -7,55 +7,91 @@
 //
 //	csched -arch distributed -kernel FIR-FP -sim
 //	csched -arch clustered4 path/to/kernel.kasm
+//	csched -kernel DCT -passes
 //	csched -list
+//
+// When compilation fails, csched exits non-zero and prints the pass
+// pipeline's structured diagnostic: the kernel, machine, failing pass,
+// reason, and — for op-specific failures — the operation and kernel
+// source line.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	commsched "repro"
 )
 
 func main() {
-	arch := flag.String("arch", "distributed", "target architecture: central, clustered2, clustered4, distributed, paired, fig5")
-	machineFile := flag.String("machine", "", "text machine description file (overrides -arch)")
-	kernelName := flag.String("kernel", "", "built-in Table 1 kernel name (e.g. DCT, FIR-FP)")
-	list := flag.Bool("list", false, "list built-in kernels and exit")
-	sim := flag.Bool("sim", false, "simulate the schedule and validate (built-in kernels only)")
-	trace := flag.Bool("trace", false, "with -sim: print the per-cycle execution trace")
-	dump := flag.Bool("dump", true, "print the full schedule")
-	asm := flag.Bool("asm", false, "print VLIW instruction words (per-cycle assembly)")
-	timeline := flag.Int("timeline", 0, "print the expanded (pipelined) schedule for N loop iterations")
-	cycleOrder := flag.Bool("cycle-order", false, "ablation: schedule in cycle order instead of operation order")
-	noCost := flag.Bool("no-cost-heuristic", false, "ablation: disable the equation-1 unit-ordering heuristic")
-	portfolio := flag.Int("portfolio", 0, "race the ablation portfolio over N workers (0 disables, -1 means GOMAXPROCS); the result is deterministic for any N")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// printCompileError renders a pass-pipeline failure as a structured
+// diagnostic instead of a bare error string.
+func printCompileError(w io.Writer, ce *commsched.CompileError) {
+	fmt.Fprintln(w, "csched: compilation failed")
+	fmt.Fprintf(w, "  kernel:  %s\n", ce.Kernel)
+	fmt.Fprintf(w, "  machine: %s\n", ce.Machine)
+	fmt.Fprintf(w, "  pass:    %s\n", ce.Pass)
+	fmt.Fprintf(w, "  reason:  %s\n", ce.Reason)
+	if ce.Op != commsched.NoOp {
+		fmt.Fprintf(w, "  op:      %d\n", ce.Op)
+	}
+	if ce.Line > 0 {
+		fmt.Fprintf(w, "  line:    %d\n", ce.Line)
+	}
+	for _, d := range ce.Diags {
+		fmt.Fprintf(w, "  note:    %s\n", d)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("csched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	arch := fs.String("arch", "distributed", "target architecture: central, clustered2, clustered4, distributed, paired, fig5")
+	machineFile := fs.String("machine", "", "text machine description file (overrides -arch)")
+	kernelName := fs.String("kernel", "", "built-in Table 1 kernel name (e.g. DCT, FIR-FP)")
+	list := fs.Bool("list", false, "list built-in kernels and exit")
+	sim := fs.Bool("sim", false, "simulate the schedule and validate (built-in kernels only)")
+	trace := fs.Bool("trace", false, "with -sim: print the per-cycle execution trace")
+	dump := fs.Bool("dump", true, "print the full schedule")
+	asm := fs.Bool("asm", false, "print VLIW instruction words (per-cycle assembly)")
+	timeline := fs.Int("timeline", 0, "print the expanded (pipelined) schedule for N loop iterations")
+	passes := fs.Bool("passes", false, "print per-pass timing, work, and backtrack counters")
+	cycleOrder := fs.Bool("cycle-order", false, "ablation: schedule in cycle order instead of operation order")
+	noCost := fs.Bool("no-cost-heuristic", false, "ablation: disable the equation-1 unit-ordering heuristic")
+	portfolio := fs.Int("portfolio", 0, "race the ablation portfolio over N workers (0 disables, -1 means GOMAXPROCS); the result is deterministic for any N")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, s := range commsched.Kernels() {
-			fmt.Printf("%-20s %s\n", s.Name, s.Desc)
+			fmt.Fprintf(stdout, "%-20s %s\n", s.Name, s.Desc)
 		}
-		return
+		return 0
 	}
 
 	var m *commsched.Machine
 	if *machineFile != "" {
 		src, err := os.ReadFile(*machineFile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "csched:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "csched:", err)
+			return 1
 		}
 		m, err = commsched.ParseMachine(string(src))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "csched:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "csched:", err)
+			return 1
 		}
 	} else if m = commsched.MachineByName(*arch); m == nil {
-		fmt.Fprintf(os.Stderr, "csched: unknown architecture %q\n", *arch)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "csched: unknown architecture %q\n", *arch)
+		return 2
 	}
 
 	opts := commsched.Options{CycleOrder: *cycleOrder, NoCostHeuristic: *noCost}
@@ -69,23 +105,23 @@ func main() {
 	case *kernelName != "":
 		spec = commsched.KernelByName(*kernelName)
 		if spec == nil {
-			fmt.Fprintf(os.Stderr, "csched: unknown kernel %q (try -list)\n", *kernelName)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "csched: unknown kernel %q (try -list)\n", *kernelName)
+			return 2
 		}
 		k, err = spec.Kernel()
-	case flag.NArg() == 1:
+	case fs.NArg() == 1:
 		var src []byte
-		src, err = os.ReadFile(flag.Arg(0))
+		src, err = os.ReadFile(fs.Arg(0))
 		if err == nil {
 			k, err = commsched.ParseKernel(string(src))
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "csched: need -kernel NAME or a kernel source file (or -list)")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "csched: need -kernel NAME or a kernel source file (or -list)")
+		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "csched:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "csched:", err)
+		return 1
 	}
 
 	var (
@@ -98,54 +134,69 @@ func main() {
 		s, err = commsched.Compile(k, m, opts)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "csched:", err)
-		os.Exit(1)
+		var ce *commsched.CompileError
+		if errors.As(err, &ce) {
+			printCompileError(stderr, ce)
+		} else {
+			fmt.Fprintln(stderr, "csched:", err)
+		}
+		return 1
 	}
 	if err := commsched.Verify(s); err != nil {
-		fmt.Fprintln(os.Stderr, "csched: verification failed:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "csched: verification failed:", err)
+		return 1
 	}
 
-	fmt.Printf("kernel %s on %s: II=%d, preamble=%d cycles, %d copies inserted\n",
+	fmt.Fprintf(stdout, "kernel %s on %s: II=%d, preamble=%d cycles, %d copies inserted\n",
 		k.Name, m.Name, s.II, s.PreambleLen, len(s.Ops)-len(k.Ops))
-	fmt.Printf("scheduler: %d attempts (%d rejected), %d permutation steps, %d backtracks\n",
+	fmt.Fprintf(stdout, "scheduler: %d attempts (%d rejected), %d permutation steps, %d backtracks\n",
 		s.Stats.Attempts, s.Stats.AttemptFailures, s.Stats.PermSteps, s.Stats.Backtracks)
 	if pfStats != nil {
-		fmt.Println(pfStats)
+		fmt.Fprintln(stdout, pfStats)
+	}
+	if *passes {
+		fmt.Fprintf(stdout, "pipeline: %s\n", opts.Pipeline())
+		fmt.Fprintln(stdout, s.Passes)
+		fmt.Fprintf(stdout, "search: %d intervals tried, %d backtracks\n",
+			s.Stats.IIsTried, s.Stats.Backtracks)
+		for _, d := range s.Diags {
+			fmt.Fprintf(stdout, "note: %s\n", d)
+		}
 	}
 	if *dump {
-		fmt.Println()
-		fmt.Print(s.Dump())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, s.Dump())
 	}
 	if *asm {
-		fmt.Println()
-		fmt.Print(s.Assembly())
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, s.Assembly())
 	}
 	if *timeline > 0 {
-		fmt.Println()
-		fmt.Print(s.FormatTimeline(*timeline))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, s.FormatTimeline(*timeline))
 	}
 
 	if *sim {
 		if spec == nil {
-			fmt.Fprintln(os.Stderr, "csched: -sim needs a built-in kernel (reference inputs)")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "csched: -sim needs a built-in kernel (reference inputs)")
+			return 2
 		}
 		cfg := commsched.SimConfig{InitMem: spec.Init()}
 		if *trace {
-			cfg.Trace = os.Stdout
+			cfg.Trace = stdout
 		}
 		res, err := commsched.Simulate(s, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "csched: simulation failed:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "csched: simulation failed:", err)
+			return 1
 		}
 		if err := spec.Check(res.Mem); err != nil {
-			fmt.Fprintln(os.Stderr, "csched: output check failed:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "csched: output check failed:", err)
+			return 1
 		}
-		fmt.Printf("\nsimulated %d iterations in %d cycles: outputs match the reference "+
+		fmt.Fprintf(stdout, "\nsimulated %d iterations in %d cycles: outputs match the reference "+
 			"(%d operand reads, %d register writes, %d bus transfers)\n",
 			res.IterationsRun, res.Cycles, res.Reads, res.Writes, res.BusTransfers)
 	}
+	return 0
 }

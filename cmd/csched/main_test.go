@@ -1,0 +1,116 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives run() with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	if !strings.Contains(out, "DCT") {
+		t.Fatalf("-list output missing kernels:\n%s", out)
+	}
+}
+
+func TestUsageErrorsExitTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{},                           // no kernel at all
+		{"-arch", "nonexistent"},     // unknown architecture
+		{"-kernel", "NoSuchKernel"},  // unknown kernel
+		{"-kernel", "DCT", "-badfl"}, // unknown flag
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v exited %d, want 2", args, code)
+		}
+	}
+}
+
+func TestCompileSuccessWithPasses(t *testing.T) {
+	src := `kernel tiny {
+  stream out @ 512;
+  loop i = 0 .. 8 {
+    out[i] = i * 3;
+  }
+}
+`
+	path := filepath.Join(t.TempDir(), "tiny.kasm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errw := runCLI(t, "-arch", "central", "-passes", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw)
+	}
+	for _, want := range []string{
+		"II=", "pipeline: prioritize(priority)",
+		"lower", "prioritize", "place", "regalloc", "verify",
+		"intervals tried", "backtracks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCompileFailureStructuredDiagnostic pins the satellite contract:
+// a failing compilation exits non-zero and reports kernel, machine,
+// pass, and reason as a structured diagnostic, with the kernel source
+// line of the failing operation when one is known.
+func TestCompileFailureStructuredDiagnostic(t *testing.T) {
+	// A multiply has no unit on the fig5 machine (adders and a
+	// load/store unit only), so the lower pass rejects the kernel.
+	src := `kernel nomul {
+  stream a @ 0;
+  stream out @ 512;
+  loop i = 0 .. 8 {
+    out[i] = a[i] * 3;
+  }
+}
+`
+	path := filepath.Join(t.TempDir(), "nomul.kasm")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errw := runCLI(t, "-arch", "fig5", path)
+	if code == 0 {
+		t.Fatal("compilation unexpectedly succeeded")
+	}
+	for _, want := range []string{
+		"compilation failed",
+		"kernel:  nomul",
+		"machine: fig5",
+		"pass:    lower",
+		"reason:  no unit",
+		"line:",
+	} {
+		if !strings.Contains(errw, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errw)
+		}
+	}
+}
+
+// TestDoesNotScheduleDiagnostic covers the place-pass failure shape:
+// an impossibly low interval cap turns into a structured
+// does-not-schedule report.
+func TestDoesNotScheduleDiagnostic(t *testing.T) {
+	code, _, errw := runCLI(t, "-arch", "fig5", "-kernel", "DCT")
+	if code == 0 {
+		t.Skip("DCT unexpectedly schedules on fig5")
+	}
+	if !strings.Contains(errw, "compilation failed") || !strings.Contains(errw, "pass:") {
+		t.Errorf("stderr not structured:\n%s", errw)
+	}
+}

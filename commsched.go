@@ -55,6 +55,20 @@ type (
 	PortfolioStats = core.PortfolioStats
 	// Variant is one racing configuration of a portfolio.
 	Variant = core.Variant
+	// PipelineConfig names a pass-pipeline shape (ordering, preassign
+	// phase, place-stage heuristics); Options.Pipeline and
+	// PipelineConfig.Apply convert between it and Options.
+	PipelineConfig = core.PipelineConfig
+	// PassStat and PassStats instrument the compiler's passes: runs,
+	// work items, failures, and self wall time per named pass.
+	PassStat  = core.PassStat
+	PassStats = core.PassStats
+	// CompileError is the structured failure report of the pass
+	// pipeline: kernel, machine, failing pass, reason, and — for
+	// op-specific failures — the operation and source line.
+	CompileError = core.CompileError
+	// Diag is one structured diagnostic emitted by a compiler pass.
+	Diag = core.Diag
 	// Kernel is the scheduler's input program form.
 	Kernel = ir.Kernel
 	// KernelSpec is one of the built-in Table 1 evaluation kernels.
@@ -79,6 +93,15 @@ type (
 	BusID = machine.BusID
 	RPID  = machine.RPID
 	WPID  = machine.WPID
+)
+
+// NoOp marks a diagnostic not tied to a particular operation.
+const NoOp = core.NoOp
+
+// Prioritize-pass orderings for PipelineConfig.Order.
+const (
+	OrderPriority = core.OrderPriority
+	OrderCycle    = core.OrderCycle
 )
 
 // Functional-unit kinds.

@@ -88,13 +88,29 @@ func (e *engine) closingComms(id ir.OpID) []CommID {
 	return out
 }
 
-// closeComm assigns communication c to a route (§4.3 steps 2–5 for one
+// closeComm is the clocked close-comms pipeline stage: one routed
+// communication is one step, one rejection one failure, with nested
+// stages (insert-copies, and the place work of scheduling the copies)
+// attributed to themselves.
+func (e *engine) closeComm(c *comm) bool {
+	e.clock.push(PassCloseComms)
+	ok := e.routeComm(c)
+	e.clock.pop()
+	if ok {
+		e.clock.step(PassCloseComms)
+	} else {
+		e.clock.fail(PassCloseComms)
+	}
+	return ok
+}
+
+// routeComm assigns communication c to a route (§4.3 steps 2–5 for one
 // communication). It first tries each register file both stubs can
 // access directly, steering the read permutation of the use's issue
 // cycle and the write permutation of the def's completion cycle onto
 // it; if no shared file works, it lets both permutations choose freely
 // and bridges the chosen stubs with copy operations.
-func (e *engine) closeComm(c *comm) bool {
+func (e *engine) routeComm(c *comm) bool {
 	useKey := OperandKey{Op: c.use, Slot: c.slot}
 	readCycle := e.issueSlotKey(c.use)
 	writeCycle := e.completionSlotKey(c.def)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/rules"
 )
 
 // This file enumerates the valid stubs for a communication (§4.3 step 1)
@@ -118,7 +119,7 @@ func (e *engine) useDistFrom(t useTarget, rf machine.RFID) int {
 		return e.mach.CopyDistance(rf, t.rf)
 	case 1:
 		best := -1
-		for slot := 0; slot < maxInputs; slot++ {
+		for slot := 0; slot < rules.MaxInputs; slot++ {
 			if t.slotMask&(1<<slot) == 0 {
 				continue
 			}

@@ -19,13 +19,28 @@ import (
 // sane machine needs equals its register-file copy diameter.
 const maxCopyDepth = 6
 
-// insertCopies bridges communication c's pinned stubs. The value sits
-// in c.wstub.RF and must reach the operand's pinned read file.
+// insertCopies is the clocked insert-copies pipeline stage: each copy
+// chain bridged is one step, each range or depth exhaustion one
+// failure.
+func (e *engine) insertCopies(c *comm, preferLate bool) bool {
+	e.clock.push(PassInsertCopies)
+	ok := e.insertCopyChain(c, preferLate)
+	e.clock.pop()
+	if ok {
+		e.clock.step(PassInsertCopies)
+	} else {
+		e.clock.fail(PassInsertCopies)
+	}
+	return ok
+}
+
+// insertCopyChain bridges communication c's pinned stubs. The value
+// sits in c.wstub.RF and must reach the operand's pinned read file.
 // preferLate places copies as late as their range allows instead of as
 // early as possible — the §7 spill shape, shrinking the value's
 // residence in the destination file when register-aware routing found
 // it hot.
-func (e *engine) insertCopies(c *comm, preferLate bool) bool {
+func (e *engine) insertCopyChain(c *comm, preferLate bool) bool {
 	if e.depth >= maxCopyDepth {
 		return false
 	}

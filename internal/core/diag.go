@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// NoOp marks a diagnostic that is not tied to a particular operation.
+const NoOp = ir.OpID(-1)
+
+// Diag is one structured diagnostic emitted by a compiler pass. Op and
+// Line localize it: Op is the kernel operation involved (NoOp when the
+// diagnostic is not op-specific) and Line is the kernel-language source
+// line that produced the operation (0 when the kernel was built
+// directly in IR and carries no positions).
+type Diag struct {
+	Pass string
+	Op   ir.OpID
+	Line int
+	Msg  string
+}
+
+func (d Diag) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s]", d.Pass)
+	if d.Op != NoOp {
+		fmt.Fprintf(&b, " op %d", d.Op)
+	}
+	if d.Line > 0 {
+		fmt.Fprintf(&b, " (line %d)", d.Line)
+	}
+	b.WriteByte(' ')
+	b.WriteString(d.Msg)
+	return b.String()
+}
+
+// CompileError is the structured failure report of the pass pipeline:
+// which kernel on which machine failed, in which pass, and why. Op and
+// Line localize op-specific failures the way Diag does; Diags carries
+// the informational diagnostics accumulated before the failure, so a
+// caller can show how far compilation got.
+//
+// The rendered message keeps the historical "core: ..." diagnostics
+// (e.g. "does not schedule", "no unit") so existing callers matching on
+// substrings keep working; the structured fields are for tools that
+// want to present the failure properly (cmd/csched does).
+type CompileError struct {
+	Kernel  string
+	Machine string
+	Pass    string
+	Reason  string
+	Op      ir.OpID
+	Line    int
+	Diags   []Diag
+}
+
+func (e *CompileError) Error() string { return "core: " + e.Reason }
+
+// compileErrorf builds an op-unspecific CompileError.
+func compileErrorf(pass, format string, args ...any) *CompileError {
+	return &CompileError{Pass: pass, Reason: fmt.Sprintf(format, args...), Op: NoOp}
+}
+
+// decorate fills a pass error's kernel/machine identity and attaches
+// the accumulated diagnostics; non-CompileError errors (malformed IR
+// from Kernel.Verify, ResMII failures) pass through untouched.
+func (c *Compilation) decorate(err error) error {
+	if ce, ok := err.(*CompileError); ok {
+		if ce.Kernel == "" {
+			ce.Kernel = c.Kernel.Name
+		}
+		if ce.Machine == "" {
+			ce.Machine = c.Machine.Name
+		}
+		ce.Diags = append(ce.Diags, c.Diags...)
+	}
+	return err
+}
+
+// diag records an informational diagnostic on the compilation.
+func (c *Compilation) diag(pass string, op ir.OpID, format string, args ...any) {
+	line := 0
+	if op != NoOp && int(op) < len(c.Kernel.Ops) {
+		line = c.Kernel.Ops[op].Line
+	}
+	c.Diags = append(c.Diags, Diag{Pass: pass, Op: op, Line: line, Msg: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Fingerprint renders the schedule as a canonical, diff-stable text
+// form covering everything the paper's output is judged on: the
+// initiation interval, the per-operation (unit, cycle) placements, the
+// full route allocation (write stub, read stub, distance), and the
+// inserted copies. Two schedules are bit-identical — same II, same
+// placements, same interconnect — iff their fingerprints are equal.
+// The differential golden tests use this to pin the compiler's output
+// across refactors.
+func (s *Schedule) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s machine %s\n", s.Kernel.Name, s.Machine.Name)
+	fmt.Fprintf(&b, "ii %d preamble %d loopspan %d copies %d\n",
+		s.II, s.PreambleLen, s.LoopSpan, len(s.Ops)-len(s.Kernel.Ops))
+	for _, blk := range []ir.BlockKind{ir.PreambleBlock, ir.LoopBlock} {
+		for _, id := range s.OpsInBlock(blk) {
+			op, a := s.Ops[id], s.Assignments[id]
+			name := op.Name
+			if name == "" {
+				name = fmt.Sprintf("op%d", id)
+			}
+			fmt.Fprintf(&b, "op %v %d %s %s fu%d cycle %d\n",
+				blk, id, op.Opcode, name, a.FU, a.Cycle)
+		}
+	}
+	routes := make([]string, 0, len(s.Routes))
+	for _, r := range s.Routes {
+		routes = append(routes, fmt.Sprintf(
+			"route v%d op%d->op%d.%d dist %d W fu%d-bus%d-rf%d.wp%d R rf%d.rp%d-bus%d-fu%d.in%d",
+			r.Value, r.Def, r.Use, r.Slot, r.Distance,
+			r.W.FU, r.W.Bus, r.W.RF, r.W.Port,
+			r.R.RF, r.R.Port, r.R.Bus, r.R.FU, r.R.Slot))
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/rules"
 )
 
 // This file implements the stub-permutation searches of §4.3 steps 2–3
@@ -18,12 +19,12 @@ import (
 // communication", §4.2). Closing communications go first, smallest copy
 // range first.
 //
-// Conflict checking lives in occ.go.
+// Conflict checking is the §4.2 rules engine in internal/rules.
 
 // writeIdentity returns the value-instance identity of a communication's
 // write event: the value and the flat cycle the write occurs on.
-func (e *engine) writeIdentity(c *comm) (ir.ValueID, int32, bool) {
-	return c.value, int32(e.completionFlat(c.def)), false
+func (e *engine) writeIdentity(c *comm) rules.Value {
+	return rules.Value{ID: c.value, Flat: int32(e.completionFlat(c.def))}
 }
 
 // readIdentity returns the value-instance identity of an operand's read
@@ -33,7 +34,7 @@ func (e *engine) writeIdentity(c *comm) (ir.ValueID, int32, bool) {
 // reads landing on the same absolute cycle compare equal exactly when
 // they fetch the same dynamic instance. Multi-source (phi) operands are
 // never shareable.
-func (e *engine) readIdentity(key OperandKey) (value ir.ValueID, flat int32, inv bool, uniq int32) {
+func (e *engine) readIdentity(key OperandKey) rules.Value {
 	var only *comm
 	n := 0
 	for _, cid := range e.commsTo[key.Op] {
@@ -46,12 +47,12 @@ func (e *engine) readIdentity(key OperandKey) (value ir.ValueID, flat int32, inv
 	}
 	rflat := e.place[key.Op].cycle
 	if n != 1 {
-		return ir.NoValue, int32(rflat), false, int32(key.Op)*8 + int32(key.Slot) + 1
+		return rules.Value{ID: ir.NoValue, Flat: int32(rflat), Uniq: opndNonce(key)}
 	}
 	if e.crossBlock(only) {
-		return only.value, 0, true, 0
+		return rules.Value{ID: only.value, Inv: true}
 	}
-	return only.value, int32(rflat - only.distance*e.blockII(e.ops[key.Op].Block)), false, 0
+	return rules.Value{ID: only.value, Flat: int32(rflat - only.distance*e.blockII(e.ops[key.Op].Block))}
 }
 
 // flexWrite is one write-side item of a permutation problem.
@@ -60,9 +61,7 @@ type flexWrite struct {
 	cands   []machine.WriteStub
 	closing bool
 	rangeW  int
-	value   ir.ValueID
-	flat    int32
-	inv     bool
+	val     rules.Value
 }
 
 // flexRead is one read-side item.
@@ -71,10 +70,7 @@ type flexRead struct {
 	cands   []machine.ReadStub
 	closing bool
 	rangeW  int
-	value   ir.ValueID
-	flat    int32
-	inv     bool
-	uniq    int32
+	val     rules.Value
 }
 
 // permBudgetDefault bounds the permutation search steps.
@@ -88,7 +84,7 @@ const permBudgetDefault = 4096
 // state changes.
 func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 	o := e.occ
-	o.reset()
+	o.Reset()
 	undo := e.undoScratch[:0]
 	defer func() { e.undoScratch = undo[:0] }()
 
@@ -96,11 +92,10 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 	// write stubs.
 	for _, ok := range e.readsAt[key] {
 		if or := e.operandStub[ok]; or != nil {
-			value, flat, inv, uniq := e.readIdentity(ok)
 			var fits bool
-			undo, fits = o.placeRead(or.stub, value, flat, inv, uniq, opndNonce(ok), undo)
+			undo, fits = o.PlaceRead(or.stub, e.readIdentity(ok), opndNonce(ok), undo)
 			if !fits {
-				o.undo(undo)
+				o.Undo(undo)
 				return false
 			}
 		}
@@ -111,12 +106,12 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 		if c.state == commSplit {
 			continue
 		}
-		value, flat, inv := e.writeIdentity(c)
+		val := e.writeIdentity(c)
 		if c.state == commClosed || c.wPinned {
 			var fits bool
-			undo, fits = o.placeWrite(c.wstub, value, flat, inv, undo)
+			undo, fits = o.PlaceWrite(c.wstub, val, undo)
 			if !fits {
-				o.undo(undo)
+				o.Undo(undo)
 				return false
 			}
 			continue
@@ -127,7 +122,7 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 			cands = filterWriteRF(cands, want)
 		}
 		if len(cands) == 0 {
-			o.undo(undo)
+			o.Undo(undo)
 			return false
 		}
 		flex = append(flex, flexWrite{
@@ -135,9 +130,7 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 			cands:   cands,
 			closing: e.place[c.use].ok,
 			rangeW:  e.copyRange(c),
-			value:   value,
-			flat:    flat,
-			inv:     inv,
+			val:     val,
 		})
 	}
 	sort.SliceStable(flex, func(i, j int) bool {
@@ -150,7 +143,7 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 	choice := make([]int, len(flex))
 	okAll, undoAll := e.dfsWrites(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
-	o.undo(undo)
+	o.Undo(undo)
 	if !okAll {
 		return false
 	}
@@ -164,7 +157,7 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 // permutation of read stubs for the operands read on cycle key.
 func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool {
 	o := e.occ
-	o.reset()
+	o.Reset()
 	undo := e.undoScratch[:0]
 	defer func() { e.undoScratch = undo[:0] }()
 
@@ -173,11 +166,10 @@ func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool 
 		if c.state == commSplit || !c.hasW {
 			continue
 		}
-		value, flat, inv := e.writeIdentity(c)
 		var fits bool
-		undo, fits = o.placeWrite(c.wstub, value, flat, inv, undo)
+		undo, fits = o.PlaceWrite(c.wstub, e.writeIdentity(c), undo)
 		if !fits {
-			o.undo(undo)
+			o.Undo(undo)
 			return false
 		}
 	}
@@ -188,13 +180,13 @@ func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool 
 			continue
 		}
 		seen[ok] = true
-		value, flat, inv, uniq := e.readIdentity(ok)
+		val := e.readIdentity(ok)
 		or := e.operandStub[ok]
 		if or != nil && or.pinned {
 			var fits bool
-			undo, fits = o.placeRead(or.stub, value, flat, inv, uniq, opndNonce(ok), undo)
+			undo, fits = o.PlaceRead(or.stub, val, opndNonce(ok), undo)
 			if !fits {
-				o.undo(undo)
+				o.Undo(undo)
 				return false
 			}
 			continue
@@ -205,13 +197,12 @@ func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool 
 			cands = filterReadRF(cands, want)
 		}
 		if len(cands) == 0 {
-			o.undo(undo)
+			o.Undo(undo)
 			return false
 		}
 		closing, rangeW := e.operandClosing(ok)
 		flex = append(flex, flexRead{
-			key: ok, cands: cands, closing: closing, rangeW: rangeW,
-			value: value, flat: flat, inv: inv, uniq: uniq,
+			key: ok, cands: cands, closing: closing, rangeW: rangeW, val: val,
 		})
 	}
 	sort.SliceStable(flex, func(i, j int) bool {
@@ -224,12 +215,12 @@ func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool 
 	choice := make([]int, len(flex))
 	okAll, undoAll := e.dfsReads(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
-	o.undo(undo)
+	o.Undo(undo)
 	if !okAll {
 		return false
 	}
 	for i, f := range flex {
-		e.setOperandStub(f.key, f.cands[choice[i]], false, f.uniq != 0)
+		e.setOperandStub(f.key, f.cands[choice[i]], false, f.val.Uniq != 0)
 	}
 	return true
 }
@@ -241,7 +232,7 @@ func (e *engine) permBudget() int {
 	return permBudgetDefault
 }
 
-func (e *engine) dfsWrites(o *occ, flex []flexWrite, choice []int, i int, budget *int, undo []touched) (bool, []touched) {
+func (e *engine) dfsWrites(o *rules.Occupancy, flex []flexWrite, choice []int, i int, budget *int, undo []rules.Undo) (bool, []rules.Undo) {
 	if i == len(flex) {
 		return true, undo
 	}
@@ -254,7 +245,7 @@ func (e *engine) dfsWrites(o *occ, flex []flexWrite, choice []int, i int, budget
 		e.stats.PermSteps++
 		mark := len(undo)
 		var fits bool
-		undo, fits = o.placeWrite(cand, f.value, f.flat, f.inv, undo)
+		undo, fits = o.PlaceWrite(cand, f.val, undo)
 		if !fits {
 			continue
 		}
@@ -264,13 +255,13 @@ func (e *engine) dfsWrites(o *occ, flex []flexWrite, choice []int, i int, budget
 		if ok {
 			return true, undo
 		}
-		o.undo(undo[mark:])
+		o.Undo(undo[mark:])
 		undo = undo[:mark]
 	}
 	return false, undo
 }
 
-func (e *engine) dfsReads(o *occ, flex []flexRead, choice []int, i int, budget *int, undo []touched) (bool, []touched) {
+func (e *engine) dfsReads(o *rules.Occupancy, flex []flexRead, choice []int, i int, budget *int, undo []rules.Undo) (bool, []rules.Undo) {
 	if i == len(flex) {
 		return true, undo
 	}
@@ -283,7 +274,7 @@ func (e *engine) dfsReads(o *occ, flex []flexRead, choice []int, i int, budget *
 		e.stats.PermSteps++
 		mark := len(undo)
 		var fits bool
-		undo, fits = o.placeRead(cand, f.value, f.flat, f.inv, f.uniq, opndNonce(f.key), undo)
+		undo, fits = o.PlaceRead(cand, f.val, opndNonce(f.key), undo)
 		if !fits {
 			continue
 		}
@@ -293,7 +284,7 @@ func (e *engine) dfsReads(o *occ, flex []flexRead, choice []int, i int, budget *
 		if ok {
 			return true, undo
 		}
-		o.undo(undo[mark:])
+		o.Undo(undo[mark:])
 		undo = undo[:mark]
 	}
 	return false, undo

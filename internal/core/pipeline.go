@@ -1,0 +1,496 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/depgraph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// This file is the pass-pipeline spine of the compiler. Compile used to
+// be one monolithic attempt loop; it is now a sequence of named passes
+// over a shared *Compilation context, driven by a manager that records
+// per-pass wall time, work and failure counters, and structured
+// diagnostics:
+//
+//	lower → [ per candidate II: prioritize → (preassign) → place ] → regalloc → verify
+//
+// The close-comms and insert-copies stages run inside place (they are
+// invoked per tentative operation placement, not once per interval) but
+// are clocked as passes of their own through the engine's passClock, so
+// `csched -passes` shows where scheduling time actually goes. Pass
+// decomposition changes no decisions: the pipeline emits bit-identical
+// schedules to the pre-pipeline compiler (pinned by the differential
+// goldens under internal/kernels/testdata/schedules).
+
+// Pass names, in canonical pipeline order.
+const (
+	PassOptions      = "options" // Options.Validate diagnostics
+	PassLower        = "lower"
+	PassPrioritize   = "prioritize"
+	PassPreassign    = "preassign"
+	PassPlace        = "place"
+	PassCloseComms   = "close-comms"
+	PassInsertCopies = "insert-copies"
+	PassRegalloc     = "regalloc"
+	PassVerify       = "verify"
+)
+
+// passRank orders pass stats canonically for reports.
+var passRank = map[string]int{
+	PassOptions:      0,
+	PassLower:        1,
+	PassPrioritize:   2,
+	PassPreassign:    3,
+	PassPlace:        4,
+	PassCloseComms:   5,
+	PassInsertCopies: 6,
+	PassRegalloc:     7,
+	PassVerify:       8,
+}
+
+// Pass is one named stage of the pipeline. Run mutates the shared
+// Compilation; a non-nil error stops the pipeline (for the per-interval
+// passes it fails only the current interval attempt).
+type Pass interface {
+	Name() string
+	Run(c *Compilation) error
+}
+
+// Compilation is the context shared by every pass: the inputs, the
+// products of earlier passes, and the instrumentation. Compile creates
+// one per call; each initiation-interval attempt additionally gets a
+// lightweight per-attempt Compilation wrapping its engine, whose pass
+// stats are merged into the parent's.
+type Compilation struct {
+	Kernel  *ir.Kernel
+	Machine *machine.Machine
+	Opts    Options
+
+	// Products of the lower pass.
+	Graph *depgraph.Graph
+	MinII int
+	MaxII int
+
+	// II is the initiation interval under trial (attempt contexts only).
+	II int
+
+	Diags []Diag
+
+	eng   *engine
+	sched *Schedule
+	clock *passClock
+}
+
+// runPass drives one pass under the clock, counting a failure when it
+// errors.
+func (c *Compilation) runPass(p Pass) error {
+	c.clock.push(p.Name())
+	err := p.Run(c)
+	c.clock.pop()
+	if err != nil {
+		c.clock.fail(p.Name())
+	}
+	return err
+}
+
+// PassStat instruments one pass: how often it ran, how many work items
+// it processed (operations placed, communications closed, copies
+// inserted — pass-specific), how often it failed, and its cumulative
+// self wall time (nested stages are attributed to themselves, not their
+// caller: place's Wall excludes the close-comms time spent under it).
+type PassStat struct {
+	Name  string
+	Runs  int
+	Steps int
+	Fails int
+	Wall  time.Duration
+}
+
+// PassStats aggregates per-pass counters across a whole compilation —
+// every initiation-interval attempt, failed and winning alike.
+type PassStats []PassStat
+
+// Get returns the stat named, nil when the pass never ran. The pointer
+// is into the slice: do not hold it across appends.
+func (ps PassStats) Get(name string) *PassStat {
+	for i := range ps {
+		if ps[i].Name == name {
+			return &ps[i]
+		}
+	}
+	return nil
+}
+
+// Merge folds other into ps, summing matching passes.
+func (ps *PassStats) Merge(other PassStats) {
+	for _, st := range other {
+		if mine := ps.Get(st.Name); mine != nil {
+			mine.Runs += st.Runs
+			mine.Steps += st.Steps
+			mine.Fails += st.Fails
+			mine.Wall += st.Wall
+		} else {
+			*ps = append(*ps, st)
+		}
+	}
+}
+
+// sortCanonical orders the stats in pipeline order.
+func (ps PassStats) sortCanonical() {
+	sort.SliceStable(ps, func(i, j int) bool {
+		ri, iok := passRank[ps[i].Name]
+		rj, jok := passRank[ps[j].Name]
+		if iok != jok {
+			return iok // known passes first
+		}
+		if ri != rj {
+			return ri < rj
+		}
+		return ps[i].Name < ps[j].Name
+	})
+}
+
+// String renders the per-pass table csched -passes prints.
+func (ps PassStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s %6s %9s %6s %12s\n", "pass", "runs", "steps", "fails", "wall")
+	for _, st := range ps {
+		fmt.Fprintf(&b, "%-13s %6d %9d %6d %12v\n",
+			st.Name, st.Runs, st.Steps, st.Fails, st.Wall.Round(time.Microsecond))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// passClock measures pass self-time on a stack: push suspends the
+// caller's accumulation, pop resumes it, so recursive stages (place →
+// close-comms → insert-copies → place again, through copy scheduling)
+// attribute every nanosecond to exactly one pass.
+type passClock struct {
+	stats PassStats
+	stack []clockFrame
+}
+
+type clockFrame struct {
+	name  string
+	start time.Time
+}
+
+func (pc *passClock) get(name string) *PassStat {
+	if st := pc.stats.Get(name); st != nil {
+		return st
+	}
+	pc.stats = append(pc.stats, PassStat{Name: name})
+	return &pc.stats[len(pc.stats)-1]
+}
+
+func (pc *passClock) push(name string) {
+	now := time.Now()
+	if n := len(pc.stack); n > 0 {
+		f := &pc.stack[n-1]
+		pc.get(f.name).Wall += now.Sub(f.start)
+		f.start = now
+	}
+	pc.get(name).Runs++
+	pc.stack = append(pc.stack, clockFrame{name: name, start: now})
+}
+
+func (pc *passClock) pop() {
+	now := time.Now()
+	n := len(pc.stack) - 1
+	f := pc.stack[n]
+	pc.stack = pc.stack[:n]
+	pc.get(f.name).Wall += now.Sub(f.start)
+	if n > 0 {
+		pc.stack[n-1].start = now
+	}
+}
+
+func (pc *passClock) step(name string)            { pc.get(name).Steps++ }
+func (pc *passClock) addSteps(name string, n int) { pc.get(name).Steps += n }
+func (pc *passClock) fail(name string)            { pc.get(name).Fails++ }
+
+// lowerPass readies the kernel for scheduling: IR verification, the
+// unit-coverage check, dependence-graph construction, and the interval
+// bounds (ResMII below, the derived or user-set cap above).
+type lowerPass struct{}
+
+func (lowerPass) Name() string { return PassLower }
+
+func (lowerPass) Run(c *Compilation) error {
+	if err := c.Kernel.Verify(); err != nil {
+		return err
+	}
+	if err := checkUnits(c.Kernel, c.Machine); err != nil {
+		return err
+	}
+	c.Graph = depgraph.Build(c.Kernel, c.Machine)
+	minII, err := depgraph.ResMII(c.Kernel, c.Machine)
+	if err != nil {
+		return err
+	}
+	c.MinII = minII
+	c.MaxII = c.Opts.MaxII
+	if c.MaxII == 0 {
+		c.MaxII = deriveMaxII(c.Kernel, c.MinII)
+	}
+	c.clock.addSteps(PassLower, len(c.Kernel.Ops))
+	if c.MaxII < c.MinII {
+		// Inverted interval bounds: the user cap is below the
+		// resource/recurrence floor, so no interval can be tried.
+		return compileErrorf(PassLower,
+			"%s does not schedule on %s within II ≤ %d: Options.MaxII is below the resource/recurrence bound %d (inverted interval bounds)",
+			c.Kernel.Name, c.Machine.Name, c.MaxII, c.MinII)
+	}
+	c.diag(PassLower, NoOp, "%d ops (%d loop), interval search [%d, %d]",
+		len(c.Kernel.Ops), len(c.Kernel.Loop), c.MinII, c.MaxII)
+	return nil
+}
+
+// errInfeasible fails an interval attempt; the engine's failBlock and
+// failOp say where placement stopped.
+var errInfeasible = fmt.Errorf("core: interval infeasible")
+
+// attemptPasses is the per-interval pipeline realized from the options:
+// the preassign pass participates only in the §6 two-phase baseline
+// configuration (PipelineConfig.Preassign / Options.TwoPhase).
+func attemptPasses(opts Options) []Pass {
+	if opts.TwoPhase {
+		return []Pass{prioritizePass{}, preassignPass{}, placePass{}}
+	}
+	return []Pass{prioritizePass{}, placePass{}}
+}
+
+// prioritizePass computes each block's scheduling order: the critical-
+// path priority order of §4.6, or earliest-cycle order under the
+// CycleOrder ablation. Orders depend only on the dependence graph, so
+// both blocks are ordered up front.
+type prioritizePass struct{}
+
+func (prioritizePass) Name() string { return PassPrioritize }
+
+func (prioritizePass) Run(c *Compilation) error {
+	e := c.eng
+	e.order = make(map[ir.BlockKind][]ir.OpID, 2)
+	for _, block := range []ir.BlockKind{ir.LoopBlock, ir.PreambleBlock} {
+		order := e.graph.PriorityOrder(block)
+		if e.opts.CycleOrder {
+			order = e.cycleOrder(block)
+		}
+		e.order[block] = order
+		e.clock.addSteps(PassPrioritize, len(order))
+	}
+	return nil
+}
+
+// preassignPass binds every operation to one unit ahead of cycle
+// scheduling (the §6 multi-phase baseline): class round-robin in
+// priority order, per block.
+type preassignPass struct{}
+
+func (preassignPass) Name() string { return PassPreassign }
+
+func (preassignPass) Run(c *Compilation) error {
+	e := c.eng
+	for _, block := range []ir.BlockKind{ir.LoopBlock, ir.PreambleBlock} {
+		e.preassign(e.order[block])
+		e.clock.addSteps(PassPreassign, len(e.order[block]))
+	}
+	return nil
+}
+
+// placePass runs the Fig. 11 unified assign-and-schedule loop over both
+// blocks — the loop first (modulo scheduled at the candidate interval),
+// then the preamble — with communication scheduling accepting or
+// rejecting each tentative placement. A preamble failure after the loop
+// placed is the §4.5 backtracking event; tryII counts it.
+type placePass struct{}
+
+func (placePass) Name() string { return PassPlace }
+
+func (placePass) Run(c *Compilation) error {
+	e := c.eng
+	for _, block := range []ir.BlockKind{ir.LoopBlock, ir.PreambleBlock} {
+		for _, id := range e.order[block] {
+			if e.cancelled() || !e.scheduleOp(id) {
+				e.failBlock, e.failOp = block, id
+				return errInfeasible
+			}
+			e.clock.step(PassPlace)
+		}
+	}
+	return nil
+}
+
+// regallocPass freezes the winning engine into the final Schedule and
+// computes the §7 implicit per-register-file demand ("When
+// communication scheduling assigns a communication to a route through a
+// specific register file, it implicitly allocates a register in that
+// register file"), flagging files whose capacity the schedule exceeds —
+// the overflows internal/regalloc's spill post-pass repairs.
+type regallocPass struct{}
+
+func (regallocPass) Name() string { return PassRegalloc }
+
+func (regallocPass) Run(c *Compilation) error {
+	c.sched = c.eng.buildSchedule()
+	c.sched.RegDemand = implicitDemand(c.sched)
+	for _, rf := range c.Machine.RegFiles {
+		if d := c.sched.RegDemand[rf.ID]; d > rf.NumRegs {
+			c.diag(PassRegalloc, NoOp, "register file %s: implicit demand %d exceeds %d registers (spill post-pass needed)",
+				rf.Name, d, rf.NumRegs)
+		}
+	}
+	c.clock.addSteps(PassRegalloc, len(c.sched.RegDemand))
+	return nil
+}
+
+// implicitDemand computes the per-file implicit register demand of a
+// finished schedule with the same modulo-variable-expansion accounting
+// the §7 register-aware engine uses (pressure.go): a loop value live L
+// cycles occupies ceil(L/II) registers, a loop invariant one register
+// for the whole loop. (internal/regalloc refines this into a full spill
+// plan; it imports core, so this summary lives core-side.)
+func implicitDemand(s *Schedule) map[machine.RFID]int {
+	type resKey struct {
+		value ir.ValueID
+		rf    machine.RFID
+	}
+	type span struct {
+		wflat, lastRead int
+		block           ir.BlockKind
+		invariant       bool
+	}
+	res := make(map[resKey]*span)
+	for _, r := range s.Routes {
+		defOp, useOp := s.Ops[r.Def], s.Ops[r.Use]
+		k := resKey{r.Value, r.W.RF}
+		sp := res[k]
+		if sp == nil {
+			wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(defOp.Opcode) - 1
+			sp = &span{wflat: wflat, lastRead: wflat, block: defOp.Block}
+			res[k] = sp
+		}
+		if defOp.Block == ir.PreambleBlock && useOp.Block == ir.LoopBlock {
+			sp.invariant = true
+			continue
+		}
+		ii := 0
+		if useOp.Block == ir.LoopBlock {
+			ii = s.II
+		}
+		if read := s.Assignments[r.Use].Cycle + r.Distance*ii; read > sp.lastRead {
+			sp.lastRead = read
+		}
+	}
+	demand := make(map[machine.RFID]int)
+	for k, sp := range res {
+		regs := 1
+		if !sp.invariant && sp.block == ir.LoopBlock && s.II > 0 {
+			life := sp.lastRead - sp.wflat
+			if life < 1 {
+				life = 1
+			}
+			regs = (life + s.II - 1) / s.II
+		}
+		demand[k.rf] += regs
+	}
+	return demand
+}
+
+// verifyPass re-derives the §4.2 rules and the structural invariants
+// from the finished schedule through the shared rules engine — the
+// independent check that the pipeline's bookkeeping never leaks into
+// its output.
+type verifyPass struct{}
+
+func (verifyPass) Name() string { return PassVerify }
+
+func (verifyPass) Run(c *Compilation) error {
+	if err := VerifySchedule(c.sched); err != nil {
+		return &CompileError{Pass: PassVerify, Reason: err.Error(), Op: NoOp}
+	}
+	c.clock.addSteps(PassVerify, len(c.sched.Routes))
+	return nil
+}
+
+// PipelineConfig names a pipeline shape: which ordering the prioritize
+// pass uses, whether the preassign pass runs, and which place-stage
+// heuristics are active. The §4.6/§6/§7 ablation switches scattered
+// through Options are exactly pipeline reconfigurations, and the
+// portfolio's racing variants are defined in these terms
+// (DefaultVariants).
+type PipelineConfig struct {
+	// Order selects the prioritize pass's ordering: OrderPriority (the
+	// paper's critical-path operation order) or OrderCycle (the greedy
+	// ASAP ablation).
+	Order string
+	// Preassign inserts the preassign pass: the §6 two-phase baseline
+	// that binds operations to units before cycle scheduling.
+	Preassign bool
+	// CostHeuristic enables the equation-1 communication-cost ordering
+	// of candidate units in the place pass.
+	CostHeuristic bool
+	// RegisterAware enables §7 register-aware routing in the
+	// close-comms stage.
+	RegisterAware bool
+}
+
+// Prioritize-pass orderings.
+const (
+	OrderPriority = "priority"
+	OrderCycle    = "cycle"
+)
+
+// Pipeline expresses the options' ablation switches as the pipeline
+// configuration they select.
+func (o Options) Pipeline() PipelineConfig {
+	order := OrderPriority
+	if o.CycleOrder {
+		order = OrderCycle
+	}
+	return PipelineConfig{
+		Order:         order,
+		Preassign:     o.TwoPhase,
+		CostHeuristic: !o.NoCostHeuristic,
+		RegisterAware: o.RegisterAware,
+	}
+}
+
+// Apply returns base with its ablation switches replaced by the
+// configuration's; the budget and bound fields of base are kept.
+// Options.Pipeline and Apply are inverses over the ablation switches.
+func (pc PipelineConfig) Apply(base Options) Options {
+	o := base
+	o.CycleOrder = pc.Order == OrderCycle
+	o.TwoPhase = pc.Preassign
+	o.NoCostHeuristic = !pc.CostHeuristic
+	o.RegisterAware = pc.RegisterAware
+	return o
+}
+
+// String renders the pipeline shape, e.g.
+// "prioritize(cycle)→preassign→place[cost,regaware]".
+func (pc PipelineConfig) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prioritize(%s)", pc.Order)
+	if pc.Preassign {
+		b.WriteString("→preassign")
+	}
+	b.WriteString("→place")
+	var mods []string
+	if pc.CostHeuristic {
+		mods = append(mods, "cost")
+	}
+	if pc.RegisterAware {
+		mods = append(mods, "regaware")
+	}
+	if len(mods) > 0 {
+		fmt.Fprintf(&b, "[%s]", strings.Join(mods, ","))
+	}
+	return b.String()
+}

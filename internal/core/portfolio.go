@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/depgraph"
 	"repro/internal/ir"
 	"repro/internal/machine"
 )
@@ -21,29 +20,38 @@ import (
 // win. Selection is deterministic — independent of worker count and
 // scheduling order — so parallel runs are repeatable.
 
-// Variant is one racing configuration of the portfolio.
+// Variant is one racing configuration of the portfolio: a named
+// pipeline configuration realized as full scheduler options.
 type Variant struct {
 	Name string
 	Opts Options
 }
 
 // DefaultVariants is the standard racing lineup derived from a base
-// configuration: the base itself plus the four ablation switches of
-// §4.6/§6/§7, each flipped relative to the base. The base rides at
+// configuration: the base itself plus four pipeline reconfigurations —
+// each §4.6/§6/§7 ablation switch of the base's PipelineConfig flipped,
+// re-applied over the base's budgets and bounds. The base rides at
 // index 0 so that on ties (same interval, same copies) the portfolio
 // reproduces the sequential scheduler's choice.
 func DefaultVariants(base Options) []Variant {
-	flip := func(name string, f func(*Options)) Variant {
-		o := base
-		f(&o)
-		return Variant{Name: name, Opts: o}
+	pc := base.Pipeline()
+	vary := func(name string, f func(*PipelineConfig)) Variant {
+		v := pc
+		f(&v)
+		return Variant{Name: name, Opts: v.Apply(base)}
 	}
 	return []Variant{
 		{Name: "base", Opts: base},
-		flip("cost-heuristic", func(o *Options) { o.NoCostHeuristic = !o.NoCostHeuristic }),
-		flip("cycle-order", func(o *Options) { o.CycleOrder = !o.CycleOrder }),
-		flip("two-phase", func(o *Options) { o.TwoPhase = !o.TwoPhase }),
-		flip("register-aware", func(o *Options) { o.RegisterAware = !o.RegisterAware }),
+		vary("cost-heuristic", func(c *PipelineConfig) { c.CostHeuristic = !c.CostHeuristic }),
+		vary("cycle-order", func(c *PipelineConfig) {
+			if c.Order == OrderCycle {
+				c.Order = OrderPriority
+			} else {
+				c.Order = OrderCycle
+			}
+		}),
+		vary("two-phase", func(c *PipelineConfig) { c.Preassign = !c.Preassign }),
+		vary("register-aware", func(c *PipelineConfig) { c.RegisterAware = !c.RegisterAware }),
 	}
 }
 
@@ -63,6 +71,8 @@ type PortfolioOptions struct {
 // (BestII, Copies) is deterministic.
 type VariantStats struct {
 	Name string
+	// Pipeline is the variant's pipeline shape.
+	Pipeline PipelineConfig
 	// IIsTried counts single-interval attempts run to completion.
 	IIsTried int
 	// Cancelled counts attempts killed mid-flight because a smaller
@@ -92,6 +102,11 @@ type PortfolioStats struct {
 	Cancelled int
 	Wall      time.Duration
 	Variants  []VariantStats
+	// Passes aggregates per-pass counters and wall time across every
+	// attempt of every variant (lower, regalloc, and verify run once,
+	// on the parent compilation), in canonical pipeline order. Pass
+	// wall sums across concurrent workers, so it can exceed Wall.
+	Passes PassStats
 }
 
 // WinnerName returns the winning variant's name, "" when none won.
@@ -107,8 +122,8 @@ func (p *PortfolioStats) String() string {
 	s := fmt.Sprintf("portfolio: %d workers, minII=%d, winner=%s II=%d, %d attempts (%d cancelled), %v",
 		p.Workers, p.MinII, p.WinnerName(), p.WinnerII, p.IIsTried, p.Cancelled, p.Wall.Round(time.Microsecond))
 	for _, v := range p.Variants {
-		s += fmt.Sprintf("\n  %-14s tried=%-3d cancelled=%-3d bestII=%-3d copies=%-3d %v",
-			v.Name, v.IIsTried, v.Cancelled, v.BestII, v.Copies, v.Wall.Round(time.Microsecond))
+		s += fmt.Sprintf("\n  %-14s %-40s tried=%-3d cancelled=%-3d bestII=%-3d copies=%-3d %v",
+			v.Name, v.Pipeline, v.IIsTried, v.Cancelled, v.BestII, v.Copies, v.Wall.Round(time.Microsecond))
 	}
 	return s
 }
@@ -121,7 +136,7 @@ type task struct {
 
 // won is one successful grid cell.
 type won struct {
-	sched  *Schedule
+	eng    *engine
 	copies int
 }
 
@@ -150,25 +165,26 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := k.Verify(); err != nil {
-		return nil, nil, err
-	}
-	if err := checkUnits(k, m); err != nil {
-		return nil, nil, err
-	}
-	g := depgraph.Build(k, m)
-	minII, err := depgraph.ResMII(k, m)
-	if err != nil {
-		return nil, nil, err
-	}
-	maxII := base.MaxII
-	if maxII == 0 {
-		maxII = deriveMaxII(k, minII)
+	c := &Compilation{Kernel: k, Machine: m, Opts: base, clock: new(passClock)}
+	if err := base.Validate(); err != nil {
+		return nil, nil, c.decorate(err)
 	}
 	variants := pf.Variants
 	if len(variants) == 0 {
 		variants = DefaultVariants(base)
 	}
+	for _, v := range variants {
+		if err := v.Opts.Validate(); err != nil {
+			if ce, ok := err.(*CompileError); ok {
+				ce.Reason = fmt.Sprintf("variant %q: %s", v.Name, ce.Reason)
+			}
+			return nil, nil, c.decorate(err)
+		}
+	}
+	if err := c.runPass(lowerPass{}); err != nil {
+		return nil, nil, c.decorate(err)
+	}
+	g, minII, maxII := c.Graph, c.MinII, c.MaxII
 	workers := pf.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -182,6 +198,7 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 	}
 	for i, v := range variants {
 		stats.Variants[i].Name = v.Name
+		stats.Variants[i].Pipeline = v.Opts.Pipeline()
 	}
 
 	// best is the smallest interval proven schedulable so far (maxII+1
@@ -195,6 +212,7 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		nextII  = minII
 		nextVar = 0
 		wins    = make(map[task]won)
+		passes  PassStats
 	)
 	// next claims the lexicographically next (interval, variant) cell.
 	// Generation halts once the interval passes the current best: those
@@ -236,11 +254,13 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 					return int(best.Load()) < t.ii || ctx.Err() != nil
 				}
 				var scratch Stats
+				var ps PassStats
 				t0 := time.Now()
-				e, aborted := tryII(k, m, g, variants[t.vi].Opts, t.ii, cancel, &scratch)
+				e, aborted := tryII(k, m, g, variants[t.vi].Opts, t.ii, cancel, &scratch, &ps, nil)
 				elapsed := time.Since(t0)
 
 				mu.Lock()
+				passes.Merge(ps)
 				vs := &stats.Variants[t.vi]
 				vs.Wall += elapsed
 				if aborted {
@@ -252,9 +272,8 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 				vs.IIsTried++
 				stats.IIsTried++
 				if e != nil {
-					s := e.buildSchedule()
-					copies := len(s.Ops) - len(k.Ops)
-					wins[t] = won{sched: s, copies: copies}
+					copies := len(e.ops) - len(k.Ops)
+					wins[t] = won{eng: e, copies: copies}
 					if vs.BestII == 0 || t.ii < vs.BestII {
 						vs.BestII, vs.Copies = t.ii, copies
 					}
@@ -270,15 +289,24 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		}()
 	}
 	wg.Wait()
-	stats.Wall = time.Since(start)
+
+	finish := func() {
+		stats.Passes = append(PassStats(nil), c.clock.stats...)
+		stats.Passes.Merge(passes)
+		stats.Passes.sortCanonical()
+		stats.Wall = time.Since(start)
+	}
 
 	if err := ctx.Err(); err != nil {
+		finish()
 		return nil, stats, err
 	}
 	winII := int(best.Load())
 	if winII > maxII {
-		return nil, stats, fmt.Errorf("core: %s does not schedule on %s within II ≤ %d (portfolio of %d variants, %d attempts)",
-			k.Name, m.Name, maxII, len(variants), stats.IIsTried)
+		finish()
+		return nil, stats, c.decorate(compileErrorf(PassPlace,
+			"%s does not schedule on %s within II ≤ %d (portfolio of %d variants, %d attempts)",
+			k.Name, m.Name, maxII, len(variants), stats.IIsTried))
 	}
 	// Deterministic selection among the cells at the winning interval:
 	// fewest copies, then lowest variant index (the iteration order).
@@ -292,5 +320,18 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 	}
 	stats.Winner = winner
 	stats.WinnerII = winII
-	return chosen.sched, stats, nil
+	c.eng = chosen.eng
+	c.II = winII
+	if err := c.runPass(regallocPass{}); err != nil {
+		finish()
+		return nil, stats, c.decorate(err)
+	}
+	if err := c.runPass(verifyPass{}); err != nil {
+		finish()
+		return nil, stats, c.decorate(err)
+	}
+	finish()
+	c.sched.Passes = stats.Passes
+	c.sched.Diags = c.Diags
+	return c.sched, stats, nil
 }

@@ -59,6 +59,19 @@ type Schedule struct {
 	Reads  map[OperandKey]machine.ReadStub
 
 	Stats Stats
+
+	// Passes holds the per-pass instrumentation of the whole
+	// compilation (every initiation-interval attempt included), in
+	// canonical pipeline order; Diags the informational diagnostics the
+	// passes emitted. Neither influences the schedule itself.
+	Passes PassStats
+	Diags  []Diag
+
+	// RegDemand is the implicit per-file register demand of the
+	// schedule (§7): the registers communication scheduling allocated
+	// by routing values through each file, computed by the regalloc
+	// pass with modulo-variable-expansion accounting.
+	RegDemand map[machine.RFID]int
 }
 
 // buildSchedule freezes the engine state into a Schedule. It panics on

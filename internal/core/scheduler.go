@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/depgraph"
 	"repro/internal/ir"
@@ -11,7 +12,8 @@ import (
 
 // Options tune the scheduler. The zero value gives the configuration
 // used for the paper's results; the ablation switches reproduce the
-// §4.6 design-choice comparisons.
+// §4.6 design-choice comparisons (Options.Pipeline expresses them as a
+// pipeline configuration).
 type Options struct {
 	// MaxII caps the initiation-interval search; 0 derives a generous
 	// bound from the loop size.
@@ -54,31 +56,57 @@ type Options struct {
 	TwoPhase bool
 }
 
-// Compile schedules kernel k onto machine m: the loop block is modulo
-// scheduled at the smallest feasible initiation interval, then the
-// preamble is list scheduled, with communication scheduling allocating
-// interconnect for every value moved. The returned Schedule contains
-// placements for every operation (including inserted copies), the
-// route of every communication, and instrumentation counters.
+// Validate rejects option values that cannot mean anything: negative
+// budgets and bounds (zero always means "use the default"). Compile and
+// CompilePortfolio call it up front so a bad configuration fails with a
+// descriptive options-pass error instead of being silently clamped to a
+// default mid-attempt.
+func (o Options) Validate() error {
+	var bad []string
+	if o.MaxII < 0 {
+		bad = append(bad, fmt.Sprintf("MaxII %d is negative (0 derives a bound; positive caps the interval search)", o.MaxII))
+	}
+	if o.PermBudget < 0 {
+		bad = append(bad, fmt.Sprintf("PermBudget %d is negative (0 means the 4096-step default)", o.PermBudget))
+	}
+	if o.MaxCandidates < 0 {
+		bad = append(bad, fmt.Sprintf("MaxCandidates %d is negative (0 means the default of 96)", o.MaxCandidates))
+	}
+	if o.ScanWindow < 0 {
+		bad = append(bad, fmt.Sprintf("ScanWindow %d is negative (0 derives per-block defaults)", o.ScanWindow))
+	}
+	if o.AttemptBudget < 0 {
+		bad = append(bad, fmt.Sprintf("AttemptBudget %d is negative (0 means the default of 128)", o.AttemptBudget))
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	return compileErrorf(PassOptions, "invalid options: %s", strings.Join(bad, "; "))
+}
+
+// Compile schedules kernel k onto machine m by running the pass
+// pipeline: lower readies the kernel, then for each candidate
+// initiation interval the per-interval passes (prioritize, preassign
+// under TwoPhase, place — with close-comms and insert-copies nested
+// inside place) attempt a schedule, and regalloc + verify finish the
+// winner. The loop block is modulo scheduled at the smallest feasible
+// initiation interval, then the preamble is list scheduled, with
+// communication scheduling allocating interconnect for every value
+// moved. The returned Schedule contains placements for every operation
+// (including inserted copies), the route of every communication,
+// instrumentation counters, and the per-pass statistics.
 func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) {
-	if err := k.Verify(); err != nil {
-		return nil, err
+	c := &Compilation{Kernel: k, Machine: m, Opts: opts, clock: new(passClock)}
+	if err := opts.Validate(); err != nil {
+		return nil, c.decorate(err)
 	}
-	if err := checkUnits(k, m); err != nil {
-		return nil, err
-	}
-	g := depgraph.Build(k, m)
-	minII, err := depgraph.ResMII(k, m)
-	if err != nil {
-		return nil, err
-	}
-	maxII := opts.MaxII
-	if maxII == 0 {
-		maxII = deriveMaxII(k, minII)
+	if err := c.runPass(lowerPass{}); err != nil {
+		return nil, c.decorate(err)
 	}
 	var agg Stats
+	var lastFail placeFail
 	try := func(ii int) *engine {
-		e, _ := tryII(k, m, g, opts, ii, nil, &agg)
+		e, _ := tryII(k, m, c.Graph, opts, ii, nil, &agg, &c.clock.stats, &lastFail)
 		return e
 	}
 	// Escalating probe: when small intervals fail, grow the step so
@@ -87,22 +115,21 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	// probes; then refine back down to the smallest interval that
 	// schedules.
 	var good *engine
-	failedBelow := minII
+	failedBelow := c.MinII
 	step := 1
-	for ii := minII; ii <= maxII; {
+	for ii := c.MinII; ii <= c.MaxII; {
 		if e := try(ii); e != nil {
 			good = e
 			break
 		}
 		failedBelow = ii + 1
 		ii += step
-		if next := step + (step+1)/2; next <= maxII/8+1 {
+		if next := step + (step+1)/2; next <= c.MaxII/8+1 {
 			step = next
 		}
 	}
 	if good == nil {
-		return nil, fmt.Errorf("core: %s does not schedule on %s within II ≤ %d (%d attempts)",
-			k.Name, m.Name, maxII, agg.Attempts)
+		return nil, c.decorate(scheduleFailure(c, agg, lastFail))
 	}
 	for failedBelow < good.ii {
 		mid := (failedBelow + good.ii) / 2
@@ -114,7 +141,43 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	}
 	good.stats.IIsTried = agg.IIsTried
 	good.stats.Backtracks += agg.Backtracks
-	return good.buildSchedule(), nil
+	c.eng = good
+	c.II = good.ii
+	if err := c.runPass(regallocPass{}); err != nil {
+		return nil, c.decorate(err)
+	}
+	if err := c.runPass(verifyPass{}); err != nil {
+		return nil, c.decorate(err)
+	}
+	c.clock.stats.sortCanonical()
+	c.sched.Passes = c.clock.stats
+	c.sched.Diags = c.Diags
+	return c.sched, nil
+}
+
+// scheduleFailure builds the structured does-not-schedule report,
+// localized to the last operation the place pass gave up on.
+func scheduleFailure(c *Compilation, agg Stats, lastFail placeFail) *CompileError {
+	ce := compileErrorf(PassPlace,
+		"%s does not schedule on %s within II ≤ %d (%d attempts)",
+		c.Kernel.Name, c.Machine.Name, c.MaxII, agg.Attempts)
+	if lastFail.name != "" {
+		ce.Op = lastFail.op
+		ce.Line = lastFail.line
+		c.diag(PassPlace, lastFail.op, "II %d: %s rejected every placement in the %v block",
+			lastFail.ii, lastFail.name, lastFail.block)
+	}
+	return ce
+}
+
+// placeFail records where the place pass last gave up, for the
+// structured failure report.
+type placeFail struct {
+	ii    int
+	block ir.BlockKind
+	op    ir.OpID
+	name  string
+	line  int
 }
 
 // deriveMaxII is the default cap on the initiation-interval search: a
@@ -132,42 +195,70 @@ func deriveMaxII(k *ir.Kernel, minII int) int {
 func checkUnits(k *ir.Kernel, m *machine.Machine) error {
 	for _, op := range k.Ops {
 		if cls := op.Opcode.Class(); len(m.UnitsFor(cls)) == 0 {
-			return fmt.Errorf("core: no unit on %s executes %v (op %d %s)",
-				m.Name, cls, op.ID, op.Name)
+			return &CompileError{
+				Pass: PassLower,
+				Reason: fmt.Sprintf("no unit on %s executes %v (op %d %s)",
+					m.Name, cls, op.ID, op.Name),
+				Op:   op.ID,
+				Line: op.Line,
+			}
 		}
 	}
 	return nil
 }
 
 // tryII attempts to schedule the kernel at exactly one initiation
-// interval, accumulating cross-interval counters into agg. It returns
-// the successful engine, or nil plus whether the attempt was abandoned
-// by the cancellation hook rather than proven infeasible.
-func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int, cancel func() bool, agg *Stats) (*engine, bool) {
+// interval by running the per-interval passes over a fresh engine,
+// accumulating cross-interval counters into agg and per-pass stats into
+// ps (nil to skip). It returns the successful engine, or nil plus
+// whether the attempt was abandoned by the cancellation hook rather
+// than proven infeasible; fail, when non-nil, records where placement
+// stopped.
+func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int, cancel func() bool, agg *Stats, ps *PassStats, fail *placeFail) (*engine, bool) {
 	if len(k.Loop) > 0 && !g.RecMIIFeasible(ii) {
 		return nil, false
 	}
 	agg.IIsTried++
+	ac := &Compilation{Kernel: k, Machine: m, Opts: opts, Graph: g, II: ii, clock: new(passClock)}
 	e := newEngine(k, m, g, opts, ii)
 	e.cancel = cancel
-	if e.scheduleBlock(ir.LoopBlock) {
-		if e.scheduleBlock(ir.PreambleBlock) {
-			return e, false
+	e.clock = ac.clock
+	ac.eng = e
+	var failed error
+	for _, p := range attemptPasses(opts) {
+		if err := ac.runPass(p); err != nil {
+			failed = err
+			break
 		}
-		// The loop was placed but a cross-block communication could
-		// not complete in the preamble: the §4.5 backtracking case
-		// (the already-scheduled block is reopened by restarting).
-		if !e.aborted {
-			agg.Backtracks++
-		}
+	}
+	if ps != nil {
+		ps.Merge(ac.clock.stats)
+	}
+	if failed == nil {
+		return e, false
+	}
+	// The loop was placed but a cross-block communication could not
+	// complete in the preamble: the §4.5 backtracking case (the
+	// already-scheduled block is reopened by restarting).
+	if e.failBlock == ir.PreambleBlock && !e.aborted {
+		agg.Backtracks++
 	}
 	agg.Attempts += e.stats.Attempts
 	agg.AttemptFailures += e.stats.AttemptFailures
 	agg.PermSteps += e.stats.PermSteps
+	if fail != nil && !e.aborted {
+		*fail = placeFail{ii: ii, block: e.failBlock, op: e.failOp, name: e.opString(e.failOp)}
+		if int(e.failOp) < len(k.Ops) {
+			fail.line = k.Ops[e.failOp].Line
+		}
+	}
 	return nil, e.aborted
 }
 
-// scheduleBlock schedules one block's operations in priority order.
+// scheduleBlock schedules one block's operations in priority order —
+// the pre-pipeline entry point, kept for white-box tests that drive a
+// single block directly; tryII runs the equivalent prioritize /
+// preassign / place passes instead.
 func (e *engine) scheduleBlock(block ir.BlockKind) bool {
 	order := e.graph.PriorityOrder(block)
 	if e.opts.CycleOrder {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/rules"
 )
 
 // tKey addresses one resource cycle: preamble cycles are absolute, loop
@@ -96,9 +97,10 @@ type engine struct {
 	// target); the ordering is a function of static machine distances.
 	wcCache map[wcKey][]machine.WriteStub
 
-	// occ and undoScratch are the reusable permutation-solver state.
-	occ         *occ
-	undoScratch []touched
+	// occ and undoScratch are the reusable permutation-solver state;
+	// the sharing rules themselves live in internal/rules.
+	occ         *rules.Occupancy
+	undoScratch []rules.Undo
 
 	// roots maps copy results to the original value they carry;
 	// deposits records, per original value, every register file a
@@ -115,6 +117,20 @@ type engine struct {
 	// (Options.TwoPhase); empty for the unified scheduler. Copies
 	// inserted by communication scheduling stay free to pick units.
 	assigned map[ir.OpID]machine.FUID
+
+	// order holds each block's scheduling order, computed by the
+	// prioritize pass and consumed by the preassign and place passes.
+	order map[ir.BlockKind][]ir.OpID
+
+	// clock attributes wall time and work counters to the pipeline's
+	// passes; the nested close-comms and insert-copies stages push onto
+	// it from inside place.
+	clock *passClock
+
+	// failBlock and failOp record where the place pass gave up, for
+	// backtrack accounting and the structured failure report.
+	failBlock ir.BlockKind
+	failOp    ir.OpID
 
 	// cancel, when non-nil, is polled during scheduling; once it returns
 	// true the engine abandons the current interval (CompilePortfolio
@@ -152,12 +168,13 @@ func newEngine(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options
 		fuLoad:      make(map[machine.FUID]int),
 		physSlot:    make(map[OperandKey]int),
 		wcCache:     make(map[wcKey][]machine.WriteStub),
-		occ:         newOcc(m),
+		occ:         rules.NewOccupancy(m),
 		roots:       make(map[ir.ValueID]ir.ValueID),
 		deposits:    make(map[ir.ValueID][]deposit),
 		depositLoad: make(map[machine.RFID]int),
 		intervals:   make(map[livKey]liveInterval),
 		rfPressure:  make(map[machine.RFID]int),
+		clock:       new(passClock),
 	}
 	e.ops = make([]*ir.Op, len(k.Ops))
 	copy(e.ops, k.Ops)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/rules"
 )
 
 // VerifySchedule re-derives the structural rules of §4.2 from a
@@ -185,65 +186,42 @@ func verifyCoverage(s *Schedule) error {
 }
 
 // verifyConflicts re-runs the §4.2 sharing rules over the finished
-// schedule with fresh bookkeeping.
+// schedule with fresh bookkeeping: every write stub and read stub is
+// replayed through the shared rules engine (internal/rules), one
+// CycleState per (block, modulo slot).
 func verifyConflicts(s *Schedule) error {
-	type cell struct {
-		kind  string
-		id    int
+	type cellKey struct {
 		block ir.BlockKind
 		slot  int
-		// ident keys per-value-instance cells (the rfw rule applies per
-		// value: the same result may not enter one register file through
-		// two different buses or ports, §4.2, but two different values
-		// may use two different ports of the same file).
-		ident string
 	}
-	type claim struct {
-		desc string
-	}
-	occupancy := make(map[cell]map[string]claim)
-	add := func(c cell, identity, desc string) error {
-		if occupancy[c] == nil {
-			occupancy[c] = map[string]claim{identity: {desc}}
-			return nil
+	cycles := make(map[cellKey]*rules.CycleState)
+	at := func(block ir.BlockKind, slot int) *rules.CycleState {
+		k := cellKey{block, slot}
+		if cycles[k] == nil {
+			cycles[k] = rules.NewCycleState()
 		}
-		if len(occupancy[c]) == 1 {
-			if _, same := occupancy[c][identity]; same {
-				return nil
-			}
-		}
-		for other, cl := range occupancy[c] {
-			if other != identity {
-				return fmt.Errorf("verify: %s %d (%v slot %d): %q conflicts with %q",
-					c.kind, c.id, c.block, c.slot, desc, cl.desc)
-			}
-		}
-		occupancy[c][identity] = claim{desc}
-		return nil
+		return cycles[k]
 	}
 
-	writeIdent := func(r Route) string {
+	// writeIdentity mirrors the engine's: the value and its flat
+	// completion cycle.
+	writeIdentity := func(r Route) rules.Value {
 		wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(s.Ops[r.Def].Opcode) - 1
-		return fmt.Sprintf("w:v%d@%d", r.Value, wflat)
+		return rules.Value{ID: r.Value, Flat: int32(wflat)}
 	}
 	for _, r := range s.Routes {
 		block := s.Ops[r.Def].Block
-		wslot := moduloSlot(s, block, s.Assignments[r.Def].Cycle+s.Machine.Latency(s.Ops[r.Def].Opcode)-1)
-		id := writeIdent(r)
+		wflat := s.Assignments[r.Def].Cycle + s.Machine.Latency(s.Ops[r.Def].Opcode) - 1
+		wslot := moduloSlot(s, block, wflat)
 		desc := fmt.Sprintf("write v%d by op%d", r.Value, r.Def)
-		if err := add(cell{"bus", int(r.W.Bus), block, wslot, ""}, id+fmt.Sprintf("/fu%d", r.W.FU), desc); err != nil {
-			return err
-		}
-		if err := add(cell{"wport", int(r.W.Port), block, wslot, ""}, id+fmt.Sprintf("/bus%d", r.W.Bus), desc); err != nil {
-			return err
-		}
-		if err := add(cell{"rfw", int(r.W.RF), block, wslot, id},
-			fmt.Sprintf("bus%d/wp%d", r.W.Bus, r.W.Port), desc); err != nil {
-			return err
+		if cf := at(block, wslot).Write(r.W, writeIdentity(r), desc); cf != nil {
+			return fmt.Errorf("verify: %v slot %d: %w", block, wslot, cf)
 		}
 	}
-	// Reads: one stub per operand; identity follows the engine's rules.
-	readIdent := func(key OperandKey) string {
+	// Reads: one stub per operand; identity follows the engine's rules
+	// (multi-source operands unique, loop invariants per value,
+	// loop-carried reads normalized by distance·II).
+	readIdentity := func(key OperandKey) rules.Value {
 		var comms []Route
 		for _, r := range s.Routes {
 			if r.Use == key.Op && r.Slot == key.Slot {
@@ -251,28 +229,26 @@ func verifyConflicts(s *Schedule) error {
 			}
 		}
 		if len(comms) != 1 {
-			return fmt.Sprintf("phi:op%d.%d", key.Op, key.Slot)
+			return rules.Value{ID: ir.NoValue, Flat: int32(s.Assignments[key.Op].Cycle),
+				Uniq: int32(key.Op)*8 + int32(key.Slot) + 1}
 		}
 		r := comms[0]
 		if s.Ops[r.Def].Block == ir.PreambleBlock && s.Ops[r.Use].Block == ir.LoopBlock {
-			return fmt.Sprintf("inv:v%d", r.Value)
+			return rules.Value{ID: r.Value, Inv: true}
 		}
 		ii := 0
 		if s.Ops[r.Use].Block == ir.LoopBlock {
 			ii = s.II
 		}
-		return fmt.Sprintf("r:v%d@%d", r.Value, s.Assignments[r.Use].Cycle-r.Distance*ii)
+		return rules.Value{ID: r.Value, Flat: int32(s.Assignments[r.Use].Cycle - r.Distance*ii)}
 	}
 	for key, stub := range s.Reads {
 		block := s.Ops[key.Op].Block
 		rslot := moduloSlot(s, block, s.Assignments[key.Op].Cycle)
-		id := readIdent(key)
 		desc := fmt.Sprintf("read op%d.%d", key.Op, key.Slot)
-		if err := add(cell{"rport", int(stub.Port), block, rslot, ""}, id, desc); err != nil {
-			return err
-		}
-		if err := add(cell{"bus", int(stub.Bus), block, rslot, ""}, id+fmt.Sprintf("/rp%d", stub.Port), desc); err != nil {
-			return err
+		opnd := int32(key.Op)*8 + int32(key.Slot) + 1
+		if cf := at(block, rslot).Read(stub, readIdentity(key), opnd, desc); cf != nil {
+			return fmt.Errorf("verify: %v slot %d: %w", block, rslot, cf)
 		}
 	}
 	return nil

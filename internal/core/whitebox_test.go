@@ -108,26 +108,23 @@ func TestReadIdentityRules(t *testing.T) {
 	e.placeOp(mulID, e.mach.UnitsFor(ir.ClsMul)[0], 1)
 
 	// The induction add's operand 0 is a phi: never shareable.
-	_, _, _, uniq := e.readIdentity(OperandKey{Op: addID, Slot: 0})
-	if uniq == 0 {
+	if id := e.readIdentity(OperandKey{Op: addID, Slot: 0}); id.Uniq == 0 {
 		t.Error("phi operand not marked unique")
 	}
 	// The mul's operand 1 reads a loop invariant: invariant identity.
-	_, _, isInv, uniq2 := e.readIdentity(OperandKey{Op: mulID, Slot: 1})
-	if !isInv || uniq2 != 0 {
-		t.Errorf("invariant operand: inv=%v uniq=%d", isInv, uniq2)
+	if id := e.readIdentity(OperandKey{Op: mulID, Slot: 1}); !id.Inv || id.Uniq != 0 {
+		t.Errorf("invariant operand: inv=%v uniq=%d", id.Inv, id.Uniq)
 	}
 	// The mul's operand 0 reads the induction phi: also unique.
-	if _, _, _, u := e.readIdentity(OperandKey{Op: mulID, Slot: 0}); u == 0 {
+	if id := e.readIdentity(OperandKey{Op: mulID, Slot: 0}); id.Uniq == 0 {
 		t.Error("induction phi operand not marked unique")
 	}
 	// The store's operand 0 reads p plainly: value identity, same
 	// iteration, shareable.
 	storeID := k.Loop[2]
 	e.placeOp(storeID, e.mach.UnitsFor(ir.ClsMem)[0], 3)
-	v, _, isInv0, uniq0 := e.readIdentity(OperandKey{Op: storeID, Slot: 0})
-	if isInv0 || uniq0 != 0 || v == ir.NoValue {
-		t.Errorf("plain operand: v=%d inv=%v uniq=%d", v, isInv0, uniq0)
+	if id := e.readIdentity(OperandKey{Op: storeID, Slot: 0}); id.Inv || id.Uniq != 0 || id.ID == ir.NoValue {
+		t.Errorf("plain operand: v=%d inv=%v uniq=%d", id.ID, id.Inv, id.Uniq)
 	}
 }
 

@@ -7,9 +7,10 @@ import "fmt"
 //
 // The zero Builder is not ready; use NewBuilder.
 type Builder struct {
-	k   *Kernel
-	cur BlockKind
-	err error
+	k    *Kernel
+	cur  BlockKind
+	line int
+	err  error
 }
 
 // NewBuilder returns a builder for a kernel with the given name,
@@ -26,6 +27,14 @@ func (b *Builder) SetBlock(kind BlockKind) *Builder {
 
 // Loop switches to the loop block.
 func (b *Builder) Loop() *Builder { return b.SetBlock(LoopBlock) }
+
+// SetLine sets the source line stamped on subsequently emitted
+// operations (0 clears it). The kernel-language lowering calls it per
+// statement so scheduler diagnostics can point back at the source.
+func (b *Builder) SetLine(line int) *Builder {
+	b.line = line
+	return b
+}
 
 // SetTripCount sets the nominal simulation trip count.
 func (b *Builder) SetTripCount(n int) *Builder {
@@ -74,6 +83,7 @@ func (b *Builder) emit(opc Opcode, name string, tag int, args []Operand) ValueID
 		Block:  b.cur,
 		Name:   name,
 		MemTag: tag,
+		Line:   b.line,
 	}
 	if opc.HasResult() {
 		v := &Value{ID: ValueID(len(b.k.Values)), Name: name, Def: op.ID}

@@ -109,6 +109,11 @@ type Op struct {
 	// sharing a tag are ordered by the dependence builder. Tag 0 means
 	// "no aliasing" (disjoint streams, the common media-kernel case).
 	MemTag int
+
+	// Line is the kernel-language source line the operation was lowered
+	// from, 0 when the kernel was built directly in IR. Diagnostics use
+	// it; scheduling ignores it.
+	Line int
 }
 
 // ArgValue returns the single source of operand slot i, for callers that

@@ -150,6 +150,7 @@ func (lw *lowerer) lower() error {
 
 	// Preamble.
 	for _, s := range lw.f.Preamble {
+		lw.b.SetLine(stmtLine(s))
 		switch s := s.(type) {
 		case *StreamDecl:
 			if s.Name == "sp" || s.Name == "spf" {
@@ -217,6 +218,7 @@ func (lw *lowerer) lower() error {
 	lw.inLoop = true
 	loop := lw.f.Loop
 	step := loop.Step * int64(loop.Unroll)
+	lw.b.SetLine(loop.Line)
 	iv, _ := lw.b.InductionVar(loop.Var, loop.Lo, step)
 	lw.ivName = loop.Var
 	lw.iv = iv
@@ -224,6 +226,7 @@ func (lw *lowerer) lower() error {
 		return lw.errf(loop.Line, "induction variable %s shadows a declaration", loop.Var)
 	}
 	for _, s := range body {
+		lw.b.SetLine(stmtLine(s))
 		switch s := s.(type) {
 		case *AssignStmt:
 			if err := lw.assign(s); err != nil {
@@ -533,6 +536,22 @@ func splitIndex(e Expr) (Expr, int64) {
 		}
 	}
 	return e, 0
+}
+
+// stmtLine returns the source line of a statement, 0 for synthetic
+// statements.
+func stmtLine(s Stmt) int {
+	switch s := s.(type) {
+	case *StreamDecl:
+		return s.Line
+	case *DeclStmt:
+		return s.Line
+	case *AssignStmt:
+		return s.Line
+	case *StoreStmt:
+		return s.Line
+	}
+	return 0
 }
 
 func exprLine(e Expr) int {

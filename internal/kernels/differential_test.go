@@ -1,0 +1,100 @@
+package kernels
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite the schedule fingerprint goldens from the current compiler")
+
+// differentialMachines are the four paper architectures the goldens
+// cover (Table 2).
+func differentialMachines() []*machine.Machine {
+	return []*machine.Machine{
+		machine.Central(),
+		machine.Clustered(2),
+		machine.Clustered(4),
+		machine.Distributed(),
+	}
+}
+
+func goldenFile(kernel, mach string) string {
+	name := strings.ReplaceAll(strings.ToLower(kernel), " ", "_") + "__" + mach + ".golden"
+	return filepath.Join("testdata", "schedules", name)
+}
+
+// TestScheduleGoldens is the differential gate for compiler refactors:
+// every Table 1 kernel × architecture pair must compile to a schedule
+// whose fingerprint (II, placements, routes, copies) is bit-identical
+// to the golden captured from the pre-refactor compiler. Regenerate
+// deliberately with -update-goldens after an intentional behavior
+// change.
+func TestScheduleGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping differential goldens in -short mode")
+	}
+	for _, spec := range All() {
+		for _, m := range differentialMachines() {
+			spec, m := spec, m
+			t.Run(spec.Name+"/"+m.Name, func(t *testing.T) {
+				t.Parallel()
+				k := spec.MustKernel()
+				s, err := core.Compile(k, m, core.Options{})
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				got := s.Fingerprint()
+				path := goldenFile(spec.Name, m.Name)
+				if *updateGoldens {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run go test ./internal/kernels -run TestScheduleGoldens -update-goldens): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("schedule fingerprint diverged from pre-refactor golden %s:\n%s",
+						path, fingerprintDiff(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// fingerprintDiff reports the first few differing lines — enough to
+// localize a divergence without dumping two full schedules.
+func fingerprintDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	shown := 0
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		b.WriteString("  want: " + w + "\n  got:  " + g + "\n")
+		if shown++; shown >= 8 {
+			b.WriteString("  ...\n")
+			break
+		}
+	}
+	return b.String()
+}

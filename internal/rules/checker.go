@@ -1,0 +1,84 @@
+package rules
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Conflict explains one sharing-rule violation: which rule, on which
+// resource, and the two claims that collided. It satisfies error.
+type Conflict struct {
+	Rule Rule
+	Res  int32  // resource index within the rule's class
+	Old  string // description of the established claim
+	New  string // description of the rejected claim
+}
+
+func (c *Conflict) Error() string {
+	return fmt.Sprintf("%s %d: %s conflicts with %s [%s]",
+		c.Rule.Resource, c.Res, c.New, c.Old, c.Rule.Name)
+}
+
+// CycleState checks the sharing rules over one cycle (or one modulo
+// slot) with full bookkeeping: unlike Occupancy it never undoes, and a
+// violation comes back as a Conflict naming the rule and both
+// claimants. The structural verifier and the cycle-accurate simulator
+// drive their checks through it.
+type CycleState struct {
+	claims map[cellKey]held
+}
+
+type cellKey struct {
+	rule Kind
+	res  int32
+	key  Value // RFWrite cells are per value instance
+}
+
+type held struct {
+	c    Claim
+	desc string
+}
+
+// NewCycleState returns an empty cycle.
+func NewCycleState() *CycleState {
+	return &CycleState{claims: make(map[cellKey]held)}
+}
+
+// add asserts one claim described by desc.
+func (cs *CycleState) add(cr ClaimRef, desc string) *Conflict {
+	key := cellKey{rule: cr.Rule, res: cr.Res, key: cr.Key}
+	if prev, busy := cs.claims[key]; busy {
+		if prev.c == cr.Claim {
+			return nil
+		}
+		return &Conflict{Rule: Table[cr.Rule], Res: cr.Res, Old: prev.desc, New: desc}
+	}
+	cs.claims[key] = held{c: cr.Claim, desc: desc}
+	return nil
+}
+
+// Write checks a write stub delivering value instance v, described by
+// desc for diagnostics.
+func (cs *CycleState) Write(stub machine.WriteStub, v Value, desc string) *Conflict {
+	for _, cr := range WriteClaims(stub, v) {
+		if cf := cs.add(cr, desc); cf != nil {
+			return cf
+		}
+	}
+	return nil
+}
+
+// Read checks a read stub fetching value instance v. opnd is the
+// consuming operand's nonce; pass 0 to skip the unit-input rule.
+func (cs *CycleState) Read(stub machine.ReadStub, v Value, opnd int32, desc string) *Conflict {
+	for _, cr := range ReadClaims(stub, v, opnd) {
+		if cr.Rule == FUInput && opnd == 0 {
+			continue
+		}
+		if cf := cs.add(cr, desc); cf != nil {
+			return cf
+		}
+	}
+	return nil
+}

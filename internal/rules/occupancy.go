@@ -1,0 +1,121 @@
+package rules
+
+import "repro/internal/machine"
+
+// Occupancy is the reusable occupancy state behind one cycle-permutation
+// solve. The array-backed rules (Bus, ReadPort, WritePort, FUInput) use
+// flat cells stamped with an epoch — bumped per solve, so resets are
+// O(1) — and the per-(register file, value instance) write-identity
+// rule uses a small map with epoch-stamped values. The DFS search
+// undoes placements through the Undo lists the place calls return. The
+// placement path allocates nothing and reports plain booleans; clients
+// that want explained conflicts use CycleState instead.
+type Occupancy struct {
+	epoch int32
+	cells [RFWrite][]cell // indexed by Kind for the array-backed rules
+	rfw   map[rfwKey]rfwVal
+}
+
+type cell struct {
+	epoch int32
+	c     Claim
+}
+
+type rfwKey struct {
+	rf  int32
+	val Value
+}
+
+type rfwVal struct {
+	epoch int32
+	c     Claim
+}
+
+// Undo records one undoable placement.
+type Undo struct {
+	rule Kind
+	res  int32
+	key  rfwKey
+	old  rfwVal
+	had  bool
+}
+
+// NewOccupancy sizes the cell arrays for one machine.
+func NewOccupancy(m *machine.Machine) *Occupancy {
+	o := &Occupancy{rfw: make(map[rfwKey]rfwVal)}
+	o.cells[Bus] = make([]cell, len(m.Buses))
+	o.cells[ReadPort] = make([]cell, len(m.ReadPorts))
+	o.cells[WritePort] = make([]cell, len(m.WritePorts))
+	o.cells[FUInput] = make([]cell, len(m.FUs)*MaxInputs)
+	return o
+}
+
+// Reset prepares the occupancy for a new solve.
+func (o *Occupancy) Reset() { o.epoch++ }
+
+// claim asserts one ClaimRef; it reports whether the stub fits (the
+// cell was free or identically shared) and, when this call newly
+// claimed the cell, the undo record releasing it on backtrack.
+func (o *Occupancy) claim(cr ClaimRef) (u Undo, fresh, ok bool) {
+	if cr.Rule == RFWrite {
+		key := rfwKey{rf: cr.Res, val: cr.Key}
+		cur, had := o.rfw[key]
+		if had && cur.epoch == o.epoch {
+			return u, false, cur.c == cr.Claim
+		}
+		o.rfw[key] = rfwVal{epoch: o.epoch, c: cr.Claim}
+		return Undo{rule: RFWrite, key: key, old: cur, had: had}, true, true
+	}
+	c := &o.cells[cr.Rule][cr.Res]
+	if c.epoch == o.epoch {
+		return u, false, c.c == cr.Claim
+	}
+	c.epoch = o.epoch
+	c.c = cr.Claim
+	return Undo{rule: cr.Rule, res: cr.Res}, true, true
+}
+
+// place asserts a claim list in order, appending to undo. On conflict
+// it releases what this call claimed and reports failure.
+func (o *Occupancy) place(claims [3]ClaimRef, undo []Undo) ([]Undo, bool) {
+	start := len(undo)
+	for _, cr := range claims {
+		u, fresh, ok := o.claim(cr)
+		if !ok {
+			o.Undo(undo[start:])
+			return undo[:start], false
+		}
+		if fresh {
+			undo = append(undo, u)
+		}
+	}
+	return undo, true
+}
+
+// PlaceWrite claims a write stub's resources for value instance v. It
+// returns the extended undo list and whether the stub fits.
+func (o *Occupancy) PlaceWrite(stub machine.WriteStub, v Value, undo []Undo) ([]Undo, bool) {
+	return o.place(WriteClaims(stub, v), undo)
+}
+
+// PlaceRead claims a read stub's resources, including the unit input it
+// delivers into (opnd uniquely identifies the consuming operand).
+func (o *Occupancy) PlaceRead(stub machine.ReadStub, v Value, opnd int32, undo []Undo) ([]Undo, bool) {
+	return o.place(ReadClaims(stub, v, opnd), undo)
+}
+
+// Undo releases the listed placements (in any order; cells are
+// independent).
+func (o *Occupancy) Undo(list []Undo) {
+	for _, u := range list {
+		if u.rule == RFWrite {
+			if u.had {
+				o.rfw[u.key] = u.old
+			} else {
+				delete(o.rfw, u.key)
+			}
+			continue
+		}
+		o.cells[u.rule][u.res].epoch = 0
+	}
+}

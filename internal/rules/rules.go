@@ -1,0 +1,150 @@
+// Package rules is the single implementation of the paper's §4.2
+// interconnect-sharing rules. Three clients consume it: the scheduler's
+// permutation solver (internal/core, via Occupancy — an epoch-stamped,
+// allocation-free occupancy with O(1) reset and DFS undo), the
+// structural verifier (core.VerifySchedule, via CycleState), and the
+// cycle-accurate simulator (internal/vliwsim, via CycleState on dynamic
+// value instances). A rule change made here changes all three in
+// lockstep; no other package may re-encode a sharing rule.
+//
+// The rules are table-driven: every stub placement expands — through
+// WriteClaims/ReadClaims, the one encoding of which resources a stub
+// touches — into claims on resource cells, one per applicable rule in
+// Table. A resource cell may be claimed twice only when the two claims
+// compare equal; each Rule row documents which §4.2 sentence that
+// equality realizes.
+package rules
+
+import (
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Kind enumerates the resource classes the sharing rules guard. The
+// first four index the Occupancy's flat cell arrays; RFWrite cells are
+// keyed by value instance and live in a map.
+type Kind int8
+
+const (
+	Bus       Kind = iota // shared bus
+	ReadPort              // register-file read port
+	WritePort             // register-file write port
+	FUInput               // functional-unit input latch
+	RFWrite               // per-(register file, value instance) write identity
+	numKinds
+)
+
+// MaxInputs bounds per-unit operand inputs for FUInput cell indexing.
+const MaxInputs = 4
+
+// Rule is one row of the sharing-rule table.
+type Rule struct {
+	Kind     Kind
+	Name     string // short identifier for diagnostics
+	Resource string // display noun for the guarded resource
+	Text     string // the §4.2 sentence the rule realizes
+}
+
+// Table is the complete §4.2 rule set (plus the structural FU-input
+// rule the permutation solver needs). Indexed by Kind.
+var Table = [numKinds]Rule{
+	Bus: {
+		Kind:     Bus,
+		Name:     "bus-single-driver",
+		Resource: "bus",
+		Text: "a bus carries one value from one driver per cycle; stubs share it " +
+			"only when the driving unit or port and the value instance agree exactly",
+	},
+	ReadPort: {
+		Kind:     ReadPort,
+		Name:     "read-port-single-value",
+		Resource: "read port",
+		Text: "a read port reads one value instance per cycle (fan-out onto several " +
+			"buses is allowed); multi-source operands never share",
+	},
+	WritePort: {
+		Kind:     WritePort,
+		Name:     "write-port-single-delivery",
+		Resource: "write port",
+		Text:     "a write port accepts one value instance per cycle, delivered over one bus",
+	},
+	FUInput: {
+		Kind:     FUInput,
+		Name:     "input-single-operand",
+		Resource: "unit input",
+		Text:     "a functional-unit input latches exactly one operand per cycle",
+	},
+	RFWrite: {
+		Kind:     RFWrite,
+		Name:     "rf-write-identity",
+		Resource: "register file",
+		Text: "one value instance enters one register file through exactly one " +
+			"(bus, write port) pair: two write stubs for the same result conflict " +
+			"only if they write the same file using different buses or ports",
+	},
+}
+
+// Value identifies a value instance for sharing comparisons. Flat is
+// the normalized cycle of the instance: for writes, the flat completion
+// cycle; for reads, the read cycle minus distance·II, so reads landing
+// on one cycle compare equal exactly when they fetch the same dynamic
+// instance; for the simulator's dynamic checks, the producing
+// iteration. Inv marks loop-invariant instances (defined in the
+// preamble, read in the loop): every iteration reads the same one.
+// Uniq, when non-zero, makes the instance unshareable — the scheduler
+// stamps multi-source (phi) operands with a per-operand nonce.
+type Value struct {
+	ID   ir.ValueID
+	Flat int32
+	Inv  bool
+	Uniq int32
+}
+
+// Claim is one resource occupation. Two claims may share a cell iff
+// they are equal (Go struct equality); the per-rule cell and claim
+// construction in WriteClaims/ReadClaims is what gives that equality
+// its §4.2 meaning.
+type Claim struct {
+	DriverKind byte  // bus cells: 'o' unit output, 'p' read port
+	Driver     int32 // bus cells: driving unit or port; write-port and RF cells: delivering bus
+	Aux        int32 // RF cells: delivering write port; input cells: operand nonce
+	Val        Value
+}
+
+// ClaimRef names one (rule, resource cell, claim) assertion. Key
+// sub-keys the cell by value instance for RFWrite (zero elsewhere).
+type ClaimRef struct {
+	Rule  Kind
+	Res   int32
+	Key   Value
+	Claim Claim
+}
+
+// WriteClaims expands a write stub delivering value instance v into its
+// resource claims, in check order: bus, then write port, then the
+// per-RF write identity.
+func WriteClaims(stub machine.WriteStub, v Value) [3]ClaimRef {
+	return [3]ClaimRef{
+		{Rule: Bus, Res: int32(stub.Bus),
+			Claim: Claim{DriverKind: 'o', Driver: int32(stub.FU), Val: v}},
+		{Rule: WritePort, Res: int32(stub.Port),
+			Claim: Claim{Driver: int32(stub.Bus), Val: v}},
+		{Rule: RFWrite, Res: int32(stub.RF), Key: v,
+			Claim: Claim{Driver: int32(stub.Bus), Aux: int32(stub.Port)}},
+	}
+}
+
+// ReadClaims expands a read stub fetching value instance v into its
+// resource claims, in check order: read port, then bus, then the unit
+// input latch. opnd is the consuming operand's nonce (two operands
+// never share an input); pass 0 to skip the input rule when operands
+// are checked structurally elsewhere.
+func ReadClaims(stub machine.ReadStub, v Value, opnd int32) [3]ClaimRef {
+	return [3]ClaimRef{
+		{Rule: ReadPort, Res: int32(stub.Port), Claim: Claim{Val: v}},
+		{Rule: Bus, Res: int32(stub.Bus),
+			Claim: Claim{DriverKind: 'p', Driver: int32(stub.Port), Val: v}},
+		{Rule: FUInput, Res: int32(stub.FU)*MaxInputs + int32(stub.Slot),
+			Claim: Claim{Aux: opnd}},
+	}
+}

@@ -1,0 +1,183 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// TestQuickWriteSharing fuzzes the occupancy write rules directly:
+// identical write stubs for the same value instance always share;
+// different value instances on one bus or one port never do.
+func TestQuickWriteSharing(t *testing.T) {
+	m := machine.Distributed()
+	stubs := m.WriteStubs(0)
+	f := func(a, b uint16, v1, v2 uint8, f1, f2 uint8) bool {
+		o := NewOccupancy(m)
+		o.Reset()
+		s1 := stubs[int(a)%len(stubs)]
+		s2 := stubs[int(b)%len(stubs)]
+		var undo []Undo
+		undo, ok1 := o.PlaceWrite(s1, Value{ID: ir.ValueID(v1), Flat: int32(f1)}, undo)
+		if !ok1 {
+			return false // empty occupancy must accept any stub
+		}
+		_, ok2 := o.PlaceWrite(s2, Value{ID: ir.ValueID(v2), Flat: int32(f2)}, undo)
+		sameInstance := v1 == v2 && f1 == f2
+		switch {
+		case s1 == s2 && sameInstance:
+			return ok2 // identical sharing allowed
+		case s1.Bus == s2.Bus && !sameInstance:
+			return !ok2 // one bus, two values: conflict
+		case s1.RF == s2.RF && s1.Port == s2.Port && !sameInstance:
+			return !ok2 // one port, two values: conflict
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOccupancyUndo checks that undoing a placement frees every claimed
+// resource, including the per-RF write-identity map entry.
+func TestOccupancyUndo(t *testing.T) {
+	m := machine.Distributed()
+	stubs := m.WriteStubs(0)
+	o := NewOccupancy(m)
+	o.Reset()
+	v := Value{ID: 7, Flat: 3}
+	undo, ok := o.PlaceWrite(stubs[0], v, nil)
+	if !ok {
+		t.Fatal("first placement rejected")
+	}
+	other := Value{ID: 8, Flat: 3}
+	if _, ok := o.PlaceWrite(stubs[0], other, nil); ok {
+		t.Fatal("conflicting value accepted on occupied stub")
+	}
+	o.Undo(undo)
+	if _, ok := o.PlaceWrite(stubs[0], other, nil); !ok {
+		t.Fatal("stub still occupied after undo")
+	}
+}
+
+// TestOccupancyEpochReset checks the O(1) reset: claims from a prior
+// solve never constrain the next one.
+func TestOccupancyEpochReset(t *testing.T) {
+	m := machine.Distributed()
+	stubs := m.WriteStubs(0)
+	o := NewOccupancy(m)
+	o.Reset()
+	if _, ok := o.PlaceWrite(stubs[0], Value{ID: 1}, nil); !ok {
+		t.Fatal("placement rejected")
+	}
+	o.Reset()
+	if _, ok := o.PlaceWrite(stubs[0], Value{ID: 2}, nil); !ok {
+		t.Fatal("stale epoch constrained a fresh solve")
+	}
+}
+
+// TestUniqNeverShares checks the phi rule: a non-zero Uniq stamp makes
+// otherwise-identical read instances conflict.
+func TestUniqNeverShares(t *testing.T) {
+	m := machine.Distributed()
+	stub := m.ReadStubs(0, 0)[0]
+	o := NewOccupancy(m)
+	o.Reset()
+	v := Value{ID: 4, Flat: 2, Uniq: 9}
+	if _, ok := o.PlaceRead(stub, v, 1, nil); !ok {
+		t.Fatal("placement rejected")
+	}
+	w := v
+	w.Uniq = 10
+	if _, ok := o.PlaceRead(stub, w, 2, nil); ok {
+		t.Fatal("distinct phi operands shared a read port")
+	}
+}
+
+// TestCycleStateConflictNamesRule checks the explained-conflict path
+// used by the verifier and the simulator.
+func TestCycleStateConflictNamesRule(t *testing.T) {
+	m := machine.Distributed()
+	stubs := m.WriteStubs(0)
+	cs := NewCycleState()
+	if cf := cs.Write(stubs[0], Value{ID: 1}, "write v1 by op0"); cf != nil {
+		t.Fatalf("first write conflicted: %v", cf)
+	}
+	cf := cs.Write(stubs[0], Value{ID: 2}, "write v2 by op1")
+	if cf == nil {
+		t.Fatal("two values on one bus not rejected")
+	}
+	if cf.Rule.Kind != Bus {
+		t.Fatalf("conflict on %v, want bus rule", cf.Rule.Kind)
+	}
+	msg := cf.Error()
+	for _, want := range []string{"bus", "write v2 by op1", "write v1 by op0", Table[Bus].Name} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("conflict message %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestCycleStateIdenticalSharing checks that equal claims share in the
+// checker exactly as they do in the occupancy.
+func TestCycleStateIdenticalSharing(t *testing.T) {
+	m := machine.Distributed()
+	stubs := m.WriteStubs(0)
+	cs := NewCycleState()
+	v := Value{ID: 3, Flat: 5}
+	if cf := cs.Write(stubs[0], v, "a"); cf != nil {
+		t.Fatal(cf)
+	}
+	if cf := cs.Write(stubs[0], v, "b"); cf != nil {
+		t.Fatalf("identical write stub did not share: %v", cf)
+	}
+}
+
+// TestRFWriteIdentity checks the fourth §4.2 rule end to end: the same
+// instance may not enter one register file through two different
+// (bus, port) pairs, but distinct instances may use distinct ports.
+func TestRFWriteIdentity(t *testing.T) {
+	m := machine.Central()
+	stubs := m.WriteStubs(0)
+	// Find two stubs into the same RF with different ports.
+	var s1, s2 machine.WriteStub
+	found := false
+	for i := range stubs {
+		for j := range stubs {
+			if stubs[i].RF == stubs[j].RF && stubs[i].Port != stubs[j].Port {
+				s1, s2, found = stubs[i], stubs[j], true
+			}
+		}
+	}
+	if !found {
+		t.Skip("machine has no multi-port register file")
+	}
+	v := Value{ID: 6, Flat: 1}
+	cs := NewCycleState()
+	if cf := cs.Write(s1, v, "a"); cf != nil {
+		t.Fatal(cf)
+	}
+	cf := cs.Write(s2, v, "b")
+	if cf == nil {
+		t.Fatal("same instance entered one RF through two ports")
+	}
+	if cf.Rule.Kind != RFWrite && cf.Rule.Kind != Bus {
+		t.Fatalf("conflict on %v, want rf-write or bus rule", cf.Rule.Kind)
+	}
+}
+
+// TestTableComplete pins the table layout: every Kind has a named row.
+func TestTableComplete(t *testing.T) {
+	for k, r := range Table {
+		if r.Name == "" || r.Text == "" || r.Resource == "" {
+			t.Fatalf("rule %d incomplete: %+v", k, r)
+		}
+		if r.Kind != Kind(k) {
+			t.Fatalf("rule %d indexed under wrong kind %v", k, r.Kind)
+		}
+	}
+}

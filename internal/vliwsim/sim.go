@@ -9,8 +9,10 @@
 // ports, and checks that
 //
 //   - no functional unit issues two operations in one cycle,
-//   - no bus carries two different values in one cycle,
-//   - no port moves two different values in one cycle,
+//   - every §4.2 interconnect-sharing rule holds on the dynamic value
+//     instances actually moved (checked through the shared rules
+//     engine, internal/rules — the same table the scheduler and the
+//     structural verifier use),
 //   - every operand read finds the exact dynamic value instance the
 //     program semantics require, already present in the register file
 //     the read stub names.
@@ -29,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/rules"
 )
 
 // Config controls one simulation run.
@@ -64,10 +67,12 @@ type instance struct {
 	iter  int
 }
 
-type busClaim struct {
-	driverKind byte // 'o' or 'p'
-	driver     int
-	inst       instance
+// ruleValue maps a dynamic instance onto the shared §4.2 rules
+// engine's value-instance identity: the producing iteration plays the
+// role the flat cycle plays for the static checks. Two dynamic claims
+// compare equal exactly when they move the same instance.
+func ruleValue(inst instance) rules.Value {
+	return rules.Value{ID: inst.value, Flat: int32(inst.iter)}
 }
 
 type sim struct {
@@ -163,9 +168,9 @@ func (sm *sim) run() error {
 	completions := make(map[int][]event)
 
 	for cycle := 0; cycle <= lastCycle; cycle++ {
-		busUse := make(map[machine.BusID]busClaim)
-		portR := make(map[machine.RPID]instance)
-		portW := make(map[machine.WPID]instance)
+		// One rules-engine cycle checks every §4.2 sharing rule across
+		// this cycle's reads (issue phase) and writes (completion phase).
+		cs := rules.NewCycleState()
 		fuUse := make(map[machine.FUID]ir.OpID)
 		var stores []event
 
@@ -179,7 +184,7 @@ func (sm *sim) run() error {
 			}
 			fuUse[a.FU] = ev.op
 
-			args, err := sm.readOperands(ev, cycle, busUse, portR)
+			args, err := sm.readOperands(ev, cycle, cs)
 			if err != nil {
 				return err
 			}
@@ -213,7 +218,7 @@ func (sm *sim) run() error {
 					continue
 				}
 				seen[r.W] = true
-				if err := sm.driveWrite(cycle, r.W, inst, busUse, portW); err != nil {
+				if err := sm.driveWrite(cycle, ev, r.W, inst, cs); err != nil {
 					return err
 				}
 				if sm.cfg.Trace != nil {
@@ -276,7 +281,7 @@ func (sm *sim) traceIssue(cycle int, ev event, op *ir.Op, fu machine.FUID, args 
 
 // readOperands resolves, checks, and fetches every operand of an
 // issuing operation through its read stub.
-func (sm *sim) readOperands(ev event, cycle int, busUse map[machine.BusID]busClaim, portR map[machine.RPID]instance) ([]int64, error) {
+func (sm *sim) readOperands(ev event, cycle int, cs *rules.CycleState) ([]int64, error) {
 	s := sm.s
 	op := s.Ops[ev.op]
 	args := make([]int64, len(op.Args))
@@ -326,16 +331,13 @@ func (sm *sim) readOperands(ev event, cycle int, busUse map[machine.BusID]busCla
 			return nil, fmt.Errorf("vliwsim: cycle %d: op%d slot %d reads v%d(iter %d) written only at %d",
 				cycle, ev.op, slot, inst.value, inst.iter, wcycle)
 		}
-		// Port and bus sharing rules.
-		if prev, busy := portR[stub.Port]; busy && prev != inst {
-			return nil, fmt.Errorf("vliwsim: cycle %d: read port %d carries two values", cycle, stub.Port)
+		// The §4.2 sharing rules, checked by the shared rules engine on
+		// the dynamic instance actually moved this cycle.
+		desc := fmt.Sprintf("read op%d.%d of v%d(iter %d)", ev.op, slot, inst.value, inst.iter)
+		opnd := int32(ev.op)*8 + int32(slot) + 1
+		if cf := cs.Read(stub, ruleValue(inst), opnd, desc); cf != nil {
+			return nil, fmt.Errorf("vliwsim: cycle %d: %w", cycle, cf)
 		}
-		portR[stub.Port] = inst
-		claim := busClaim{driverKind: 'p', driver: int(stub.Port), inst: inst}
-		if prev, busy := busUse[stub.Bus]; busy && prev != claim {
-			return nil, fmt.Errorf("vliwsim: cycle %d: bus %d double-driven (read)", cycle, stub.Bus)
-		}
-		busUse[stub.Bus] = claim
 		sm.res.Reads++
 		sm.res.BusTransfers++
 		v, ok := sm.vals[inst]
@@ -381,17 +383,13 @@ func (sm *sim) resolveInstance(ev event, arg ir.Operand) (instance, error) {
 	return instance{carried.Value, ev.iter - carried.Distance}, nil
 }
 
-// driveWrite sends a completed result through one write stub.
-func (sm *sim) driveWrite(cycle int, w machine.WriteStub, inst instance, busUse map[machine.BusID]busClaim, portW map[machine.WPID]instance) error {
-	claim := busClaim{driverKind: 'o', driver: int(w.FU), inst: inst}
-	if prev, busy := busUse[w.Bus]; busy && prev != claim {
-		return fmt.Errorf("vliwsim: cycle %d: bus %d double-driven (write v%d)", cycle, w.Bus, inst.value)
+// driveWrite sends a completed result through one write stub, checking
+// the §4.2 rules through the shared rules engine.
+func (sm *sim) driveWrite(cycle int, ev event, w machine.WriteStub, inst instance, cs *rules.CycleState) error {
+	desc := fmt.Sprintf("write v%d(iter %d) by op%d", inst.value, inst.iter, ev.op)
+	if cf := cs.Write(w, ruleValue(inst), desc); cf != nil {
+		return fmt.Errorf("vliwsim: cycle %d: %w", cycle, cf)
 	}
-	busUse[w.Bus] = claim
-	if prev, busy := portW[w.Port]; busy && prev != inst {
-		return fmt.Errorf("vliwsim: cycle %d: write port %d carries two values", cycle, w.Port)
-	}
-	portW[w.Port] = inst
 	if sm.rf[w.RF] == nil {
 		sm.rf[w.RF] = make(map[instance]int)
 	}

@@ -1,0 +1,97 @@
+package commsched
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+var updateRestab = flag.Bool("update-restab", false, "rewrite the reservation-table goldens")
+
+// loopedFig4 wraps the paper's Fig. 4 dataflow in a loop over an input
+// stream, so scheduling it on the Fig. 5 machine produces a real modulo
+// reservation table (the straight-line MotivatingKernel itself has no
+// loop and exercises the "(no loop)" rendering path instead).
+func loopedFig4(t *testing.T) *Kernel {
+	t.Helper()
+	b := ir.NewBuilder("fig4loop")
+	b.Loop()
+	iv, _ := b.InductionVar("i", 0, 1)
+	a := b.Emit(ir.Load, "a", iv, b.Const(100))
+	bb := b.Emit(ir.Add, "b", iv, b.Const(2))
+	c := b.Emit(ir.Add, "c", iv, b.Const(4))
+	d := b.Emit(ir.Add, "d", b.Val(a), b.Val(bb))
+	e := b.Emit(ir.Add, "e", b.Val(a), b.Val(c))
+	b.Emit(ir.Store, "", b.Val(d), iv, b.Const(200))
+	b.Emit(ir.Store, "", b.Val(e), iv, b.Const(300))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateRestab {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-restab): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestReservationTableGolden pins the ReservationTable rendering on the
+// fig4/fig5 pair: the looped Fig. 4 kernel's modulo table on the Fig. 5
+// machine, and the straight-line Fig. 4 kernel's "(no loop)" path.
+func TestReservationTableGolden(t *testing.T) {
+	m := Fig5Machine()
+
+	s, err := Compile(loopedFig4(t), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "restab_fig4loop_fig5.golden", s.ReservationTable())
+
+	s, err = Compile(MotivatingKernel(), m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ReservationTable(); got != "(no loop)\n" {
+		t.Errorf("straight-line kernel table = %q, want \"(no loop)\\n\"", got)
+	}
+}
+
+// TestReservationTableEmptyLoop covers the other arm of the no-loop
+// guard: a kernel whose loop block exists but is empty after lowering
+// (preamble-only work) still renders "(no loop)".
+func TestReservationTableEmptyLoop(t *testing.T) {
+	b := ir.NewBuilder("pre-only")
+	v := b.Emit(ir.Add, "v", b.Const(1), b.Const(2))
+	b.Emit(ir.Store, "", b.Val(v), b.Const(50), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Compile(k, Central(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ReservationTable(); got != "(no loop)\n" {
+		t.Errorf("empty-loop table = %q, want \"(no loop)\\n\"", got)
+	}
+}
