@@ -333,3 +333,37 @@ func BenchmarkScheduler(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCompileTracing quantifies the observability layer's cost on
+// the same DCT/distributed workload BenchmarkScheduler times, so the
+// "disabled" sub-benchmark is directly comparable against the pre-
+// tracing scheduler baseline: with a nil tracer the emit helpers must
+// be free (their no-op path is also pinned allocation-free by
+// core.TestDisabledTracerAllocatesNothing), and "recording" bounds the
+// full cost of capturing every decision point.
+func BenchmarkCompileTracing(b *testing.B) {
+	spec := KernelByName("DCT")
+	k, err := spec.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := Distributed()
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Compile(k, m, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recording", func(b *testing.B) {
+		var events int
+		for i := 0; i < b.N; i++ {
+			rec := NewTraceRecorder()
+			if _, err := Compile(k, m, Options{Tracer: rec}); err != nil {
+				b.Fatal(err)
+			}
+			events = rec.Len()
+		}
+		b.ReportMetric(float64(events), "events")
+	})
+}

@@ -8,7 +8,14 @@
 //	csched -arch distributed -kernel FIR-FP -sim
 //	csched -arch clustered4 path/to/kernel.kasm
 //	csched -kernel DCT -passes
+//	csched -kernel DCT -trace dct.json -util -stats-json -
 //	csched -list
+//
+// Observability flags: -trace FILE exports the compilation (and, with
+// -sim, the simulation) as Chrome trace-event JSON for Perfetto;
+// -simtrace prints the simulator's per-cycle text log; -util prints the
+// per-resource interconnect-occupancy heatmap; -stats-json FILE ("-"
+// for stdout) dumps machine-readable statistics.
 //
 // When compilation fails, csched exits non-zero and prints the pass
 // pipeline's structured diagnostic: the kernel, machine, failing pass,
@@ -18,6 +25,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -58,7 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kernelName := fs.String("kernel", "", "built-in Table 1 kernel name (e.g. DCT, FIR-FP)")
 	list := fs.Bool("list", false, "list built-in kernels and exit")
 	sim := fs.Bool("sim", false, "simulate the schedule and validate (built-in kernels only)")
-	trace := fs.Bool("trace", false, "with -sim: print the per-cycle execution trace")
+	trace := fs.String("trace", "", "write a Chrome trace-event JSON of the compilation (and simulation with -sim) to FILE")
+	simTrace := fs.Bool("simtrace", false, "with -sim: print the per-cycle execution trace")
+	util := fs.Bool("util", false, "print the per-resource interconnect utilization heatmap")
+	statsJSON := fs.String("stats-json", "", "write machine-readable schedule statistics to FILE (\"-\" for stdout)")
 	dump := fs.Bool("dump", true, "print the full schedule")
 	asm := fs.Bool("asm", false, "print VLIW instruction words (per-cycle assembly)")
 	timeline := fs.Int("timeline", 0, "print the expanded (pipelined) schedule for N loop iterations")
@@ -95,6 +106,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	opts := commsched.Options{CycleOrder: *cycleOrder, NoCostHeuristic: *noCost}
+	var rec *commsched.TraceRecorder
+	if *trace != "" {
+		rec = commsched.NewTraceRecorder()
+		opts.Tracer = rec
+	}
 
 	var (
 		k    *commsched.Kernel
@@ -102,6 +118,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err  error
 	)
 	switch {
+	case *kernelName == "fig4":
+		// The §2 motivating example is not a Table 1 kernel but is the
+		// canonical small trace: -kernel fig4 -arch fig5 reproduces Fig. 7.
+		k = commsched.MotivatingKernel()
 	case *kernelName != "":
 		spec = commsched.KernelByName(*kernelName)
 		if spec == nil {
@@ -175,6 +195,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, s.FormatTimeline(*timeline))
 	}
+	if *util {
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, s.InterconnectUtilization())
+	}
 
 	if *sim {
 		if spec == nil {
@@ -182,8 +206,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		cfg := commsched.SimConfig{InitMem: spec.Init()}
-		if *trace {
+		if *simTrace {
 			cfg.Trace = stdout
+		}
+		if rec != nil {
+			// Simulation events land in the same recorder, after the
+			// compilation's, so one exported trace covers both.
+			cfg.Tracer = rec
 		}
 		res, err := commsched.Simulate(s, cfg)
 		if err != nil {
@@ -198,5 +227,71 @@ func run(args []string, stdout, stderr io.Writer) int {
 			"(%d operand reads, %d register writes, %d bus transfers)\n",
 			res.IterationsRun, res.Cycles, res.Reads, res.Writes, res.BusTransfers)
 	}
+
+	if rec != nil {
+		if err := writeTrace(*trace, rec); err != nil {
+			fmt.Fprintln(stderr, "csched:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "\nwrote %d trace events to %s\n", rec.Len(), *trace)
+	}
+	if *statsJSON != "" {
+		if err := writeStats(*statsJSON, stdout, k, s, pfStats); err != nil {
+			fmt.Fprintln(stderr, "csched:", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeTrace exports the recorded event stream as Chrome trace-event
+// JSON.
+func writeTrace(path string, rec *commsched.TraceRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := commsched.WriteChromeTrace(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeStats dumps machine-readable schedule statistics; path "-"
+// means stdout.
+func writeStats(path string, stdout io.Writer, k *commsched.Kernel, s *commsched.Schedule, pf *commsched.PortfolioStats) error {
+	out := struct {
+		Kernel      string                       `json:"kernel"`
+		Machine     string                       `json:"machine"`
+		II          int                          `json:"ii"`
+		Preamble    int                          `json:"preamble"`
+		LoopSpan    int                          `json:"loop_span"`
+		Copies      int                          `json:"copies"`
+		Scheduler   commsched.SchedulerStats     `json:"scheduler"`
+		Passes      commsched.PassStats          `json:"passes"`
+		Utilization *commsched.UtilizationReport `json:"utilization"`
+		Portfolio   *commsched.PortfolioStats    `json:"portfolio,omitempty"`
+	}{
+		Kernel:      k.Name,
+		Machine:     s.Machine.Name,
+		II:          s.II,
+		Preamble:    s.PreambleLen,
+		LoopSpan:    s.LoopSpan,
+		Copies:      len(s.Ops) - len(k.Ops),
+		Scheduler:   s.Stats,
+		Passes:      s.Passes,
+		Utilization: s.InterconnectUtilization(),
+		Portfolio:   pf,
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

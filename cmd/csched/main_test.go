@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	commsched "repro"
 )
 
 // runCLI drives run() with captured output.
@@ -94,11 +98,109 @@ func TestCompileFailureStructuredDiagnostic(t *testing.T) {
 		"machine: fig5",
 		"pass:    lower",
 		"reason:  no unit",
-		"line:",
+		"op:      3",
+		"line:    5",
 	} {
 		if !strings.Contains(errw, want) {
 			t.Errorf("stderr missing %q:\n%s", want, errw)
 		}
+	}
+}
+
+// TestTraceFlagWritesValidJSON pins the -trace flag: the exported file
+// is schema-valid Chrome trace-event JSON and is byte-identical across
+// runs.
+func TestTraceFlagWritesValidJSON(t *testing.T) {
+	dir := t.TempDir()
+	export := func(name string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		code, out, errw := runCLI(t,
+			"-arch", "distributed", "-kernel", "FIR-INT", "-dump=false", "-sim", "-trace", path)
+		if code != 0 {
+			t.Fatalf("exit %d, stderr:\n%s", code, errw)
+		}
+		if !strings.Contains(out, "wrote") || !strings.Contains(out, "trace events") {
+			t.Errorf("stdout missing trace confirmation:\n%s", out)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := export("a.json")
+	if err := commsched.ValidateChromeTrace(a); err != nil {
+		t.Fatalf("-trace output fails schema validation: %v", err)
+	}
+	// The stream covers both compilation and simulation events.
+	for _, want := range []string{"perm-attempt", "sim-issue", "sim-writeback"} {
+		if !strings.Contains(string(a), want) {
+			t.Errorf("trace missing %q events", want)
+		}
+	}
+	if b := export("b.json"); !bytes.Equal(a, b) {
+		t.Error("trace differs across identical runs")
+	}
+}
+
+// TestFig4KernelCompiles pins the -kernel fig4 shortcut: the §2
+// motivating example schedules on the fig5 machine without a source
+// file.
+func TestFig4KernelCompiles(t *testing.T) {
+	code, out, errw := runCLI(t, "-arch", "fig5", "-kernel", "fig4", "-dump=false")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw)
+	}
+	if !strings.Contains(out, "kernel fig4 on fig5") {
+		t.Errorf("stdout missing fig4 header:\n%s", out)
+	}
+}
+
+// TestUtilFlag pins the -util heatmap output.
+func TestUtilFlag(t *testing.T) {
+	code, out, errw := runCLI(t, "-arch", "distributed", "-kernel", "FIR-INT", "-dump=false", "-util")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw)
+	}
+	for _, want := range []string{"utilization fir_int on distributed", "fu", "bus", "read-port", "write-port"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-util output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsJSONFlag pins -stats-json: parseable JSON on stdout with
+// the schedule, scheduler, pass, and utilization sections populated.
+func TestStatsJSONFlag(t *testing.T) {
+	code, out, errw := runCLI(t, "-arch", "distributed", "-kernel", "FIR-INT", "-dump=false", "-stats-json", "-")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw)
+	}
+	start := strings.Index(out, "{")
+	if start < 0 {
+		t.Fatalf("no JSON on stdout:\n%s", out)
+	}
+	var stats struct {
+		Kernel      string `json:"kernel"`
+		Machine     string `json:"machine"`
+		II          int    `json:"ii"`
+		Scheduler   struct{ Attempts int }
+		Passes      []struct{ Name string }
+		Utilization struct {
+			Resources []struct {
+				Kind string `json:"kind"`
+			} `json:"resources"`
+		} `json:"utilization"`
+	}
+	if err := json.Unmarshal([]byte(out[start:]), &stats); err != nil {
+		t.Fatalf("stats not parseable: %v\n%s", err, out[start:])
+	}
+	if stats.Kernel != "fir_int" || stats.Machine != "distributed" || stats.II <= 0 {
+		t.Errorf("stats header wrong: %+v", stats)
+	}
+	if stats.Scheduler.Attempts == 0 || len(stats.Passes) == 0 || len(stats.Utilization.Resources) == 0 {
+		t.Errorf("stats sections empty: %+v", stats)
 	}
 }
 

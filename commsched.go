@@ -20,12 +20,14 @@ package commsched
 
 import (
 	"context"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/kasm"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/vliwsim"
 	"repro/internal/vlsi"
 )
@@ -63,6 +65,10 @@ type (
 	// work items, failures, and self wall time per named pass.
 	PassStat  = core.PassStat
 	PassStats = core.PassStats
+	// SchedulerStats counts the scheduler's work on one compilation
+	// (Schedule.Stats): placements tried, permutation steps, copies,
+	// backtracks, intervals attempted.
+	SchedulerStats = core.Stats
 	// CompileError is the structured failure report of the pass
 	// pipeline: kernel, machine, failing pass, reason, and — for
 	// op-specific failures — the operation and source line.
@@ -82,6 +88,47 @@ type (
 	// Cost is an area/power/delay estimate for one machine.
 	Cost = vlsi.Cost
 )
+
+// Observability surface: the scheduler, portfolio racer, and simulator
+// emit structured events (internal/obs) at every decision point when
+// Options.Tracer / SimConfig.Tracer is set; a nil tracer — the default
+// — costs nothing. Streams are stamped with a logical clock, so traces
+// are bit-identical across runs and worker counts.
+type (
+	// Tracer consumes structured compilation/simulation events.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured event.
+	TraceEvent = obs.Event
+	// TraceEventKind enumerates the event taxonomy (see DESIGN.md).
+	TraceEventKind = obs.Kind
+	// TraceRecorder is an in-memory Tracer stamping events with a
+	// deterministic logical clock.
+	TraceRecorder = obs.Recorder
+	// UtilizationReport is a schedule's per-resource interconnect
+	// occupancy (Schedule.InterconnectUtilization).
+	UtilizationReport = core.UtilizationReport
+	// ResourceUtil is one resource row of a UtilizationReport.
+	ResourceUtil = core.ResourceUtil
+)
+
+// NewTraceRecorder returns an empty trace recorder to pass as
+// Options.Tracer or SimConfig.Tracer.
+func NewTraceRecorder() *TraceRecorder { return obs.NewRecorder() }
+
+// MultiTracer fans events out to several tracers; nils are dropped and
+// the result is nil when none remain.
+func MultiTracer(tracers ...Tracer) Tracer { return obs.Multi(tracers...) }
+
+// WriteChromeTrace exports a recorded event stream in the Chrome
+// trace-event JSON format (load in Perfetto / chrome://tracing).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// ValidateChromeTrace checks that data is a well-formed Chrome
+// trace-event JSON document with balanced spans and monotone
+// timestamps.
+func ValidateChromeTrace(data []byte) error { return obs.ValidateChromeTrace(data) }
 
 // Machine-description vocabulary for custom architectures.
 type (

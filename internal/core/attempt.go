@@ -94,7 +94,9 @@ func (e *engine) closingComms(id ir.OpID) []CommID {
 // attributed to themselves.
 func (e *engine) closeComm(c *comm) bool {
 	e.clock.push(PassCloseComms)
+	e.traceStageBegin(PassCloseComms)
 	ok := e.routeComm(c)
+	e.traceStageEnd(PassCloseComms, ok)
 	e.clock.pop()
 	if ok {
 		e.clock.step(PassCloseComms)

@@ -175,6 +175,7 @@ func (e *engine) activeCommsTo(op ir.OpID) []CommID {
 
 // setCommState transitions a communication's state, journaled.
 func (e *engine) setCommState(c *comm, s commState) {
+	e.traceCommState(c, s)
 	old := c.state
 	c.state = s
 	e.log(func() { c.state = old })
@@ -182,6 +183,7 @@ func (e *engine) setCommState(c *comm, s commState) {
 
 // setCommW records a (tentative or final) write stub, journaled.
 func (e *engine) setCommW(c *comm, stub machine.WriteStub, pinned bool) {
+	e.traceCommW(c, stub, pinned, c.hasW)
 	old, oldHas, oldPin := c.wstub, c.hasW, c.wPinned
 	c.wstub, c.hasW, c.wPinned = stub, true, pinned
 	e.log(func() { c.wstub, c.hasW, c.wPinned = old, oldHas, oldPin })
@@ -189,6 +191,7 @@ func (e *engine) setCommW(c *comm, stub machine.WriteStub, pinned bool) {
 
 // setOperandStub records the shared read stub for an operand, journaled.
 func (e *engine) setOperandStub(key OperandKey, stub machine.ReadStub, pinned, multi bool) {
+	e.traceStubRead(key, stub, pinned)
 	old, existed := e.operandStub[key]
 	e.operandStub[key] = &operandRead{stub: stub, pinned: pinned, multi: multi}
 	e.log(func() {
@@ -206,6 +209,7 @@ func (e *engine) pinOperandStub(key OperandKey) {
 	if or == nil || or.pinned {
 		return
 	}
+	e.traceStubRead(key, or.stub, true)
 	or.pinned = true
 	e.log(func() { or.pinned = false })
 }

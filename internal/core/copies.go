@@ -24,7 +24,9 @@ const maxCopyDepth = 6
 // failure.
 func (e *engine) insertCopies(c *comm, preferLate bool) bool {
 	e.clock.push(PassInsertCopies)
+	e.traceStageBegin(PassInsertCopies)
 	ok := e.insertCopyChain(c, preferLate)
+	e.traceStageEnd(PassInsertCopies, ok)
 	e.clock.pop()
 	if ok {
 		e.clock.step(PassInsertCopies)
@@ -79,6 +81,7 @@ func (e *engine) insertCopyChain(c *comm, preferLate bool) bool {
 		copyID := e.addCopy(c, choice)
 		if e.scheduleCopy(copyID, choice, lo, hi, preferLate) {
 			e.stats.CopiesInserted++
+			e.traceCopy(c, copyID)
 			return true
 		}
 		e.rollback(mark)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -237,23 +238,36 @@ func (e *engine) dfsWrites(o *rules.Occupancy, flex []flexWrite, choice []int, i
 		return true, undo
 	}
 	f := &flex[i]
+	traced := e.tracer != nil
 	for ci, cand := range f.cands {
 		if *budget <= 0 {
 			return false, undo
 		}
 		*budget--
 		e.stats.PermSteps++
+		if traced {
+			e.tracePerm(obs.KindPermAttempt, i, int32(f.id))
+		}
 		mark := len(undo)
 		var fits bool
 		undo, fits = o.PlaceWrite(cand, f.val, undo)
 		if !fits {
+			if traced {
+				e.tracePerm(obs.KindPermReject, i, int32(f.id))
+			}
 			continue
 		}
 		choice[i] = ci
 		var ok bool
 		ok, undo = e.dfsWrites(o, flex, choice, i+1, budget, undo)
 		if ok {
+			if traced {
+				e.tracePerm(obs.KindPermAccept, i, int32(f.id))
+			}
 			return true, undo
+		}
+		if traced {
+			e.tracePerm(obs.KindPermReject, i, int32(f.id))
 		}
 		o.Undo(undo[mark:])
 		undo = undo[:mark]
@@ -266,23 +280,36 @@ func (e *engine) dfsReads(o *rules.Occupancy, flex []flexRead, choice []int, i i
 		return true, undo
 	}
 	f := &flex[i]
+	traced := e.tracer != nil
 	for ci, cand := range f.cands {
 		if *budget <= 0 {
 			return false, undo
 		}
 		*budget--
 		e.stats.PermSteps++
+		if traced {
+			e.tracePerm(obs.KindPermAttempt, i, opndNonce(f.key))
+		}
 		mark := len(undo)
 		var fits bool
 		undo, fits = o.PlaceRead(cand, f.val, opndNonce(f.key), undo)
 		if !fits {
+			if traced {
+				e.tracePerm(obs.KindPermReject, i, opndNonce(f.key))
+			}
 			continue
 		}
 		choice[i] = ci
 		var ok bool
 		ok, undo = e.dfsReads(o, flex, choice, i+1, budget, undo)
 		if ok {
+			if traced {
+				e.tracePerm(obs.KindPermAccept, i, opndNonce(f.key))
+			}
 			return true, undo
+		}
+		if traced {
+			e.tracePerm(obs.KindPermReject, i, opndNonce(f.key))
 		}
 		o.Undo(undo[mark:])
 		undo = undo[:mark]

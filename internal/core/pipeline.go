@@ -87,10 +87,12 @@ type Compilation struct {
 }
 
 // runPass drives one pass under the clock, counting a failure when it
-// errors.
+// errors and bracketing it with trace events.
 func (c *Compilation) runPass(p Pass) error {
 	c.clock.push(p.Name())
+	c.tracePassBegin(p.Name())
 	err := p.Run(c)
+	c.tracePassEnd(p.Name(), err == nil)
 	c.clock.pop()
 	if err != nil {
 		c.clock.fail(p.Name())

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // This file implements portfolio compilation: the §4.6 ablations show
@@ -190,6 +191,23 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Tracing a race: concurrent attempts would interleave in the shared
+	// tracer nondeterministically, so each attempt records into a private
+	// child recorder, and after the race the streams of every completed
+	// cell at or below the winning interval — exactly the cells that are
+	// always claimed and never cancelled, hence deterministic — are
+	// spliced into the base tracer in (interval, variant) grid order.
+	// Streams of cancelled or above-winner attempts are dropped; the only
+	// timing-dependent residue is the per-variant cancel counts.
+	tracer := base.Tracer
+	if tracer != nil {
+		for i, v := range variants {
+			tracer.Emit(obs.Event{
+				Kind: obs.KindVariantBegin, Track: "portfolio", Name: v.Name, Op: int32(i),
+			})
+		}
+	}
+
 	stats := &PortfolioStats{
 		Workers:  workers,
 		MinII:    minII,
@@ -212,8 +230,12 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		nextII  = minII
 		nextVar = 0
 		wins    = make(map[task]won)
+		recs    map[task]*obs.Recorder
 		passes  PassStats
 	)
+	if tracer != nil {
+		recs = make(map[task]*obs.Recorder)
+	}
 	// next claims the lexicographically next (interval, variant) cell.
 	// Generation halts once the interval passes the current best: those
 	// cells cannot improve the winner, and since best only decreases and
@@ -253,10 +275,20 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 				cancel := func() bool {
 					return int(best.Load()) < t.ii || ctx.Err() != nil
 				}
+				opts := variants[t.vi].Opts
+				if tracer != nil {
+					// Private recorder per attempt; spliced (or dropped)
+					// after the race for a deterministic merged stream.
+					rec := obs.NewRecorder()
+					opts.Tracer = rec
+					mu.Lock()
+					recs[t] = rec
+					mu.Unlock()
+				}
 				var scratch Stats
 				var ps PassStats
 				t0 := time.Now()
-				e, aborted := tryII(k, m, g, variants[t.vi].Opts, t.ii, cancel, &scratch, &ps, nil)
+				e, aborted := tryII(k, m, g, opts, t.ii, cancel, &scratch, &ps, nil)
 				elapsed := time.Since(t0)
 
 				mu.Lock()
@@ -266,6 +298,7 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 				if aborted {
 					vs.Cancelled++
 					stats.Cancelled++
+					delete(recs, t) // cancelled stream: timing-dependent, dropped
 					mu.Unlock()
 					continue
 				}
@@ -320,6 +353,34 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 	}
 	stats.Winner = winner
 	stats.WinnerII = winII
+	if tracer != nil {
+		// Splice the per-attempt streams in grid order. Every cell at an
+		// interval ≤ the winning one ran to completion (best never drops
+		// below winII, so those cells are never cancelled), making this
+		// prefix of the merged trace deterministic.
+		for ii := minII; ii <= winII; ii++ {
+			for vi := range variants {
+				rec := recs[task{ii: ii, vi: vi}]
+				if rec == nil {
+					continue
+				}
+				for _, ev := range rec.Events() {
+					ev.Seq = 0
+					tracer.Emit(ev)
+				}
+			}
+		}
+		for vi := range variants {
+			tracer.Emit(obs.Event{
+				Kind: obs.KindVariantCancel, Track: "portfolio", Name: variants[vi].Name,
+				Op: int32(vi), Value: int64(stats.Variants[vi].Cancelled), HasValue: true,
+			})
+		}
+		tracer.Emit(obs.Event{
+			Kind: obs.KindVariantWin, Track: "portfolio", Name: variants[winner].Name,
+			Op: int32(winner), II: int32(winII),
+		})
+	}
 	c.eng = chosen.eng
 	c.II = winII
 	if err := c.runPass(regallocPass{}); err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 // Options tune the scheduler. The zero value gives the configuration
@@ -54,6 +55,14 @@ type Options struct {
 	// if an assigned functional unit is occupied, even if another
 	// suitable functional unit is available."
 	TwoPhase bool
+	// Tracer receives structured events at every scheduling decision
+	// point (internal/obs). nil — the default — disables tracing at
+	// zero cost: no event is constructed, nothing allocates. Tracing is
+	// passive and never changes a scheduling decision; pass an
+	// obs.Recorder and export with obs.WriteChromeTrace, or fold the
+	// schedule's interconnect usage with Schedule.InterconnectUtilization
+	// (which needs no tracer at all).
+	Tracer obs.Tracer
 }
 
 // Validate rejects option values that cannot mean anything: negative
@@ -224,6 +233,7 @@ func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii
 	e.cancel = cancel
 	e.clock = ac.clock
 	ac.eng = e
+	e.traceIIBegin()
 	var failed error
 	for _, p := range attemptPasses(opts) {
 		if err := ac.runPass(p); err != nil {
@@ -231,6 +241,7 @@ func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii
 			break
 		}
 	}
+	e.traceIIEnd(failed == nil)
 	if ps != nil {
 		ps.Merge(ac.clock.stats)
 	}

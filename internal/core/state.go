@@ -6,6 +6,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -127,6 +128,10 @@ type engine struct {
 	// it from inside place.
 	clock *passClock
 
+	// tracer receives structured events at every decision point (nil =
+	// tracing disabled; see trace.go for the emit sites).
+	tracer obs.Tracer
+
 	// failBlock and failOp record where the place pass gave up, for
 	// backtrack accounting and the structured failure report.
 	failBlock ir.BlockKind
@@ -175,6 +180,7 @@ func newEngine(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options
 		intervals:   make(map[livKey]liveInterval),
 		rfPressure:  make(map[machine.RFID]int),
 		clock:       new(passClock),
+		tracer:      opts.Tracer,
 	}
 	e.ops = make([]*ir.Op, len(k.Ops))
 	copy(e.ops, k.Ops)
@@ -203,6 +209,7 @@ func (e *engine) mark() int { return len(e.journal) }
 
 // rollback undoes every mutation after the mark, in reverse order.
 func (e *engine) rollback(mark int) {
+	e.traceRollback(len(e.journal) - mark)
 	for i := len(e.journal) - 1; i >= mark; i-- {
 		e.journal[i]()
 	}
@@ -264,6 +271,7 @@ func (e *engine) fuFree(b ir.BlockKind, fu machine.FUID, cycle int) bool {
 // placeOp records op's placement and reserves its functional unit,
 // journaled. The caller must have checked fuFree.
 func (e *engine) placeOp(id ir.OpID, fu machine.FUID, cycle int) {
+	e.traceOpPlace(id, fu, cycle)
 	b := e.ops[id].Block
 	old := e.place[id]
 	e.place[id] = placement{fu: fu, cycle: cycle, ok: true}

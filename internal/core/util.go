@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/rules"
+)
+
+// This file folds a finished schedule's interconnect allocation into
+// per-resource occupancy: which functional units, buses, and register-
+// file ports the routes keep busy, per modulo slot in the loop and per
+// cycle in the preamble. The claims come from the same rules-engine
+// expansion the permutation solver schedules against (rules.WriteClaims
+// / rules.ReadClaims), so the report counts exactly the cells the §4.2
+// sharing rules guard. csched surfaces it as `-util` (text heatmap) and
+// inside `-stats-json`.
+
+// ResourceUtil is the occupancy of one resource: busy slot counts over
+// the loop's II modulo slots and over the preamble's cycles. Distinct
+// occupied cells are counted once — legal sharing (a bus fanning one
+// value out, §4.2) does not inflate Busy.
+type ResourceUtil struct {
+	Kind string `json:"kind"` // "fu", "bus", "read-port", "write-port"
+	Name string `json:"name"`
+	// LoopBusy of LoopSlots modulo slots are occupied in the loop
+	// (LoopSlots = II, or 0 for a loop-less kernel); PreBusy of PreSlots
+	// cycles in the preamble.
+	LoopBusy  int `json:"loop_busy"`
+	LoopSlots int `json:"loop_slots"`
+	PreBusy   int `json:"pre_busy"`
+	PreSlots  int `json:"pre_slots"`
+}
+
+// UtilizationReport is the per-resource occupancy of one schedule, in
+// machine declaration order: units, buses, read ports, write ports.
+type UtilizationReport struct {
+	Kernel    string         `json:"kernel"`
+	Machine   string         `json:"machine"`
+	II        int            `json:"ii"`
+	Preamble  int            `json:"preamble"`
+	Resources []ResourceUtil `json:"resources"`
+}
+
+// utilCell is one occupied (resource, block, slot) cell.
+type utilCell struct {
+	kind  rules.Kind
+	res   int32
+	block ir.BlockKind
+	slot  int
+}
+
+// fuIssueKind tags functional-unit issue occupancy, which is not a
+// rules.Kind (issue slots are guarded structurally by the scheduler,
+// not by a sharing rule) but reports alongside them.
+const fuIssueKind = rules.Kind(-1)
+
+// InterconnectUtilization computes the per-resource interconnect
+// utilization of the schedule. (Utilization in restab.go keeps its
+// coarse per-class summary; this is the full per-bus/per-port/per-unit
+// picture.) It needs no tracer: everything derives from the final
+// placements and routes, so the report is deterministic and available
+// on every compile.
+func (s *Schedule) InterconnectUtilization() *UtilizationReport {
+	occupied := make(map[utilCell]bool)
+	slotOf := func(b ir.BlockKind, cycle int) int {
+		if b == ir.LoopBlock && s.II > 0 {
+			return ((cycle % s.II) + s.II) % s.II
+		}
+		return cycle
+	}
+	mark := func(kind rules.Kind, res int32, b ir.BlockKind, cycle int) {
+		occupied[utilCell{kind: kind, res: res, block: b, slot: slotOf(b, cycle)}] = true
+	}
+
+	// Functional-unit issue occupancy: each operation holds its unit's
+	// issue slot for IssueInterval cycles.
+	for id, a := range s.Assignments {
+		if !a.Scheduled {
+			continue
+		}
+		b := s.Ops[id].Block
+		for t := 0; t < s.Machine.FU(a.FU).IssueInterval; t++ {
+			mark(fuIssueKind, int32(a.FU), b, a.Cycle+t)
+		}
+	}
+
+	// Route claims: the write stub occupies its bus and write port on
+	// the def's completion cycle; the read stub its read port, bus, and
+	// unit input on the use's issue cycle. The value-identity payloads of
+	// the claims are irrelevant here — only which cell each claim lands
+	// on — so zero rules.Values are passed.
+	for _, r := range s.Routes {
+		defB := s.Ops[r.Def].Block
+		wcycle := s.Assignments[r.Def].Cycle + s.Machine.Latency(s.Ops[r.Def].Opcode) - 1
+		for _, cl := range rules.WriteClaims(r.W, rules.Value{}) {
+			if cl.Rule == rules.RFWrite {
+				continue // identity rule, not a physical resource
+			}
+			mark(cl.Rule, cl.Res, defB, wcycle)
+		}
+		useB := s.Ops[r.Use].Block
+		rcycle := s.Assignments[r.Use].Cycle
+		for _, cl := range rules.ReadClaims(r.R, rules.Value{}, 0) {
+			if cl.Rule == rules.FUInput {
+				continue // latch exclusivity, subsumed by issue occupancy
+			}
+			mark(cl.Rule, cl.Res, useB, rcycle)
+		}
+	}
+
+	loopSlots := 0
+	if len(s.OpsInBlock(ir.LoopBlock)) > 0 {
+		loopSlots = s.II
+	}
+	rpt := &UtilizationReport{
+		Kernel:   s.Kernel.Name,
+		Machine:  s.Machine.Name,
+		II:       s.II,
+		Preamble: s.PreambleLen,
+	}
+	count := func(kind rules.Kind, res int32, b ir.BlockKind, slots int) int {
+		n := 0
+		for t := 0; t < slots; t++ {
+			if occupied[utilCell{kind: kind, res: res, block: b, slot: t}] {
+				n++
+			}
+		}
+		return n
+	}
+	add := func(kindName string, kind rules.Kind, res int32, name string) {
+		rpt.Resources = append(rpt.Resources, ResourceUtil{
+			Kind:      kindName,
+			Name:      name,
+			LoopBusy:  count(kind, res, ir.LoopBlock, loopSlots),
+			LoopSlots: loopSlots,
+			PreBusy:   count(kind, res, ir.PreambleBlock, s.PreambleLen),
+			PreSlots:  s.PreambleLen,
+		})
+	}
+	for _, fu := range s.Machine.FUs {
+		add("fu", fuIssueKind, int32(fu.ID), fu.Name)
+	}
+	for _, bus := range s.Machine.Buses {
+		add(rules.Bus.String(), rules.Bus, int32(bus.ID), bus.Name)
+	}
+	for _, rp := range s.Machine.ReadPorts {
+		add(rules.ReadPort.String(), rules.ReadPort, int32(rp.ID), rp.Name)
+	}
+	for _, wp := range s.Machine.WritePorts {
+		add(rules.WritePort.String(), rules.WritePort, int32(wp.ID), wp.Name)
+	}
+	return rpt
+}
+
+// bar renders a 10-cell occupancy bar.
+func bar(busy, slots int) string {
+	const width = 10
+	if slots <= 0 {
+		return strings.Repeat("·", width)
+	}
+	filled := (busy*width + slots/2) / slots
+	if filled > width {
+		filled = width
+	}
+	if busy > 0 && filled == 0 {
+		filled = 1
+	}
+	return strings.Repeat("█", filled) + strings.Repeat("░", width-filled)
+}
+
+// String renders the text heatmap csched -util prints: one row per
+// resource in machine declaration order, loop and preamble occupancy
+// side by side.
+func (u *UtilizationReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "utilization %s on %s: II=%d preamble=%d\n",
+		u.Kernel, u.Machine, u.II, u.Preamble)
+	fmt.Fprintf(&b, "%-11s %-8s %-10s %9s   %-10s %9s\n",
+		"kind", "name", "loop", "busy", "preamble", "busy")
+	for _, r := range u.Resources {
+		fmt.Fprintf(&b, "%-11s %-8s %-10s %9s   %-10s %9s\n",
+			r.Kind, r.Name,
+			bar(r.LoopBusy, r.LoopSlots), fmt.Sprintf("%d/%d", r.LoopBusy, r.LoopSlots),
+			bar(r.PreBusy, r.PreSlots), fmt.Sprintf("%d/%d", r.PreBusy, r.PreSlots))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

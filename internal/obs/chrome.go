@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file exports recorded event streams in the Chrome trace-event
+// JSON format (the "JSON Array Format" with a traceEvents wrapper),
+// loadable in Perfetto or chrome://tracing. Tracks map to thread
+// lanes: one lane per pipeline pass plus one per contended resource
+// (bus, unit), named through thread_name metadata events. Timestamps
+// are the logical clock, not wall time — one microsecond per event —
+// so exports of a deterministic compilation are byte-identical across
+// runs.
+//
+// The writer builds each record by hand into a reused buffer instead
+// of going through encoding/json: a traced compilation of a hard
+// kernel exports millions of records, and per-record Marshal (plus an
+// args map per record) dominates the export wall time.
+
+// phase maps an event kind onto its trace-event phase: duration
+// begin/end for the bracketing kinds, instant for the rest.
+func (k Kind) phase() byte {
+	switch k {
+	case KindPassBegin, KindIIBegin:
+		return 'B'
+	case KindPassEnd, KindIIEnd:
+		return 'E'
+	default:
+		return 'i'
+	}
+}
+
+// displayName renders the trace-event name for one event.
+func displayName(ev Event) string {
+	switch ev.Kind {
+	case KindPassBegin, KindPassEnd:
+		return ev.Name
+	case KindIIBegin, KindIIEnd:
+		return "II=" + strconv.Itoa(int(ev.II))
+	case KindVariantBegin, KindVariantCancel, KindVariantWin:
+		return ev.Kind.String() + " " + ev.Name
+	case KindOpPlace, KindSimIssue:
+		if ev.Name != "" {
+			return ev.Kind.String() + " " + ev.Name
+		}
+	}
+	return ev.Kind.String()
+}
+
+// appendString appends s as a JSON string. The fast path covers the
+// plain-ASCII names the compiler produces; anything needing escapes
+// falls back to encoding/json.
+func appendString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= utf8.RuneSelf {
+			esc, _ := json.Marshal(s)
+			return append(b, esc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// argAppender accumulates the ,"args":{...} suffix of one record.
+type argAppender struct {
+	b     []byte
+	first bool
+}
+
+func (a *argAppender) key(k string) {
+	if a.first {
+		a.b = append(a.b, `,"args":{`...)
+		a.first = false
+	} else {
+		a.b = append(a.b, ',')
+	}
+	a.b = append(a.b, '"')
+	a.b = append(a.b, k...)
+	a.b = append(a.b, `":`...)
+}
+
+func (a *argAppender) num(k string, v int64) {
+	a.key(k)
+	a.b = strconv.AppendInt(a.b, v, 10)
+}
+
+func (a *argAppender) boolean(k string, v bool) {
+	a.key(k)
+	a.b = strconv.AppendBool(a.b, v)
+}
+
+func (a *argAppender) str(k, v string) {
+	a.key(k)
+	a.b = appendString(a.b, v)
+}
+
+func (a *argAppender) close() []byte {
+	if !a.first {
+		a.b = append(a.b, '}')
+	}
+	return a.b
+}
+
+// appendArgs appends the identifier fields meaningful for the kind as
+// the record's args object (nothing when the kind carries none). Keys
+// are written in a fixed per-kind order, keeping the output canonical.
+func appendArgs(b []byte, ev Event) []byte {
+	a := argAppender{b: b, first: true}
+	switch ev.Kind {
+	case KindPassBegin, KindIIBegin:
+		a.num("ii", int64(ev.II))
+	case KindPassEnd, KindIIEnd:
+		a.num("ii", int64(ev.II))
+		a.boolean("ok", ev.Ok)
+	case KindOpPlace:
+		a.num("op", int64(ev.Op))
+		a.num("fu", int64(ev.FU))
+		a.num("cycle", int64(ev.Cycle))
+	case KindCommOpen, KindCommClose, KindCommSplit:
+		a.num("comm", int64(ev.Comm))
+		a.num("op", int64(ev.Op))
+	case KindStubWrite:
+		a.num("comm", int64(ev.Comm))
+		a.num("op", int64(ev.Op))
+		a.num("fu", int64(ev.FU))
+		a.num("bus", int64(ev.Bus))
+		a.num("rf", int64(ev.RF))
+		a.num("port", int64(ev.Port))
+		a.boolean("final", ev.Final)
+	case KindStubRead:
+		a.num("op", int64(ev.Op))
+		a.num("slot", int64(ev.Slot))
+		a.num("rf", int64(ev.RF))
+		a.num("port", int64(ev.Port))
+		a.num("bus", int64(ev.Bus))
+		a.num("fu", int64(ev.FU))
+		a.boolean("final", ev.Final)
+	case KindPermAttempt, KindPermReject, KindPermAccept:
+		a.num("depth", int64(ev.Depth))
+		a.num("item", int64(ev.Comm))
+	case KindCopyInsert:
+		a.num("comm", int64(ev.Comm))
+		a.num("depth", int64(ev.Depth))
+		a.num("op", int64(ev.Op))
+	case KindRollback:
+		a.num("undone", ev.Value)
+	case KindVariantBegin, KindVariantWin:
+		a.str("variant", ev.Name)
+		a.num("ii", int64(ev.II))
+	case KindVariantCancel:
+		a.str("variant", ev.Name)
+		a.num("cancelled", ev.Value)
+	case KindSimIssue:
+		a.num("op", int64(ev.Op))
+		a.num("cycle", int64(ev.Cycle))
+		a.num("iter", int64(ev.Iter))
+		a.num("fu", int64(ev.FU))
+		if ev.HasValue {
+			a.num("result", ev.Value)
+		}
+	case KindSimWriteback:
+		a.num("op", int64(ev.Op))
+		a.num("cycle", int64(ev.Cycle))
+		a.num("iter", int64(ev.Iter))
+		a.num("rf", int64(ev.RF))
+		a.num("bus", int64(ev.Bus))
+		a.num("value", ev.Value)
+	}
+	return a.close()
+}
+
+// WriteChromeTrace renders an event stream as Chrome trace-event JSON.
+// Events are written in slice order with ts = Seq; tracks are assigned
+// thread ids in first-appearance order and named via thread_name
+// metadata, so equal streams produce byte-identical output.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	tids := make(map[string]int)
+	var order []string
+	tidOf := func(track string) int {
+		if track == "" {
+			track = "events"
+		}
+		id, ok := tids[track]
+		if !ok {
+			id = len(tids) + 1
+			tids[track] = id
+			order = append(order, track)
+		}
+		return id
+	}
+	// First pass assigns tids so the metadata block can lead the file.
+	for i := range events {
+		tidOf(events[i].Track)
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString("{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 256)
+	first := true
+	for _, track := range order {
+		buf = buf[:0]
+		if !first {
+			buf = append(buf, ",\n"...)
+		}
+		first = false
+		buf = append(buf, `{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tids[track]), 10)
+		buf = append(buf, `,"args":{"name":`...)
+		buf = appendString(buf, track)
+		buf = append(buf, "}}"...)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for i := range events {
+		ev := &events[i]
+		ph := ev.Kind.phase()
+		buf = buf[:0]
+		if !first {
+			buf = append(buf, ",\n"...)
+		}
+		first = false
+		buf = append(buf, `{"name":`...)
+		buf = appendString(buf, displayName(*ev))
+		buf = append(buf, `,"ph":"`...)
+		buf = append(buf, ph)
+		buf = append(buf, `","ts":`...)
+		buf = strconv.AppendUint(buf, ev.Seq, 10)
+		buf = append(buf, `,"pid":1,"tid":`...)
+		buf = strconv.AppendInt(buf, int64(tidOf(ev.Track)), 10)
+		if ph == 'i' {
+			buf = append(buf, `,"s":"t"`...)
+		}
+		buf = appendArgs(buf, *ev)
+		buf = append(buf, '}')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ValidateChromeTrace checks data against the trace-event schema: a
+// traceEvents array whose records carry name/ph/pid/tid (plus ts on
+// non-metadata records), with phases drawn from the B/E/i/M set,
+// duration events balanced per track, and timestamps non-decreasing.
+// CI runs it over the trace csched emits for the motivating kernel.
+func ValidateChromeTrace(data []byte) error {
+	return ValidateChromeTraceReader(bytes.NewReader(data))
+}
+
+// ValidateChromeTraceReader is ValidateChromeTrace over a stream.
+// Records are decoded one at a time, so multi-hundred-megabyte traces
+// validate without materializing the whole document — it can sit on
+// the far end of an io.Pipe fed by WriteChromeTrace.
+func ValidateChromeTraceReader(r io.Reader) error {
+	dec := json.NewDecoder(r)
+	if err := expectDelim(dec, '{'); err != nil {
+		return fmt.Errorf("obs: trace is not a JSON object: %w", err)
+	}
+	sawEvents := false
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+		}
+		key, _ := keyTok.(string)
+		if key != "traceEvents" {
+			// Skip other top-level members (displayTimeUnit, ...).
+			var skip json.RawMessage
+			if err := dec.Decode(&skip); err != nil {
+				return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+			}
+			continue
+		}
+		sawEvents = true
+		if err := validateEventArray(dec); err != nil {
+			return err
+		}
+	}
+	if !sawEvents {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	return nil
+}
+
+func expectDelim(dec *json.Decoder, want json.Delim) error {
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != want {
+		return fmt.Errorf("got %v, want %v", tok, want)
+	}
+	return nil
+}
+
+func validateEventArray(dec *json.Decoder) error {
+	if err := expectDelim(dec, '['); err != nil {
+		return fmt.Errorf("obs: traceEvents is not an array: %w", err)
+	}
+	depth := make(map[int]int)
+	lastTs := -1.0
+	for i := 0; dec.More(); i++ {
+		var ev struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Pid  *int     `json:"pid"`
+			Tid  *int     `json:"tid"`
+		}
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("obs: event %d is not valid JSON: %w", i, err)
+		}
+		switch {
+		case ev.Name == nil || *ev.Name == "":
+			return fmt.Errorf("obs: event %d has no name", i)
+		case ev.Ph == nil:
+			return fmt.Errorf("obs: event %d (%s) has no ph", i, *ev.Name)
+		case ev.Pid == nil || ev.Tid == nil:
+			return fmt.Errorf("obs: event %d (%s) has no pid/tid", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "M":
+			continue // metadata carries no meaningful timestamp
+		case "B", "E", "i":
+		default:
+			return fmt.Errorf("obs: event %d (%s) has unsupported phase %q", i, *ev.Name, *ev.Ph)
+		}
+		if ev.Ts == nil {
+			return fmt.Errorf("obs: event %d (%s) has no ts", i, *ev.Name)
+		}
+		if *ev.Ts < lastTs {
+			return fmt.Errorf("obs: event %d (%s) goes back in time (%v < %v)", i, *ev.Name, *ev.Ts, lastTs)
+		}
+		lastTs = *ev.Ts
+		switch *ev.Ph {
+		case "B":
+			depth[*ev.Tid]++
+		case "E":
+			if depth[*ev.Tid]--; depth[*ev.Tid] < 0 {
+				return fmt.Errorf("obs: event %d (%s) ends a span that never began on tid %d", i, *ev.Name, *ev.Tid)
+			}
+		}
+	}
+	if err := expectDelim(dec, ']'); err != nil {
+		return fmt.Errorf("obs: traceEvents array truncated: %w", err)
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			return fmt.Errorf("obs: tid %d has %d unclosed spans", tid, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"testing"
+)
+
+// traceFile points this test at an externally produced Chrome trace —
+// CI exports one with `csched -trace` and gates it on the schema
+// validator here, so the exporter and the validator are exercised
+// against each other end to end, not just in-process.
+var traceFile = flag.String("trace-file", "", "validate this Chrome trace-event JSON file and exit")
+
+func TestValidateTraceFile(t *testing.T) {
+	if *traceFile == "" {
+		t.Skip("no -trace-file given (CI passes one produced by csched -trace)")
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := ValidateChromeTraceReader(f); err != nil {
+		t.Errorf("%s fails trace-event schema validation: %v", *traceFile, err)
+	}
+}

@@ -37,6 +37,23 @@ const (
 // MaxInputs bounds per-unit operand inputs for FUInput cell indexing.
 const MaxInputs = 4
 
+// String names the resource class for reports and exports.
+func (k Kind) String() string {
+	switch k {
+	case Bus:
+		return "bus"
+	case ReadPort:
+		return "read-port"
+	case WritePort:
+		return "write-port"
+	case FUInput:
+		return "fu-input"
+	case RFWrite:
+		return "rf-write"
+	}
+	return "unknown"
+}
+
 // Rule is one row of the sharing-rule table.
 type Rule struct {
 	Kind     Kind

@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/rules"
 )
 
@@ -45,8 +46,15 @@ type Config struct {
 	// Trace, when non-nil, receives a per-cycle execution log: every
 	// issue with its resolved operand values and every register-file
 	// write with its bus — the overlapped-iteration view a pipeline
-	// debugger needs (iteration indices included).
+	// debugger needs (iteration indices included). Internally the log is
+	// one rendering of the structured event stream (see Tracer); the
+	// text format is pinned by a golden test.
 	Trace io.Writer
+	// Tracer, when non-nil, receives the same issue/writeback stream as
+	// structured internal/obs events (KindSimIssue, KindSimWriteback),
+	// e.g. an *obs.Recorder feeding obs.WriteChromeTrace. Trace and
+	// Tracer compose: both may be set.
+	Tracer obs.Tracer
 }
 
 // Result is the outcome of a simulation.
@@ -76,10 +84,11 @@ func ruleValue(inst instance) rules.Value {
 }
 
 type sim struct {
-	s    *core.Schedule
-	cfg  Config
-	trip int
-	base int // global cycle the loop's iteration 0 starts at
+	s      *core.Schedule
+	cfg    Config
+	tracer obs.Tracer // effective sink: cfg.Tracer + text renderer for cfg.Trace
+	trip   int
+	base   int // global cycle the loop's iteration 0 starts at
 
 	// leafRoute maps (operand, original source value) to the final
 	// route delivering it, which names the (possibly copy-renamed)
@@ -117,6 +126,10 @@ func Run(s *core.Schedule, cfg Config) (*Result, error) {
 	}
 	for a, v := range cfg.InitMem {
 		sm.mem[a] = v
+	}
+	sm.tracer = cfg.Tracer
+	if cfg.Trace != nil {
+		sm.tracer = obs.Multi(sm.tracer, &textSink{w: cfg.Trace, s: s})
 	}
 	sm.buildLeafRoutes()
 	if err := sm.run(); err != nil {
@@ -192,8 +205,8 @@ func (sm *sim) run() error {
 			if err != nil {
 				return err
 			}
-			if sm.cfg.Trace != nil {
-				sm.traceIssue(cycle, ev, op, a.FU, args, result)
+			if sm.tracer != nil {
+				sm.emitIssue(cycle, ev, op, a.FU, args, result)
 			}
 			if isStore {
 				stores = append(stores, ev)
@@ -221,10 +234,8 @@ func (sm *sim) run() error {
 				if err := sm.driveWrite(cycle, ev, r.W, inst, cs); err != nil {
 					return err
 				}
-				if sm.cfg.Trace != nil {
-					fmt.Fprintf(sm.cfg.Trace, "cycle %4d | writeback %s=%d (iter %d) via %s -> %s\n",
-						cycle, sm.s.Values[inst.value].Name, sm.vals[inst], ev.iter,
-						sm.s.Machine.Buses[r.W.Bus].Name, sm.s.Machine.RegFiles[r.W.RF].Name)
+				if sm.tracer != nil {
+					sm.emitWriteback(cycle, ev, r.W, inst)
 				}
 			}
 		}
@@ -265,18 +276,71 @@ func (sm *sim) buildLeafRoutes() {
 	}
 }
 
-// traceIssue logs one operation issue.
-func (sm *sim) traceIssue(cycle int, ev event, op *ir.Op, fu machine.FUID, args []int64, result int64) {
-	name := op.Name
-	if name == "" {
-		name = op.Opcode.String()
+// emitIssue reports one operation issue as a structured event. The
+// per-cycle text log is rendered from this same event by textSink.
+func (sm *sim) emitIssue(cycle int, ev event, op *ir.Op, fu machine.FUID, args []int64, result int64) {
+	e := obs.Event{
+		Kind:  obs.KindSimIssue,
+		Track: sm.s.Machine.FU(fu).Name,
+		Name:  op.Name,
+		Op:    int32(ev.op),
+		Cycle: int32(cycle),
+		Iter:  int32(ev.iter),
+		FU:    int32(fu),
+		Args:  args,
 	}
-	fmt.Fprintf(sm.cfg.Trace, "cycle %4d | %-6s iter %3d  %-8s %s args=%v",
-		cycle, sm.s.Machine.FU(fu).Name, ev.iter, op.Opcode, name, args)
 	if op.Result != ir.NoValue {
-		fmt.Fprintf(sm.cfg.Trace, " -> %d", result)
+		e.Value = result
+		e.HasValue = true
 	}
-	fmt.Fprintln(sm.cfg.Trace)
+	sm.tracer.Emit(e)
+}
+
+// emitWriteback reports one register-file delivery as a structured
+// event.
+func (sm *sim) emitWriteback(cycle int, ev event, w machine.WriteStub, inst instance) {
+	sm.tracer.Emit(obs.Event{
+		Kind:     obs.KindSimWriteback,
+		Track:    sm.s.Machine.Buses[w.Bus].Name,
+		Name:     sm.s.Values[inst.value].Name,
+		Op:       int32(ev.op),
+		Cycle:    int32(cycle),
+		Iter:     int32(ev.iter),
+		RF:       int32(w.RF),
+		Bus:      int32(w.Bus),
+		Port:     int32(w.Port),
+		Value:    sm.vals[inst],
+		HasValue: true,
+	})
+}
+
+// textSink renders KindSimIssue / KindSimWriteback events in the
+// simulator's classic per-cycle text format. The format is pinned by
+// TestTraceTextGolden: tools parse these lines.
+type textSink struct {
+	w io.Writer
+	s *core.Schedule
+}
+
+func (t *textSink) Emit(ev obs.Event) {
+	switch ev.Kind {
+	case obs.KindSimIssue:
+		op := t.s.Ops[ir.OpID(ev.Op)]
+		name := ev.Name
+		if name == "" {
+			name = op.Opcode.String()
+		}
+		fmt.Fprintf(t.w, "cycle %4d | %-6s iter %3d  %-8s %s args=%v",
+			ev.Cycle, ev.Track, ev.Iter, op.Opcode, name, ev.Args)
+		if ev.HasValue {
+			fmt.Fprintf(t.w, " -> %d", ev.Value)
+		}
+		fmt.Fprintln(t.w)
+	case obs.KindSimWriteback:
+		fmt.Fprintf(t.w, "cycle %4d | writeback %s=%d (iter %d) via %s -> %s\n",
+			ev.Cycle, ev.Name, ev.Value, ev.Iter,
+			ev.Track, t.s.Machine.RegFiles[machine.RFID(ev.RF)].Name)
+	}
 }
 
 // readOperands resolves, checks, and fetches every operand of an

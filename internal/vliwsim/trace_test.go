@@ -1,0 +1,102 @@
+package vliwsim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata golden files")
+
+func fig4Kernel(t *testing.T) *ir.Kernel {
+	t.Helper()
+	b := ir.NewBuilder("fig4")
+	a := b.Emit(ir.Load, "a", b.Const(100), b.Const(0))
+	bb := b.Emit(ir.Add, "b", b.Const(1), b.Const(2))
+	c := b.Emit(ir.Add, "c", b.Const(3), b.Const(4))
+	d := b.Emit(ir.Add, "d", b.Val(a), b.Val(bb))
+	e := b.Emit(ir.Add, "e", b.Val(a), b.Val(c))
+	b.Emit(ir.Store, "", b.Val(d), b.Const(200), b.Const(0))
+	b.Emit(ir.Store, "", b.Val(e), b.Const(201), b.Const(0))
+	k, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestTraceTextGolden pins the simulator's per-cycle text log: the
+// format is rendered from the structured event stream by textSink and
+// must stay byte-identical — tools parse these lines.
+func TestTraceTextGolden(t *testing.T) {
+	s := compile(t, fig4Kernel(t), machine.MotivatingExample())
+	var buf bytes.Buffer
+	if _, err := Run(s, Config{InitMem: map[int64]int64{100: 40}, Trace: &buf}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_fig4.golden")
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace text drifted from %s (run with -update-goldens to accept):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestTraceStructuredEvents pins the structured side of the same
+// stream: Config.Tracer receives KindSimIssue/KindSimWriteback events
+// that agree with the Result counters, and text + structured sinks
+// compose without interfering.
+func TestTraceStructuredEvents(t *testing.T) {
+	s := compile(t, fig4Kernel(t), machine.MotivatingExample())
+	rec := obs.NewRecorder()
+	var buf bytes.Buffer
+	res, err := Run(s, Config{InitMem: map[int64]int64{100: 40}, Trace: &buf, Tracer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	issues, writebacks := 0, 0
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case obs.KindSimIssue:
+			issues++
+		case obs.KindSimWriteback:
+			writebacks++
+		default:
+			t.Errorf("unexpected event kind %v in simulator stream", ev.Kind)
+		}
+	}
+	if issues != len(s.Ops) {
+		t.Errorf("%d issue events, want %d (one per op)", issues, len(s.Ops))
+	}
+	if writebacks != res.Writes {
+		t.Errorf("%d writeback events, want %d (Result.Writes)", writebacks, res.Writes)
+	}
+	if buf.Len() == 0 {
+		t.Error("text sink produced no output alongside the recorder")
+	}
+	// The structured stream must export cleanly.
+	var trace bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace, rec.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateChromeTrace(trace.Bytes()); err != nil {
+		t.Fatalf("simulator trace fails schema validation: %v", err)
+	}
+}
