@@ -1,0 +1,214 @@
+// Command benchjson converts `go test -bench` text output into the
+// machine-readable BENCH_sched.json the benchmark CI job uploads: per
+// benchmark, the median ns/op, B/op, allocs/op, any custom metrics
+// (II, compiles/s, …), and — when a baseline file is given — the
+// wall-clock speedup and allocation ratio against it.
+//
+// Usage:
+//
+//	go test -run - -bench . -benchmem -count 5 . > head.txt
+//	benchjson -head head.txt -base base.txt -o BENCH_sched.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sample is one parsed benchmark line.
+type sample struct {
+	nsPerOp  float64
+	bPerOp   float64
+	allocsOp float64
+	metrics  map[string]float64
+}
+
+// Metrics summarizes one benchmark's samples by the median of each
+// quantity, the robust choice for small -count runs on shared machines.
+type Metrics struct {
+	Runs           int                `json:"runs"`
+	NsPerOp        float64            `json:"ns_per_op"`
+	BytesPerOp     float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp    float64            `json:"allocs_per_op,omitempty"`
+	CompilesPerSec float64            `json:"compiles_per_sec"`
+	Extra          map[string]float64 `json:"extra,omitempty"`
+}
+
+// Entry is one benchmark's row in the output.
+type Entry struct {
+	Name string   `json:"name"`
+	Head Metrics  `json:"head"`
+	Base *Metrics `json:"base,omitempty"`
+	// Speedup is base wall time over head wall time (>1 is faster).
+	Speedup float64 `json:"speedup,omitempty"`
+	// AllocsRatio is head allocs/op over base allocs/op (<1 allocates
+	// less).
+	AllocsRatio float64 `json:"allocs_ratio,omitempty"`
+}
+
+// benchLine matches one result line: name, iteration count, then
+// value/unit pairs. The trailing -N on the name is the GOMAXPROCS
+// suffix, not part of the benchmark's identity.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parseFile(path string) (map[string][]sample, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func parse(r io.Reader) (map[string][]sample, []string, error) {
+	out := make(map[string][]sample)
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		mm := benchLine.FindStringSubmatch(sc.Text())
+		if mm == nil {
+			continue
+		}
+		name := strings.TrimPrefix(mm[1], "Benchmark")
+		s := sample{metrics: make(map[string]float64)}
+		fields := strings.Fields(mm[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				s.nsPerOp = v
+			case "B/op":
+				s.bPerOp = v
+			case "allocs/op":
+				s.allocsOp = v
+			default:
+				s.metrics[unit] = v
+			}
+		}
+		if s.nsPerOp == 0 {
+			continue
+		}
+		if _, seen := out[name]; !seen {
+			order = append(order, name)
+		}
+		out[name] = append(out[name], s)
+	}
+	return out, order, sc.Err()
+}
+
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sort.Float64s(vs)
+	if n := len(vs); n%2 == 1 {
+		return vs[n/2]
+	} else {
+		return (vs[n/2-1] + vs[n/2]) / 2
+	}
+}
+
+func summarize(samples []sample) Metrics {
+	pick := func(get func(sample) float64) float64 {
+		vs := make([]float64, len(samples))
+		for i, s := range samples {
+			vs[i] = get(s)
+		}
+		return median(vs)
+	}
+	m := Metrics{
+		Runs:        len(samples),
+		NsPerOp:     pick(func(s sample) float64 { return s.nsPerOp }),
+		BytesPerOp:  pick(func(s sample) float64 { return s.bPerOp }),
+		AllocsPerOp: pick(func(s sample) float64 { return s.allocsOp }),
+	}
+	if m.NsPerOp > 0 {
+		m.CompilesPerSec = round3(1e9 / m.NsPerOp)
+	}
+	keys := make(map[string]bool)
+	for _, s := range samples {
+		for k := range s.metrics {
+			keys[k] = true
+		}
+	}
+	for k := range keys {
+		if m.Extra == nil {
+			m.Extra = make(map[string]float64)
+		}
+		m.Extra[k] = pick(func(s sample) float64 { return s.metrics[k] })
+	}
+	return m
+}
+
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func main() {
+	head := flag.String("head", "", "benchmark text output of the code under test (required)")
+	base := flag.String("base", "", "benchmark text output of the baseline to compare against")
+	out := flag.String("o", "BENCH_sched.json", `output path ("-" for stdout)`)
+	flag.Parse()
+	if *head == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -head FILE is required")
+		os.Exit(2)
+	}
+	headRuns, order, err := parseFile(*head)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(headRuns) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in", *head)
+		os.Exit(1)
+	}
+	var baseRuns map[string][]sample
+	if *base != "" {
+		if baseRuns, _, err = parseFile(*base); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+	doc := struct {
+		Suite      string  `json:"suite"`
+		Benchmarks []Entry `json:"benchmarks"`
+	}{Suite: "communication-scheduling"}
+	for _, name := range order {
+		e := Entry{Name: name, Head: summarize(headRuns[name])}
+		if bs, ok := baseRuns[name]; ok && len(bs) > 0 {
+			bm := summarize(bs)
+			e.Base = &bm
+			if e.Head.NsPerOp > 0 {
+				e.Speedup = round3(bm.NsPerOp / e.Head.NsPerOp)
+			}
+			if bm.AllocsPerOp > 0 {
+				e.AllocsRatio = round3(e.Head.AllocsPerOp / bm.AllocsPerOp)
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

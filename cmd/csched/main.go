@@ -15,7 +15,10 @@
 // -sim, the simulation) as Chrome trace-event JSON for Perfetto;
 // -simtrace prints the simulator's per-cycle text log; -util prints the
 // per-resource interconnect-occupancy heatmap; -stats-json FILE ("-"
-// for stdout) dumps machine-readable statistics.
+// for stdout) dumps machine-readable statistics; -cpuprofile FILE and
+// -memprofile FILE write pprof CPU and allocation profiles, with every
+// sample labeled by the pipeline pass it fell in (pprof -tagfocus
+// pass=place, etc.).
 //
 // When compilation fails, csched exits non-zero and prints the pass
 // pipeline's structured diagnostic: the kernel, machine, failing pass,
@@ -31,6 +34,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	commsched "repro"
 )
@@ -77,8 +82,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cycleOrder := fs.Bool("cycle-order", false, "ablation: schedule in cycle order instead of operation order")
 	noCost := fs.Bool("no-cost-heuristic", false, "ablation: disable the equation-1 unit-ordering heuristic")
 	portfolio := fs.Int("portfolio", 0, "race the ablation portfolio over N workers (0 disables, -1 means GOMAXPROCS); the result is deterministic for any N")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE (samples carry a \"pass\" label)")
+	memprofile := fs.String("memprofile", "", "write a pprof allocation profile to FILE on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "csched:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "csched:", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(*memprofile); err != nil {
+				fmt.Fprintln(stderr, "csched:", err)
+			}
+		}()
 	}
 
 	if *list {
@@ -242,6 +273,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// writeMemProfile dumps the allocation profile (after a GC, so the
+// heap numbers reflect live objects, while alloc_space still covers
+// everything allocated since start).
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace exports the recorded event stream as Chrome trace-event

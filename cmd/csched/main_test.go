@@ -204,6 +204,28 @@ func TestStatsJSONFlag(t *testing.T) {
 	}
 }
 
+// TestProfileFlags pins -cpuprofile/-memprofile: both files exist and
+// carry the gzip magic of the pprof proto encoding.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	code, _, errw := runCLI(t, "-arch", "central", "-kernel", "DCT", "-dump=false",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw)
+	}
+	for _, path := range []string{cpu, mem} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s is not a gzipped pprof profile (%d bytes)", path, len(data))
+		}
+	}
+}
+
 // TestDoesNotScheduleDiagnostic covers the place-pass failure shape:
 // an impossibly low interval cap turns into a structured
 // does-not-schedule report.

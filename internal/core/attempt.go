@@ -33,16 +33,30 @@ import (
 // remaining (opening) communications their tentative stubs. On failure
 // every mutation is rolled back and false is returned so the scheduler
 // can try another unit or cycle (Fig. 11's reject edge).
+//
+// attempt re-enters itself through copy insertion at e.depth+1, so its
+// working lists live in per-depth engine scratch rather than per-call
+// allocations.
 func (e *engine) attempt(id ir.OpID, cycle int, fu machine.FUID) bool {
 	e.stats.Attempts++
 	mark := e.mark()
 	e.placeOp(id, fu, cycle)
 	e.indexOpStubs(id)
 
-	closings := e.closingComms(id)
-	sort.SliceStable(closings, func(i, j int) bool {
-		return e.copyRange(e.comms[closings[i]]) < e.copyRange(e.comms[closings[j]])
-	})
+	ds := e.scratchAt(e.depth)
+	closings := e.closingComms(id, ds)
+	// Stable insertion sort by ascending copy range.
+	ranges := ds.ranges[:0]
+	for _, cid := range closings {
+		ranges = append(ranges, e.copyRange(e.comms[cid]))
+	}
+	for i := 1; i < len(closings); i++ {
+		for j := i; j > 0 && ranges[j] < ranges[j-1]; j-- {
+			ranges[j], ranges[j-1] = ranges[j-1], ranges[j]
+			closings[j], closings[j-1] = closings[j-1], closings[j]
+		}
+	}
+	ds.ranges = ranges
 	for _, cid := range closings {
 		if e.comms[cid].state == commClosed || e.comms[cid].state == commSplit {
 			continue // closed as a side effect of an earlier closing
@@ -56,7 +70,7 @@ func (e *engine) attempt(id ir.OpID, cycle int, fu machine.FUID) bool {
 
 	// Give the operation's opening communications tentative stubs and
 	// re-validate the whole issue and completion cycles.
-	if !e.solveReads(e.issueSlotKey(id), nil) || !e.solveWrites(e.completionSlotKey(id), nil) {
+	if !e.solveReads(e.issueSlotKey(id), noOperand, 0) || !e.solveWrites(e.completionSlotKey(id), noComm, 0) {
 		e.rollback(mark)
 		e.stats.AttemptFailures++
 		return false
@@ -64,28 +78,41 @@ func (e *engine) attempt(id ir.OpID, cycle int, fu machine.FUID) bool {
 	return true
 }
 
-// closingComms returns the active communications touching op whose
-// other endpoint is already scheduled — the communications that close
-// with this placement. Self-recurrences (an operation reading its own
-// previous-iteration result) appear once.
-func (e *engine) closingComms(id ir.OpID) []CommID {
-	var out []CommID
-	seen := make(map[CommID]bool)
-	for _, cid := range e.activeCommsTo(id) {
+// closingComms collects into ds.closings the active communications
+// touching op whose other endpoint is already scheduled — the
+// communications that close with this placement. Self-recurrences (an
+// operation reading its own previous-iteration result) appear once,
+// deduplicated by the epoch-stamped comm mark array.
+func (e *engine) closingComms(id ir.OpID, ds *depthScratch) []CommID {
+	out := ds.closings[:0]
+	e.commEpoch++
+	for _, cid := range e.commsTo[id] {
 		c := e.comms[cid]
-		if c.state != commClosed && e.place[c.def].ok && !seen[cid] {
-			seen[cid] = true
+		if c.state != commSplit && c.state != commClosed && e.place[c.def].ok && !e.commSeen(cid) {
 			out = append(out, cid)
 		}
 	}
-	for _, cid := range e.activeCommsFrom(id) {
+	for _, cid := range e.commsFrom[id] {
 		c := e.comms[cid]
-		if c.state != commClosed && e.place[c.use].ok && !seen[cid] {
-			seen[cid] = true
+		if c.state != commSplit && c.state != commClosed && e.place[c.use].ok && !e.commSeen(cid) {
 			out = append(out, cid)
 		}
 	}
+	ds.closings = out
 	return out
+}
+
+// commSeen reports whether the communication was already visited this
+// epoch and marks it.
+func (e *engine) commSeen(cid CommID) bool {
+	if int(cid) >= len(e.commMark) {
+		e.commMark = append(e.commMark, make([]int32, int(cid)+64-len(e.commMark))...)
+	}
+	if e.commMark[cid] == e.commEpoch {
+		return true
+	}
+	e.commMark[cid] = e.commEpoch
+	return false
 }
 
 // closeComm is the clocked close-comms pipeline stage: one routed
@@ -120,8 +147,8 @@ func (e *engine) routeComm(c *comm) bool {
 	tryDirect := func(rfs []machine.RFID) bool {
 		for _, rf := range rfs {
 			mark := e.mark()
-			if e.solveReads(readCycle, map[OperandKey]machine.RFID{useKey: rf}) &&
-				e.solveWrites(writeCycle, map[CommID]machine.RFID{c.id: rf}) {
+			if e.solveReads(readCycle, useKey, rf) &&
+				e.solveWrites(writeCycle, c.id, rf) {
 				e.finishRoute(c)
 				return true
 			}
@@ -130,12 +157,14 @@ func (e *engine) routeComm(c *comm) bool {
 		return false
 	}
 
-	shared := e.sharedRouteRFs(c)
+	ds := e.scratchAt(e.depth)
+	shared := e.sharedRouteRFs(c, ds.shared[:0])
+	ds.shared = shared
 	// With §7 register-aware routing, files whose capacity the close
 	// would exceed are deferred: copies staged in colder files (placed
 	// late, shrinking the hot residence — the spill shape) are
 	// preferred, and the overflowing direct route is the last resort.
-	var coolRFs, hotRFs []machine.RFID
+	coolRFs, hotRFs := ds.cool[:0], ds.hot[:0]
 	if e.opts.RegisterAware {
 		for _, rf := range shared {
 			if e.pressureAllows(c, rf) {
@@ -147,6 +176,7 @@ func (e *engine) routeComm(c *comm) bool {
 	} else {
 		coolRFs = shared
 	}
+	ds.cool, ds.hot = coolRFs, hotRFs
 	if tryDirect(coolRFs) {
 		return true
 	}
@@ -163,8 +193,8 @@ func (e *engine) routeComm(c *comm) bool {
 	// No direct route available: choose stubs freely and connect them
 	// with copies (step 5).
 	mark := e.mark()
-	if e.solveReads(readCycle, nil) {
-		if or := e.operandStub[useKey]; or != nil {
+	if e.solveReads(readCycle, noOperand, 0) {
+		if or, ok := e.operandStub[useKey]; ok {
 			target := or.stub.RF
 			if len(hotRFs) > 0 {
 				// §7 staging: the direct file is hot, so write into a
@@ -173,7 +203,7 @@ func (e *engine) routeComm(c *comm) bool {
 				// pass would.
 				for _, ws := range e.stagingRFs(c, target) {
 					m2 := e.mark()
-					if e.solveWrites(writeCycle, map[CommID]machine.RFID{c.id: ws}) {
+					if e.solveWrites(writeCycle, c.id, ws) {
 						e.pinOperandStub(useKey)
 						e.setCommW(c, c.wstub, true)
 						if e.insertCopies(c, true) {
@@ -182,7 +212,7 @@ func (e *engine) routeComm(c *comm) bool {
 					}
 					e.rollback(m2)
 				}
-			} else if e.solveWrites(writeCycle, nil) && c.hasW {
+			} else if e.solveWrites(writeCycle, noComm, 0) && c.hasW {
 				if c.wstub.RF == target {
 					// The free permutations happened to form a route.
 					e.finishRoute(c)
@@ -200,8 +230,8 @@ func (e *engine) routeComm(c *comm) bool {
 
 	// Last resort: accept the overflow and route directly; the spill
 	// post-pass can still repair it.
-	if len(hotRFs) > 0 {
-		if tryDirect(hotRFs) {
+	if len(ds.hot) > 0 {
+		if tryDirect(ds.hot) {
 			e.stats.PressureOverflows++
 			return true
 		}
@@ -285,8 +315,10 @@ func (e *engine) closeOnDeposit(c *comm, useKey OperandKey, readCycle tKey) bool
 	root := e.rootValue(c.value)
 	useBlock := e.ops[c.use].Block
 	rflat := e.place[c.use].cycle + c.distance*e.blockII(useBlock)
+	useFU := e.place[c.use].fu
+	useSel := e.slotSel(useKey, useFU)
 	for _, dep := range e.deposits[root] {
-		if or := e.operandStub[useKey]; or != nil && or.pinned && or.stub.RF != dep.stub.RF {
+		if or, ok := e.operandStub[useKey]; ok && or.pinned && or.stub.RF != dep.stub.RF {
 			continue
 		}
 		if !e.pressureAllows(c, dep.stub.RF) {
@@ -301,20 +333,11 @@ func (e *engine) closeOnDeposit(c *comm, useKey OperandKey, readCycle tKey) bool
 			continue
 		}
 		// The operand must be able to read the deposit's file directly.
-		readable := false
-		for _, slot := range e.allowedSlots(useKey, e.place[c.use].fu) {
-			for _, rs := range e.mach.ReadStubs(e.place[c.use].fu, slot) {
-				if rs.RF == dep.stub.RF {
-					readable = true
-					break
-				}
-			}
-		}
-		if !readable {
+		if !e.routes.Readable(useFU, useSel, dep.stub.RF) {
 			continue
 		}
 		mark := e.mark()
-		if !e.solveReads(readCycle, map[OperandKey]machine.RFID{useKey: dep.stub.RF}) {
+		if !e.solveReads(readCycle, useKey, dep.stub.RF) {
 			e.rollback(mark)
 			continue
 		}

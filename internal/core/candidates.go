@@ -1,26 +1,31 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/ir"
 	"repro/internal/machine"
-	"repro/internal/rules"
 )
 
-// This file enumerates the valid stubs for a communication (§4.3 step 1)
-// and orders them so that route-forming choices come first: "Zero or
-// more copy operations can be used to move a value from any register
-// file written to by a valid write stub for o1 to any register file read
-// from by a valid read stub for o2" — a stub is valid only when such a
-// copy path exists, and stubs needing fewer copies are preferred.
+// This file selects the valid stubs for a communication (§4.3 step 1)
+// ordered so that route-forming choices come first: "Zero or more copy
+// operations can be used to move a value from any register file written
+// to by a valid write stub for o1 to any register file read from by a
+// valid read stub for o2" — a stub is valid only when such a copy path
+// exists, and stubs needing fewer copies are preferred.
+//
+// The enumeration itself is interned per machine: candidate lists are
+// slices of int32 indices into the machine's base stub slices, fetched
+// from machine.RouteIndex — computed once per *Machine and shared by
+// every compilation (see internal/machine/route.go). The only dynamic
+// case left is the multi-source (phi) operand, whose score sums over a
+// set of producers only the engine knows; it is scored into a reusable
+// arena below.
 
 // maxCandidatesDefault caps candidate lists. It must comfortably exceed
 // the zero-copy stub count of the largest machine (the distributed
-// architecture exposes 120 zero-copy write stubs per unit): truncating
+// architecture exposes 320 zero-copy write stubs per unit): truncating
 // below that breaks the §4.4 completeness requirement in crowded
 // cycles, because the surviving prefix may cover only conflicting
-// buses.
+// buses. Options.ValidateFor enforces the machine's actual floor.
 const maxCandidatesDefault = 1024
 
 func (e *engine) maxCandidates() int {
@@ -30,16 +35,24 @@ func (e *engine) maxCandidates() int {
 	return maxCandidatesDefault
 }
 
-// allowedSlots returns the physical inputs of fu that may deliver the
-// operand. Copies are steered to a specific input by copy insertion;
-// an operation with a single value operand may read it through any
-// input (the immediate operands travel in the instruction word); a
-// commutative operation's two value operands may swap inputs (the
-// per-cycle solver keeps them on distinct inputs). Everything else is
-// fixed to its argument position.
-func (e *engine) allowedSlots(key OperandKey, fu machine.FUID) []int {
+// Shared slot lists backing allowedSlots; callers only range over them.
+// Units have at most four inputs (machine.Builder enforces it).
+var (
+	slotsSingle = [...][]int{{0}, {1}, {2}, {3}}
+	slotsAny    = [...][]int{nil, {0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}}
+)
+
+// slotSel classifies which physical inputs of fu may deliver the
+// operand, as a routing-index slot selector: a specific slot, NumInputs
+// ("any input"), or -1 (none). Copies are steered to a specific input
+// by copy insertion; an operation with a single value operand may read
+// it through any input (the immediate operands travel in the
+// instruction word); a commutative operation's two value operands may
+// swap inputs (the per-cycle solver keeps them on distinct inputs).
+// Everything else is fixed to its argument position.
+func (e *engine) slotSel(key OperandKey, fu machine.FUID) int {
 	if s, ok := e.physSlot[key]; ok {
-		return []int{s}
+		return s
 	}
 	op := e.ops[key.Op]
 	nIn := e.mach.FU(fu).NumInputs
@@ -51,16 +64,28 @@ func (e *engine) allowedSlots(key OperandKey, fu machine.FUID) []int {
 	}
 	if values == 1 || (values == 2 && op.Opcode.Commutative() && len(op.Args) >= 2 &&
 		op.Args[0].Kind == ir.OperandValue && op.Args[1].Kind == ir.OperandValue) {
-		slots := make([]int, 0, nIn)
-		for i := 0; i < nIn; i++ {
-			slots = append(slots, i)
-		}
-		return slots
+		return nIn
 	}
 	if key.Slot >= nIn {
-		return nil
+		return -1
 	}
-	return []int{key.Slot}
+	return key.Slot
+}
+
+// allowedSlots returns the physical inputs of fu that may deliver the
+// operand, as a shared slice callers must only range over. The
+// communication-cost heuristic (cost.go) still consumes the expanded
+// form; the hot path uses slotSel directly.
+func (e *engine) allowedSlots(key OperandKey, fu machine.FUID) []int {
+	sel := e.slotSel(key, fu)
+	switch {
+	case sel < 0:
+		return nil
+	case sel == e.mach.FU(fu).NumInputs:
+		return slotsAny[sel]
+	default:
+		return slotsSingle[sel]
+	}
 }
 
 // defDistTo returns the minimum copies needed to deliver communication
@@ -85,101 +110,60 @@ func (e *engine) defDistTo(c *comm, rf machine.RFID) int {
 	return best
 }
 
-// useTarget describes what is known about a communication's read side,
-// used both for scoring and as a candidate-cache key.
-type useTarget struct {
-	kind     int8 // 0 pinned rf, 1 placed use, 2 class only
-	rf       machine.RFID
-	fu       machine.FUID
-	slotMask int8 // kind 1: bitmask of allowed physical inputs
-	cls      ir.Class
-}
-
-func (e *engine) useTargetOf(c *comm) useTarget {
-	key := OperandKey{Op: c.use, Slot: c.slot}
-	if or := e.operandStub[key]; or != nil && or.pinned {
-		return useTarget{kind: 0, rf: or.stub.RF}
-	}
-	if e.place[c.use].ok {
-		fu := e.place[c.use].fu
-		var mask int8
-		for _, s := range e.allowedSlots(key, fu) {
-			mask |= 1 << s
-		}
-		return useTarget{kind: 1, fu: fu, slotMask: mask}
-	}
-	return useTarget{kind: 2, cls: e.ops[c.use].Opcode.Class()}
-}
-
-// useDistFrom returns the minimum copies needed to move a value from
-// register file rf to the communication's read target.
-func (e *engine) useDistFrom(t useTarget, rf machine.RFID) int {
-	switch t.kind {
-	case 0:
-		return e.mach.CopyDistance(rf, t.rf)
-	case 1:
-		best := -1
-		for slot := 0; slot < rules.MaxInputs; slot++ {
-			if t.slotMask&(1<<slot) == 0 {
-				continue
-			}
-			if d := e.mach.DistRFToInput(rf, t.fu, slot); d >= 0 && (best < 0 || d < best) {
-				best = d
-			}
-		}
-		return best
-	}
-	best := -1
-	for _, fu := range e.mach.UnitsFor(t.cls) {
-		f := e.mach.FU(fu)
-		for slot := 0; slot < f.NumInputs; slot++ {
-			if d := e.mach.DistRFToInput(rf, fu, slot); d >= 0 && (best < 0 || d < best) {
-				best = d
-			}
-		}
-	}
-	return best
-}
-
-// wcKey caches ordered write-candidate lists: the ordering depends only
-// on the producing unit and the read-side target, both static givens.
+// wcKey names one (producing unit, read-side target) pair — the full
+// static description a write-candidate ordering depends on. It keys the
+// first-request set behind sibling-bus promotion.
 type wcKey struct {
-	fu     machine.FUID
-	target useTarget
+	fu   machine.FUID
+	kind int8 // 0 pinned rf, 1 placed use, 2 class only
+	rf   machine.RFID
+	ufu  machine.FUID
+	sel  int8
+	cls  ir.Class
 }
 
-// writeCandidates enumerates and orders the valid write stubs for
-// communication c, whose def is placed. Stubs landing fewer copies from
-// the reader come first. Lists are cached per (unit, read target).
-func (e *engine) writeCandidates(c *comm) []machine.WriteStub {
-	key := wcKey{fu: e.place[c.def].fu, target: e.useTargetOf(c)}
-	if cached, ok := e.wcCache[key]; ok {
-		return cached
-	}
-	base := e.mach.WriteStubs(key.fu)
-	type scored struct {
-		stub machine.WriteStub
-		dist int
-	}
-	var list []scored
-	for _, stub := range base {
-		d := e.useDistFrom(key.target, stub.RF)
-		if d < 0 {
-			continue
+// writeCandIndex returns the ordered, truncated write-stub candidates
+// for communication c (whose def is placed) as indices into base, both
+// shared and immutable: stubs landing fewer copies from the reader come
+// first. The returned key identifies the (unit, target) pair the list
+// was derived from.
+func (e *engine) writeCandIndex(c *comm) (base []machine.WriteStub, idx []int32, wk wcKey) {
+	fu := e.place[c.def].fu
+	base = e.mach.WriteStubs(fu)
+	key := OperandKey{Op: c.use, Slot: c.slot}
+	rt := e.routes
+	switch {
+	case e.operandPinned(key):
+		rf := e.operandStub[key].stub.RF
+		idx = rt.WriteToRF(fu, rf)
+		wk = wcKey{fu: fu, kind: 0, rf: rf}
+	case e.place[c.use].ok:
+		ufu := e.place[c.use].fu
+		sel := e.slotSel(key, ufu)
+		switch {
+		case sel < 0:
+			idx = nil
+		case sel == e.mach.FU(ufu).NumInputs:
+			idx = rt.WriteToAnyInput(fu, ufu)
+		default:
+			idx = rt.WriteToInput(fu, ufu, sel)
 		}
-		list = append(list, scored{stub, d})
+		wk = wcKey{fu: fu, kind: 1, ufu: ufu, sel: int8(sel)}
+	default:
+		cls := e.ops[c.use].Opcode.Class()
+		idx = rt.WriteToClass(fu, cls)
+		wk = wcKey{fu: fu, kind: 2, cls: cls}
 	}
-	sort.SliceStable(list, func(i, j int) bool { return list[i].dist < list[j].dist })
-	n := len(list)
-	if max := e.maxCandidates(); n > max {
-		n = max
+	if max := e.maxCandidates(); len(idx) > max {
+		idx = idx[:max]
 	}
-	out := make([]machine.WriteStub, n)
-	for i := 0; i < n; i++ {
-		out[i] = list[i].stub
-	}
-	e.wcCache[key] = out
-	return e.preferSiblingBuses(c, out)
+	return base, idx, wk
+}
+
+// operandPinned reports whether the operand's read stub is frozen.
+func (e *engine) operandPinned(key OperandKey) bool {
+	or, ok := e.operandStub[key]
+	return ok && or.pinned
 }
 
 // preferSiblingBuses stably reorders candidates so stubs on a bus that
@@ -187,7 +171,9 @@ func (e *engine) writeCandidates(c *comm) []machine.WriteStub {
 // several register files on one cycle should ride one bus ("A result
 // can be written to multiple register files", §4.2 — and a bus fans out
 // to several write ports), leaving the other buses for other values.
-func (e *engine) preferSiblingBuses(c *comm, cands []machine.WriteStub) []machine.WriteStub {
+// The reorder, when needed, is materialized in the solve arena; the
+// common no-sibling case returns idx unchanged.
+func (e *engine) preferSiblingBuses(c *comm, base []machine.WriteStub, idx []int32) []int32 {
 	var sibBuses [4]machine.BusID
 	nSib := 0
 	for _, cid := range e.commsFrom[c.def] {
@@ -208,7 +194,7 @@ func (e *engine) preferSiblingBuses(c *comm, cands []machine.WriteStub) []machin
 		}
 	}
 	if nSib == 0 {
-		return cands
+		return idx
 	}
 	onSib := func(b machine.BusID) bool {
 		for i := 0; i < nSib; i++ {
@@ -218,125 +204,188 @@ func (e *engine) preferSiblingBuses(c *comm, cands []machine.WriteStub) []machin
 		}
 		return false
 	}
-	out := make([]machine.WriteStub, 0, len(cands))
-	for _, s := range cands {
-		if onSib(s.Bus) {
-			out = append(out, s)
+	start := len(e.i32Arena)
+	for _, i := range idx {
+		if onSib(base[i].Bus) {
+			e.i32Arena = append(e.i32Arena, i)
 		}
 	}
-	if len(out) == 0 {
-		return cands
+	if len(e.i32Arena) == start {
+		return idx
 	}
-	for _, s := range cands {
-		if !onSib(s.Bus) {
-			out = append(out, s)
+	for _, i := range idx {
+		if !onSib(base[i].Bus) {
+			e.i32Arena = append(e.i32Arena, i)
 		}
 	}
-	return out
+	return e.i32Arena[start:len(e.i32Arena):len(e.i32Arena)]
 }
 
-// readCandidates enumerates and orders the valid read stubs for an
-// operand of a placed operation, across every physical input the
-// operand may use. A stub is valid only if every active communication
-// into the operand can deliver its value to the stub's register file
-// (all sources of a control-flow merge must reach the one read stub);
-// stubs minimizing the total copies come first.
-func (e *engine) readCandidates(key OperandKey) []machine.ReadStub {
+// readCandIndex returns the ordered, truncated read-stub candidates for
+// an operand of a placed operation, across every physical input the
+// operand may use, as indices into base. A stub is valid only if every
+// active communication into the operand can deliver its value to the
+// stub's register file (all sources of a control-flow merge must reach
+// the one read stub); stubs minimizing the total copies come first.
+// Single-producer operands hit the interned index; multi-source (phi)
+// operands are scored into the solve arena.
+func (e *engine) readCandIndex(key OperandKey) (base []machine.ReadStub, idx []int32) {
 	fu := e.place[key.Op].fu
-	var comms []*comm
-	for _, cid := range e.activeCommsTo(key.Op) {
-		if c := e.comms[cid]; c.slot == key.Slot {
-			comms = append(comms, c)
+	sel := e.slotSel(key, fu)
+	if sel < 0 {
+		return nil, nil
+	}
+	rt := e.routes
+	base = rt.ReadBase(fu, sel)
+
+	var single *comm
+	n := 0
+	for _, cid := range e.commsTo[key.Op] {
+		c := e.comms[cid]
+		if c.state == commSplit || c.slot != key.Slot {
+			continue
 		}
+		single = c
+		n++
 	}
-	type scored struct {
-		stub machine.ReadStub
-		dist int
+	switch {
+	case n == 0:
+		idx = rt.ReadUnconstrained(fu, sel)
+	case n == 1:
+		c := single
+		switch {
+		case c.wPinned:
+			idx = rt.ReadFromRF(fu, sel, c.wstub.RF)
+		case e.place[c.def].ok:
+			idx = rt.ReadFromFU(fu, sel, e.place[c.def].fu)
+		default:
+			idx = rt.ReadFromClass(fu, sel, e.ops[c.def].Opcode.Class())
+		}
+	default:
+		idx = e.scoreMultiRead(key, base)
 	}
-	var list []scored
-	for _, slot := range e.allowedSlots(key, fu) {
-		for _, stub := range e.mach.ReadStubs(fu, slot) {
-			total, valid := 0, true
-			for _, c := range comms {
-				d := e.defDistTo(c, stub.RF)
-				if d < 0 {
-					valid = false
-					break
-				}
-				total += d
-			}
-			if !valid {
+	if max := e.maxCandidates(); len(idx) > max {
+		idx = idx[:max]
+	}
+	return base, idx
+}
+
+// scoreMultiRead orders base read stubs for a phi operand: total copies
+// over every active producing communication, invalid stubs dropped,
+// stable by enumeration order — the arena-backed equivalent of the
+// legacy enumerate-filter-stable-sort.
+func (e *engine) scoreMultiRead(key OperandKey, base []machine.ReadStub) []int32 {
+	start := len(e.i32Arena)
+	scores := e.scoreScratch[:0]
+	for i, stub := range base {
+		total, valid := 0, true
+		for _, cid := range e.commsTo[key.Op] {
+			c := e.comms[cid]
+			if c.state == commSplit || c.slot != key.Slot {
 				continue
 			}
-			list = append(list, scored{stub, total})
+			d := e.defDistTo(c, stub.RF)
+			if d < 0 {
+				valid = false
+				break
+			}
+			total += d
+		}
+		if !valid {
+			continue
+		}
+		e.i32Arena = append(e.i32Arena, int32(i))
+		scores = append(scores, int32(total))
+	}
+	idx := e.i32Arena[start:len(e.i32Arena):len(e.i32Arena)]
+	// Stable insertion sort by score (lists are short; §4.3's order must
+	// match sort.SliceStable exactly).
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && scores[j] < scores[j-1]; j-- {
+			scores[j], scores[j-1] = scores[j-1], scores[j]
+			idx[j], idx[j-1] = idx[j-1], idx[j]
 		}
 	}
-	sort.SliceStable(list, func(i, j int) bool { return list[i].dist < list[j].dist })
-	n := len(list)
-	if max := e.maxCandidates(); n > max {
-		n = max
-	}
-	out := make([]machine.ReadStub, n)
-	for i := 0; i < n; i++ {
-		out[i] = list[i].stub
-	}
-	return out
+	e.scoreScratch = scores[:0]
+	return idx
 }
 
-// sharedRouteRFs returns, in preference order, the register files
-// through which communication c could form a direct route: files
-// writable by the def (zero copies) and readable by the use's operand
-// (zero copies), honoring any pins already in force.
-func (e *engine) sharedRouteRFs(c *comm) []machine.RFID {
+// filterWriteIdx narrows write candidates to one register file, into
+// the solve arena.
+func (e *engine) filterWriteIdx(base []machine.WriteStub, idx []int32, rf machine.RFID) []int32 {
+	start := len(e.i32Arena)
+	for _, i := range idx {
+		if base[i].RF == rf {
+			e.i32Arena = append(e.i32Arena, i)
+		}
+	}
+	return e.i32Arena[start:len(e.i32Arena):len(e.i32Arena)]
+}
+
+// filterReadIdx narrows read candidates to one register file, into the
+// solve arena.
+func (e *engine) filterReadIdx(base []machine.ReadStub, idx []int32, rf machine.RFID) []int32 {
+	start := len(e.i32Arena)
+	for _, i := range idx {
+		if base[i].RF == rf {
+			e.i32Arena = append(e.i32Arena, i)
+		}
+	}
+	return e.i32Arena[start:len(e.i32Arena):len(e.i32Arena)]
+}
+
+// sharedRouteRFs fills the depth-local scratch with, in preference
+// order, the register files through which communication c could form a
+// direct route: files writable by the def (zero copies) and readable by
+// the use's operand (zero copies), honoring any pins already in force.
+func (e *engine) sharedRouteRFs(c *comm, out []machine.RFID) []machine.RFID {
 	key := OperandKey{Op: c.use, Slot: c.slot}
 
 	var writable []machine.RFID
+	var pinnedW [1]machine.RFID
 	if c.wPinned {
-		writable = append(writable, c.wstub.RF)
+		pinnedW[0] = c.wstub.RF
+		writable = pinnedW[:]
 	} else {
 		writable = e.mach.WritableRFs(e.place[c.def].fu)
 	}
 
-	readable := make(map[machine.RFID]bool)
-	if or := e.operandStub[key]; or != nil && or.pinned {
-		readable[or.stub.RF] = true
+	out = out[:0]
+	if or, ok := e.operandStub[key]; ok && or.pinned {
+		for _, rf := range writable {
+			if rf == or.stub.RF {
+				out = append(out, rf)
+			}
+		}
 	} else {
 		fu := e.place[key.Op].fu
-		for _, slot := range e.allowedSlots(key, fu) {
-			for _, stub := range e.mach.ReadStubs(fu, slot) {
-				readable[stub.RF] = true
+		sel := e.slotSel(key, fu)
+		for _, rf := range writable {
+			if e.routes.Readable(fu, sel, rf) {
+				out = append(out, rf)
 			}
 		}
 	}
 
-	var shared []machine.RFID
-	for _, rf := range writable {
-		if readable[rf] {
-			shared = append(shared, rf)
-		}
-	}
 	// For a phi operand every other source must also reach the file;
 	// otherwise pinning the operand there would strand a sibling
 	// communication.
-	if len(shared) > 1 || len(shared) == 1 {
-		var ok []machine.RFID
-		for _, rf := range shared {
-			good := true
-			for _, cid := range e.activeCommsTo(key.Op) {
-				sib := e.comms[cid]
-				if sib.slot != key.Slot || sib.id == c.id {
-					continue
-				}
-				if e.defDistTo(sib, rf) < 0 {
-					good = false
-					break
-				}
+	kept := out[:0]
+	for _, rf := range out {
+		good := true
+		for _, cid := range e.commsTo[key.Op] {
+			sib := e.comms[cid]
+			if sib.state == commSplit || sib.slot != key.Slot || sib.id == c.id {
+				continue
 			}
-			if good {
-				ok = append(ok, rf)
+			if e.defDistTo(sib, rf) < 0 {
+				good = false
+				break
 			}
 		}
-		shared = ok
+		if good {
+			kept = append(kept, rf)
+		}
 	}
-	return shared
+	return kept
 }

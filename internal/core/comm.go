@@ -173,45 +173,43 @@ func (e *engine) activeCommsTo(op ir.OpID) []CommID {
 	return out
 }
 
-// setCommState transitions a communication's state, journaled.
+// setCommState transitions a communication's state, journaled (typed
+// record: this runs on the solver's allocation-free path).
 func (e *engine) setCommState(c *comm, s commState) {
 	e.traceCommState(c, s)
-	old := c.state
+	e.journal = append(e.journal, undoRec{kind: undoCommState, c: c, state: c.state})
 	c.state = s
-	e.log(func() { c.state = old })
 }
 
-// setCommW records a (tentative or final) write stub, journaled.
+// setCommW records a (tentative or final) write stub, journaled (typed
+// record).
 func (e *engine) setCommW(c *comm, stub machine.WriteStub, pinned bool) {
 	e.traceCommW(c, stub, pinned, c.hasW)
-	old, oldHas, oldPin := c.wstub, c.hasW, c.wPinned
+	e.journal = append(e.journal, undoRec{
+		kind: undoCommW, c: c, wstub: c.wstub, hasW: c.hasW, wPinned: c.wPinned,
+	})
 	c.wstub, c.hasW, c.wPinned = stub, true, pinned
-	e.log(func() { c.wstub, c.hasW, c.wPinned = old, oldHas, oldPin })
 }
 
-// setOperandStub records the shared read stub for an operand, journaled.
+// setOperandStub records the shared read stub for an operand, journaled
+// (typed record).
 func (e *engine) setOperandStub(key OperandKey, stub machine.ReadStub, pinned, multi bool) {
 	e.traceStubRead(key, stub, pinned)
 	old, existed := e.operandStub[key]
-	e.operandStub[key] = &operandRead{stub: stub, pinned: pinned, multi: multi}
-	e.log(func() {
-		if existed {
-			e.operandStub[key] = old
-		} else {
-			delete(e.operandStub, key)
-		}
-	})
+	e.journal = append(e.journal, undoRec{kind: undoOperandStub, key: key, or: old, existed: existed})
+	e.operandStub[key] = operandRead{stub: stub, pinned: pinned, multi: multi}
 }
 
 // pinOperandStub freezes an existing operand read assignment.
 func (e *engine) pinOperandStub(key OperandKey) {
-	or := e.operandStub[key]
-	if or == nil || or.pinned {
+	or, ok := e.operandStub[key]
+	if !ok || or.pinned {
 		return
 	}
 	e.traceStubRead(key, or.stub, true)
 	or.pinned = true
-	e.log(func() { or.pinned = false })
+	e.operandStub[key] = or
+	e.journal = append(e.journal, undoRec{kind: undoOperandPin, key: key})
 }
 
 // copyRange returns the width of the copy range of a closing

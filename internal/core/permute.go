@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -20,7 +18,12 @@ import (
 // communication", §4.2). Closing communications go first, smallest copy
 // range first.
 //
-// Conflict checking is the §4.2 rules engine in internal/rules.
+// Conflict checking is the §4.2 rules engine in internal/rules. The
+// whole path is allocation-free in steady state: candidate lists come
+// interned from the machine's routing index (or are carved from the
+// engine's reusable arena), the flex/choice working sets are engine
+// scratch, dedup is an epoch-stamped array (the rules.Occupancy
+// pattern), and the solver's sorts are manual stable insertion sorts.
 
 // writeIdentity returns the value-instance identity of a communication's
 // write event: the value and the flat cycle the write occurs on.
@@ -56,10 +59,12 @@ func (e *engine) readIdentity(key OperandKey) rules.Value {
 	return rules.Value{ID: only.value, Flat: int32(rflat - only.distance*e.blockII(e.ops[key.Op].Block))}
 }
 
-// flexWrite is one write-side item of a permutation problem.
+// flexWrite is one write-side item of a permutation problem. cands
+// indexes into base (a shared machine stub slice).
 type flexWrite struct {
 	id      CommID
-	cands   []machine.WriteStub
+	base    []machine.WriteStub
+	cands   []int32
 	closing bool
 	rangeW  int
 	val     rules.Value
@@ -68,7 +73,8 @@ type flexWrite struct {
 // flexRead is one read-side item.
 type flexRead struct {
 	key     OperandKey
-	cands   []machine.ReadStub
+	base    []machine.ReadStub
+	cands   []int32
 	closing bool
 	rangeW  int
 	val     rules.Value
@@ -77,22 +83,26 @@ type flexRead struct {
 // permBudgetDefault bounds the permutation search steps.
 const permBudgetDefault = 4096
 
+// noOperand is the absent-pin sentinel for solveReads.
+var noOperand = OperandKey{Op: ir.NoOp}
+
 // solveWrites finds a conflict-free permutation of write stubs for the
-// communications whose write lands on cycle key (§4.3 step 3). require
-// pins specific communications to a register file, used when a closing
-// communication is steered onto a route. On success the chosen stubs
-// are recorded (journaled) and the function returns true; on failure no
-// state changes.
-func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
+// communications whose write lands on cycle key (§4.3 step 3). A pin
+// (pin != noComm) steers one communication onto register file pinRF,
+// used when a closing communication is routed. On success the chosen
+// stubs are recorded (journaled) and the function returns true; on
+// failure no state changes.
+func (e *engine) solveWrites(key tKey, pin CommID, pinRF machine.RFID) bool {
 	o := e.occ
 	o.Reset()
 	undo := e.undoScratch[:0]
 	defer func() { e.undoScratch = undo[:0] }()
+	e.i32Arena = e.i32Arena[:0]
 
 	// Obstacles: read stubs assigned on the same cycle, then pinned
 	// write stubs.
 	for _, ok := range e.readsAt[key] {
-		if or := e.operandStub[ok]; or != nil {
+		if or, have := e.operandStub[ok]; have {
 			var fits bool
 			undo, fits = o.PlaceRead(or.stub, e.readIdentity(ok), opndNonce(ok), undo)
 			if !fits {
@@ -101,7 +111,8 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 			}
 		}
 	}
-	var flex []flexWrite
+	flex := e.flexW[:0]
+	defer func() { e.flexW = flex[:0] }()
 	for _, cid := range e.writesAt[key] {
 		c := e.comms[cid]
 		if c.state == commSplit {
@@ -117,31 +128,41 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 			}
 			continue
 		}
-		want, constrained := require[cid]
-		cands := e.writeCandidates(c)
-		if constrained {
-			cands = filterWriteRF(cands, want)
+		base, idx, wk := e.writeCandIndex(c)
+		if cid == pin {
+			idx = e.filterWriteIdx(base, idx, pinRF)
 		}
-		if len(cands) == 0 {
+		// Sibling-bus promotion applies only the first time each (unit,
+		// target) list is requested over the engine's lifetime — the
+		// semantics of the legacy candidate cache, which returned the
+		// cached (unpartitioned) list on every later request. The goldens
+		// pin this, and it is the cheap case: a promoted order matters
+		// most before siblings have stubs to clash with.
+		if _, served := e.wcServed[wk]; !served {
+			e.wcServed[wk] = struct{}{}
+			idx = e.preferSiblingBuses(c, base, idx)
+		}
+		if len(idx) == 0 {
 			o.Undo(undo)
 			return false
 		}
 		flex = append(flex, flexWrite{
 			id:      cid,
-			cands:   cands,
+			base:    base,
+			cands:   idx,
 			closing: e.place[c.use].ok,
 			rangeW:  e.copyRange(c),
 			val:     val,
 		})
 	}
-	sort.SliceStable(flex, func(i, j int) bool {
-		if flex[i].closing != flex[j].closing {
-			return flex[i].closing
+	// Stable insertion sort: closing first, then smallest copy range.
+	for i := 1; i < len(flex); i++ {
+		for j := i; j > 0 && flexLess(flex[j].closing, flex[j].rangeW, flex[j-1].closing, flex[j-1].rangeW); j-- {
+			flex[j], flex[j-1] = flex[j-1], flex[j]
 		}
-		return flex[i].rangeW < flex[j].rangeW
-	})
+	}
 	budget := e.permBudget()
-	choice := make([]int, len(flex))
+	choice := e.choiceScratch(len(flex))
 	okAll, undoAll := e.dfsWrites(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
 	o.Undo(undo)
@@ -149,18 +170,20 @@ func (e *engine) solveWrites(key tKey, require map[CommID]machine.RFID) bool {
 		return false
 	}
 	for i, f := range flex {
-		e.setCommW(e.comms[f.id], f.cands[choice[i]], false)
+		e.setCommW(e.comms[f.id], f.base[f.cands[choice[i]]], false)
 	}
 	return true
 }
 
 // solveReads is the read-side analogue (§4.3 step 2): a conflict-free
-// permutation of read stubs for the operands read on cycle key.
-func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool {
+// permutation of read stubs for the operands read on cycle key. A pin
+// (pin != noOperand) steers one operand onto register file pinRF.
+func (e *engine) solveReads(key tKey, pin OperandKey, pinRF machine.RFID) bool {
 	o := e.occ
 	o.Reset()
 	undo := e.undoScratch[:0]
 	defer func() { e.undoScratch = undo[:0] }()
+	e.i32Arena = e.i32Arena[:0]
 
 	for _, cid := range e.writesAt[key] {
 		c := e.comms[cid]
@@ -174,16 +197,15 @@ func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool 
 			return false
 		}
 	}
-	var flex []flexRead
-	seen := make(map[OperandKey]bool)
+	flex := e.flexR[:0]
+	defer func() { e.flexR = flex[:0] }()
+	e.opndEpoch++
 	for _, ok := range e.readsAt[key] {
-		if seen[ok] {
+		if e.opndSeen(ok) {
 			continue
 		}
-		seen[ok] = true
 		val := e.readIdentity(ok)
-		or := e.operandStub[ok]
-		if or != nil && or.pinned {
+		if or, have := e.operandStub[ok]; have && or.pinned {
 			var fits bool
 			undo, fits = o.PlaceRead(or.stub, val, opndNonce(ok), undo)
 			if !fits {
@@ -192,28 +214,26 @@ func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool 
 			}
 			continue
 		}
-		want, constrained := require[ok]
-		cands := e.readCandidates(ok)
-		if constrained {
-			cands = filterReadRF(cands, want)
+		base, idx := e.readCandIndex(ok)
+		if ok == pin {
+			idx = e.filterReadIdx(base, idx, pinRF)
 		}
-		if len(cands) == 0 {
+		if len(idx) == 0 {
 			o.Undo(undo)
 			return false
 		}
 		closing, rangeW := e.operandClosing(ok)
 		flex = append(flex, flexRead{
-			key: ok, cands: cands, closing: closing, rangeW: rangeW, val: val,
+			key: ok, base: base, cands: idx, closing: closing, rangeW: rangeW, val: val,
 		})
 	}
-	sort.SliceStable(flex, func(i, j int) bool {
-		if flex[i].closing != flex[j].closing {
-			return flex[i].closing
+	for i := 1; i < len(flex); i++ {
+		for j := i; j > 0 && flexLess(flex[j].closing, flex[j].rangeW, flex[j-1].closing, flex[j-1].rangeW); j-- {
+			flex[j], flex[j-1] = flex[j-1], flex[j]
 		}
-		return flex[i].rangeW < flex[j].rangeW
-	})
+	}
 	budget := e.permBudget()
-	choice := make([]int, len(flex))
+	choice := e.choiceScratch(len(flex))
 	okAll, undoAll := e.dfsReads(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
 	o.Undo(undo)
@@ -221,9 +241,33 @@ func (e *engine) solveReads(key tKey, require map[OperandKey]machine.RFID) bool 
 		return false
 	}
 	for i, f := range flex {
-		e.setOperandStub(f.key, f.cands[choice[i]], false, f.val.Uniq != 0)
+		e.setOperandStub(f.key, f.base[f.cands[choice[i]]], false, f.val.Uniq != 0)
 	}
 	return true
+}
+
+// flexLess is the permutation ordering: closing items first, then
+// ascending copy range. Strict, so insertion sort on it is stable.
+func flexLess(aClosing bool, aRange int, bClosing bool, bRange int) bool {
+	if aClosing != bClosing {
+		return aClosing
+	}
+	return aRange < bRange
+}
+
+// opndSeen dedups operands within one solve via the epoch-stamped mark
+// array (the rules.Occupancy reset-free pattern): reports whether the
+// operand was already visited this epoch and marks it.
+func (e *engine) opndSeen(key OperandKey) bool {
+	idx := int(key.Op)*8 + key.Slot
+	if idx >= len(e.opndMark) {
+		e.opndMark = append(e.opndMark, make([]int32, idx+64-len(e.opndMark))...)
+	}
+	if e.opndMark[idx] == e.opndEpoch {
+		return true
+	}
+	e.opndMark[idx] = e.opndEpoch
+	return false
 }
 
 func (e *engine) permBudget() int {
@@ -239,7 +283,8 @@ func (e *engine) dfsWrites(o *rules.Occupancy, flex []flexWrite, choice []int, i
 	}
 	f := &flex[i]
 	traced := e.tracer != nil
-	for ci, cand := range f.cands {
+	for ci, candIdx := range f.cands {
+		cand := f.base[candIdx]
 		if *budget <= 0 {
 			return false, undo
 		}
@@ -281,7 +326,8 @@ func (e *engine) dfsReads(o *rules.Occupancy, flex []flexRead, choice []int, i i
 	}
 	f := &flex[i]
 	traced := e.tracer != nil
-	for ci, cand := range f.cands {
+	for ci, candIdx := range f.cands {
+		cand := f.base[candIdx]
 		if *budget <= 0 {
 			return false, undo
 		}
@@ -325,9 +371,9 @@ func opndNonce(key OperandKey) int32 { return int32(key.Op)*8 + int32(key.Slot) 
 // closing, and the smallest copy range among them.
 func (e *engine) operandClosing(key OperandKey) (bool, int) {
 	closing, rangeW := false, unboundedRange
-	for _, cid := range e.activeCommsTo(key.Op) {
+	for _, cid := range e.commsTo[key.Op] {
 		c := e.comms[cid]
-		if c.slot != key.Slot || c.state == commClosed {
+		if c.state == commSplit || c.slot != key.Slot || c.state == commClosed {
 			continue
 		}
 		if e.place[c.def].ok {
@@ -338,24 +384,4 @@ func (e *engine) operandClosing(key OperandKey) (bool, int) {
 		}
 	}
 	return closing, rangeW
-}
-
-func filterWriteRF(cands []machine.WriteStub, rf machine.RFID) []machine.WriteStub {
-	var out []machine.WriteStub
-	for _, c := range cands {
-		if c.RF == rf {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
-func filterReadRF(cands []machine.ReadStub, rf machine.RFID) []machine.ReadStub {
-	var out []machine.ReadStub
-	for _, c := range cands {
-		if c.RF == rf {
-			out = append(out, c)
-		}
-	}
-	return out
 }

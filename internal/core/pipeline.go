@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -87,11 +89,16 @@ type Compilation struct {
 }
 
 // runPass drives one pass under the clock, counting a failure when it
-// errors and bracketing it with trace events.
+// errors and bracketing it with trace events. The pass name is attached
+// as a pprof label, so CPU and allocation profiles (csched -cpuprofile
+// / -memprofile) attribute samples to pipeline stages.
 func (c *Compilation) runPass(p Pass) error {
 	c.clock.push(p.Name())
 	c.tracePassBegin(p.Name())
-	err := p.Run(c)
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("pass", p.Name()), func(context.Context) {
+		err = p.Run(c)
+	})
 	c.tracePassEnd(p.Name(), err == nil)
 	c.clock.pop()
 	if err != nil {

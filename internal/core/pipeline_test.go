@@ -50,6 +50,40 @@ func TestOptionsValidate(t *testing.T) {
 	}
 }
 
+func TestOptionsValidateFor(t *testing.T) {
+	for _, m := range []*machine.Machine{machine.Central(), machine.Clustered(4), machine.Distributed()} {
+		floor := m.CandidateFloor()
+		if err := (Options{}).ValidateFor(m); err != nil {
+			t.Errorf("%s: zero options must validate: %v", m.Name, err)
+		}
+		if err := (Options{MaxCandidates: floor}).ValidateFor(m); err != nil {
+			t.Errorf("%s: cap at the floor must validate: %v", m.Name, err)
+		}
+		err := Options{MaxCandidates: floor - 1}.ValidateFor(m)
+		var ce *CompileError
+		if !errors.As(err, &ce) || ce.Pass != PassOptions {
+			t.Fatalf("%s: sub-floor cap: want options CompileError, got %v", m.Name, err)
+		}
+		for _, want := range []string{"MaxCandidates", m.Name} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q does not mention %q", m.Name, err, want)
+			}
+		}
+	}
+	// Plain negative values still fail through the machine-aware check.
+	if err := (Options{PermBudget: -1}).ValidateFor(machine.Central()); err == nil {
+		t.Error("negative budget validated")
+	}
+	// Compile surfaces the sub-floor cap as a structured error.
+	m := machine.Distributed()
+	k := kernels.ByName("DCT").MustKernel()
+	_, err := Compile(k, m, Options{MaxCandidates: m.CandidateFloor() - 1})
+	var ce *CompileError
+	if !errors.As(err, &ce) || ce.Pass != PassOptions || ce.Machine != m.Name {
+		t.Errorf("Compile sub-floor cap: %v", err)
+	}
+}
+
 func TestCompileRejectsInvalidOptions(t *testing.T) {
 	k := kernels.ByName("DCT").MustKernel()
 	_, err := Compile(k, machine.Central(), Options{PermBudget: -1})

@@ -167,7 +167,7 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		ctx = context.Background()
 	}
 	c := &Compilation{Kernel: k, Machine: m, Opts: base, clock: new(passClock)}
-	if err := base.Validate(); err != nil {
+	if err := base.ValidateFor(m); err != nil {
 		return nil, nil, c.decorate(err)
 	}
 	variants := pf.Variants
@@ -175,7 +175,7 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		variants = DefaultVariants(base)
 	}
 	for _, v := range variants {
-		if err := v.Opts.Validate(); err != nil {
+		if err := v.Opts.ValidateFor(m); err != nil {
 			if ce, ok := err.(*CompileError); ok {
 				ce.Reason = fmt.Sprintf("variant %q: %s", v.Name, ce.Reason)
 			}

@@ -35,12 +35,12 @@ func TestPermutationRepeatability(t *testing.T) {
 				t.Fatalf("%s/%s: did not schedule", k.Name, m.Name)
 			}
 			for key := range e.writesAt {
-				if !e.solveWrites(key, nil) {
+				if !e.solveWrites(key, noComm, 0) {
 					t.Errorf("%s/%s: write permutation for %v not repeatable", k.Name, m.Name, key)
 				}
 			}
 			for key := range e.readsAt {
-				if !e.solveReads(key, nil) {
+				if !e.solveReads(key, noOperand, 0) {
 					t.Errorf("%s/%s: read permutation for %v not repeatable", k.Name, m.Name, key)
 				}
 			}

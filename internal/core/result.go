@@ -112,8 +112,8 @@ func (e *engine) buildSchedule() *Schedule {
 				c.value, e.opString(c.def), e.opString(c.use), c.state))
 		}
 		key := OperandKey{Op: c.use, Slot: c.slot}
-		or := e.operandStub[key]
-		if or == nil || !c.hasW {
+		or, haveR := e.operandStub[key]
+		if !haveR || !c.hasW {
 			panic("core: closed communication missing stubs")
 		}
 		s.Reads[key] = or.stub

@@ -22,7 +22,10 @@ type Options struct {
 	// PermBudget bounds each stub-permutation search (§4.4); 0 means
 	// the default of 4096 steps.
 	PermBudget int
-	// MaxCandidates caps ordered stub-candidate lists; 0 means 96.
+	// MaxCandidates caps ordered stub-candidate lists; 0 means 1024. A
+	// positive cap must be at least the machine's CandidateFloor — the
+	// longest statically ordered stub list — or §4.4 completeness breaks;
+	// ValidateFor rejects smaller caps.
 	MaxCandidates int
 	// ScanWindow bounds how many cycles past the dependence-earliest
 	// cycle an operation is tried on, and how far cross-block copies
@@ -79,7 +82,7 @@ func (o Options) Validate() error {
 		bad = append(bad, fmt.Sprintf("PermBudget %d is negative (0 means the 4096-step default)", o.PermBudget))
 	}
 	if o.MaxCandidates < 0 {
-		bad = append(bad, fmt.Sprintf("MaxCandidates %d is negative (0 means the default of 96)", o.MaxCandidates))
+		bad = append(bad, fmt.Sprintf("MaxCandidates %d is negative (0 means the default of %d)", o.MaxCandidates, maxCandidatesDefault))
 	}
 	if o.ScanWindow < 0 {
 		bad = append(bad, fmt.Sprintf("ScanWindow %d is negative (0 derives per-block defaults)", o.ScanWindow))
@@ -91,6 +94,27 @@ func (o Options) Validate() error {
 		return nil
 	}
 	return compileErrorf(PassOptions, "invalid options: %s", strings.Join(bad, "; "))
+}
+
+// ValidateFor checks the options against a concrete machine: everything
+// Validate checks, plus that a positive MaxCandidates does not truncate
+// any of the machine's statically ordered stub lists. A cap below the
+// machine's CandidateFloor can cut same-distance stubs, and in a
+// crowded cycle the surviving prefix may cover only conflicting buses —
+// silently breaking the §4.4 completeness requirement. Compile and
+// CompilePortfolio call this up front so the misconfiguration fails
+// with a structured options-pass error instead of an occasional
+// mysterious does-not-schedule.
+func (o Options) ValidateFor(m *machine.Machine) error {
+	if err := o.Validate(); err != nil {
+		return err
+	}
+	if floor := m.CandidateFloor(); o.MaxCandidates > 0 && o.MaxCandidates < floor {
+		return compileErrorf(PassOptions,
+			"invalid options: MaxCandidates %d is below %s's candidate floor %d (the longest statically ordered stub list); truncating it breaks §4.4 completeness",
+			o.MaxCandidates, m.Name, floor)
+	}
+	return nil
 }
 
 // Compile schedules kernel k onto machine m by running the pass
@@ -106,7 +130,7 @@ func (o Options) Validate() error {
 // instrumentation counters, and the per-pass statistics.
 func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) {
 	c := &Compilation{Kernel: k, Machine: m, Opts: opts, clock: new(passClock)}
-	if err := opts.Validate(); err != nil {
+	if err := opts.ValidateFor(m); err != nil {
 		return nil, c.decorate(err)
 	}
 	if err := c.runPass(lowerPass{}); err != nil {

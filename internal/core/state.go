@@ -80,7 +80,7 @@ type engine struct {
 	commsFrom [][]CommID
 	commsTo   [][]CommID
 
-	operandStub map[OperandKey]*operandRead
+	operandStub map[OperandKey]operandRead
 
 	ii int // loop initiation interval under trial
 
@@ -91,17 +91,48 @@ type engine struct {
 	readsAt  map[tKey][]OperandKey
 	fuAt     map[fuKey]ir.OpID
 
-	journal []func()
+	journal []undoRec
 	stats   Stats
 
-	// wcCache holds ordered write-candidate lists keyed by (unit, read
-	// target); the ordering is a function of static machine distances.
-	wcCache map[wcKey][]machine.WriteStub
+	// routes is the machine's interned routing index: candidate stub
+	// lists precomputed once per *Machine and shared by every engine
+	// (see internal/machine/route.go).
+	routes *machine.RouteIndex
 
 	// occ and undoScratch are the reusable permutation-solver state;
 	// the sharing rules themselves live in internal/rules.
 	occ         *rules.Occupancy
 	undoScratch []rules.Undo
+
+	// Solver scratch, reused across solveWrites/solveReads calls so the
+	// steady-state hot path allocates nothing. i32Arena backs candidate
+	// lists built dynamically (pin filters, sibling-bus partitions, phi
+	// scores); carved sub-slices stay valid across later growth because
+	// their values are never rewritten. flexW/flexR/choiceBuf are the
+	// permutation working sets. The epoch-stamped mark arrays replace
+	// per-call seen maps (the rules.Occupancy reset pattern): bumping
+	// the epoch invalidates every mark in O(1).
+	i32Arena     []int32
+	scoreScratch []int32
+	flexW        []flexWrite
+	flexR        []flexRead
+	choiceBuf    []int
+	opndEpoch    int32
+	opndMark     []int32
+	commEpoch    int32
+	commMark     []int32
+
+	// wcServed marks (unit, target) write-candidate lists already served
+	// once, after which sibling-bus promotion no longer applies (see
+	// solveWrites). Never rolled back: "first request" means first over
+	// the engine's lifetime.
+	wcServed map[wcKey]struct{}
+
+	// dscratch holds per-recursion-depth working lists for attempt and
+	// routeComm, which re-enter themselves through copy insertion (at
+	// e.depth+1) while their own lists are still live. Elements are
+	// pointers so growth never invalidates a frame's handle.
+	dscratch []*depthScratch
 
 	// roots maps copy results to the original value they carry;
 	// deposits records, per original value, every register file a
@@ -159,6 +190,65 @@ type deposit struct {
 	stub machine.WriteStub
 }
 
+// depthScratch is the reusable working state of one attempt/routeComm
+// recursion depth.
+type depthScratch struct {
+	closings []CommID
+	ranges   []int
+	shared   []machine.RFID
+	cool     []machine.RFID
+	hot      []machine.RFID
+}
+
+// scratchAt returns the scratch frame for recursion depth d, growing
+// the table on first descent.
+func (e *engine) scratchAt(d int) *depthScratch {
+	for len(e.dscratch) <= d {
+		e.dscratch = append(e.dscratch, new(depthScratch))
+	}
+	return e.dscratch[d]
+}
+
+// choiceScratch returns the reusable permutation-choice buffer, sized
+// to n.
+func (e *engine) choiceScratch(n int) []int {
+	if cap(e.choiceBuf) < n {
+		e.choiceBuf = make([]int, n)
+	}
+	return e.choiceBuf[:n]
+}
+
+// undoKind discriminates journal records. The frequent solver-path
+// mutations get typed records so recording them allocates nothing;
+// cold-path mutations journal an arbitrary closure.
+type undoKind uint8
+
+const (
+	undoFn undoKind = iota
+	undoCommW
+	undoCommState
+	undoOperandStub
+	undoOperandPin
+	undoWritesAt
+	undoReadsAt
+)
+
+// undoRec is one journal entry: a small union of the state needed to
+// reverse each mutation kind.
+type undoRec struct {
+	kind    undoKind
+	fn      func() // undoFn
+	c       *comm  // undoCommW, undoCommState
+	key     OperandKey
+	t       tKey
+	or      operandRead // undoOperandStub: previous assignment
+	existed bool
+	wstub   machine.WriteStub // undoCommW: previous stub
+	hasW    bool
+	wPinned bool
+	state   commState // undoCommState: previous state
+}
+
 func newEngine(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int) *engine {
 	e := &engine{
 		mach:        m,
@@ -166,13 +256,14 @@ func newEngine(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options
 		graph:       g,
 		opts:        opts,
 		ii:          ii,
-		operandStub: make(map[OperandKey]*operandRead),
+		operandStub: make(map[OperandKey]operandRead),
 		writesAt:    make(map[tKey][]CommID),
 		readsAt:     make(map[tKey][]OperandKey),
 		fuAt:        make(map[fuKey]ir.OpID),
 		fuLoad:      make(map[machine.FUID]int),
 		physSlot:    make(map[OperandKey]int),
-		wcCache:     make(map[wcKey][]machine.WriteStub),
+		routes:      m.Routes(),
+		wcServed:    make(map[wcKey]struct{}),
 		occ:         rules.NewOccupancy(m),
 		roots:       make(map[ir.ValueID]ir.ValueID),
 		deposits:    make(map[ir.ValueID][]deposit),
@@ -201,8 +292,9 @@ func (e *engine) cancelled() bool {
 	return e.aborted
 }
 
-// log appends an undo action to the journal.
-func (e *engine) log(undo func()) { e.journal = append(e.journal, undo) }
+// log appends an arbitrary undo action to the journal (cold paths; hot
+// mutations append typed records directly).
+func (e *engine) log(undo func()) { e.journal = append(e.journal, undoRec{kind: undoFn, fn: undo}) }
 
 // mark returns a journal position for later rollback.
 func (e *engine) mark() int { return len(e.journal) }
@@ -211,7 +303,31 @@ func (e *engine) mark() int { return len(e.journal) }
 func (e *engine) rollback(mark int) {
 	e.traceRollback(len(e.journal) - mark)
 	for i := len(e.journal) - 1; i >= mark; i-- {
-		e.journal[i]()
+		r := &e.journal[i]
+		switch r.kind {
+		case undoFn:
+			r.fn()
+			r.fn = nil
+		case undoCommW:
+			r.c.wstub, r.c.hasW, r.c.wPinned = r.wstub, r.hasW, r.wPinned
+		case undoCommState:
+			r.c.state = r.state
+		case undoOperandStub:
+			if r.existed {
+				e.operandStub[r.key] = r.or
+			} else {
+				delete(e.operandStub, r.key)
+			}
+		case undoOperandPin:
+			or := e.operandStub[r.key]
+			or.pinned = false
+			e.operandStub[r.key] = or
+		case undoWritesAt:
+			e.writesAt[r.t] = e.writesAt[r.t][:len(e.writesAt[r.t])-1]
+		case undoReadsAt:
+			e.readsAt[r.t] = e.readsAt[r.t][:len(e.readsAt[r.t])-1]
+		}
+		r.c = nil
 	}
 	e.journal = e.journal[:mark]
 }
@@ -306,12 +422,12 @@ func (e *engine) indexOpStubs(id ir.OpID) {
 
 func (e *engine) appendWritesAt(k tKey, c CommID) {
 	e.writesAt[k] = append(e.writesAt[k], c)
-	e.log(func() { e.writesAt[k] = e.writesAt[k][:len(e.writesAt[k])-1] })
+	e.journal = append(e.journal, undoRec{kind: undoWritesAt, t: k})
 }
 
 func (e *engine) appendReadsAt(k tKey, ok OperandKey) {
 	e.readsAt[k] = append(e.readsAt[k], ok)
-	e.log(func() { e.readsAt[k] = e.readsAt[k][:len(e.readsAt[k])-1] })
+	e.journal = append(e.journal, undoRec{kind: undoReadsAt, t: k})
 }
 
 // window computes the feasible issue-cycle interval [lo, hi] for op

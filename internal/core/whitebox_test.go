@@ -149,7 +149,7 @@ func TestSharedRouteRFsHonorsPins(t *testing.T) {
 	e.placeOp(0, add0, 0)
 	e.placeOp(1, ls, 2)
 	c := e.comms[0]
-	shared := e.sharedRouteRFs(c)
+	shared := e.sharedRouteRFs(c, nil)
 	if len(shared) != 1 || m.RegFiles[shared[0]].Name != "rfC" {
 		t.Fatalf("shared RFs = %v, want just rfC", shared)
 	}
@@ -159,7 +159,7 @@ func TestSharedRouteRFsHonorsPins(t *testing.T) {
 			e.setCommW(c, ws, true)
 		}
 	}
-	if shared := e.sharedRouteRFs(c); len(shared) != 0 {
+	if shared := e.sharedRouteRFs(c, nil); len(shared) != 0 {
 		t.Errorf("pinned-away shared RFs = %v, want none", shared)
 	}
 }
@@ -225,7 +225,7 @@ func TestSolveWritesRequireFilter(t *testing.T) {
 	e.indexOpStubs(0)
 	key := e.completionSlotKey(0)
 	// add0 cannot write rfR directly.
-	if e.solveWrites(key, map[CommID]machine.RFID{0: rfR}) {
+	if e.solveWrites(key, 0, rfR) {
 		t.Error("solveWrites satisfied an unreachable requirement")
 	}
 	// But it can write rfC.
@@ -235,7 +235,7 @@ func TestSolveWritesRequireFilter(t *testing.T) {
 			rfC = rf.ID
 		}
 	}
-	if !e.solveWrites(key, map[CommID]machine.RFID{0: rfC}) {
+	if !e.solveWrites(key, 0, rfC) {
 		t.Error("solveWrites failed a satisfiable requirement")
 	}
 	if !e.comms[0].hasW || e.comms[0].wstub.RF != rfC {

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// TestSolverHotPathZeroAlloc pins the zero-allocation contract of the
+// §4.3/§4.4 solver hot path: once an engine's scratch state is warm,
+// solveWrites and solveReads allocate nothing. Candidate lists come
+// interned from the machine's routing index or carved from the reused
+// arena, the flex/choice working sets and the undo journal reuse their
+// capacity, and the per-solve dedup is epoch-stamped rather than a
+// fresh map. Each measured solve is bracketed by mark/rollback, the
+// same discipline attempt uses, so the journal never grows past its
+// warmed capacity.
+func TestSolverHotPathZeroAlloc(t *testing.T) {
+	k := wideLoopKernel(t, 4)
+	for _, m := range []*machine.Machine{machine.Central(), machine.Clustered(4), machine.Distributed()} {
+		g := depgraph.Build(k, m)
+		var e *engine
+		for ii := 1; ii < 64 && e == nil; ii++ {
+			if !g.RecMIIFeasible(ii) {
+				continue
+			}
+			cand := newEngine(k, m, g, Options{}, ii)
+			if cand.scheduleBlock(ir.LoopBlock) && cand.scheduleBlock(ir.PreambleBlock) {
+				e = cand
+			}
+		}
+		if e == nil {
+			t.Fatalf("%s: did not schedule", m.Name)
+		}
+		wkeys := make([]tKey, 0, len(e.writesAt))
+		for key := range e.writesAt {
+			wkeys = append(wkeys, key)
+		}
+		rkeys := make([]tKey, 0, len(e.readsAt))
+		for key := range e.readsAt {
+			rkeys = append(rkeys, key)
+		}
+		resolve := func() {
+			for _, key := range wkeys {
+				mk := e.mark()
+				if !e.solveWrites(key, noComm, 0) {
+					t.Fatalf("%s: write solve for %v failed", m.Name, key)
+				}
+				e.rollback(mk)
+			}
+			for _, key := range rkeys {
+				mk := e.mark()
+				if !e.solveReads(key, noOperand, 0) {
+					t.Fatalf("%s: read solve for %v failed", m.Name, key)
+				}
+				e.rollback(mk)
+			}
+		}
+		// Warm the scratch capacities (arena, flex, journal, marks) and
+		// the first-request promotion set.
+		for i := 0; i < 3; i++ {
+			resolve()
+		}
+		if avg := testing.AllocsPerRun(10, resolve); avg != 0 {
+			t.Errorf("%s: solver hot path allocates %.1f times per full re-solve, want 0", m.Name, avg)
+		}
+	}
+}

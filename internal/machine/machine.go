@@ -22,6 +22,7 @@ package machine
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -242,6 +243,11 @@ type Machine struct {
 	distRFToIn  [][][]int // [rf][fu][slot]: min copies from rf to the input
 	writableRFs [][]RFID  // [fu]: distinct register files fu's output reaches directly
 	wpCount     []int     // [rf]: write ports on the file
+
+	// routeIdx is the interned routing index (route.go), built lazily on
+	// first use and shared across compilations and portfolio variants.
+	routeOnce sync.Once
+	routeIdx  *RouteIndex
 }
 
 // NumWritePorts returns how many write ports register file rf has.

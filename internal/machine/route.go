@@ -1,0 +1,354 @@
+package machine
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// RouteIndex is the interned routing table of one machine: every
+// candidate stub list the §4.3 step-1 enumeration can produce, scored
+// and ordered once, shared by every compilation (and every portfolio
+// variant) targeting the machine. The scheduler used to rebuild these
+// lists per attempt — scoring each stub against the communication's
+// other endpoint and stable-sorting by copy distance. All of that
+// scoring depends only on static machine structure plus a small, finite
+// description of the other endpoint:
+//
+//   - a write stub's score is the copy distance from its register file
+//     to the read side, which is either a pinned register file, a placed
+//     unit input (one slot or any slot), or an operation class;
+//   - a read stub's score against a single producing communication is
+//     the copy distance from the write side, which is either a pinned
+//     register file, a placed unit's output, or an operation class.
+//
+// The index enumerates every such (unit, endpoint) pair up front.
+// Multi-source (phi) operands score against a dynamic set of producers
+// and remain the scheduler's job.
+//
+// Ordering is determinism-critical: the solver commits to the first
+// conflict-free stub, so candidate order decides the emitted schedule.
+// Each list reproduces the legacy enumeration exactly — base stubs in
+// Machine enumeration order, invalid (unreachable) stubs dropped,
+// stable-sorted by copy distance — and the differential goldens pin the
+// result. Lists hold int32 indices into the base stub slices rather
+// than stub copies, keeping the whole index a few megabytes even for
+// the distributed machine.
+//
+// The read-side tables are keyed by a slot selector: 0..NumInputs-1
+// means the operand is fixed to that physical input, NumInputs means
+// any input may deliver it (single-value and commutative operands).
+type RouteIndex struct {
+	m *Machine
+
+	// Write-stub orders, indexed into Machine.WriteStubs(fu).
+	wToRF    [][][]int32   // [fu][rf]
+	wToSlot  [][][][]int32 // [fu][useFU][slot]
+	wToAny   [][][]int32   // [fu][useFU]
+	wToClass [][][]int32   // [fu][class]
+
+	// Read-stub base lists per (fu, slot selector): the single-slot
+	// lists alias Machine.ReadStubs; the any-slot list concatenates the
+	// slots in slot order, matching the legacy enumeration.
+	rAll [][][]ReadStub // [fu][sel]
+
+	// Read-stub orders, indexed into rAll[fu][sel].
+	rFromRF    [][][][]int32 // [fu][sel][rf]
+	rFromFU    [][][][]int32 // [fu][sel][defFU]
+	rFromClass [][][][]int32 // [fu][sel][class]
+
+	// readable[fu][sel][rf] reports whether any stub in rAll[fu][sel]
+	// reads register file rf — the direct-route membership test.
+	readable [][][]bool
+
+	// identity is 0..n-1, sliced as the zero-producer read order (no
+	// communication constrains the operand, so every stub is valid at
+	// score zero: enumeration order).
+	identity []int32
+
+	// distClassToRF[class][rf] is the min copies from any unit of the
+	// class into rf; distRFToClass[rf][class] the min copies from rf to
+	// any input of any unit of the class. -1 = unreachable or no units.
+	distClassToRF [][]int
+	distRFToClass [][]int
+}
+
+// Routes returns the machine's routing index, built lazily on first use
+// and shared by every caller: CompilePortfolio races goroutines over
+// one *Machine, so construction is guarded by a sync.Once.
+func (m *Machine) Routes() *RouteIndex {
+	m.routeOnce.Do(func() { m.routeIdx = buildRouteIndex(m) })
+	return m.routeIdx
+}
+
+// CandidateFloor returns the smallest MaxCandidates cap that cannot
+// truncate any statically ordered stub list: the longest write-stub
+// list over all units, or the longest per-operand read-stub list. A cap
+// below this can cut same-distance stubs from a candidate list, and in
+// a crowded cycle the surviving prefix may cover only conflicting buses
+// — breaking the §4.4 completeness requirement. Options.ValidateFor
+// rejects such caps.
+func (m *Machine) CandidateFloor() int {
+	floor := 0
+	for _, fu := range m.FUs {
+		if n := len(m.writeStubs[fu.ID]); n > floor {
+			floor = n
+		}
+		total := 0
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			total += len(m.readStubs[fu.ID][slot])
+		}
+		if total > floor {
+			floor = total
+		}
+	}
+	return floor
+}
+
+// WriteToRF returns the ordered write-stub candidates of fu for a read
+// side pinned to register file rf, as indices into WriteStubs(fu).
+// The slice is shared; callers must not modify it.
+func (x *RouteIndex) WriteToRF(fu FUID, rf RFID) []int32 { return x.wToRF[fu][rf] }
+
+// WriteToInput returns the ordered write-stub candidates of fu for a
+// read side placed on one physical input of useFU.
+func (x *RouteIndex) WriteToInput(fu, useFU FUID, slot int) []int32 {
+	row := x.wToSlot[fu][useFU]
+	if slot >= len(row) {
+		return nil
+	}
+	return row[slot]
+}
+
+// WriteToAnyInput returns the ordered write-stub candidates of fu for a
+// read side placed on useFU with a free choice of input.
+func (x *RouteIndex) WriteToAnyInput(fu, useFU FUID) []int32 { return x.wToAny[fu][useFU] }
+
+// WriteToClass returns the ordered write-stub candidates of fu for an
+// unplaced read side of the given operation class.
+func (x *RouteIndex) WriteToClass(fu FUID, cls ir.Class) []int32 { return x.wToClass[fu][cls] }
+
+// ReadBase returns the base read-stub list of (fu, slot selector): the
+// slice every read-order index refers into. sel NumInputs means any
+// input.
+func (x *RouteIndex) ReadBase(fu FUID, sel int) []ReadStub {
+	row := x.rAll[fu]
+	if sel < 0 || sel >= len(row) {
+		return nil
+	}
+	return row[sel]
+}
+
+// ReadUnconstrained returns the read order for an operand no
+// communication constrains: every base stub, enumeration order.
+func (x *RouteIndex) ReadUnconstrained(fu FUID, sel int) []int32 {
+	return x.identity[:len(x.ReadBase(fu, sel))]
+}
+
+// ReadFromRF returns the ordered read-stub candidates for a producer
+// pinned to write register file rf.
+func (x *RouteIndex) ReadFromRF(fu FUID, sel int, rf RFID) []int32 { return x.rFromRF[fu][sel][rf] }
+
+// ReadFromFU returns the ordered read-stub candidates for a producer
+// placed on defFU.
+func (x *RouteIndex) ReadFromFU(fu FUID, sel int, defFU FUID) []int32 {
+	return x.rFromFU[fu][sel][defFU]
+}
+
+// ReadFromClass returns the ordered read-stub candidates for an
+// unplaced producer of the given class.
+func (x *RouteIndex) ReadFromClass(fu FUID, sel int, cls ir.Class) []int32 {
+	return x.rFromClass[fu][sel][cls]
+}
+
+// Readable reports whether some read stub of (fu, sel) reads rf — the
+// shared-register-file membership test direct routing uses.
+func (x *RouteIndex) Readable(fu FUID, sel int, rf RFID) bool {
+	row := x.readable[fu]
+	if sel < 0 || sel >= len(row) {
+		return false
+	}
+	return row[sel][rf]
+}
+
+// orderBy scores base list length n with score (negative = invalid,
+// dropped) and returns the surviving indices stable-sorted by ascending
+// score — exactly the legacy enumerate-filter-stable-sort shape.
+func orderBy(n int, score func(i int) int) []int32 {
+	type scored struct {
+		idx  int32
+		dist int
+	}
+	list := make([]scored, 0, n)
+	for i := 0; i < n; i++ {
+		if d := score(i); d >= 0 {
+			list = append(list, scored{int32(i), d})
+		}
+	}
+	sort.SliceStable(list, func(a, b int) bool { return list[a].dist < list[b].dist })
+	out := make([]int32, len(list))
+	for i, s := range list {
+		out[i] = s.idx
+	}
+	return out
+}
+
+func buildRouteIndex(m *Machine) *RouteIndex {
+	x := &RouteIndex{m: m}
+	nFU := len(m.FUs)
+	nRF := len(m.RegFiles)
+
+	// Class distance tables: min over the class's units. A class with no
+	// units is unreachable everywhere (-1), which empties its candidate
+	// lists — the legacy scoring behaved identically.
+	x.distClassToRF = make([][]int, ir.NumClasses)
+	x.distRFToClass = make([][]int, nRF)
+	for rf := 0; rf < nRF; rf++ {
+		x.distRFToClass[rf] = make([]int, ir.NumClasses)
+	}
+	for cls := ir.Class(0); cls < ir.NumClasses; cls++ {
+		row := make([]int, nRF)
+		for rf := RFID(0); int(rf) < nRF; rf++ {
+			best := -1
+			for _, fu := range m.classUnits[cls] {
+				if d := m.distFUToRF[fu][rf]; d >= 0 && (best < 0 || d < best) {
+					best = d
+				}
+			}
+			row[rf] = best
+
+			best = -1
+			for _, fu := range m.classUnits[cls] {
+				f := m.FUs[fu]
+				for slot := 0; slot < f.NumInputs; slot++ {
+					if d := m.DistRFToInput(rf, fu, slot); d >= 0 && (best < 0 || d < best) {
+						best = d
+					}
+				}
+			}
+			x.distRFToClass[rf][cls] = best
+		}
+		x.distClassToRF[cls] = row
+	}
+
+	// Write-stub orders.
+	x.wToRF = make([][][]int32, nFU)
+	x.wToSlot = make([][][][]int32, nFU)
+	x.wToAny = make([][][]int32, nFU)
+	x.wToClass = make([][][]int32, nFU)
+	for _, fu := range m.FUs {
+		base := m.writeStubs[fu.ID]
+		n := len(base)
+
+		toRF := make([][]int32, nRF)
+		for rf := RFID(0); int(rf) < nRF; rf++ {
+			toRF[rf] = orderBy(n, func(i int) int { return m.copyDist[base[i].RF][rf] })
+		}
+		x.wToRF[fu.ID] = toRF
+
+		toSlot := make([][][]int32, nFU)
+		toAny := make([][]int32, nFU)
+		for _, use := range m.FUs {
+			rows := make([][]int32, use.NumInputs)
+			for slot := 0; slot < use.NumInputs; slot++ {
+				rows[slot] = orderBy(n, func(i int) int {
+					return m.DistRFToInput(base[i].RF, use.ID, slot)
+				})
+			}
+			toSlot[use.ID] = rows
+			toAny[use.ID] = orderBy(n, func(i int) int {
+				best := -1
+				for slot := 0; slot < use.NumInputs; slot++ {
+					if d := m.DistRFToInput(base[i].RF, use.ID, slot); d >= 0 && (best < 0 || d < best) {
+						best = d
+					}
+				}
+				return best
+			})
+		}
+		x.wToSlot[fu.ID] = toSlot
+		x.wToAny[fu.ID] = toAny
+
+		toClass := make([][]int32, ir.NumClasses)
+		for cls := ir.Class(0); cls < ir.NumClasses; cls++ {
+			toClass[cls] = orderBy(n, func(i int) int { return x.distRFToClass[base[i].RF][cls] })
+		}
+		x.wToClass[fu.ID] = toClass
+	}
+
+	// Read-stub base lists and orders.
+	maxBase := 0
+	x.rAll = make([][][]ReadStub, nFU)
+	x.rFromRF = make([][][][]int32, nFU)
+	x.rFromFU = make([][][][]int32, nFU)
+	x.rFromClass = make([][][][]int32, nFU)
+	x.readable = make([][][]bool, nFU)
+	for _, fu := range m.FUs {
+		nSel := fu.NumInputs + 1
+		bases := make([][]ReadStub, nSel)
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			bases[slot] = m.readStubs[fu.ID][slot]
+		}
+		var all []ReadStub
+		for slot := 0; slot < fu.NumInputs; slot++ {
+			all = append(all, m.readStubs[fu.ID][slot]...)
+		}
+		bases[fu.NumInputs] = all
+		x.rAll[fu.ID] = bases
+
+		fromRF := make([][][]int32, nSel)
+		fromFU := make([][][]int32, nSel)
+		fromClass := make([][][]int32, nSel)
+		read := make([][]bool, nSel)
+		for sel := 0; sel < nSel; sel++ {
+			base := bases[sel]
+			n := len(base)
+			if n > maxBase {
+				maxBase = n
+			}
+
+			rfRows := make([][]int32, nRF)
+			for rf := RFID(0); int(rf) < nRF; rf++ {
+				rfRows[rf] = orderBy(n, func(i int) int { return m.copyDist[rf][base[i].RF] })
+			}
+			fromRF[sel] = rfRows
+
+			fuRows := make([][]int32, nFU)
+			for _, def := range m.FUs {
+				fuRows[def.ID] = orderBy(n, func(i int) int {
+					return m.distFUToRF[def.ID][base[i].RF]
+				})
+			}
+			fromFU[sel] = fuRows
+
+			clsRows := make([][]int32, ir.NumClasses)
+			for cls := ir.Class(0); cls < ir.NumClasses; cls++ {
+				clsRows[cls] = orderBy(n, func(i int) int {
+					return x.distClassToRF[cls][base[i].RF]
+				})
+			}
+			fromClass[sel] = clsRows
+
+			row := make([]bool, nRF)
+			for _, rs := range base {
+				row[rs.RF] = true
+			}
+			read[sel] = row
+		}
+		x.rFromRF[fu.ID] = fromRF
+		x.rFromFU[fu.ID] = fromFU
+		x.rFromClass[fu.ID] = fromClass
+		x.readable[fu.ID] = read
+	}
+
+	for _, stubs := range m.writeStubs {
+		if len(stubs) > maxBase {
+			maxBase = len(stubs)
+		}
+	}
+	x.identity = make([]int32, maxBase)
+	for i := range x.identity {
+		x.identity[i] = int32(i)
+	}
+	return x
+}

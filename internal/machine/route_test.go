@@ -1,0 +1,224 @@
+package machine
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// The routing index must reproduce the legacy per-attempt enumeration
+// bit for bit: base stubs in Machine enumeration order, unreachable
+// stubs dropped, stable-sorted by ascending copy distance. These tests
+// re-derive that ordering from the public distance tables for every
+// (unit, endpoint) pair of the four paper architectures and compare.
+
+func routeTestMachines() []*Machine {
+	return []*Machine{
+		MotivatingExample(),
+		Paired(),
+		Central(),
+		Clustered(2),
+		Clustered(4),
+		Distributed(),
+	}
+}
+
+// legacyOrder reproduces the scheduler's original enumerate-filter-
+// stable-sort over a base list of length n.
+func legacyOrder(n int, score func(i int) int) []int32 {
+	type scored struct {
+		idx  int32
+		dist int
+	}
+	var list []scored
+	for i := 0; i < n; i++ {
+		if d := score(i); d >= 0 {
+			list = append(list, scored{int32(i), d})
+		}
+	}
+	sort.SliceStable(list, func(a, b int) bool { return list[a].dist < list[b].dist })
+	out := make([]int32, len(list))
+	for i, s := range list {
+		out[i] = s.idx
+	}
+	return out
+}
+
+func sameOrder(t *testing.T, ctx string, want, got []int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: length %d, want %d", ctx, len(got), len(want))
+		return
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("%s: index %d = %d, want %d", ctx, i, got[i], want[i])
+			return
+		}
+	}
+}
+
+func TestRouteIndexWriteOrders(t *testing.T) {
+	for _, m := range routeTestMachines() {
+		rt := m.Routes()
+		for _, fu := range m.FUs {
+			base := m.WriteStubs(fu.ID)
+			n := len(base)
+
+			// Pinned read file: distance is RF-to-RF copy distance.
+			for rf := range m.RegFiles {
+				rf := RFID(rf)
+				want := legacyOrder(n, func(i int) int { return m.CopyDistance(base[i].RF, rf) })
+				sameOrder(t, m.Name+"/wToRF", want, rt.WriteToRF(fu.ID, rf))
+			}
+
+			// Placed use: one fixed input, or any input.
+			for _, use := range m.FUs {
+				for slot := 0; slot < use.NumInputs; slot++ {
+					want := legacyOrder(n, func(i int) int {
+						return m.DistRFToInput(base[i].RF, use.ID, slot)
+					})
+					sameOrder(t, m.Name+"/wToSlot", want, rt.WriteToInput(fu.ID, use.ID, slot))
+				}
+				wantAny := legacyOrder(n, func(i int) int {
+					best := -1
+					for slot := 0; slot < use.NumInputs; slot++ {
+						if d := m.DistRFToInput(base[i].RF, use.ID, slot); d >= 0 && (best < 0 || d < best) {
+							best = d
+						}
+					}
+					return best
+				})
+				sameOrder(t, m.Name+"/wToAny", wantAny, rt.WriteToAnyInput(fu.ID, use.ID))
+			}
+
+			// Unplaced use: min over every unit of the class.
+			for cls := ir.Class(0); cls < ir.NumClasses; cls++ {
+				want := legacyOrder(n, func(i int) int {
+					best := -1
+					for _, ufu := range m.UnitsFor(cls) {
+						f := m.FU(ufu)
+						for slot := 0; slot < f.NumInputs; slot++ {
+							if d := m.DistRFToInput(base[i].RF, ufu, slot); d >= 0 && (best < 0 || d < best) {
+								best = d
+							}
+						}
+					}
+					return best
+				})
+				sameOrder(t, m.Name+"/wToClass", want, rt.WriteToClass(fu.ID, cls))
+			}
+		}
+	}
+}
+
+func TestRouteIndexReadOrders(t *testing.T) {
+	for _, m := range routeTestMachines() {
+		rt := m.Routes()
+		for _, fu := range m.FUs {
+			for sel := 0; sel <= fu.NumInputs; sel++ {
+				// The base list: one slot's stubs, or every slot's in slot
+				// order for the any-input selector.
+				var base []ReadStub
+				if sel < fu.NumInputs {
+					base = m.ReadStubs(fu.ID, sel)
+				} else {
+					for slot := 0; slot < fu.NumInputs; slot++ {
+						base = append(base, m.ReadStubs(fu.ID, slot)...)
+					}
+				}
+				got := rt.ReadBase(fu.ID, sel)
+				if len(got) != len(base) {
+					t.Errorf("%s/%s sel %d: base length %d, want %d", m.Name, fu.Name, sel, len(got), len(base))
+					continue
+				}
+				for i := range base {
+					if got[i] != base[i] {
+						t.Errorf("%s/%s sel %d: base[%d] = %v, want %v", m.Name, fu.Name, sel, i, got[i], base[i])
+						break
+					}
+				}
+				n := len(base)
+
+				// Unconstrained: enumeration order.
+				sameOrder(t, m.Name+"/rIdent", legacyOrder(n, func(int) int { return 0 }),
+					rt.ReadUnconstrained(fu.ID, sel))
+
+				// Pinned producer file.
+				for rf := range m.RegFiles {
+					rf := RFID(rf)
+					want := legacyOrder(n, func(i int) int { return m.CopyDistance(rf, base[i].RF) })
+					sameOrder(t, m.Name+"/rFromRF", want, rt.ReadFromRF(fu.ID, sel, rf))
+				}
+
+				// Placed producer unit.
+				for _, def := range m.FUs {
+					want := legacyOrder(n, func(i int) int { return m.DistFUToRF(def.ID, base[i].RF) })
+					sameOrder(t, m.Name+"/rFromFU", want, rt.ReadFromFU(fu.ID, sel, def.ID))
+				}
+
+				// Unplaced producer class.
+				for cls := ir.Class(0); cls < ir.NumClasses; cls++ {
+					want := legacyOrder(n, func(i int) int {
+						best := -1
+						for _, dfu := range m.UnitsFor(cls) {
+							if d := m.DistFUToRF(dfu, base[i].RF); d >= 0 && (best < 0 || d < best) {
+								best = d
+							}
+						}
+						return best
+					})
+					sameOrder(t, m.Name+"/rFromClass", want, rt.ReadFromClass(fu.ID, sel, cls))
+				}
+
+				// Readability bitmap.
+				for rf := range m.RegFiles {
+					rf := RFID(rf)
+					want := false
+					for _, rs := range base {
+						if rs.RF == rf {
+							want = true
+							break
+						}
+					}
+					if got := rt.Readable(fu.ID, sel, rf); got != want {
+						t.Errorf("%s/%s sel %d rf %d: Readable = %v, want %v", m.Name, fu.Name, sel, rf, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCandidateFloor(t *testing.T) {
+	for _, m := range routeTestMachines() {
+		floor := m.CandidateFloor()
+		if floor <= 0 {
+			t.Errorf("%s: CandidateFloor = %d, want positive", m.Name, floor)
+		}
+		want := 0
+		for _, fu := range m.FUs {
+			if n := len(m.WriteStubs(fu.ID)); n > want {
+				want = n
+			}
+			total := 0
+			for slot := 0; slot < fu.NumInputs; slot++ {
+				total += len(m.ReadStubs(fu.ID, slot))
+			}
+			if total > want {
+				want = total
+			}
+		}
+		if floor != want {
+			t.Errorf("%s: CandidateFloor = %d, want %d", m.Name, floor, want)
+		}
+	}
+}
+
+func TestRoutesSharedAcrossCalls(t *testing.T) {
+	m := Central()
+	if m.Routes() != m.Routes() {
+		t.Error("Routes() must intern one index per machine")
+	}
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# bench_sched.sh — run the scheduler benchmark suite and write
+# BENCH_sched.json (compilations/sec, allocs/op, and — when a baseline
+# text file is passed — speedup and allocation ratios).
+#
+# Usage:
+#   scripts/bench_sched.sh                # head-only numbers
+#   scripts/bench_sched.sh base.txt       # compare against a baseline run
+#
+# Environment:
+#   BENCH_COUNT (default 5)  -count passed to go test
+#   BENCH_TIME  (default 3x) -benchtime passed to go test
+#   BENCH_OUT   (default /tmp/bench_sched_head.txt) raw text output
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count=${BENCH_COUNT:-5}
+btime=${BENCH_TIME:-3x}
+out=${BENCH_OUT:-/tmp/bench_sched_head.txt}
+
+go test -run '^$' -bench 'BenchmarkScheduler$|BenchmarkSchedulerThroughput$|BenchmarkTable1_KernelLowering$' \
+  -benchmem -count "$count" -benchtime "$btime" . | tee "$out"
+go test -run '^$' -bench 'BenchmarkSched' \
+  -benchmem -count "$count" -benchtime "$btime" ./internal/kernels | tee -a "$out"
+
+if [ $# -ge 1 ]; then
+  go run ./cmd/benchjson -head "$out" -base "$1" -o BENCH_sched.json
+else
+  go run ./cmd/benchjson -head "$out" -o BENCH_sched.json
+fi
+echo "wrote BENCH_sched.json"
