@@ -20,10 +20,18 @@
 // sample labeled by the pipeline pass it fell in (pprof -tagfocus
 // pass=place, etc.).
 //
+// Robustness flags: -timeout D bounds the whole compilation (Ctrl-C
+// cancels it cooperatively too); -degrade retries a failed search down
+// the graceful-degradation ladder, reporting which rung won; -faults
+// SPEC arms the deterministic fault-injection plane (testing only).
+//
 // When compilation fails, csched exits non-zero and prints the pass
-// pipeline's structured diagnostic: the kernel, machine, failing pass,
-// reason, and — for op-specific failures — the operation and kernel
-// source line.
+// pipeline's structured diagnostic: the failure kind (schedule,
+// invalid-input, cancelled, deadline-exceeded, internal), the kernel,
+// machine, failing pass, reason, and — for op-specific failures — the
+// operation and kernel source line. Exit codes distinguish the
+// failure: 1 schedule/other, 2 usage, 3 cancelled or deadline
+// exceeded, 4 internal error.
 package main
 
 import (
@@ -34,24 +42,38 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
 	commsched "repro"
 )
 
+// Exit codes beyond the conventional 0/1/2: cancellation and internal
+// errors are distinguishable to scripts driving fleets of compiles.
+const (
+	exitCancelled = 3
+	exitInternal  = 4
+)
+
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // printCompileError renders a pass-pipeline failure as a structured
 // diagnostic instead of a bare error string.
 func printCompileError(w io.Writer, ce *commsched.CompileError) {
 	fmt.Fprintln(w, "csched: compilation failed")
+	fmt.Fprintf(w, "  kind:    %s\n", ce.Kind)
 	fmt.Fprintf(w, "  kernel:  %s\n", ce.Kernel)
 	fmt.Fprintf(w, "  machine: %s\n", ce.Machine)
 	fmt.Fprintf(w, "  pass:    %s\n", ce.Pass)
 	fmt.Fprintf(w, "  reason:  %s\n", ce.Reason)
+	if ce.II > 0 {
+		fmt.Fprintf(w, "  II:      %d\n", ce.II)
+	}
 	if ce.Op != commsched.NoOp {
 		fmt.Fprintf(w, "  op:      %d\n", ce.Op)
 	}
@@ -63,7 +85,22 @@ func printCompileError(w io.Writer, ce *commsched.CompileError) {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+// exitCode maps a compilation failure to the documented exit code.
+func exitCode(err error) int {
+	var ce *commsched.CompileError
+	if !errors.As(err, &ce) {
+		return 1
+	}
+	switch ce.Kind {
+	case commsched.ErrCancelled, commsched.ErrDeadlineExceeded:
+		return exitCancelled
+	case commsched.ErrInternal:
+		return exitInternal
+	}
+	return 1
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("csched", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	arch := fs.String("arch", "distributed", "target architecture: central, clustered2, clustered4, distributed, paired, fig5")
@@ -82,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cycleOrder := fs.Bool("cycle-order", false, "ablation: schedule in cycle order instead of operation order")
 	noCost := fs.Bool("no-cost-heuristic", false, "ablation: disable the equation-1 unit-ordering heuristic")
 	portfolio := fs.Int("portfolio", 0, "race the ablation portfolio over N workers (0 disables, -1 means GOMAXPROCS); the result is deterministic for any N")
+	timeout := fs.Duration("timeout", 0, "bound the whole compilation; on expiry csched exits 3 with a structured deadline-exceeded report")
+	degrade := fs.Bool("degrade", false, "on schedule-search failure, retry down the graceful-degradation ladder (cheaper budgets, relaxed interval cap, greedy pipeline)")
+	faults := fs.String("faults", "", "arm the deterministic fault-injection plane (testing), e.g. \"seed=7;site=pass,label=place,action=panic\"")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to FILE (samples carry a \"pass\" label)")
 	memprofile := fs.String("memprofile", "", "write a pprof allocation profile to FILE on exit")
 	if err := fs.Parse(args); err != nil {
@@ -142,6 +182,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		rec = commsched.NewTraceRecorder()
 		opts.Tracer = rec
 	}
+	if *degrade {
+		opts.Degrade = commsched.DefaultDegradeLadder()
+	}
+	if *faults != "" {
+		plane, perr := commsched.ParseFaultSpec(*faults)
+		if perr != nil {
+			fmt.Fprintln(stderr, "csched: -faults:", perr)
+			return 2
+		}
+		opts.Faults = plane
+	}
+	if *timeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, *timeout)
+		defer tcancel()
+		ctx = tctx
+	}
 
 	var (
 		k    *commsched.Kernel
@@ -180,9 +236,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pfStats *commsched.PortfolioStats
 	)
 	if *portfolio != 0 {
-		s, pfStats, err = commsched.CompilePortfolio(context.Background(), k, m, opts, *portfolio)
+		s, pfStats, err = commsched.CompilePortfolio(ctx, k, m, opts, *portfolio)
 	} else {
-		s, err = commsched.Compile(k, m, opts)
+		s, err = commsched.CompileContext(ctx, k, m, opts)
 	}
 	if err != nil {
 		var ce *commsched.CompileError
@@ -191,7 +247,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprintln(stderr, "csched:", err)
 		}
-		return 1
+		return exitCode(err)
+	}
+	if s.Degraded != "" {
+		fmt.Fprintf(stdout, "degraded: schedule produced by fallback rung %q\n", s.Degraded)
 	}
 	if err := commsched.Verify(s); err != nil {
 		fmt.Fprintln(stderr, "csched: verification failed:", err)
@@ -315,6 +374,7 @@ func writeStats(path string, stdout io.Writer, k *commsched.Kernel, s *commsched
 		Preamble    int                          `json:"preamble"`
 		LoopSpan    int                          `json:"loop_span"`
 		Copies      int                          `json:"copies"`
+		Degraded    string                       `json:"degraded,omitempty"`
 		Scheduler   commsched.SchedulerStats     `json:"scheduler"`
 		Passes      commsched.PassStats          `json:"passes"`
 		Utilization *commsched.UtilizationReport `json:"utilization"`
@@ -326,6 +386,7 @@ func writeStats(path string, stdout io.Writer, k *commsched.Kernel, s *commsched
 		Preamble:    s.PreambleLen,
 		LoopSpan:    s.LoopSpan,
 		Copies:      len(s.Ops) - len(k.Ops),
+		Degraded:    s.Degraded,
 		Scheduler:   s.Stats,
 		Passes:      s.Passes,
 		Utilization: s.InterconnectUtilization(),

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -14,8 +15,14 @@ import (
 // runCLI drives run() with captured output.
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
+	return runCLIContext(t, context.Background(), args...)
+}
+
+// runCLIContext is runCLI under a caller-controlled context.
+func runCLIContext(t *testing.T, ctx context.Context, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
 	var out, errw strings.Builder
-	code = run(args, &out, &errw)
+	code = run(ctx, args, &out, &errw)
 	return code, out.String(), errw.String()
 }
 
@@ -223,6 +230,76 @@ func TestProfileFlags(t *testing.T) {
 		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
 			t.Errorf("%s is not a gzipped pprof profile (%d bytes)", path, len(data))
 		}
+	}
+}
+
+// TestCancelledContextExitsThree pins the cancellation exit path: a
+// pre-cancelled context makes compilation unwind cooperatively and
+// report a structured cancelled error with exit code 3.
+func TestCancelledContextExitsThree(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, errw := runCLIContext(t, ctx, "-arch", "distributed", "-kernel", "DCT", "-dump=false")
+	if code != exitCancelled {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitCancelled, errw)
+	}
+	for _, want := range []string{"compilation failed", "kind:    cancelled"} {
+		if !strings.Contains(errw, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errw)
+		}
+	}
+}
+
+// TestTimeoutExitsThree pins the -timeout flag: an unmeetable deadline
+// reports a structured deadline-exceeded error with exit code 3.
+func TestTimeoutExitsThree(t *testing.T) {
+	code, _, errw := runCLI(t, "-arch", "distributed", "-kernel", "DCT", "-dump=false", "-timeout", "1ns")
+	if code != exitCancelled {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitCancelled, errw)
+	}
+	for _, want := range []string{"compilation failed", "kind:    deadline-exceeded"} {
+		if !strings.Contains(errw, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errw)
+		}
+	}
+}
+
+// TestInjectedPanicExitsFour pins the internal-error exit path: a
+// fault-plane panic in the place pass is recovered into a structured
+// internal error — pass name, reason, stackless rendering — with exit
+// code 4, never a process crash.
+func TestInjectedPanicExitsFour(t *testing.T) {
+	code, _, errw := runCLI(t, "-arch", "distributed", "-kernel", "FIR-INT", "-dump=false",
+		"-faults", "seed=7;site=pass,label=place,action=panic,nth=1")
+	if code != exitInternal {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitInternal, errw)
+	}
+	for _, want := range []string{"compilation failed", "kind:    internal", "pass:    place", "injected panic"} {
+		if !strings.Contains(errw, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errw)
+		}
+	}
+}
+
+// TestBadFaultSpecExitsTwo pins -faults validation as a usage error.
+func TestBadFaultSpecExitsTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, "-kernel", "DCT", "-faults", "site=bogus,action=panic"); code != 2 {
+		t.Fatalf("bad -faults spec exited %d, want 2", code)
+	}
+}
+
+// TestDegradeFlagWiring pins -degrade on the happy path: arming the
+// ladder must not change the outcome of a kernel that schedules fine
+// (no "degraded" banner, exit 0). The forced-exhaustion path where a
+// fallback rung actually wins is pinned in internal/core's fault
+// tests, which can control budgets precisely.
+func TestDegradeFlagWiring(t *testing.T) {
+	code, out, errw := runCLI(t, "-arch", "distributed", "-kernel", "FIR-INT", "-dump=false", "-degrade")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errw)
+	}
+	if strings.Contains(out, "degraded:") {
+		t.Errorf("unexpected degradation banner on a schedulable kernel:\n%s", out)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/kasm"
 	"repro/internal/kernels"
@@ -71,8 +72,22 @@ type (
 	SchedulerStats = core.Stats
 	// CompileError is the structured failure report of the pass
 	// pipeline: kernel, machine, failing pass, reason, and — for
-	// op-specific failures — the operation and source line.
+	// op-specific failures — the operation and source line. Its Kind
+	// classifies the failure (see ErrorKind).
 	CompileError = core.CompileError
+	// ErrorKind classifies a CompileError: schedule-search failure,
+	// invalid input, cancellation, deadline, or recovered internal
+	// panic (DESIGN.md §4.10).
+	ErrorKind = core.ErrorKind
+	// DegradeLadder and DegradeRung configure the graceful-degradation
+	// ladder CompileContext walks after a schedule-search failure.
+	DegradeLadder = core.DegradeLadder
+	DegradeRung   = core.DegradeRung
+	// FaultPlane is the deterministic fault-injection plane
+	// (internal/faultinject) armed through Options.Faults for
+	// robustness testing; FaultRule is one injection rule.
+	FaultPlane = faultinject.Plane
+	FaultRule  = faultinject.Rule
 	// Diag is one structured diagnostic emitted by a compiler pass.
 	Diag = core.Diag
 	// Kernel is the scheduler's input program form.
@@ -145,6 +160,25 @@ type (
 // NoOp marks a diagnostic not tied to a particular operation.
 const NoOp = core.NoOp
 
+// CompileError kinds.
+const (
+	ErrSchedule         = core.KindSchedule
+	ErrInvalidInput     = core.KindInvalidInput
+	ErrCancelled        = core.KindCancelled
+	ErrDeadlineExceeded = core.KindDeadlineExceeded
+	ErrInternal         = core.KindInternal
+)
+
+// Fault-injection sites and actions for FaultRule.
+const (
+	FaultSitePass      = faultinject.SitePass
+	FaultSiteSolver    = faultinject.SiteSolver
+	FaultSitePortfolio = faultinject.SitePortfolio
+	FaultActionPanic   = faultinject.Panic
+	FaultActionExhaust = faultinject.Exhaust
+	FaultActionDelay   = faultinject.Delay
+)
+
 // Prioritize-pass orderings for PipelineConfig.Order.
 const (
 	OrderPriority = core.OrderPriority
@@ -171,6 +205,11 @@ func Clustered2() *Machine { return machine.Clustered(2) }
 
 // Clustered4 builds the four-cluster architecture of Fig. 2/26.
 func Clustered4() *Machine { return machine.Clustered(4) }
+
+// ClusteredMachine is Clustered2/Clustered4 for a dynamic cluster
+// count, returning an error instead of panicking on unsupported counts
+// — the form to call with untrusted input.
+func ClusteredMachine(k int) (*Machine, error) { return machine.ClusteredChecked(k) }
 
 // Distributed builds the distributed register file architecture of
 // Fig. 3/27: per-input files with single shared write ports fed by ten
@@ -250,6 +289,33 @@ func ParseKernel(src string) (*Kernel, error) { return kasm.Compile(src) }
 func Compile(k *Kernel, m *Machine, opts Options) (*Schedule, error) {
 	return core.Compile(k, m, opts)
 }
+
+// CompileContext is Compile observing a context: cancellation and
+// deadlines propagate into the scheduler's hot loops and surface as a
+// structured CompileError of kind ErrCancelled or ErrDeadlineExceeded
+// (errors.Is-compatible with context.Canceled/DeadlineExceeded). When
+// Options.Degrade is set, a schedule-search failure walks the
+// graceful-degradation ladder; a schedule won by a fallback rung names
+// it in Schedule.Degraded.
+func CompileContext(ctx context.Context, k *Kernel, m *Machine, opts Options) (*Schedule, error) {
+	return core.CompileContext(ctx, k, m, opts)
+}
+
+// DefaultDegradeLadder returns the stock three-rung degradation ladder
+// (shrunk search budgets, a relaxed interval cap, then the cheapest
+// greedy pipeline) to set as Options.Degrade.
+func DefaultDegradeLadder() *DegradeLadder { return core.DefaultDegradeLadder() }
+
+// NewFaultPlane builds a deterministic fault-injection plane from
+// seed-derived rules, to arm through Options.Faults in robustness
+// tests.
+func NewFaultPlane(seed int64, rules ...FaultRule) *FaultPlane {
+	return faultinject.New(seed, rules...)
+}
+
+// ParseFaultSpec parses the textual fault-plane format used by
+// csched -faults (e.g. "seed=7;site=pass,label=place,action=panic").
+func ParseFaultSpec(spec string) (*FaultPlane, error) { return faultinject.ParseSpec(spec) }
 
 // CompilePortfolio schedules a kernel by racing a portfolio of
 // scheduler configurations (the §4.6 ablation variants) across a

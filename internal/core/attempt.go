@@ -38,6 +38,9 @@ import (
 // working lists live in per-depth engine scratch rather than per-call
 // allocations.
 func (e *engine) attempt(id ir.OpID, cycle int, fu machine.FUID) bool {
+	if e.cancelled() {
+		return false
+	}
 	e.stats.Attempts++
 	mark := e.mark()
 	e.placeOp(id, fu, cycle)

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+// trippingContext is a context whose Err starts returning Canceled
+// after the poll counter reaches trip — a deterministic stand-in for a
+// context cancelled mid-compilation. Done is inherited non-nil from
+// the embedded context so the scheduler arms its cancellation hook.
+type trippingContext struct {
+	context.Context
+	polls atomic.Int64
+	trip  int64
+}
+
+func newTrippingContext(trip int64) *trippingContext {
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel // never called: Err below drives cancellation
+	return &trippingContext{Context: ctx, trip: trip}
+}
+
+func (c *trippingContext) Err() error {
+	if c.polls.Add(1) >= c.trip {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCompileContextPreCancelled pins the simplest unwind: an already
+// cancelled context fails fast with a structured cancelled error that
+// unwraps to context.Canceled.
+func TestCompileContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k := kernels.ByName("DCT").MustKernel()
+	_, err := CompileContext(ctx, k, machine.Distributed(), Options{})
+	var ce *CompileError
+	if !errors.As(err, &ce) || ce.Kind != KindCancelled {
+		t.Fatalf("want KindCancelled CompileError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	if ce.II <= 0 {
+		t.Errorf("cancelled error missing the interval in flight: %+v", ce)
+	}
+	if ce.Pass != PassPlace {
+		t.Errorf("cancelled error pass = %q, want %q", ce.Pass, PassPlace)
+	}
+}
+
+// TestCompileContextExpiredDeadline pins the deadline flavor: the
+// structured error reports KindDeadlineExceeded and unwraps to
+// context.DeadlineExceeded.
+func TestCompileContextExpiredDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	k := kernels.ByName("DCT").MustKernel()
+	_, err := CompileContext(ctx, k, machine.Distributed(), Options{})
+	var ce *CompileError
+	if !errors.As(err, &ce) || ce.Kind != KindDeadlineExceeded {
+		t.Fatalf("want KindDeadlineExceeded CompileError, got %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not unwrap to context.DeadlineExceeded: %v", err)
+	}
+}
+
+// TestBackgroundContextIdentical pins the zero-overhead contract: with
+// a background context (Done nil) the hook is never armed and the
+// schedule is bit-identical to plain Compile's.
+func TestBackgroundContextIdentical(t *testing.T) {
+	k := kernels.ByName("FIR-INT").MustKernel()
+	m := machine.Distributed()
+	a, err := Compile(k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CompileContext(context.Background(), k, m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Dump() != b.Dump() {
+		t.Fatal("CompileContext(background) diverges from Compile")
+	}
+}
+
+// TestSolverStepCancellationLatency pins the amortized-polling bound:
+// once the cancellation hook reports true, the §4.4 solver observes it
+// within cancelPollInterval steps and latches the abort.
+func TestSolverStepCancellationLatency(t *testing.T) {
+	polls := 0
+	e := &engine{cancel: func() bool { polls++; return polls >= 2 }}
+	budget := 1 << 20
+	steps := 0
+	for e.solverStep(&budget) {
+		steps++
+		if steps > 10*cancelPollInterval {
+			t.Fatalf("cancellation unobserved after %d steps", steps)
+		}
+	}
+	if !e.aborted {
+		t.Fatal("abort not latched")
+	}
+	// First poll happens on the first step (countdown starts at zero),
+	// the hook trips on the second poll, one full interval later.
+	if steps > 2*cancelPollInterval {
+		t.Fatalf("cancellation took %d solver steps, bound is %d", steps, 2*cancelPollInterval)
+	}
+}
+
+// TestMidCompileCancellationBounded cancels mid-compilation via a
+// deterministic tripping context and checks both the structured error
+// and that polling stops promptly after the trip — the scheduler must
+// not keep grinding (and polling) long after cancellation.
+func TestMidCompileCancellationBounded(t *testing.T) {
+	const trip = 100
+	ctx := newTrippingContext(trip)
+	k := kernels.ByName("DCT").MustKernel()
+	_, err := CompileContext(ctx, k, machine.Distributed(), Options{})
+	var ce *CompileError
+	if !errors.As(err, &ce) || ce.Kind != KindCancelled {
+		t.Fatalf("want KindCancelled CompileError, got %v", err)
+	}
+	// After the trip, the in-flight attempt latches the abort on its
+	// next poll and every layer unwinds; only a handful of further
+	// polls (attempt boundaries, the final ctxError inspection) are
+	// tolerable.
+	if polls := ctx.polls.Load(); polls > trip+32 {
+		t.Fatalf("%d polls after the hook tripped at %d: cancellation not prompt", polls-trip, trip)
+	}
+}
+
+// TestPortfolioMidCompileCancellation cancels a portfolio race mid-
+// flight: the run returns a structured cancelled error, stops claiming
+// cells promptly, and leaks no goroutines.
+func TestPortfolioMidCompileCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const trip = 200
+	ctx := newTrippingContext(trip)
+	k := kernels.ByName("Sort").MustKernel()
+	_, _, err := CompilePortfolio(ctx, k, machine.Clustered(4), Options{}, PortfolioOptions{Workers: 4})
+	var ce *CompileError
+	if !errors.As(err, &ce) || ce.Kind != KindCancelled {
+		t.Fatalf("want KindCancelled CompileError, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not unwrap to context.Canceled: %v", err)
+	}
+	// The worker pool must have fully drained: CompilePortfolio only
+	// returns after wg.Wait, so any surviving goroutine is a leak.
+	// Allow unrelated runtime goroutines a moment to settle.
+	for i := 0; ; i++ {
+		if after := runtime.NumGoroutine(); after <= before {
+			break
+		} else if i >= 50 {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentCancelCompileStress races many compilations against
+// staggered cancellations under -race: every outcome must be either a
+// verified schedule or a structured error, never a panic or a data
+// race.
+func TestConcurrentCancelCompileStress(t *testing.T) {
+	k := kernels.ByName("FIR-INT").MustKernel()
+	m := machine.Distributed()
+	n := 16
+	if testing.Short() {
+		n = 4
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(trip int64) {
+			defer wg.Done()
+			ctx := newTrippingContext(trip)
+			s, err := CompileContext(ctx, k, m, Options{})
+			if err == nil {
+				if verr := VerifySchedule(s); verr != nil {
+					t.Errorf("trip %d: schedule fails verification: %v", trip, verr)
+				}
+				return
+			}
+			var ce *CompileError
+			if !errors.As(err, &ce) || ce.Kind != KindCancelled {
+				t.Errorf("trip %d: want KindCancelled, got %v", trip, err)
+			}
+		}(int64(1 + i*37))
+	}
+	wg.Wait()
+}

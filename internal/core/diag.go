@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,10 +37,56 @@ func (d Diag) String() string {
 	return b.String()
 }
 
+// ErrorKind classifies a CompileError for programmatic handling: which
+// failures are the kernel's fault, which are the caller's, which are
+// the environment's (cancellation, deadlines), and which are ours
+// (recovered internal panics). See DESIGN.md §4.10 for the taxonomy.
+type ErrorKind uint8
+
+const (
+	// KindSchedule is the default: the kernel does not schedule within
+	// the configured bounds (interval cap, permutation budget, attempt
+	// budget). The only kind the degradation ladder retries.
+	KindSchedule ErrorKind = iota
+	// KindInvalidInput marks caller mistakes caught up front: negative
+	// budgets, candidate caps below the machine's floor, unexecutable
+	// opcode classes.
+	KindInvalidInput
+	// KindCancelled means the caller's context was cancelled and the
+	// compilation unwound cooperatively.
+	KindCancelled
+	// KindDeadlineExceeded means the caller's deadline expired
+	// mid-compilation.
+	KindDeadlineExceeded
+	// KindInternal marks an invariant violation (a panic) recovered by
+	// the pass pipeline: the error carries the pass, the operation in
+	// flight, and the stack.
+	KindInternal
+)
+
+var errorKindNames = [...]string{
+	KindSchedule:         "schedule",
+	KindInvalidInput:     "invalid-input",
+	KindCancelled:        "cancelled",
+	KindDeadlineExceeded: "deadline-exceeded",
+	KindInternal:         "internal",
+}
+
+// String names the kind for reports.
+func (k ErrorKind) String() string {
+	if int(k) < len(errorKindNames) {
+		return errorKindNames[k]
+	}
+	return "unknown"
+}
+
 // CompileError is the structured failure report of the pass pipeline:
-// which kernel on which machine failed, in which pass, and why. Op and
-// Line localize op-specific failures the way Diag does; Diags carries
-// the informational diagnostics accumulated before the failure, so a
+// which kernel on which machine failed, in which pass, and why. Kind
+// classifies the failure; II is the initiation interval in flight when
+// it struck (0 outside the per-interval passes); Stack holds the
+// recovered goroutine stack for KindInternal errors. Op and Line
+// localize op-specific failures the way Diag does; Diags carries the
+// informational diagnostics accumulated before the failure, so a
 // caller can show how far compilation got.
 //
 // The rendered message keeps the historical "core: ..." diagnostics
@@ -47,16 +94,32 @@ func (d Diag) String() string {
 // substrings keep working; the structured fields are for tools that
 // want to present the failure properly (cmd/csched does).
 type CompileError struct {
+	Kind    ErrorKind
 	Kernel  string
 	Machine string
 	Pass    string
 	Reason  string
 	Op      ir.OpID
 	Line    int
+	II      int
+	Stack   string
 	Diags   []Diag
 }
 
 func (e *CompileError) Error() string { return "core: " + e.Reason }
+
+// Unwrap maps the cancellation kinds onto the standard context
+// sentinels, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) work on compile errors.
+func (e *CompileError) Unwrap() error {
+	switch e.Kind {
+	case KindCancelled:
+		return context.Canceled
+	case KindDeadlineExceeded:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
 
 // compileErrorf builds an op-unspecific CompileError.
 func compileErrorf(pass, format string, args ...any) *CompileError {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -161,7 +162,7 @@ func (e *engine) solveWrites(key tKey, pin CommID, pinRF machine.RFID) bool {
 			flex[j], flex[j-1] = flex[j-1], flex[j]
 		}
 	}
-	budget := e.permBudget()
+	budget := e.solveBudget()
 	choice := e.choiceScratch(len(flex))
 	okAll, undoAll := e.dfsWrites(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
@@ -232,7 +233,7 @@ func (e *engine) solveReads(key tKey, pin OperandKey, pinRF machine.RFID) bool {
 			flex[j], flex[j-1] = flex[j-1], flex[j]
 		}
 	}
-	budget := e.permBudget()
+	budget := e.solveBudget()
 	choice := e.choiceScratch(len(flex))
 	okAll, undoAll := e.dfsReads(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
@@ -277,6 +278,48 @@ func (e *engine) permBudget() int {
 	return permBudgetDefault
 }
 
+// solveBudget starts a fresh per-solve step budget and forces the next
+// solverStep to poll, so cancellation and injected exhaustion are
+// observed at every solve boundary regardless of the amortized
+// countdown's phase.
+func (e *engine) solveBudget() int {
+	if e.pollCountdown > 1 {
+		e.pollCountdown = 1
+	}
+	return e.permBudget()
+}
+
+// cancelPollInterval amortizes cancellation polling in the solver hot
+// loops: every search step pays only a latched-flag check, and a real
+// poll of the cancellation hook (plus a fault-plane probe) runs every
+// this many steps — so cancellation latency is bounded by the interval
+// while the steady-state per-step cost stays one branch.
+const cancelPollInterval = 64
+
+// solverStep accounts one §4.4 permutation-search step and reports
+// whether the search may continue: false on budget exhaustion, on
+// observed cancellation, or when the fault plane injects a forced
+// exhaustion. The countdown persists across solve calls, so the
+// amortization bound holds globally, not per solve.
+func (e *engine) solverStep(budget *int) bool {
+	if *budget <= 0 || e.aborted {
+		return false
+	}
+	*budget--
+	e.stats.PermSteps++
+	if e.pollCountdown--; e.pollCountdown <= 0 {
+		e.pollCountdown = cancelPollInterval
+		if e.cancelled() {
+			return false
+		}
+		if e.faults != nil && e.faults.Probe(faultinject.SiteSolver, "") {
+			*budget = 0
+			return false
+		}
+	}
+	return true
+}
+
 func (e *engine) dfsWrites(o *rules.Occupancy, flex []flexWrite, choice []int, i int, budget *int, undo []rules.Undo) (bool, []rules.Undo) {
 	if i == len(flex) {
 		return true, undo
@@ -285,11 +328,9 @@ func (e *engine) dfsWrites(o *rules.Occupancy, flex []flexWrite, choice []int, i
 	traced := e.tracer != nil
 	for ci, candIdx := range f.cands {
 		cand := f.base[candIdx]
-		if *budget <= 0 {
+		if !e.solverStep(budget) {
 			return false, undo
 		}
-		*budget--
-		e.stats.PermSteps++
 		if traced {
 			e.tracePerm(obs.KindPermAttempt, i, int32(f.id))
 		}
@@ -328,11 +369,9 @@ func (e *engine) dfsReads(o *rules.Occupancy, flex []flexRead, choice []int, i i
 	traced := e.tracer != nil
 	for ci, candIdx := range f.cands {
 		cand := f.base[candIdx]
-		if *budget <= 0 {
+		if !e.solverStep(budget) {
 			return false, undo
 		}
-		*budget--
-		e.stats.PermSteps++
 		if traced {
 			e.tracePerm(obs.KindPermAttempt, i, opndNonce(f.key))
 		}

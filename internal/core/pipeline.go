@@ -3,12 +3,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/depgraph"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/machine"
 )
@@ -92,11 +94,29 @@ type Compilation struct {
 // errors and bracketing it with trace events. The pass name is attached
 // as a pprof label, so CPU and allocation profiles (csched -cpuprofile
 // / -memprofile) attribute samples to pipeline stages.
+//
+// Every pass body runs under panic recovery: an invariant violation
+// anywhere in the pass (the solver, copy insertion, buildSchedule's
+// structural checks) is converted into a structured KindInternal
+// CompileError carrying the pass, the operation in flight, and the
+// recovered stack, so one bad kernel cannot take down a server or a
+// portfolio race. The fault plane's pass site is probed here too: a
+// firing Panic rule exercises exactly this recovery path, and a firing
+// Exhaust rule fails the pass as if its search budget were spent.
 func (c *Compilation) runPass(p Pass) error {
 	c.clock.push(p.Name())
 	c.tracePassBegin(p.Name())
 	var err error
 	pprof.Do(context.Background(), pprof.Labels("pass", p.Name()), func(context.Context) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = c.recoverPass(p.Name(), r)
+			}
+		}()
+		if c.Opts.Faults.Probe(faultinject.SitePass, p.Name()) {
+			err = passExhausted(p.Name())
+			return
+		}
 		err = p.Run(c)
 	})
 	c.tracePassEnd(p.Name(), err == nil)
@@ -105,6 +125,41 @@ func (c *Compilation) runPass(p Pass) error {
 		c.clock.fail(p.Name())
 	}
 	return err
+}
+
+// passExhausted is the Exhaust fault action at the pass site: the
+// per-interval passes fail the current interval attempt (the same
+// shape a real budget exhaustion takes), other passes fail the
+// compilation with a schedule-kind error.
+func passExhausted(name string) error {
+	switch name {
+	case PassPrioritize, PassPreassign, PassPlace:
+		return errInfeasible
+	}
+	return compileErrorf(name, "injected budget exhaustion in %s pass", name)
+}
+
+// recoverPass converts a recovered pass panic into the structured
+// internal-error report: pass name, the operation the place pass was
+// working on (when one was in flight), the interval under trial, and
+// the recovered stack.
+func (c *Compilation) recoverPass(pass string, r any) *CompileError {
+	c.traceRecover(pass)
+	ce := &CompileError{
+		Kind:   KindInternal,
+		Pass:   pass,
+		Reason: fmt.Sprintf("internal error in %s pass: %v", pass, r),
+		Op:     NoOp,
+		II:     c.II,
+		Stack:  string(debug.Stack()),
+	}
+	if e := c.eng; e != nil && e.failOp != NoOp {
+		ce.Op = e.failOp
+		if int(e.failOp) < len(c.Kernel.Ops) {
+			ce.Line = c.Kernel.Ops[e.failOp].Line
+		}
+	}
+	return ce
 }
 
 // PassStat instruments one pass: how often it ran, how many work items
@@ -325,8 +380,11 @@ func (placePass) Run(c *Compilation) error {
 	e := c.eng
 	for _, block := range []ir.BlockKind{ir.LoopBlock, ir.PreambleBlock} {
 		for _, id := range e.order[block] {
+			// Record the operation in flight up front: on failure this is
+			// the structured report's localization, and a recovered panic
+			// mid-placement reads it for op context too.
+			e.failBlock, e.failOp = block, id
 			if e.cancelled() || !e.scheduleOp(id) {
-				e.failBlock, e.failOp = block, id
 				return errInfeasible
 			}
 			e.clock.step(PassPlace)

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -129,6 +131,18 @@ func (p *PortfolioStats) String() string {
 	return s
 }
 
+// portfolioCtxError builds the structured report for a portfolio run
+// abandoned by its context mid-race.
+func portfolioCtxError(ctx context.Context, k *ir.Kernel, m *machine.Machine) *CompileError {
+	kind, verb := KindCancelled, "cancelled"
+	if ctx.Err() == context.DeadlineExceeded {
+		kind, verb = KindDeadlineExceeded, "deadline exceeded"
+	}
+	ce := compileErrorf(PassPlace, "%s on %s: portfolio compilation %s", k.Name, m.Name, verb)
+	ce.Kind = kind
+	return ce
+}
+
 // task is one cell of the (interval, variant) search grid.
 type task struct {
 	ii int
@@ -232,6 +246,12 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		wins    = make(map[task]won)
 		recs    map[task]*obs.Recorder
 		passes  PassStats
+		// intErr is the first internal (recovered panic) error in grid
+		// order; once one strikes, cell generation halts and the race
+		// drains. Grid order keeps the reported error deterministic even
+		// when several workers panic concurrently.
+		intErr   error
+		intErrAt task
 	)
 	if tracer != nil {
 		recs = make(map[task]*obs.Recorder)
@@ -248,7 +268,7 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		if limit > maxII {
 			limit = maxII
 		}
-		if nextII > limit || ctx.Err() != nil {
+		if nextII > limit || ctx.Err() != nil || intErr != nil {
 			return task{}, false
 		}
 		t := task{ii: nextII, vi: nextVar}
@@ -256,6 +276,32 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 			nextVar, nextII = 0, nextII+1
 		}
 		return t, true
+	}
+
+	// attempt runs one grid cell under panic isolation: a panic that
+	// escapes tryII's per-pass recovery (or one injected at the
+	// portfolio fault site) is converted into a structured internal
+	// error instead of crashing the whole process from a bare worker
+	// goroutine. An Exhaust rule at the portfolio site makes the cell
+	// report infeasible, as if its budgets were spent.
+	attempt := func(t task, opts Options, cancel func() bool, scratch *Stats, ps *PassStats) (e *engine, aborted bool, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				e, aborted = nil, false
+				err = &CompileError{
+					Kind:   KindInternal,
+					Pass:   PassPlace,
+					Reason: fmt.Sprintf("internal error racing variant %q at II %d: %v", variants[t.vi].Name, t.ii, r),
+					Op:     NoOp,
+					II:     t.ii,
+					Stack:  string(debug.Stack()),
+				}
+			}
+		}()
+		if base.Faults.Probe(faultinject.SitePortfolio, variants[t.vi].Name) {
+			return nil, false, nil
+		}
+		return tryII(k, m, g, opts, t.ii, cancel, scratch, ps, nil)
 	}
 
 	var wg sync.WaitGroup
@@ -288,13 +334,21 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 				var scratch Stats
 				var ps PassStats
 				t0 := time.Now()
-				e, aborted := tryII(k, m, g, opts, t.ii, cancel, &scratch, &ps, nil)
+				e, aborted, aerr := attempt(t, opts, cancel, &scratch, &ps)
 				elapsed := time.Since(t0)
 
 				mu.Lock()
 				passes.Merge(ps)
 				vs := &stats.Variants[t.vi]
 				vs.Wall += elapsed
+				if aerr != nil {
+					if intErr == nil || t.ii < intErrAt.ii || (t.ii == intErrAt.ii && t.vi < intErrAt.vi) {
+						intErr, intErrAt = aerr, t
+					}
+					delete(recs, t) // partial stream of a dying attempt
+					mu.Unlock()
+					continue
+				}
 				if aborted {
 					vs.Cancelled++
 					stats.Cancelled++
@@ -330,9 +384,13 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		stats.Wall = time.Since(start)
 	}
 
-	if err := ctx.Err(); err != nil {
+	if intErr != nil {
 		finish()
-		return nil, stats, err
+		return nil, stats, c.decorate(intErr)
+	}
+	if ctx.Err() != nil {
+		finish()
+		return nil, stats, c.decorate(portfolioCtxError(ctx, k, m))
 	}
 	winII := int(best.Load())
 	if winII > maxII {

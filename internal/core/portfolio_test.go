@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -88,8 +89,12 @@ func TestPortfolioContextCancellation(t *testing.T) {
 	cancel()
 	k := kernels.ByName("Sort").MustKernel()
 	_, _, err := CompilePortfolio(ctx, k, machine.Clustered(4), Options{}, PortfolioOptions{Workers: 4})
-	if err != context.Canceled {
-		t.Fatalf("want context.Canceled, got %v", err)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want a context.Canceled-wrapping error, got %v", err)
+	}
+	var ce *CompileError
+	if !errors.As(err, &ce) || ce.Kind != KindCancelled {
+		t.Fatalf("want a KindCancelled CompileError, got %v", err)
 	}
 }
 

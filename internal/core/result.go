@@ -72,6 +72,11 @@ type Schedule struct {
 	// by routing values through each file, computed by the regalloc
 	// pass with modulo-variable-expansion accounting.
 	RegDemand map[machine.RFID]int
+
+	// Degraded names the degradation-ladder rung that produced this
+	// schedule, empty when the primary configuration won (the common
+	// case, and always when Options.Degrade is nil).
+	Degraded string
 }
 
 // buildSchedule freezes the engine state into a Schedule. It panics on

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/depgraph"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -66,6 +68,20 @@ type Options struct {
 	// schedule's interconnect usage with Schedule.InterconnectUtilization
 	// (which needs no tracer at all).
 	Tracer obs.Tracer
+	// Degrade arms the graceful-degradation ladder: when the primary
+	// configuration exhausts its search bounds (or its slice of the
+	// deadline), CompileContext retries with the ladder's cheaper rungs
+	// instead of failing outright. nil — the default — disables
+	// degradation; see DefaultDegradeLadder. Only schedule-search
+	// failures degrade: invalid input, cancellation, and internal
+	// errors never do.
+	Degrade *DegradeLadder
+	// Faults arms the deterministic fault-injection plane
+	// (internal/faultinject) for robustness testing: forced pass
+	// panics, forced budget exhaustion, artificial solver delays. nil —
+	// the default — disables injection at zero cost (one pointer
+	// compare per probe site, nothing allocates).
+	Faults *faultinject.Plane
 }
 
 // Validate rejects option values that cannot mean anything: negative
@@ -93,7 +109,9 @@ func (o Options) Validate() error {
 	if len(bad) == 0 {
 		return nil
 	}
-	return compileErrorf(PassOptions, "invalid options: %s", strings.Join(bad, "; "))
+	ce := compileErrorf(PassOptions, "invalid options: %s", strings.Join(bad, "; "))
+	ce.Kind = KindInvalidInput
+	return ce
 }
 
 // ValidateFor checks the options against a concrete machine: everything
@@ -110,9 +128,11 @@ func (o Options) ValidateFor(m *machine.Machine) error {
 		return err
 	}
 	if floor := m.CandidateFloor(); o.MaxCandidates > 0 && o.MaxCandidates < floor {
-		return compileErrorf(PassOptions,
+		ce := compileErrorf(PassOptions,
 			"invalid options: MaxCandidates %d is below %s's candidate floor %d (the longest statically ordered stub list); truncating it breaks §4.4 completeness",
 			o.MaxCandidates, m.Name, floor)
+		ce.Kind = KindInvalidInput
+		return ce
 	}
 	return nil
 }
@@ -129,6 +149,15 @@ func (o Options) ValidateFor(m *machine.Machine) error {
 // (including inserted copies), the route of every communication,
 // instrumentation counters, and the per-pass statistics.
 func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) {
+	return CompileContext(context.Background(), k, m, opts)
+}
+
+// compileOnce runs one full compilation of the primary (or one rung's)
+// configuration, observing ctx cooperatively: the cancellation hook is
+// armed only when ctx can actually be cancelled, so a background
+// context compiles on the exact pre-cancellation code path and
+// schedules stay bit-identical to it.
+func compileOnce(ctx context.Context, k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) {
 	c := &Compilation{Kernel: k, Machine: m, Opts: opts, clock: new(passClock)}
 	if err := opts.ValidateFor(m); err != nil {
 		return nil, c.decorate(err)
@@ -136,11 +165,19 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	if err := c.runPass(lowerPass{}); err != nil {
 		return nil, c.decorate(err)
 	}
+	var cancel func() bool
+	if ctx.Done() != nil {
+		cancel = func() bool { return ctx.Err() != nil }
+	}
 	var agg Stats
 	var lastFail placeFail
-	try := func(ii int) *engine {
-		e, _ := tryII(k, m, c.Graph, opts, ii, nil, &agg, &c.clock.stats, &lastFail)
-		return e
+	var internalErr error
+	try := func(ii int) (*engine, bool) {
+		e, aborted, err := tryII(k, m, c.Graph, opts, ii, cancel, &agg, &c.clock.stats, &lastFail)
+		if err != nil {
+			internalErr = err
+		}
+		return e, aborted
 	}
 	// Escalating probe: when small intervals fail, grow the step so
 	// communication-bound kernels (whose feasible interval sits far
@@ -151,7 +188,14 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	failedBelow := c.MinII
 	step := 1
 	for ii := c.MinII; ii <= c.MaxII; {
-		if e := try(ii); e != nil {
+		e, aborted := try(ii)
+		if internalErr != nil {
+			return nil, c.decorate(internalErr)
+		}
+		if aborted {
+			return nil, c.decorate(c.ctxError(ctx, ii, lastFail))
+		}
+		if e != nil {
 			good = e
 			break
 		}
@@ -166,7 +210,14 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	}
 	for failedBelow < good.ii {
 		mid := (failedBelow + good.ii) / 2
-		if e := try(mid); e != nil {
+		e, aborted := try(mid)
+		if internalErr != nil {
+			return nil, c.decorate(internalErr)
+		}
+		if aborted {
+			return nil, c.decorate(c.ctxError(ctx, mid, lastFail))
+		}
+		if e != nil {
 			good = e
 		} else {
 			failedBelow = mid + 1
@@ -186,6 +237,29 @@ func Compile(k *ir.Kernel, m *machine.Machine, opts Options) (*Schedule, error) 
 	c.sched.Passes = c.clock.stats
 	c.sched.Diags = c.Diags
 	return c.sched, nil
+}
+
+// ctxError builds the structured cancellation/deadline report for a
+// compilation abandoned at interval ii, localized to the operation the
+// place pass was working on when the poll struck. An abort with a live
+// context (portfolio loser-pruning hooks do this) reports as cancelled.
+func (c *Compilation) ctxError(ctx context.Context, ii int, lastFail placeFail) *CompileError {
+	c.traceCancel(ii)
+	kind := KindCancelled
+	verb := "cancelled"
+	if ctx.Err() == context.DeadlineExceeded {
+		kind = KindDeadlineExceeded
+		verb = "deadline exceeded"
+	}
+	ce := compileErrorf(PassPlace, "%s on %s: compilation %s at II %d",
+		c.Kernel.Name, c.Machine.Name, verb, ii)
+	ce.Kind = kind
+	ce.II = ii
+	if lastFail.name != "" && lastFail.ii == ii {
+		ce.Op = lastFail.op
+		ce.Line = lastFail.line
+	}
+	return ce
 }
 
 // scheduleFailure builds the structured does-not-schedule report,
@@ -229,6 +303,7 @@ func checkUnits(k *ir.Kernel, m *machine.Machine) error {
 	for _, op := range k.Ops {
 		if cls := op.Opcode.Class(); len(m.UnitsFor(cls)) == 0 {
 			return &CompileError{
+				Kind: KindInvalidInput,
 				Pass: PassLower,
 				Reason: fmt.Sprintf("no unit on %s executes %v (op %d %s)",
 					m.Name, cls, op.ID, op.Name),
@@ -245,11 +320,12 @@ func checkUnits(k *ir.Kernel, m *machine.Machine) error {
 // accumulating cross-interval counters into agg and per-pass stats into
 // ps (nil to skip). It returns the successful engine, or nil plus
 // whether the attempt was abandoned by the cancellation hook rather
-// than proven infeasible; fail, when non-nil, records where placement
-// stopped.
-func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int, cancel func() bool, agg *Stats, ps *PassStats, fail *placeFail) (*engine, bool) {
+// than proven infeasible; a non-nil error is an internal (recovered
+// panic) failure that must stop the whole interval search. fail, when
+// non-nil, records where placement stopped.
+func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int, cancel func() bool, agg *Stats, ps *PassStats, fail *placeFail) (*engine, bool, error) {
 	if len(k.Loop) > 0 && !g.RecMIIFeasible(ii) {
-		return nil, false
+		return nil, false, nil
 	}
 	agg.IIsTried++
 	ac := &Compilation{Kernel: k, Machine: m, Opts: opts, Graph: g, II: ii, clock: new(passClock)}
@@ -270,7 +346,7 @@ func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii
 		ps.Merge(ac.clock.stats)
 	}
 	if failed == nil {
-		return e, false
+		return e, false, nil
 	}
 	// The loop was placed but a cross-block communication could not
 	// complete in the preamble: the §4.5 backtracking case (the
@@ -281,13 +357,18 @@ func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii
 	agg.Attempts += e.stats.Attempts
 	agg.AttemptFailures += e.stats.AttemptFailures
 	agg.PermSteps += e.stats.PermSteps
-	if fail != nil && !e.aborted {
+	if fail != nil && e.failOp != NoOp {
 		*fail = placeFail{ii: ii, block: e.failBlock, op: e.failOp, name: e.opString(e.failOp)}
 		if int(e.failOp) < len(k.Ops) {
 			fail.line = k.Ops[e.failOp].Line
 		}
 	}
-	return nil, e.aborted
+	if failed != errInfeasible {
+		// A pass failed for a reason beyond interval infeasibility — a
+		// recovered panic converted into a structured internal error.
+		return nil, false, failed
+	}
+	return nil, e.aborted, nil
 }
 
 // scheduleBlock schedules one block's operations in priority order —

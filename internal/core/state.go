@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/depgraph"
+	"repro/internal/faultinject"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/obs"
@@ -170,11 +171,21 @@ type engine struct {
 
 	// cancel, when non-nil, is polled during scheduling; once it returns
 	// true the engine abandons the current interval (CompilePortfolio
-	// uses it to kill attempts that can no longer win the race). aborted
+	// uses it to kill attempts that can no longer win the race, and
+	// CompileContext to observe ctx cancellation mid-solve). aborted
 	// latches the first true poll so callers can tell a cancelled
-	// attempt from an infeasible one.
-	cancel  func() bool
-	aborted bool
+	// attempt from an infeasible one. The solver's hot loops amortize
+	// the poll: each §4.4 search step checks only the latched aborted
+	// flag, and pollCountdown triggers a real poll (and a fault-plane
+	// probe) every cancelPollInterval steps, bounding both the per-step
+	// cost and the cancellation latency.
+	cancel        func() bool
+	aborted       bool
+	pollCountdown int
+
+	// faults is the armed fault-injection plane (Options.Faults); nil —
+	// the default — keeps every probe site a single pointer compare.
+	faults *faultinject.Plane
 
 	// intervals and rfPressure implement §7's register-aware routing
 	// (Options.RegisterAware): implicit register demand per file.
@@ -272,6 +283,8 @@ func newEngine(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options
 		rfPressure:  make(map[machine.RFID]int),
 		clock:       new(passClock),
 		tracer:      opts.Tracer,
+		faults:      opts.Faults,
+		failOp:      NoOp,
 	}
 	e.ops = make([]*ir.Op, len(k.Ops))
 	copy(e.ops, k.Ops)

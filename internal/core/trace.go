@@ -152,6 +152,33 @@ func (e *engine) traceRollback(n int) {
 	})
 }
 
+// traceCancel records a cooperative cancellation observed at an
+// initiation interval, on the "interval" track.
+func (c *Compilation) traceCancel(ii int) {
+	if c.Opts.Tracer == nil {
+		return
+	}
+	c.Opts.Tracer.Emit(obs.Event{Kind: obs.KindCancel, Track: "interval", II: int32(ii)})
+}
+
+// traceRecover records a panic recovered by the pass pipeline on the
+// failing pass's own track.
+func (c *Compilation) traceRecover(pass string) {
+	if c.Opts.Tracer == nil {
+		return
+	}
+	c.Opts.Tracer.Emit(obs.Event{Kind: obs.KindRecover, Track: pass, Name: pass, II: int32(c.II)})
+}
+
+// traceDegrade records one degradation-ladder rung being applied after
+// a schedule failure, on the "degrade" track.
+func traceDegrade(t obs.Tracer, rung string) {
+	if t == nil {
+		return
+	}
+	t.Emit(obs.Event{Kind: obs.KindDegrade, Track: "degrade", Name: rung})
+}
+
 // traceStageBegin/traceStageEnd bracket the nested close-comms and
 // insert-copies stages, which run per tentative placement rather than
 // once per interval (mirroring their passClock attribution).

@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilPlaneInert pins the nil-means-disabled contract every probe
+// site relies on.
+func TestNilPlaneInert(t *testing.T) {
+	var p *Plane
+	for i := 0; i < 100; i++ {
+		if p.Probe(SiteSolver, "") {
+			t.Fatal("nil plane reported exhaustion")
+		}
+	}
+	if p.Rules() != nil {
+		t.Fatal("nil plane has rules")
+	}
+}
+
+// TestRuleWindow pins the (Nth, Every, Until) firing window.
+func TestRuleWindow(t *testing.T) {
+	cases := []struct {
+		name  string
+		rule  Rule
+		fires []uint64
+		max   uint64
+	}{
+		{"once", Rule{Nth: 3}, []uint64{3}, 10},
+		{"every", Rule{Nth: 2, Every: 3}, []uint64{2, 5, 8}, 10},
+		{"until", Rule{Nth: 1, Every: 1, Until: 4}, []uint64{1, 2, 3, 4}, 10},
+		{"every-one", Rule{Nth: 4, Every: 1}, []uint64{4, 5, 6, 7, 8, 9, 10}, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := make(map[uint64]bool, len(tc.fires))
+			for _, n := range tc.fires {
+				want[n] = true
+			}
+			for n := uint64(1); n <= tc.max; n++ {
+				if got := tc.rule.fires(n); got != want[n] {
+					t.Errorf("fires(%d) = %v, want %v", n, got, want[n])
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustCountsPerRule pins that Probe counts matches per rule and
+// an Exhaust rule fires exactly on its window.
+func TestExhaustCountsPerRule(t *testing.T) {
+	p := New(0, Rule{Site: SiteSolver, Nth: 3, Action: Exhaust})
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		// A non-matching site must not advance the counter.
+		p.Probe(SitePass, "place")
+		if p.Probe(SiteSolver, "") {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("exhaust fired at %v, want [3]", fired)
+	}
+}
+
+// TestLabelMatching pins label filtering: an empty rule label matches
+// every probe of its site, a set one only its own.
+func TestLabelMatching(t *testing.T) {
+	p := New(0,
+		Rule{Site: SitePass, Label: "place", Nth: 1, Every: 1, Action: Exhaust},
+	)
+	if p.Probe(SitePass, "lower") {
+		t.Fatal("labeled rule fired on a different pass")
+	}
+	if !p.Probe(SitePass, "place") {
+		t.Fatal("labeled rule did not fire on its pass")
+	}
+}
+
+// TestPanicCarriesContext pins the Panic action's *Injected payload.
+func TestPanicCarriesContext(t *testing.T) {
+	p := New(0, Rule{Site: SitePass, Label: "place", Nth: 1, Action: Panic})
+	defer func() {
+		r := recover()
+		inj, ok := r.(*Injected)
+		if !ok {
+			t.Fatalf("panic value %T, want *Injected", r)
+		}
+		if inj.Site != SitePass || inj.Label != "place" || inj.N != 1 {
+			t.Fatalf("injected context %+v", inj)
+		}
+	}()
+	p.Probe(SitePass, "place")
+	t.Fatal("panic rule did not fire")
+}
+
+// TestSeedDerivedNthDeterministic pins that Nth 0 derives the same
+// in-window count for the same seed and a different one (almost
+// always) for different seeds.
+func TestSeedDerivedNthDeterministic(t *testing.T) {
+	a := New(42, Rule{Site: SiteSolver, Action: Exhaust}).Rules()[0].Nth
+	b := New(42, Rule{Site: SiteSolver, Action: Exhaust}).Rules()[0].Nth
+	if a != b {
+		t.Fatalf("same seed derived %d and %d", a, b)
+	}
+	if a < 1 || a > seedWindow {
+		t.Fatalf("derived Nth %d outside [1, %d]", a, seedWindow)
+	}
+	// Two rules on one plane derive independent counts.
+	rs := New(42, Rule{Site: SiteSolver, Action: Exhaust}, Rule{Site: SiteSolver, Action: Exhaust}).Rules()
+	if rs[0].Nth == rs[1].Nth {
+		t.Fatalf("rule positions derived the same Nth %d", rs[0].Nth)
+	}
+}
+
+// TestParseSpec pins the textual format end to end.
+func TestParseSpec(t *testing.T) {
+	p, err := ParseSpec("seed=7; site=pass,label=place,action=panic,nth=2 ; site=solver,action=exhaust,every=5,until=20,sleep=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := p.Rules()
+	if len(rs) != 2 {
+		t.Fatalf("got %d rules, want 2", len(rs))
+	}
+	want0 := Rule{Site: SitePass, Label: "place", Nth: 2, Action: Panic}
+	if rs[0] != want0 {
+		t.Errorf("rule 0 = %+v, want %+v", rs[0], want0)
+	}
+	if rs[1].Site != SiteSolver || rs[1].Action != Exhaust || rs[1].Every != 5 || rs[1].Until != 20 || rs[1].Sleep != time.Millisecond {
+		t.Errorf("rule 1 = %+v", rs[1])
+	}
+	if rs[1].Nth == 0 {
+		t.Error("rule 1's Nth not seed-derived")
+	}
+
+	for _, bad := range []string{
+		"",
+		"seed=7",
+		"site=bogus,action=panic",
+		"site=pass,action=bogus",
+		"site=pass",
+		"action=panic",
+		"site=pass,action=panic,nth=x",
+		"site=pass,action=delay,sleep=x",
+		"site=pass,action=panic,mystery=1",
+		"garbage",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q parsed without error", bad)
+		}
+	}
+}

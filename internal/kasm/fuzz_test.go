@@ -25,6 +25,11 @@ func FuzzParseKernel(f *testing.F) {
 		"kernel k() { loop 1 { int i = i@1 + 1; } }",
 		"kernel 模块() { loop 1 { } }",
 		"kernel k() { int x = load(0); loop 3 { int y = x + 1; store(y, x); } }",
+		// Unroll-factor seeds: the cap (maxUnroll) keeps lowering from
+		// replicating a tiny body into gigabytes of IR.
+		"kernel k { stream o @ 0; loop i = 0 .. 8 unroll 2 { o[i] = i + 1; } }",
+		"kernel k { stream o @ 0; loop i = 0 .. 512 unroll 256 { o[i] = i + 1; } }",
+		"kernel k { stream o @ 0; loop i = 0 .. 536870912 unroll 536870912 { o[i] = i + 1; } }",
 	} {
 		f.Add(seed)
 	}

@@ -8,6 +8,11 @@ type Parser struct {
 	pos  int
 }
 
+// maxUnroll caps the loop unroll factor the parser accepts. The
+// paper's kernels unroll by at most a few; 256 leaves generous
+// headroom while keeping lowered IR size proportional to source size.
+const maxUnroll = 256
+
 // Parse parses one kernel file.
 func Parse(src string) (*File, error) {
 	toks, err := Lex(src)
@@ -136,6 +141,12 @@ func (p *Parser) parseLoop() (*LoopStmt, error) {
 		}
 		if u < 1 {
 			return nil, p.errf("unroll factor must be >= 1")
+		}
+		// Lowering replicates the loop body once per unroll, so an
+		// unbounded factor lets a few bytes of input demand gigabytes of
+		// IR; cap it well above any schedulable kernel.
+		if u > maxUnroll {
+			return nil, p.errf("unroll factor %d exceeds the maximum %d", u, maxUnroll)
 		}
 		l.Unroll = int(u)
 	}

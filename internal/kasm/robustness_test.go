@@ -79,6 +79,21 @@ func TestCompileNeverPanicsOnGarbage(t *testing.T) {
 	}
 }
 
+// TestUnrollFactorCapped pins the parser's unroll cap: a huge factor on
+// a tiny body must be rejected up front instead of letting lowering
+// replicate the body into gigabytes of IR (fuzz-derived OOM shape).
+func TestUnrollFactorCapped(t *testing.T) {
+	if _, err := Compile("kernel k { stream o @ 0; loop i = 0 .. 536870912 unroll 536870912 { o[i] = i + 1; } }"); err == nil {
+		t.Fatal("over-cap unroll factor compiled")
+	} else if !strings.Contains(err.Error(), "unroll factor") {
+		t.Fatalf("wrong error for over-cap unroll: %v", err)
+	}
+	// The cap itself is accepted (trip count kept divisible).
+	if _, err := Compile("kernel k { stream o @ 0; loop i = 0 .. 512 unroll 256 { o[i] = i + 1; } }"); err != nil {
+		t.Fatalf("unroll at the cap rejected: %v", err)
+	}
+}
+
 // TestDeepExpressionNoStackOverflow guards the recursive-descent parser
 // against pathological nesting (bounded by input length, but the parse
 // must return, not crash, for plausible depths).

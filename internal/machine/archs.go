@@ -98,8 +98,19 @@ func Central() *Machine {
 // write port that any global bus can feed — the shared-bus topology of
 // Fig. 2.
 func Clustered(k int) *Machine {
+	m, err := ClusteredChecked(k)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ClusteredChecked is Clustered returning an error instead of
+// panicking on an unsupported cluster count — the form servers and
+// other untrusted-input paths should call.
+func ClusteredChecked(k int) (*Machine, error) {
 	if k != 2 && k != 4 {
-		panic(fmt.Sprintf("machine.Clustered: unsupported cluster count %d", k))
+		return nil, fmt.Errorf("machine.Clustered: unsupported cluster count %d (the Fig. 26 divisions are 2 and 4)", k)
 	}
 	b := NewBuilder(fmt.Sprintf("clustered%d", k))
 	regsPer := 256 / k
@@ -135,7 +146,7 @@ func Clustered(k int) *Machine {
 			b.ConnectBusWP(bus, wp)
 		}
 	}
-	return b.MustBuild()
+	return b.Build()
 }
 
 // Distributed builds the distributed register file architecture of
@@ -194,6 +205,23 @@ func ScaledCentral(units int) *Machine {
 // ScaledClustered builds a k-cluster machine with the given unit count
 // for cost scaling studies.
 func ScaledClustered(units, k int) *Machine {
+	m, err := ScaledClusteredChecked(units, k)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// ScaledClusteredChecked is ScaledClustered returning an error instead
+// of panicking (or, historically, dividing by zero on k = 0) for
+// counts that make no machine.
+func ScaledClusteredChecked(units, k int) (*Machine, error) {
+	if units < 1 {
+		return nil, fmt.Errorf("machine.ScaledClustered: unit count %d is not positive", units)
+	}
+	if k < 1 || k > units {
+		return nil, fmt.Errorf("machine.ScaledClustered: cluster count %d outside [1, %d units]", k, units)
+	}
 	b := NewBuilder(fmt.Sprintf("clustered%d_%d", k, units))
 	rfs := make([]RFID, k)
 	for c := 0; c < k; c++ {
@@ -221,7 +249,7 @@ func ScaledClustered(units, k int) *Machine {
 			b.ConnectBusWP(bus, wp)
 		}
 	}
-	return b.MustBuild()
+	return b.Build()
 }
 
 // ScaledDistributed builds a distributed machine with the given unit

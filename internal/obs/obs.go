@@ -70,6 +70,14 @@ const (
 	// writeback, re-emitted by internal/vliwsim through this schema.
 	KindSimIssue
 	KindSimWriteback
+	// Robustness lifecycle. KindCancel marks a compilation observing
+	// cancellation (II is the interval being abandoned); KindDegrade
+	// marks one degradation-ladder rung starting (Name is the rung);
+	// KindRecover marks a pass panic converted into a structured
+	// internal error (Track/Name are the recovering pass).
+	KindCancel
+	KindDegrade
+	KindRecover
 )
 
 var kindNames = [...]string{
@@ -93,6 +101,9 @@ var kindNames = [...]string{
 	KindVariantWin:    "variant-win",
 	KindSimIssue:      "sim-issue",
 	KindSimWriteback:  "sim-writeback",
+	KindCancel:        "cancel",
+	KindDegrade:       "degrade",
+	KindRecover:       "recover",
 }
 
 // String names the kind for exports and diagnostics.
