@@ -47,13 +47,7 @@ import (
 	"runtime/pprof"
 
 	commsched "repro"
-)
-
-// Exit codes beyond the conventional 0/1/2: cancellation and internal
-// errors are distinguishable to scripts driving fleets of compiles.
-const (
-	exitCancelled = 3
-	exitInternal  = 4
+	"repro/internal/daemon"
 )
 
 func main() {
@@ -85,20 +79,11 @@ func printCompileError(w io.Writer, ce *commsched.CompileError) {
 	}
 }
 
-// exitCode maps a compilation failure to the documented exit code.
-func exitCode(err error) int {
-	var ce *commsched.CompileError
-	if !errors.As(err, &ce) {
-		return 1
-	}
-	switch ce.Kind {
-	case commsched.ErrCancelled, commsched.ErrDeadlineExceeded:
-		return exitCancelled
-	case commsched.ErrInternal:
-		return exitInternal
-	}
-	return 1
-}
+// exitCode maps a compilation failure to the documented exit code. The
+// mapping table lives in internal/daemon (errmap.go), shared with the
+// HTTP server, so the CLI's exit codes and the daemon's statuses for
+// the same failure can never drift apart.
+func exitCode(err error) int { return daemon.ExitCode(err) }
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("csched", flag.ContinueOnError)

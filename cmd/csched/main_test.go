@@ -4,13 +4,61 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	commsched "repro"
+	"repro/internal/daemon"
 )
+
+// TestExitCodeTable pins the error mapping csched shares with the
+// daemon (internal/daemon/errmap.go): every CompileError kind maps to
+// one documented exit code AND one HTTP status, and the status maps
+// back to the same exit code — so a script driving compiles through
+// either surface classifies failures identically.
+func TestExitCodeTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		exit   int
+		status int
+	}{
+		{"invalid-input", &commsched.CompileError{Kind: commsched.ErrInvalidInput}, 1, 400},
+		{"schedule", &commsched.CompileError{Kind: commsched.ErrSchedule}, 1, 422},
+		{"cancelled", &commsched.CompileError{Kind: commsched.ErrCancelled}, 3, 499},
+		{"deadline-exceeded", &commsched.CompileError{Kind: commsched.ErrDeadlineExceeded}, 3, 504},
+		{"internal", &commsched.CompileError{Kind: commsched.ErrInternal}, 4, 500},
+		{"wrapped internal", fmt.Errorf("outer: %w", &commsched.CompileError{Kind: commsched.ErrInternal}), 4, 500},
+		{"plain error", errors.New("not a compile error"), 1, 500},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := exitCode(tc.err); got != tc.exit {
+				t.Errorf("exitCode = %d, want %d", got, tc.exit)
+			}
+			if got := daemon.ExitCode(tc.err); got != tc.exit {
+				t.Errorf("daemon.ExitCode = %d, want %d", got, tc.exit)
+			}
+			if got := daemon.HTTPStatus(tc.err); got != tc.status {
+				t.Errorf("daemon.HTTPStatus = %d, want %d", got, tc.status)
+			}
+		})
+	}
+
+	// The HTTP → exit bridge: 499 and 504 are exit 3, 500 is exit 4,
+	// success is 0, every other failure status is exit 1.
+	for status, exit := range map[int]int{
+		200: 0, 400: 1, 422: 1, 429: 1, 499: 3, 503: 1, 504: 3, 500: 4,
+	} {
+		if got := daemon.ExitCodeForStatus(status); got != exit {
+			t.Errorf("ExitCodeForStatus(%d) = %d, want %d", status, got, exit)
+		}
+	}
+}
 
 // runCLI drives run() with captured output.
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -240,8 +288,8 @@ func TestCancelledContextExitsThree(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	code, _, errw := runCLIContext(t, ctx, "-arch", "distributed", "-kernel", "DCT", "-dump=false")
-	if code != exitCancelled {
-		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitCancelled, errw)
+	if code != daemon.ExitCancelled {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, daemon.ExitCancelled, errw)
 	}
 	for _, want := range []string{"compilation failed", "kind:    cancelled"} {
 		if !strings.Contains(errw, want) {
@@ -254,8 +302,8 @@ func TestCancelledContextExitsThree(t *testing.T) {
 // reports a structured deadline-exceeded error with exit code 3.
 func TestTimeoutExitsThree(t *testing.T) {
 	code, _, errw := runCLI(t, "-arch", "distributed", "-kernel", "DCT", "-dump=false", "-timeout", "1ns")
-	if code != exitCancelled {
-		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitCancelled, errw)
+	if code != daemon.ExitCancelled {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, daemon.ExitCancelled, errw)
 	}
 	for _, want := range []string{"compilation failed", "kind:    deadline-exceeded"} {
 		if !strings.Contains(errw, want) {
@@ -271,8 +319,8 @@ func TestTimeoutExitsThree(t *testing.T) {
 func TestInjectedPanicExitsFour(t *testing.T) {
 	code, _, errw := runCLI(t, "-arch", "distributed", "-kernel", "FIR-INT", "-dump=false",
 		"-faults", "seed=7;site=pass,label=place,action=panic,nth=1")
-	if code != exitInternal {
-		t.Fatalf("exit %d, want %d; stderr:\n%s", code, exitInternal, errw)
+	if code != daemon.ExitInternal {
+		t.Fatalf("exit %d, want %d; stderr:\n%s", code, daemon.ExitInternal, errw)
 	}
 	for _, want := range []string{"compilation failed", "kind:    internal", "pass:    place", "injected panic"} {
 		if !strings.Contains(errw, want) {

@@ -1,0 +1,135 @@
+// Command cschedd is the communication-scheduling compilation daemon:
+// a long-running HTTP/JSON server that schedules kernels onto machines
+// and serves repeat requests from a content-addressed schedule cache
+// (see internal/daemon for the serving pipeline).
+//
+// Usage:
+//
+//	cschedd -addr 127.0.0.1:8736 -workers 8 -cache-bytes 67108864
+//
+// Endpoints:
+//
+//	POST /v1/compile   compile a kernel (see the README "Serving" walkthrough)
+//	GET  /v1/status    operational snapshot (JSON)
+//	GET  /metrics      Prometheus text exposition
+//	GET  /healthz      liveness (503 while draining)
+//
+// On SIGTERM or SIGINT the daemon drains: it stops admitting compile
+// requests, gives in-flight compilations -drain-grace to finish, then
+// cancels the stragglers cooperatively, and — with -metrics-snapshot —
+// flushes a final JSON metrics snapshot before exiting.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/faultinject"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// onListen, when set (tests), observes the bound address before the
+// server starts accepting.
+var onListen func(net.Addr)
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8736", "listen address (host:port; port 0 picks a free one)")
+	workers := fs.Int("workers", 0, "bounded compile worker pool (0 means GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth beyond the workers (0 means 2x workers, negative means none)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "schedule cache LRU byte budget (0 means 64 MiB)")
+	timeout := fs.Duration("timeout", 0, "default per-compilation deadline for requests naming none (0 means unbounded)")
+	degrade := fs.Bool("degrade", false, "arm the default graceful-degradation ladder for requests that do not choose one")
+	faults := fs.String("faults", "", "arm the deterministic fault-injection plane (testing), e.g. \"seed=7;site=pass,label=place,action=panic\"")
+	grace := fs.Duration("drain-grace", 10*time.Second, "how long in-flight compilations get to finish on shutdown before cooperative cancellation")
+	snapshot := fs.String("metrics-snapshot", "", "write a final JSON metrics snapshot to FILE after draining")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "cschedd: unexpected arguments:", fs.Args())
+		return 2
+	}
+
+	cfg := daemon.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheBytes,
+		DefaultTimeout: *timeout,
+		Degrade:        *degrade,
+	}
+	if *faults != "" {
+		plane, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(stderr, "cschedd: -faults:", err)
+			return 2
+		}
+		cfg.Faults = plane
+	}
+	srv := daemon.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "cschedd:", err)
+		return 1
+	}
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	fmt.Fprintf(stdout, "cschedd: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	served := make(chan error, 1)
+	go func() { served <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-served:
+		fmt.Fprintln(stderr, "cschedd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "cschedd: draining (grace %s)\n", *grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	srv.Drain(graceCtx)
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(stderr, "cschedd: shutdown:", err)
+	}
+	<-served
+
+	if *snapshot != "" {
+		if err := writeSnapshot(*snapshot, srv); err != nil {
+			fmt.Fprintln(stderr, "cschedd:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cschedd: wrote metrics snapshot to %s\n", *snapshot)
+	}
+	fmt.Fprintln(stdout, "cschedd: drained")
+	return 0
+}
+
+// writeSnapshot flushes the final metrics state as JSON.
+func writeSnapshot(path string, srv *daemon.Server) error {
+	data, err := json.MarshalIndent(srv.Metrics().Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

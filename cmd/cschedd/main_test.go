@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runDaemon starts run in a goroutine on port 0, waits for the bound
+// address via the onListen hook, and returns the base URL plus a stop
+// function that triggers the drain and returns the exit code.
+func runDaemon(t *testing.T, args ...string) (string, func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { onListen = nil })
+
+	var stdout, stderr bytes.Buffer
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), &stdout, &stderr)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatalf("daemon did not listen\nstdout: %s\nstderr: %s", &stdout, &stderr)
+	}
+	stop := func() int {
+		cancel()
+		select {
+		case c := <-code:
+			if t.Failed() {
+				t.Logf("stdout: %s\nstderr: %s", &stdout, &stderr)
+			}
+			return c
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon did not exit after cancel\nstdout: %s\nstderr: %s", &stdout, &stderr)
+			return -1
+		}
+	}
+	return "http://" + addr.String(), stop
+}
+
+// TestLifecycle boots the daemon, serves real HTTP traffic over a TCP
+// socket, then delivers the shutdown signal (via context cancellation,
+// the same path as SIGTERM) and requires a clean drain, exit 0, and a
+// valid JSON metrics snapshot on disk.
+func TestLifecycle(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "metrics.json")
+	base, stop := runDaemon(t, "-workers", "2", "-drain-grace", "5s", "-metrics-snapshot", snap)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := strings.NewReader(`{"kernel": "fig4", "machine": "fig5"}`)
+	resp, err = http.Post(base+"/v1/compile", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr struct {
+		II  int    `json:"ii"`
+		Key string `json:"key"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || cr.II != 1 || len(cr.Key) != 64 {
+		t.Fatalf("compile: status %d err %v response %+v", resp.StatusCode, err, cr)
+	}
+
+	if code := stop(); code != 0 {
+		t.Fatalf("exit code %d, want 0", code)
+	}
+
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("metrics snapshot not written: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("snapshot is not JSON: %v\n%s", err, data)
+	}
+	for _, key := range []string{"cschedd_requests_total", "cschedd_compilations_total"} {
+		v, ok := m[key].(float64)
+		if !ok || v < 1 {
+			t.Errorf("snapshot %s = %v, want >= 1", key, m[key])
+		}
+	}
+}
+
+// TestFaultsFlagArmsPlane boots with a -faults spec whose exhaust rule
+// kills every solver window, and requires the armed plane to actually
+// shape compilations (422 schedule failure instead of II=1).
+func TestFaultsFlagArmsPlane(t *testing.T) {
+	base, stop := runDaemon(t, "-faults", "seed=1;site=solver,action=exhaust,nth=1,every=1")
+	defer stop()
+
+	body := strings.NewReader(`{"kernel": "fig4", "machine": "fig5"}`)
+	resp, err := http.Post(base+"/v1/compile", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("exhausted compile: %d, want 422", resp.StatusCode)
+	}
+}
+
+// TestUsageErrors pins the exit-2 contract for unusable invocations.
+func TestUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown flag":    {"-no-such-flag"},
+		"positional args": {"stray"},
+		"bad faults spec": {"-faults", "site=nowhere,action=panic"},
+		"empty faults":    {"-faults", "seed=7"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(context.Background(), args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit %d, want 2\nstderr: %s", code, &stderr)
+			}
+		})
+	}
+}
+
+// TestListenFailure occupies the port first; the daemon must report the
+// bind error and exit 1.
+func TestListenFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), []string{"-addr", ln.Addr().String()}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("exit %d, want 1\nstderr: %s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "cschedd:") {
+		t.Errorf("no diagnostic on stderr: %q", &stderr)
+	}
+}
+
+// TestSnapshotWriteFailure exits 1 when the final snapshot cannot be
+// written (directory path), after draining cleanly.
+func TestSnapshotWriteFailure(t *testing.T) {
+	_, stop := runDaemon(t, "-metrics-snapshot", t.TempDir())
+	if code := stop(); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+}

@@ -261,23 +261,7 @@ func Architectures() []*Machine {
 // MachineByName returns a catalog machine by name — the paper's four,
 // the Fig. 5 motivating-example machine ("fig5"), or the §8 "paired"
 // exploration — or nil for unknown names.
-func MachineByName(name string) *Machine {
-	switch name {
-	case "central":
-		return Central()
-	case "clustered2":
-		return Clustered2()
-	case "clustered4":
-		return Clustered4()
-	case "distributed":
-		return Distributed()
-	case "fig5":
-		return Fig5Machine()
-	case "paired":
-		return Paired()
-	}
-	return nil
-}
+func MachineByName(name string) *Machine { return machine.ByName(name) }
 
 // ParseKernel compiles kernel-language source to the IR without
 // scheduling it.
@@ -363,17 +347,7 @@ func KernelByName(name string) *KernelSpec { return kernels.ByName(name) }
 // simulator can validate results). Scheduling it on Fig5Machine
 // reproduces the shared-interconnect contention of §2 and the
 // copy-completed schedule of Fig. 7.
-func MotivatingKernel() *Kernel {
-	b := ir.NewBuilder("fig4")
-	a := b.Emit(ir.Load, "a", b.Const(100), b.Const(0))
-	bb := b.Emit(ir.Add, "b", b.Const(1), b.Const(2))
-	c := b.Emit(ir.Add, "c", b.Const(3), b.Const(4))
-	d := b.Emit(ir.Add, "d", b.Val(a), b.Val(bb))
-	e := b.Emit(ir.Add, "e", b.Val(a), b.Val(c))
-	b.Emit(ir.Store, "", b.Val(d), b.Const(200), b.Const(0))
-	b.Emit(ir.Store, "", b.Val(e), b.Const(201), b.Const(0))
-	return b.MustFinish()
-}
+func MotivatingKernel() *Kernel { return kernels.Motivating() }
 
 // AnalyzeCost evaluates the register-file VLSI model for a machine.
 func AnalyzeCost(m *Machine, p CostParams) Cost { return vlsi.Analyze(m, p) }

@@ -1,0 +1,201 @@
+package commsched
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+)
+
+var updateDaemon = flag.Bool("update-daemon", false, "rewrite the daemon response-body goldens")
+
+// daemonFixtures are the served response bodies pinned under
+// testdata/daemon/: the motivating example on its paper machine, and an
+// inline tiny kernel on the central machine. Every byte of these bodies
+// is deterministic — pass counters exclude wall time and the schedule
+// dump, key, and fingerprint are content-addressed — so the fixtures
+// are exact.
+var daemonFixtures = []struct {
+	golden string
+	req    daemon.CompileRequest
+	kernel func() *Kernel
+	mach   *Machine
+}{
+	{
+		golden: "fig4_fig5.json",
+		req:    daemon.CompileRequest{Kernel: "fig4", Machine: "fig5"},
+		kernel: kernels.Motivating,
+		mach:   machine.MotivatingExample(),
+	},
+	{
+		golden: "tiny_central.json",
+		req: daemon.CompileRequest{
+			Source:  "kernel tiny {\n  stream out @ 512;\n  loop i = 0 .. 8 {\n    out[i] = i * 3;\n  }\n}\n",
+			Machine: "central",
+		},
+		kernel: nil, // compiled from the same source below
+		mach:   machine.Central(),
+	},
+}
+
+// serveCompile runs one request through a fresh daemon and returns the
+// raw response body.
+func serveCompile(t *testing.T, req daemon.CompileRequest) []byte {
+	t.Helper()
+	ts := httptest.NewServer(daemon.New(daemon.Config{}))
+	defer ts.Close()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/compile", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %d\n%s", resp.StatusCode, body.Bytes())
+	}
+	return body.Bytes()
+}
+
+// TestDaemonResponseGoldens pins the full served body for each fixture
+// request byte-for-byte. Run with -update-daemon to regenerate after an
+// intentional response change.
+func TestDaemonResponseGoldens(t *testing.T) {
+	for _, fx := range daemonFixtures {
+		t.Run(fx.golden, func(t *testing.T) {
+			body := serveCompile(t, fx.req)
+			var pretty bytes.Buffer
+			if err := json.Indent(&pretty, body, "", "  "); err != nil {
+				t.Fatal(err)
+			}
+			pretty.WriteByte('\n')
+
+			path := filepath.Join("testdata", "daemon", fx.golden)
+			if *updateDaemon {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, pretty.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run: go test -run TestDaemonResponseGoldens -update-daemon)", err)
+			}
+			if !bytes.Equal(pretty.Bytes(), want) {
+				t.Errorf("served body diverged from %s\n got: %s\nwant: %s", path, &pretty, want)
+			}
+		})
+	}
+}
+
+// TestDaemonResponseMatchesDirectCompile cross-checks the served body
+// against a direct in-process compilation: the utilization report must
+// equal Schedule.InterconnectUtilization(), the pass counters must
+// equal Schedule.Passes, and both must survive a JSON round-trip.
+func TestDaemonResponseMatchesDirectCompile(t *testing.T) {
+	for _, fx := range daemonFixtures {
+		t.Run(fx.golden, func(t *testing.T) {
+			body := serveCompile(t, fx.req)
+			var cr daemon.CompileResponse
+			if err := json.Unmarshal(body, &cr); err != nil {
+				t.Fatal(err)
+			}
+
+			var k *Kernel
+			if fx.kernel != nil {
+				k = fx.kernel()
+			} else {
+				var err error
+				if k, err = ParseKernel(fx.req.Source); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s, err := Compile(k, fx.mach, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Utilization: the served report is the direct report.
+			direct, err := json.Marshal(s.InterconnectUtilization())
+			if err != nil {
+				t.Fatal(err)
+			}
+			served, err := json.Marshal(cr.Utilization)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(served, direct) {
+				t.Errorf("served utilization diverged from InterconnectUtilization()\n got: %s\nwant: %s", served, direct)
+			}
+
+			// Passes: same passes, same deterministic counters.
+			if len(cr.Passes) != len(s.Passes) {
+				t.Fatalf("served %d passes, direct compile ran %d", len(cr.Passes), len(s.Passes))
+			}
+			for i, p := range s.Passes {
+				got := cr.Passes[i]
+				if got.Name != p.Name || got.Runs != p.Runs || got.Steps != p.Steps || got.Fails != p.Fails {
+					t.Errorf("pass %d: served %+v, direct %+v", i, got, p)
+				}
+			}
+
+			// Body facts match the direct schedule.
+			if cr.II != s.II || cr.Preamble != s.PreambleLen || cr.Schedule != s.Dump() {
+				t.Errorf("served summary (ii %d preamble %d) diverged from direct compile (ii %d preamble %d)",
+					cr.II, cr.Preamble, s.II, s.PreambleLen)
+			}
+
+			// Round-trip: unmarshal → re-marshal reproduces the served
+			// body byte-for-byte (the server marshals the same struct).
+			again, err := json.Marshal(cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, bytes.TrimRight(body, "\n")) {
+				t.Errorf("re-marshalled response differs from served body\n got: %s\nwant: %s", again, body)
+			}
+
+			// The utilization report also round-trips through its own
+			// JSON: decode the served report and compare structurally.
+			var rt core.UtilizationReport
+			if err := json.Unmarshal(served, &rt); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&rt, s.InterconnectUtilization()) {
+				t.Error("utilization report does not survive a JSON round-trip")
+			}
+		})
+	}
+}
+
+// TestDaemonGoldenFixturesExist guards against the goldens being
+// deleted but the update flag masking it.
+func TestDaemonGoldenFixturesExist(t *testing.T) {
+	if *updateDaemon {
+		t.Skip("regenerating")
+	}
+	for _, fx := range daemonFixtures {
+		if _, err := os.Stat(filepath.Join("testdata", "daemon", fx.golden)); err != nil {
+			t.Errorf("missing golden: %v", err)
+		}
+	}
+}

@@ -13,6 +13,10 @@ import (
 	"repro/internal/obs"
 )
 
+// attemptBudgetDefault bounds (cycle, unit) placements tried per
+// operation when Options.AttemptBudget is zero.
+const attemptBudgetDefault = 128
+
 // Options tune the scheduler. The zero value gives the configuration
 // used for the paper's results; the ablation switches reproduce the
 // §4.6 design-choice comparisons (Options.Pipeline expresses them as a
@@ -112,6 +116,37 @@ func (o Options) Validate() error {
 	ce := compileErrorf(PassOptions, "invalid options: %s", strings.Join(bad, "; "))
 	ce.Kind = KindInvalidInput
 	return ce
+}
+
+// Statically defaulted budget values: the value the scheduler
+// substitutes when the corresponding Options field is zero. Exported so
+// layers that key on a configuration (the daemon's content-addressed
+// schedule cache) can canonicalize an Options value instead of treating
+// the zero form and the spelled-out default as distinct.
+const (
+	DefaultPermBudget    = permBudgetDefault
+	DefaultMaxCandidates = maxCandidatesDefault
+	DefaultAttemptBudget = attemptBudgetDefault
+)
+
+// Canonical resolves the statically defaulted budget fields to their
+// documented defaults: the result schedules bit-identically to o, and
+// two option values that differ only in spelling a default as zero
+// canonicalize equal. MaxII and ScanWindow stay untouched — their zero
+// forms derive from the kernel and the interval under trial, not from
+// a constant — as do the pointer-valued fields (Tracer, Degrade,
+// Faults).
+func (o Options) Canonical() Options {
+	if o.PermBudget == 0 {
+		o.PermBudget = DefaultPermBudget
+	}
+	if o.MaxCandidates == 0 {
+		o.MaxCandidates = DefaultMaxCandidates
+	}
+	if o.AttemptBudget == 0 {
+		o.AttemptBudget = DefaultAttemptBudget
+	}
+	return o
 }
 
 // ValidateFor checks the options against a concrete machine: everything
@@ -444,7 +479,7 @@ func (e *engine) scheduleOp(id ir.OpID) bool {
 	}
 	budget := e.opts.AttemptBudget
 	if budget <= 0 {
-		budget = 128
+		budget = attemptBudgetDefault
 	}
 	for cycle := lo; cycle <= scan; cycle++ {
 		if e.cancelled() {

@@ -1,0 +1,75 @@
+package daemon
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cache is the schedule cache: finished response bodies keyed by the
+// content-addressed Key, held under an LRU byte budget. Bodies are
+// immutable once stored (get returns the stored slice; callers only
+// write it to the wire), so a hit costs one map lookup and a list move.
+type cache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+}
+
+type centry struct {
+	key  string
+	body []byte
+}
+
+func newCache(budget int64) *cache {
+	return &cache{budget: budget, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// entrySize charges an entry for its body and key bytes.
+func entrySize(key string, body []byte) int64 { return int64(len(key) + len(body)) }
+
+// get returns the cached body for key, refreshing its recency.
+func (c *cache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*centry).body, true
+}
+
+// put stores body under key, evicting least-recently-used entries until
+// the budget holds. A body larger than the whole budget is not cached
+// at all (it would only evict everything and then miss anyway).
+func (c *cache) put(key string, body []byte) {
+	size := entrySize(key, body)
+	if size > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		// Identical keys produce identical bodies; just refresh.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&centry{key: key, body: body})
+	c.bytes += size
+	for c.bytes > c.budget {
+		back := c.ll.Back()
+		e := back.Value.(*centry)
+		c.ll.Remove(back)
+		delete(c.byKey, e.key)
+		c.bytes -= entrySize(e.key, e.body)
+	}
+}
+
+// stats reports entry count and resident bytes.
+func (c *cache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byKey), c.bytes
+}

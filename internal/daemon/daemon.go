@@ -1,0 +1,563 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/ir"
+	"repro/internal/kasm"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// Config tunes a Server. The zero value is serviceable: GOMAXPROCS
+// workers, a queue twice that deep, a 64 MiB cache, no default
+// deadline.
+type Config struct {
+	// Workers bounds concurrent backing compilations; 0 means
+	// GOMAXPROCS (the same convention as portfolio racing, which shares
+	// this budget when a request asks for it).
+	Workers int
+	// QueueDepth bounds admitted-but-not-yet-running compilations
+	// beyond the worker pool; 0 means 2×Workers, negative means no
+	// queue at all (overflow as soon as every worker is busy).
+	QueueDepth int
+	// CacheBytes is the schedule cache's LRU byte budget; 0 means
+	// 64 MiB.
+	CacheBytes int64
+	// DefaultTimeout bounds compilations whose request names no
+	// timeout_ms; 0 means unbounded (drain can still cancel).
+	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; 0 means 1 MiB.
+	MaxBodyBytes int64
+	// Degrade arms the stock degradation ladder for requests that do
+	// not choose one themselves.
+	Degrade bool
+	// Faults arms the deterministic fault-injection plane on every
+	// compilation — testing only, never exposed over the API.
+	Faults *faultinject.Plane
+	// Metrics is the registry to instrument into; nil builds a fresh
+	// one (Server.Metrics returns it).
+	Metrics *obs.Metrics
+}
+
+// Server is the compilation service. Create with New, serve via
+// ServeHTTP (it implements http.Handler), and shut down with Drain.
+type Server struct {
+	cfg        Config
+	workersN   int
+	queueDepth int
+
+	cache   *cache
+	flights flightGroup
+	// queue and workers are token buckets: sending acquires, receiving
+	// releases. queue caps admitted compilations (running + waiting);
+	// workers caps running ones.
+	queue   chan struct{}
+	workers chan struct{}
+
+	// baseCtx parents every backing compilation; Drain cancels it when
+	// the grace period expires, unwinding in-flight compiles through
+	// the cooperative cancellation machinery.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup // in-flight compile *requests* (not compiles)
+
+	metrics   *obs.Metrics
+	mRequests *obs.Counter
+	mHits     *obs.Counter
+	mMisses   *obs.Counter
+	mCompiles *obs.Counter
+	mErrors   *obs.Counter
+	mRejected *obs.Counter
+	gInflight *obs.Gauge
+	gQueued   *obs.Gauge
+	gEntries  *obs.Gauge
+	gBytes    *obs.Gauge
+	hLatency  *obs.Histogram
+}
+
+// retryAfterSeconds is the Retry-After hint on 429 responses.
+const retryAfterSeconds = 1
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := cfg.QueueDepth
+	switch {
+	case depth == 0:
+		depth = 2 * workers
+	case depth < 0:
+		depth = 0
+	}
+	budget := cfg.CacheBytes
+	if budget <= 0 {
+		budget = 64 << 20
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		workersN:   workers,
+		queueDepth: depth,
+		cache:      newCache(budget),
+		queue:      make(chan struct{}, workers+depth),
+		workers:    make(chan struct{}, workers),
+		baseCtx:    ctx,
+		cancel:     cancel,
+		metrics:    m,
+	}
+	s.mRequests = m.Counter("cschedd_requests_total", "compile requests received")
+	s.mHits = m.Counter("cschedd_cache_hits_total", "compile requests served from the schedule cache")
+	s.mMisses = m.Counter("cschedd_cache_misses_total", "compile requests that missed the schedule cache")
+	s.mCompiles = m.Counter("cschedd_compilations_total", "backing compilations run (cache and singleflight collapse the rest)")
+	s.mErrors = m.Counter("cschedd_compile_errors_total", "backing compilations that failed")
+	s.mRejected = m.Counter("cschedd_rejected_total", "compile requests rejected by admission control (429)")
+	s.gInflight = m.Gauge("cschedd_inflight", "backing compilations running now")
+	s.gQueued = m.Gauge("cschedd_queued", "admitted compilations waiting for a worker")
+	s.gEntries = m.Gauge("cschedd_cache_entries", "schedule cache entries resident")
+	s.gBytes = m.Gauge("cschedd_cache_bytes", "schedule cache bytes resident")
+	s.hLatency = m.Histogram("cschedd_compile_seconds", "backing compilation latency",
+		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+	return s
+}
+
+// Metrics returns the server's registry (for /metrics siblings and
+// shutdown snapshots).
+func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// enter admits one compile request into the drain-tracked set; it
+// fails once draining started.
+func (s *Server) enter() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain shuts the server down gracefully: new compile requests are
+// refused (503; /healthz flips unhealthy), in-flight compilations get
+// until ctx is done to finish, then are cancelled cooperatively
+// through the compiler's context machinery and reported as 499s.
+// Drain returns when the last compile request has been answered; the
+// status, metrics, and health endpoints keep serving throughout (and
+// after), so a final metrics snapshot can still be scraped.
+func (s *Server) Drain(ctx context.Context) {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+	}
+	s.cancel()
+}
+
+// ServeHTTP routes the server's four endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/v1/compile":
+		if r.Method != http.MethodPost {
+			s.jsonError(w, http.StatusMethodNotAllowed, "method-not-allowed",
+				fmt.Sprintf("%s not allowed; POST a compile request", r.Method))
+			return
+		}
+		s.handleCompile(w, r)
+	case "/v1/status":
+		s.handleStatus(w)
+	case "/metrics":
+		s.metricsText(w)
+	case "/healthz":
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ok\n")
+	default:
+		s.jsonError(w, http.StatusNotFound, "not-found", fmt.Sprintf("no handler for %s", r.URL.Path))
+	}
+}
+
+func (s *Server) metricsText(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter) {
+	entries, bytes := s.cache.stats()
+	resp := StatusResponse{
+		Draining:     s.Draining(),
+		Inflight:     s.gInflight.Value(),
+		Queued:       s.gQueued.Value(),
+		Workers:      s.workersN,
+		QueueDepth:   s.queueDepth,
+		Requests:     s.mRequests.Value(),
+		Compilations: s.mCompiles.Value(),
+		CacheHits:    s.mHits.Value(),
+		CacheMisses:  s.mMisses.Value(),
+		Rejected:     s.mRejected.Value(),
+		Errors:       s.mErrors.Value(),
+		CacheEntries: int64(entries),
+		CacheBytes:   bytes,
+		CacheBudget:  s.cache.budget,
+	}
+	writeJSON(w, http.StatusOK, resp, "")
+}
+
+// handleCompile is the serving pipeline described in the package
+// comment: resolve, key, cache, singleflight, admission, compile.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if !s.enter() {
+		s.jsonError(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica")
+		return
+	}
+	defer s.inflight.Done()
+	s.mRequests.Inc()
+
+	req, k, m, opts, derr := s.resolve(r)
+	if derr != nil {
+		s.serveDetail(w, *derr, "")
+		return
+	}
+
+	key := Key(k, m, opts, req.Portfolio)
+	if body, ok := s.cache.get(key); ok {
+		s.mHits.Inc()
+		s.serveBody(w, http.StatusOK, body, "hit")
+		return
+	}
+	s.mMisses.Inc()
+
+	f, leader := s.flights.join(key)
+	if !leader {
+		out, err := f.wait(r.Context())
+		if err != nil {
+			s.serveDetail(w, ctxDetail(err), "")
+			return
+		}
+		s.serveBody(w, out.status, out.body, "join")
+		return
+	}
+	out := s.lead(r, key, f, req, k, m, opts)
+	state := "miss"
+	if out.status != http.StatusOK {
+		state = ""
+	}
+	s.serveBody(w, out.status, out.body, state)
+}
+
+// lead runs the flight-leader side: admission control, the backing
+// compilation, cache fill, and flight completion. Whatever outcome it
+// returns has already been published to the flight's followers.
+func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileRequest, k *ir.Kernel, m *machine.Machine, opts core.Options) outcome {
+	// A flight for this key may have completed between the cache probe
+	// and leadership: its leader fills the cache before retiring the
+	// flight, so re-probing here keeps "one compilation per key"
+	// airtight.
+	if body, ok := s.cache.get(key); ok {
+		out := outcome{status: http.StatusOK, body: body}
+		s.flights.finish(key, f, out)
+		return out
+	}
+
+	// Admission: a queue token covers the compilation from here to
+	// completion; none free means the backlog is full — shed load now.
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.mRejected.Inc()
+		out := s.errorOutcome(http.StatusTooManyRequests, ErrorDetail{
+			Kind:        "overloaded",
+			Reason:      fmt.Sprintf("admission queue full (%d workers, depth %d); retry after %ds", s.workersN, s.queueDepth, retryAfterSeconds),
+			RetryAfterS: retryAfterSeconds,
+		})
+		s.flights.finish(key, f, out)
+		return out
+	}
+	defer func() { <-s.queue }()
+
+	// Wait for a worker slot; the request context and drain can both
+	// abandon the wait.
+	s.gQueued.Add(1)
+	var cancelledWaiting error
+	select {
+	case s.workers <- struct{}{}:
+	case <-r.Context().Done():
+		cancelledWaiting = r.Context().Err()
+	case <-s.baseCtx.Done():
+		cancelledWaiting = context.Canceled
+	}
+	s.gQueued.Add(-1)
+	if cancelledWaiting != nil {
+		out := s.errorOutcome(0, ctxDetail(cancelledWaiting))
+		s.flights.finish(key, f, out)
+		return out
+	}
+	defer func() { <-s.workers }()
+
+	// The backing compilation runs under the server's lifetime, not
+	// the leader's connection: a disconnecting client must not starve
+	// the followers sharing this flight. The request deadline (or the
+	// server default) propagates into CompileContext.
+	ctx := s.baseCtx
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		tctx, tcancel := context.WithTimeout(ctx, timeout)
+		defer tcancel()
+		ctx = tctx
+	}
+
+	s.mCompiles.Inc()
+	s.gInflight.Add(1)
+	start := time.Now()
+	var (
+		sched *core.Schedule
+		err   error
+	)
+	if req.Portfolio {
+		sched, _, err = core.CompilePortfolio(ctx, k, m, opts, core.PortfolioOptions{Workers: s.workersN})
+	} else {
+		sched, err = core.CompileContext(ctx, k, m, opts)
+	}
+	s.hLatency.Observe(time.Since(start).Seconds())
+	s.gInflight.Add(-1)
+
+	var out outcome
+	if err != nil {
+		s.mErrors.Inc()
+		out = s.errorOutcome(HTTPStatus(err), compileDetail(err))
+	} else {
+		body, merr := json.Marshal(buildResponse(key, k, sched))
+		if merr != nil {
+			out = s.errorOutcome(http.StatusInternalServerError, ErrorDetail{Kind: "internal", Reason: merr.Error()})
+		} else {
+			body = append(body, '\n')
+			s.cache.put(key, body)
+			entries, bytes := s.cache.stats()
+			s.gEntries.Set(int64(entries))
+			s.gBytes.Set(bytes)
+			out = outcome{status: http.StatusOK, body: body}
+		}
+	}
+	s.flights.finish(key, f, out)
+	return out
+}
+
+// resolve parses and validates a compile request into its kernel,
+// machine, and options. A non-nil ErrorDetail is a 4xx the caller
+// serves verbatim.
+func (s *Server) resolve(r *http.Request) (*CompileRequest, *ir.Kernel, *machine.Machine, core.Options, *ErrorDetail) {
+	fail := func(status int, kind, reason string) (*CompileRequest, *ir.Kernel, *machine.Machine, core.Options, *ErrorDetail) {
+		return nil, nil, nil, core.Options{}, &ErrorDetail{Status: status, Kind: kind, Reason: reason}
+	}
+
+	dec := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req CompileRequest
+	if err := dec.Decode(&req); err != nil {
+		return fail(http.StatusBadRequest, "bad-request", "malformed request body: "+err.Error())
+	}
+
+	var k *ir.Kernel
+	switch {
+	case req.Kernel != "" && req.Source != "":
+		return fail(http.StatusBadRequest, "bad-request", "kernel and source are mutually exclusive")
+	case req.Kernel == "fig4":
+		k = kernels.Motivating()
+	case req.Kernel != "":
+		spec := kernels.ByName(req.Kernel)
+		if spec == nil {
+			return fail(http.StatusBadRequest, "invalid-input", fmt.Sprintf("unknown kernel %q (Table 1 names or \"fig4\")", req.Kernel))
+		}
+		var err error
+		if k, err = spec.Kernel(); err != nil {
+			return fail(http.StatusInternalServerError, "internal", "built-in kernel failed to compile: "+err.Error())
+		}
+	case req.Source != "":
+		var err error
+		if k, err = kasm.Compile(req.Source); err != nil {
+			return fail(http.StatusBadRequest, "invalid-input", "kernel source: "+err.Error())
+		}
+	default:
+		return fail(http.StatusBadRequest, "bad-request", "need kernel (a built-in name) or source (kasm text)")
+	}
+
+	var m *machine.Machine
+	switch {
+	case req.Machine != "" && req.MachineText != "":
+		return fail(http.StatusBadRequest, "bad-request", "machine and machine_text are mutually exclusive")
+	case req.MachineText != "":
+		var err error
+		if m, err = machine.ParseText(req.MachineText); err != nil {
+			return fail(http.StatusBadRequest, "invalid-input", "machine_text: "+err.Error())
+		}
+	default:
+		name := req.Machine
+		if name == "" {
+			name = "distributed"
+		}
+		if m = machine.ByName(name); m == nil {
+			return fail(http.StatusBadRequest, "invalid-input", fmt.Sprintf("unknown machine %q", name))
+		}
+	}
+
+	opts := req.Options.options()
+	opts.Faults = s.cfg.Faults
+	if l := ladder(req.Ladder); l != nil {
+		opts.Degrade = l
+	} else if req.Degrade || s.cfg.Degrade {
+		opts.Degrade = core.DefaultDegradeLadder()
+	}
+	if err := opts.ValidateFor(m); err != nil {
+		d := compileDetail(err)
+		d.Status = HTTPStatus(err)
+		return nil, nil, nil, core.Options{}, &d
+	}
+	return &req, k, m, opts, nil
+}
+
+// buildResponse projects a finished schedule into the deterministic
+// response body.
+func buildResponse(key string, k *ir.Kernel, sched *core.Schedule) CompileResponse {
+	return CompileResponse{
+		Key:         key,
+		Kernel:      k.Name,
+		Machine:     sched.Machine.Name,
+		II:          sched.II,
+		Preamble:    sched.PreambleLen,
+		LoopSpan:    sched.LoopSpan,
+		Copies:      len(sched.Ops) - len(k.Ops),
+		Degraded:    sched.Degraded,
+		Fingerprint: fingerprintHex(sched),
+		Schedule:    sched.Dump(),
+		Passes:      passBodies(sched.Passes),
+		Utilization: sched.InterconnectUtilization(),
+	}
+}
+
+// compileDetail projects a compilation error into the wire shape.
+func compileDetail(err error) ErrorDetail {
+	d := ErrorDetail{Status: HTTPStatus(err), Kind: "internal", Reason: err.Error()}
+	var ce *core.CompileError
+	if errors.As(err, &ce) {
+		d.Kind = ce.Kind.String()
+		d.Reason = ce.Reason
+		d.Pass = ce.Pass
+		d.Kernel = ce.Kernel
+		d.Machine = ce.Machine
+		d.II = ce.II
+		if ce.Op != core.NoOp {
+			d.Op = int(ce.Op)
+		}
+		d.Line = ce.Line
+	}
+	return d
+}
+
+// ctxDetail maps a context error on a request's own wait (a follower
+// abandoning a flight, a leader abandoning the worker queue) to the
+// wire shape.
+func ctxDetail(err error) ErrorDetail {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ErrorDetail{Status: http.StatusGatewayTimeout, Kind: core.KindDeadlineExceeded.String(), Reason: "deadline expired before a result was available"}
+	}
+	return ErrorDetail{Status: StatusClientClosedRequest, Kind: core.KindCancelled.String(), Reason: "request cancelled before a result was available"}
+}
+
+// errorOutcome marshals an error detail as a servable outcome. status
+// overrides d.Status when non-zero.
+func (s *Server) errorOutcome(status int, d ErrorDetail) outcome {
+	if status != 0 {
+		d.Status = status
+	}
+	body, err := json.Marshal(ErrorBody{Error: d})
+	if err != nil { // unreachable: ErrorDetail is plain data
+		d = ErrorDetail{Status: http.StatusInternalServerError, Kind: "internal", Reason: err.Error()}
+		body, _ = json.Marshal(ErrorBody{Error: d})
+	}
+	return outcome{status: d.Status, body: append(body, '\n')}
+}
+
+// serveDetail writes an error detail as its JSON body.
+func (s *Server) serveDetail(w http.ResponseWriter, d ErrorDetail, cacheState string) {
+	out := s.errorOutcome(0, d)
+	s.serveBody(w, out.status, out.body, cacheState)
+}
+
+// jsonError writes a transport-level error shape.
+func (s *Server) jsonError(w http.ResponseWriter, status int, kind, reason string) {
+	s.serveDetail(w, ErrorDetail{Status: status, Kind: kind, Reason: reason}, "")
+}
+
+// serveBody writes a finished outcome: JSON content type, the
+// schedule-cache disposition header on compile responses, and the
+// Retry-After hint on 429s.
+func (s *Server) serveBody(w http.ResponseWriter, status int, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheState != "" {
+		w.Header().Set("X-Cschedd-Cache", cacheState)
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeJSON marshals v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v any, cacheState string) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cacheState != "" {
+		w.Header().Set("X-Cschedd-Cache", cacheState)
+	}
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}

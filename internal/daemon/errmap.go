@@ -1,0 +1,89 @@
+package daemon
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// This file is the single error-mapping table shared by the daemon and
+// cmd/csched: a core.CompileError kind determines both the HTTP status
+// the daemon serves and the exit code the CLI returns, so scripts
+// driving either surface see the same classification.
+//
+//	kind               HTTP  exit
+//	invalid-input      400   1
+//	schedule           422   1
+//	cancelled          499   3
+//	deadline-exceeded  504   3
+//	internal           500   4
+//	(other errors)     500   1
+
+// StatusClientClosedRequest is the de-facto (nginx) status for a
+// request abandoned by cancellation; net/http defines no constant for
+// it.
+const StatusClientClosedRequest = 499
+
+// CLI exit codes beyond the conventional 0/1/2, as documented by
+// cmd/csched: cancellation and internal errors are distinguishable to
+// scripts driving fleets of compiles.
+const (
+	ExitCancelled = 3
+	ExitInternal  = 4
+)
+
+// HTTPStatus maps a compilation failure to the HTTP status the daemon
+// serves for it.
+func HTTPStatus(err error) int {
+	var ce *core.CompileError
+	if !errors.As(err, &ce) {
+		return http.StatusInternalServerError
+	}
+	switch ce.Kind {
+	case core.KindInvalidInput:
+		return http.StatusBadRequest
+	case core.KindSchedule:
+		return http.StatusUnprocessableEntity
+	case core.KindCancelled:
+		return StatusClientClosedRequest
+	case core.KindDeadlineExceeded:
+		return http.StatusGatewayTimeout
+	case core.KindInternal:
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+// ExitCode maps a compilation failure to the CLI exit code documented
+// by cmd/csched.
+func ExitCode(err error) int {
+	var ce *core.CompileError
+	if !errors.As(err, &ce) {
+		return 1
+	}
+	switch ce.Kind {
+	case core.KindCancelled, core.KindDeadlineExceeded:
+		return ExitCancelled
+	case core.KindInternal:
+		return ExitInternal
+	}
+	return 1
+}
+
+// ExitCodeForStatus maps a daemon HTTP status back onto the CLI exit
+// code for the same failure class — the bridge a script wrapping both
+// surfaces uses: 499 and 504 are exit 3, 500 is exit 4, every other
+// failure status is exit 1.
+func ExitCodeForStatus(status int) int {
+	switch status {
+	case StatusClientClosedRequest, http.StatusGatewayTimeout:
+		return ExitCancelled
+	case http.StatusInternalServerError:
+		return ExitInternal
+	}
+	if status >= 200 && status < 300 {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,72 @@
+package daemon
+
+import (
+	"context"
+	"sync"
+)
+
+// Singleflight dedup: concurrent requests for the same cache key share
+// one backing compilation. The leader — the first request in — runs the
+// work function and publishes its outcome; followers block on the
+// flight's done channel (or their own context) without consuming a
+// worker slot or an admission token. Outcomes are complete HTTP
+// responses (status + body), so followers serve exactly the leader's
+// bytes.
+
+// outcome is one finished compile attempt as it will be served.
+type outcome struct {
+	status int
+	body   []byte // marshalled CompileResponse or ErrorBody
+}
+
+// flight is one in-progress compilation; done is closed after out is
+// set.
+type flight struct {
+	done chan struct{}
+	out  outcome
+}
+
+// flightGroup tracks in-progress flights by cache key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// join returns the in-progress flight for key (leader false), or
+// registers a new one the caller must lead (leader true).
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.m[key] = f
+	return f, true
+}
+
+// finish publishes the leader's outcome and retires the flight. The
+// cache is populated by the caller before finish, so a request that
+// misses the flight map afterwards hits the cache instead of
+// recompiling.
+func (g *flightGroup) finish(key string, f *flight, out outcome) {
+	f.out = out
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+}
+
+// wait blocks until the flight completes or ctx is done, reporting
+// which.
+func (f *flight) wait(ctx context.Context) (outcome, error) {
+	select {
+	case <-f.done:
+		return f.out, nil
+	case <-ctx.Done():
+		return outcome{}, ctx.Err()
+	}
+}

@@ -1,0 +1,145 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// soakSeed pins the whole soak trace: the request mix, the option
+// variations, and (via the plane's own seed) where faults land.
+const soakSeed = 0x5eedc5ced
+
+// splitmix64 is the trace PRNG — tiny, seedable, and stable across Go
+// releases, unlike math/rand's shuffling.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// soakTrace derives a mixed request trace from the seed: cache-hitting
+// repeats, distinct-key variants, malformed requests, schedule
+// failures, and degradation rescues, in a deterministic shuffle.
+func soakTrace(seed uint64) []any {
+	machines := []string{"fig5", "central", "distributed"}
+	perms := []int{0, 512, 1024}
+	trace := make([]any, 0, 120)
+	for i := 0; i < 120; i++ {
+		switch r := splitmix64(&seed) % 10; {
+		case r < 5: // plain compiles; repeats hit the cache
+			trace = append(trace, CompileRequest{
+				Kernel:  "fig4",
+				Machine: machines[splitmix64(&seed)%3],
+				Options: &OptionsSpec{PermBudget: perms[splitmix64(&seed)%3]},
+			})
+		case r < 6: // invalid input -> 400
+			trace = append(trace, CompileRequest{Kernel: "no-such-kernel"})
+		case r < 7: // malformed body -> 400
+			trace = append(trace, `{"kernel": "fig4", "unknown_field": 1}`)
+		case r < 8: // schedule failure -> 422
+			trace = append(trace, CompileRequest{
+				Kernel: "fig4", Machine: "fig5",
+				Options: &OptionsSpec{AttemptBudget: 1},
+			})
+		default: // degradation-ladder rescue -> 200 degraded
+			trace = append(trace, CompileRequest{
+				Kernel: "fig4", Machine: "fig5",
+				Options: &OptionsSpec{AttemptBudget: 1}, Degrade: true,
+			})
+		}
+	}
+	return trace
+}
+
+// soakPlane arms the fault plane the trace replays through: every 7th
+// pass run panics (recovered into structured 500s), and every 11th
+// solver window exhausts its budget (more schedule failures). Both
+// rules advance deterministically with the backing-compile stream, so
+// two replays see identical faults.
+func soakPlane() *faultinject.Plane {
+	return faultinject.New(soakSeed,
+		faultinject.Rule{Site: faultinject.SitePass, Label: "place", Nth: 5, Every: 7, Action: faultinject.Panic},
+		faultinject.Rule{Site: faultinject.SiteSolver, Nth: 3, Every: 11, Action: faultinject.Exhaust},
+	)
+}
+
+type soakResult struct {
+	status int
+	body   []byte
+}
+
+// replaySoak runs the full trace sequentially against a fresh server
+// and returns the (status, body) stream plus the server for draining.
+func replaySoak(t *testing.T) []soakResult {
+	t.Helper()
+	s := New(Config{Workers: 2, Faults: soakPlane()})
+	ts := newLeakCheckedServer(t, s)
+	var out []soakResult
+	for _, req := range soakTrace(soakSeed) {
+		status, _, body := postCompile(t, ts, req)
+		out = append(out, soakResult{status, body})
+	}
+	s.Drain(context.Background())
+	ts.Close()
+	return out
+}
+
+// TestSoakDeterministic is the soak gate: the same seed replayed on two
+// fresh servers — faults, panics, cache hits and all — produces
+// byte-identical (status, body) streams, and neither replay leaks a
+// goroutine past its drain.
+func TestSoakDeterministic(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	run1 := replaySoak(t)
+	run2 := replaySoak(t)
+
+	if len(run1) != len(run2) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(run1), len(run2))
+	}
+	var statuses [6]int
+	for i := range run1 {
+		statuses[run1[i].status/100]++
+		if run1[i].status != run2[i].status {
+			t.Fatalf("request %d: status %d vs %d", i, run1[i].status, run2[i].status)
+		}
+		if !bytes.Equal(run1[i].body, run2[i].body) {
+			t.Fatalf("request %d: bodies differ across replays\nrun1: %s\nrun2: %s",
+				i, run1[i].body, run2[i].body)
+		}
+	}
+	// The trace must actually be mixed: successes, client errors, and
+	// fault-injected server errors all present, or the soak proves less
+	// than it claims.
+	var mix []string
+	for class, n := range statuses {
+		if n > 0 {
+			mix = append(mix, fmt.Sprintf("%dxx:%d", class, n))
+		}
+	}
+	t.Logf("soak status mix: %v", mix)
+	for _, class := range []int{2, 4, 5} {
+		if statuses[class] == 0 {
+			t.Errorf("trace exercised no %dxx responses", class)
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked across soak drains: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,247 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// TestSingleflightCollapse is the acceptance criterion of the issue:
+// 64 concurrent identical requests cause exactly one backing
+// compilation, and all 64 bodies are byte-identical to a cold-cache
+// compile of the same key on a fresh server.
+func TestSingleflightCollapse(t *testing.T) {
+	// The cold reference body, from its own server.
+	_, coldTS := newTestServer(t, Config{})
+	req := CompileRequest{Kernel: "fig4", Machine: "fig5"}
+	coldStatus, _, coldBody := postCompile(t, coldTS, req)
+	if coldStatus != http.StatusOK {
+		t.Fatalf("cold compile: %d\n%s", coldStatus, coldBody)
+	}
+
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const clients = 64
+	var (
+		start  = make(chan struct{})
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+	)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			status, _, body := postCompile(t, ts, req)
+			if status != http.StatusOK {
+				t.Errorf("concurrent compile: %d\n%s", status, body)
+				return
+			}
+			mu.Lock()
+			bodies = append(bodies, body)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := s.mCompiles.Value(); got != 1 {
+		t.Errorf("%d backing compilations for %d identical requests, want exactly 1", got, clients)
+	}
+	if len(bodies) != clients {
+		t.Fatalf("only %d/%d responses succeeded", len(bodies), clients)
+	}
+	for i, b := range bodies {
+		if !bytes.Equal(b, coldBody) {
+			t.Fatalf("response %d differs from the cold-cache compile body", i)
+		}
+	}
+}
+
+// TestSingleflightDistinctKeys pins the inverse: concurrent requests
+// with M distinct keys run M backing compilations — dedup never
+// conflates distinct configurations.
+func TestSingleflightDistinctKeys(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+	perms := []int{256, 512, 1024, 2048}
+	const perKey = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < perKey*len(perms); i++ {
+		req := CompileRequest{Kernel: "fig4", Machine: "fig5",
+			Options: &OptionsSpec{PermBudget: perms[i%len(perms)]}}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if status, _, body := postCompile(t, ts, req); status != http.StatusOK {
+				t.Errorf("compile: %d\n%s", status, body)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := s.mCompiles.Value(); got != int64(len(perms)) {
+		t.Errorf("%d backing compilations, want %d (one per distinct key)", got, len(perms))
+	}
+}
+
+// TestAdmissionOverflow fills the worker pool and queue with slow
+// compilations (delay faults), then asserts the next distinct request
+// is shed with 429 + Retry-After while an identical request joins the
+// in-flight flight instead of consuming admission.
+func TestAdmissionOverflow(t *testing.T) {
+	plane := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SitePass, Label: "place",
+		Nth: 1, Every: 1, Action: faultinject.Delay, Sleep: 50 * time.Millisecond,
+	})
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1, Faults: plane})
+
+	slow := CompileRequest{Kernel: "fig4", Machine: "fig5"}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if status, _, body := postCompile(t, ts, slow); status != http.StatusOK {
+			t.Errorf("slow compile: %d\n%s", status, body)
+		}
+	}()
+	// Wait until the slow compile holds the only admission token.
+	waitFor(t, time.Second, func() bool { return s.gInflight.Value() == 1 })
+
+	// A distinct key cannot be admitted.
+	status, hdr, body := postCompile(t, ts, CompileRequest{Kernel: "fig4", Machine: "central"})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: %d\n%s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	d := decodeError(t, status, body)
+	if d.Kind != "overloaded" || d.RetryAfterS <= 0 {
+		t.Errorf("429 shape: %+v", d)
+	}
+	if s.mRejected.Value() != 1 {
+		t.Errorf("rejected counter %d, want 1", s.mRejected.Value())
+	}
+
+	// The identical request needs no admission: it joins the flight and
+	// is served the same result.
+	if status, _, body := postCompile(t, ts, slow); status != http.StatusOK {
+		t.Errorf("identical request during slow compile: %d\n%s", status, body)
+	}
+	<-done
+}
+
+// TestDrainCancelsInflight pins the drain ladder: a compilation still
+// running when the grace period expires is cancelled cooperatively and
+// reported as 499, and Drain returns.
+func TestDrainCancelsInflight(t *testing.T) {
+	plane := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteSolver,
+		Nth:  1, Every: 1, Action: faultinject.Delay, Sleep: 5 * time.Millisecond,
+	})
+	s := New(Config{Workers: 1, Faults: plane})
+	ts := newLeakCheckedServer(t, s)
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	res := make(chan result, 1)
+	go func() {
+		// FIR-FP takes thousands of solver steps; with 5ms per step it
+		// cannot finish inside the drain grace below.
+		status, _, body := postCompile(t, ts, CompileRequest{Kernel: "FIR-FP", Machine: "distributed"})
+		res <- result{status, body}
+	}()
+	waitFor(t, 2*time.Second, func() bool { return s.gInflight.Value() == 1 })
+
+	graceCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	drained := make(chan struct{})
+	go func() {
+		s.Drain(graceCtx)
+		close(drained)
+	}()
+
+	r := <-res
+	if r.status != StatusClientClosedRequest {
+		t.Fatalf("drained compile: %d\n%s", r.status, r.body)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(r.body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error.Kind != "cancelled" {
+		t.Errorf("drained compile kind %q, want cancelled", eb.Error.Kind)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after cancelling in-flight work")
+	}
+}
+
+// TestDrainLeaksNoGoroutines is the leak gate: a server that compiled,
+// collapsed concurrent flights, shed load, and drained leaves no
+// goroutines behind.
+func TestDrainLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 2})
+	ts := newLeakCheckedServer(t, s)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			postCompile(t, ts, CompileRequest{Kernel: "fig4", Machine: "fig5"})
+		}()
+	}
+	wg.Wait()
+	s.Drain(context.Background())
+	ts.Close()
+
+	// Give the runtime a moment to retire handler goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked across drain: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// newLeakCheckedServer wraps s in an httptest server WITHOUT the
+// cleanup Drain of newTestServer: the caller drains explicitly as part
+// of the scenario under test. Close is idempotent, so tests that close
+// early are still covered by the cleanup.
+func newLeakCheckedServer(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

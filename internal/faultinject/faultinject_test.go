@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -150,5 +151,107 @@ func TestParseSpec(t *testing.T) {
 		if _, err := ParseSpec(bad); err == nil {
 			t.Errorf("spec %q parsed without error", bad)
 		}
+	}
+}
+
+// TestParseSpecEmptyParts pins the tolerance for stray separators: a
+// spec is split on ";" and blank parts are skipped, but a spec that
+// nets zero rules — empty, whitespace, or seed-only — is an error, not
+// a silently inert plane.
+func TestParseSpecEmptyParts(t *testing.T) {
+	p, err := ParseSpec(" ; site=pass,action=panic,nth=1 ;; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules()) != 1 {
+		t.Fatalf("got %d rules, want 1", len(p.Rules()))
+	}
+	for _, empty := range []string{"", "   ", ";;;", " ; ; ", "seed=9", "seed=9;;"} {
+		if _, err := ParseSpec(empty); err == nil {
+			t.Errorf("spec %q armed no rules but parsed without error", empty)
+		}
+	}
+	// seed= inside a rule (comma-joined) is not the seed directive; it
+	// must be rejected as an unknown rule field, not misread as a seed.
+	if _, err := ParseSpec("seed=9,site=pass,action=panic"); err == nil {
+		t.Error("comma-joined seed= parsed as a rule field without error")
+	}
+}
+
+// TestParseSpecSeedPosition pins that the seed directive applies to the
+// whole plane regardless of where it appears in the spec.
+func TestParseSpecSeedPosition(t *testing.T) {
+	before, err := ParseSpec("seed=42;site=solver,action=exhaust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseSpec("site=solver,action=exhaust;seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, a := before.Rules()[0].Nth, after.Rules()[0].Nth; b != a {
+		t.Errorf("seed position changed the derived Nth: %d vs %d", b, a)
+	}
+}
+
+// TestOverlappingWindows pins multi-rule semantics when firing windows
+// intersect: each rule counts matches independently, and in the overlap
+// a probe answers for every rule that fires.
+func TestOverlappingWindows(t *testing.T) {
+	// Two exhaust windows on one site: [2,4] every probe, and [3,6]
+	// every probe. The union [2,6] must exhaust, outside it must not.
+	p := New(1,
+		Rule{Site: SiteSolver, Nth: 2, Every: 1, Until: 4, Action: Exhaust},
+		Rule{Site: SiteSolver, Nth: 3, Every: 1, Until: 6, Action: Exhaust},
+	)
+	want := map[uint64]bool{1: false, 2: true, 3: true, 4: true, 5: true, 6: true, 7: false, 8: false}
+	for n := uint64(1); n <= 8; n++ {
+		if got := p.Probe(SiteSolver, ""); got != want[n] {
+			t.Errorf("probe %d: exhausted=%v, want %v", n, got, want[n])
+		}
+	}
+}
+
+// TestOverlappingPanicWins pins the precedence when a panic rule and an
+// exhaust rule fire on the same probe: the panic propagates (the
+// exhaust verdict is moot — the site unwinds).
+func TestOverlappingPanicWins(t *testing.T) {
+	p := New(1,
+		Rule{Site: SitePass, Label: "place", Nth: 1, Action: Exhaust},
+		Rule{Site: SitePass, Label: "place", Nth: 1, Action: Panic},
+	)
+	defer func() {
+		inj, ok := recover().(*Injected)
+		if !ok {
+			t.Fatal("overlapping panic rule did not panic")
+		}
+		if inj.Site != SitePass || inj.Label != "place" {
+			t.Errorf("panic carries %+v", inj)
+		}
+	}()
+	p.Probe(SitePass, "place")
+}
+
+// TestInvertedWindowNeverFires pins until < nth: an empty window is
+// legal to parse but can never fire.
+func TestInvertedWindowNeverFires(t *testing.T) {
+	p, err := ParseSpec("site=solver,action=exhaust,nth=5,until=3,every=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 20; n++ {
+		if p.Probe(SiteSolver, "") {
+			t.Fatalf("inverted window fired at probe %d", n+1)
+		}
+	}
+}
+
+// TestParseSpecUnknownSiteMessage pins that the error for an unknown
+// site names the offending value — the daemon and CLI surface it
+// verbatim to the operator.
+func TestParseSpecUnknownSiteMessage(t *testing.T) {
+	_, err := ParseSpec("site=nowhere,action=panic")
+	if err == nil || !strings.Contains(err.Error(), `"nowhere"`) {
+		t.Errorf("unknown-site error does not name the site: %v", err)
 	}
 }

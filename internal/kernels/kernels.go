@@ -90,6 +90,24 @@ func ByName(name string) *Spec {
 	return nil
 }
 
+// Motivating builds the paper's Fig. 4 code fragment as IR: a load and
+// two adds feeding two dependent adds, plus stores so the simulator can
+// validate results. It is not a Table 1 kernel but is the canonical
+// small trace — scheduling it on the Fig. 5 machine reproduces the
+// shared-interconnect contention of §2 and the copy-completed schedule
+// of Fig. 7.
+func Motivating() *ir.Kernel {
+	b := ir.NewBuilder("fig4")
+	a := b.Emit(ir.Load, "a", b.Const(100), b.Const(0))
+	bb := b.Emit(ir.Add, "b", b.Const(1), b.Const(2))
+	c := b.Emit(ir.Add, "c", b.Const(3), b.Const(4))
+	d := b.Emit(ir.Add, "d", b.Val(a), b.Val(bb))
+	e := b.Emit(ir.Add, "e", b.Val(a), b.Val(c))
+	b.Emit(ir.Store, "", b.Val(d), b.Const(200), b.Const(0))
+	b.Emit(ir.Store, "", b.Val(e), b.Const(201), b.Const(0))
+	return b.MustFinish()
+}
+
 // flit renders a float64 as a kasm float literal, guaranteeing the
 // token lexes as a float (a bare "4" would lex as an int) while
 // round-tripping to the identical float64.

@@ -374,3 +374,26 @@ func MotivatingExample() *Machine {
 
 	return b.MustBuild()
 }
+
+// ByName returns a catalog machine by name — the paper's four
+// architectures, the Fig. 5 motivating-example machine ("fig5"), or
+// the §8 "paired" exploration — or nil for unknown names. It is the
+// single name catalog behind the commsched facade and the compilation
+// daemon's machine resolution.
+func ByName(name string) *Machine {
+	switch name {
+	case "central":
+		return Central()
+	case "clustered2":
+		return Clustered(2)
+	case "clustered4":
+		return Clustered(4)
+	case "distributed":
+		return Distributed()
+	case "fig5":
+		return MotivatingExample()
+	case "paired":
+		return Paired()
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the counter side of the observability layer. The event
+// schema above answers "what did one compilation decide"; a Metrics
+// registry answers "what is the process doing over time" — request and
+// cache counters, queue-depth gauges, latency histograms — and renders
+// them in the Prometheus text exposition format for scrape endpoints
+// (the daemon's GET /metrics) or as a plain snapshot map for JSON
+// flushes on shutdown.
+//
+// The registry is deliberately tiny: three instrument kinds, no labels,
+// no dependency beyond the standard library. Counters and gauges are a
+// single atomic word, so instrumented hot paths pay one uncontended
+// atomic add; histograms take a mutex and are meant for request-grained
+// observations, not the scheduler's inner loops.
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must not be negative; counters only grow).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move both ways.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative buckets, keeping
+// the total count and sum alongside (the Prometheus histogram shape).
+type Histogram struct {
+	mu     sync.Mutex
+	uppers []float64 // bucket upper bounds, ascending; +Inf implicit
+	counts []int64   // len(uppers)+1, last is the overflow bucket
+	sum    float64
+	total  int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.uppers, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count reads the total number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	kind string // "counter", "gauge", "histogram"
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Metrics is a registry of named instruments. Registration order is
+// preserved in every export, so two exports of the same registry are
+// diffable line by line. The zero value is not usable; call NewMetrics.
+type Metrics struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics { return &Metrics{byName: make(map[string]*metric)} }
+
+// register adds m under its name, panicking on a duplicate: metric
+// names are program constants, so a collision is a programming error.
+func (r *Metrics) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric %q", m.name))
+	}
+	r.byName[m.name] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Metrics) Counter(name, help string) *Counter {
+	c := new(Counter)
+	r.register(&metric{name: name, help: help, kind: "counter", c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Metrics) Gauge(name, help string) *Gauge {
+	g := new(Gauge)
+	r.register(&metric{name: name, help: help, kind: "gauge", g: g})
+	return g
+}
+
+// Histogram registers and returns a histogram over the given ascending
+// bucket upper bounds (a final +Inf bucket is implicit).
+func (r *Metrics) Histogram(name, help string, uppers []float64) *Histogram {
+	for i := 1; i < len(uppers); i++ {
+		if uppers[i] <= uppers[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{uppers: append([]float64(nil), uppers...)}
+	h.counts = make([]int64, len(h.uppers)+1)
+	r.register(&metric{name: name, help: help, kind: "histogram", h: h})
+	return h
+}
+
+// WriteText renders the registry in the Prometheus text exposition
+// format (version 0.0.4): HELP and TYPE comments, then one sample line
+// per instrument — histograms as cumulative _bucket series plus _sum
+// and _count.
+func (r *Metrics) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+			return err
+		}
+		var err error
+		switch m.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.c.Value())
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %d\n", m.name, m.g.Value())
+		case "histogram":
+			err = m.h.writeText(w, m.name)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) writeText(w io.Writer, name string) error {
+	h.mu.Lock()
+	uppers := h.uppers
+	counts := append([]int64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	cum := int64(0)
+	for i, up := range uppers {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, up, cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(uppers)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, sum, name, total)
+	return err
+}
+
+// Snapshot returns the registry as a flat name → value map for JSON
+// flushes: counters and gauges by value, histograms as their count and
+// sum under name_count / name_sum.
+func (r *Metrics) Snapshot() map[string]any {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string]any, len(metrics))
+	for _, m := range metrics {
+		switch m.kind {
+		case "counter":
+			out[m.name] = m.c.Value()
+		case "gauge":
+			out[m.name] = m.g.Value()
+		case "histogram":
+			m.h.mu.Lock()
+			out[m.name+"_count"] = m.h.total
+			out[m.name+"_sum"] = m.h.sum
+			m.h.mu.Unlock()
+		}
+	}
+	return out
+}

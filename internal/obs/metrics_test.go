@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMetricsTextExposition(t *testing.T) {
+	r := NewMetrics()
+	c := r.Counter("reqs_total", "requests served")
+	g := r.Gauge("inflight", "compilations running")
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+
+	c.Add(3)
+	g.Set(2)
+	g.Add(-1)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		"reqs_total 3",
+		"# TYPE inflight gauge",
+		"inflight 1",
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 2`,
+		`latency_seconds_bucket{le="1"} 2`,
+		`latency_seconds_bucket{le="+Inf"} 3`,
+		"latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Registration order is export order: two renders are identical.
+	var b2 strings.Builder
+	if err := r.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("two exports of an unchanged registry differ")
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	r := NewMetrics()
+	r.Counter("hits", "h").Inc()
+	r.Gauge("depth", "d").Set(7)
+	r.Histogram("lat", "l", []float64{1}).Observe(0.5)
+
+	snap := r.Snapshot()
+	if snap["hits"] != int64(1) || snap["depth"] != int64(7) {
+		t.Errorf("snapshot counters wrong: %v", snap)
+	}
+	if snap["lat_count"] != int64(1) || snap["lat_sum"] != 0.5 {
+		t.Errorf("snapshot histogram wrong: %v", snap)
+	}
+}
+
+func TestMetricsDuplicatePanics(t *testing.T) {
+	r := NewMetrics()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x", "")
+}
+
+func TestMetricsConcurrentUse(t *testing.T) {
+	r := NewMetrics()
+	c := r.Counter("n", "")
+	h := r.Histogram("lat", "", []float64{0.1, 1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.05)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("lost updates: counter=%d histogram=%d", c.Value(), h.Count())
+	}
+}
