@@ -229,14 +229,15 @@ func (e *engine) preferSiblingBuses(c *comm, base []machine.WriteStub, idx []int
 // the one read stub); stubs minimizing the total copies come first.
 // Single-producer operands hit the interned index; multi-source (phi)
 // operands are scored into the solve arena.
-func (e *engine) readCandIndex(key OperandKey) (base []machine.ReadStub, idx []int32) {
+func (e *engine) readCandIndex(key OperandKey) (base []machine.ReadStub, idx []int32, stable bool) {
 	fu := e.place[key.Op].fu
 	sel := e.slotSel(key, fu)
 	if sel < 0 {
-		return nil, nil
+		return nil, nil, false
 	}
 	rt := e.routes
 	base = rt.ReadBase(fu, sel)
+	stable = true
 
 	var single *comm
 	n := 0
@@ -263,11 +264,12 @@ func (e *engine) readCandIndex(key OperandKey) (base []machine.ReadStub, idx []i
 		}
 	default:
 		idx = e.scoreMultiRead(key, base)
+		stable = false // arena-backed, rebuilt every solve
 	}
 	if max := e.maxCandidates(); len(idx) > max {
 		idx = idx[:max]
 	}
-	return base, idx
+	return base, idx, stable
 }
 
 // scoreMultiRead orders base read stubs for a phi operand: total copies

@@ -100,15 +100,31 @@ func (e *engine) solveWrites(key tKey, pin CommID, pinRF machine.RFID) bool {
 	defer func() { e.undoScratch = undo[:0] }()
 	e.i32Arena = e.i32Arena[:0]
 
+	// The infeasibility memo's problem signature accumulates alongside
+	// the obstacle placements and flex-item construction below, so a
+	// solve that fails before the search starts pays only the mixing of
+	// what it had built so far.
+	memo := e.memo
+	var sig memoSig
+	if memo != nil {
+		sig = newMemoSig(1)
+	}
+
 	// Obstacles: read stubs assigned on the same cycle, then pinned
 	// write stubs.
 	for _, ok := range e.readsAt[key] {
 		if or, have := e.operandStub[ok]; have {
+			val := e.readIdentity(ok)
 			var fits bool
-			undo, fits = o.PlaceRead(or.stub, e.readIdentity(ok), opndNonce(ok), undo)
+			undo, fits = o.PlaceRead(or.stub, val, opndNonce(ok), undo)
 			if !fits {
 				o.Undo(undo)
 				return false
+			}
+			if memo != nil {
+				sig.mixReadStub(or.stub)
+				sig.mixValue(val)
+				sig.mix(uint64(uint32(opndNonce(ok))))
 			}
 		}
 	}
@@ -127,9 +143,14 @@ func (e *engine) solveWrites(key tKey, pin CommID, pinRF machine.RFID) bool {
 				o.Undo(undo)
 				return false
 			}
+			if memo != nil {
+				sig.mixWriteStub(c.wstub)
+				sig.mixValue(val)
+			}
 			continue
 		}
 		base, idx, wk := e.writeCandIndex(c)
+		stable := cid != pin
 		if cid == pin {
 			idx = e.filterWriteIdx(base, idx, pinRF)
 		}
@@ -141,11 +162,19 @@ func (e *engine) solveWrites(key tKey, pin CommID, pinRF machine.RFID) bool {
 		// most before siblings have stubs to clash with.
 		if _, served := e.wcServed[wk]; !served {
 			e.wcServed[wk] = struct{}{}
+			old := idx
 			idx = e.preferSiblingBuses(c, base, idx)
+			if len(idx) != len(old) || (len(idx) > 0 && &idx[0] != &old[0]) {
+				stable = false // promotion built an arena copy
+			}
 		}
 		if len(idx) == 0 {
 			o.Undo(undo)
 			return false
+		}
+		if memo != nil {
+			sig.mixValue(val)
+			sig.mix(e.writeListSig(base, idx, stable))
 		}
 		flex = append(flex, flexWrite{
 			id:      cid,
@@ -162,12 +191,27 @@ func (e *engine) solveWrites(key tKey, pin CommID, pinRF machine.RFID) bool {
 			flex[j], flex[j-1] = flex[j-1], flex[j]
 		}
 	}
+	var mk memoKey
+	if memo != nil {
+		if mk = sig.key(); memo.hit(mk) {
+			e.stats.MemoHits++
+			e.tracePermMemo()
+			o.Undo(undo)
+			return false
+		}
+	}
 	budget := e.solveBudget()
 	choice := e.choiceScratch(len(flex))
 	okAll, undoAll := e.dfsWrites(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
 	o.Undo(undo)
 	if !okAll {
+		// Record only completed failures: a search abandoned by budget
+		// exhaustion (real or fault-injected, both leave budget at 0) or
+		// by cancellation proves nothing about the problem.
+		if memo != nil && budget > 0 && !e.aborted {
+			memo.record(mk)
+		}
 		return false
 	}
 	for i, f := range flex {
@@ -186,16 +230,26 @@ func (e *engine) solveReads(key tKey, pin OperandKey, pinRF machine.RFID) bool {
 	defer func() { e.undoScratch = undo[:0] }()
 	e.i32Arena = e.i32Arena[:0]
 
+	memo := e.memo
+	var sig memoSig
+	if memo != nil {
+		sig = newMemoSig(2)
+	}
 	for _, cid := range e.writesAt[key] {
 		c := e.comms[cid]
 		if c.state == commSplit || !c.hasW {
 			continue
 		}
+		val := e.writeIdentity(c)
 		var fits bool
-		undo, fits = o.PlaceWrite(c.wstub, e.writeIdentity(c), undo)
+		undo, fits = o.PlaceWrite(c.wstub, val, undo)
 		if !fits {
 			o.Undo(undo)
 			return false
+		}
+		if memo != nil {
+			sig.mixWriteStub(c.wstub)
+			sig.mixValue(val)
 		}
 	}
 	flex := e.flexR[:0]
@@ -213,17 +267,28 @@ func (e *engine) solveReads(key tKey, pin OperandKey, pinRF machine.RFID) bool {
 				o.Undo(undo)
 				return false
 			}
+			if memo != nil {
+				sig.mixReadStub(or.stub)
+				sig.mixValue(val)
+				sig.mix(uint64(uint32(opndNonce(ok))))
+			}
 			continue
 		}
-		base, idx := e.readCandIndex(ok)
+		base, idx, stable := e.readCandIndex(ok)
 		if ok == pin {
 			idx = e.filterReadIdx(base, idx, pinRF)
+			stable = false
 		}
 		if len(idx) == 0 {
 			o.Undo(undo)
 			return false
 		}
 		closing, rangeW := e.operandClosing(ok)
+		if memo != nil {
+			sig.mixValue(val)
+			sig.mix(uint64(uint32(opndNonce(ok))))
+			sig.mix(e.readListSig(base, idx, stable))
+		}
 		flex = append(flex, flexRead{
 			key: ok, base: base, cands: idx, closing: closing, rangeW: rangeW, val: val,
 		})
@@ -233,12 +298,25 @@ func (e *engine) solveReads(key tKey, pin OperandKey, pinRF machine.RFID) bool {
 			flex[j], flex[j-1] = flex[j-1], flex[j]
 		}
 	}
+	var mk memoKey
+	if memo != nil {
+		if mk = sig.key(); memo.hit(mk) {
+			e.stats.MemoHits++
+			e.tracePermMemo()
+			o.Undo(undo)
+			return false
+		}
+	}
 	budget := e.solveBudget()
 	choice := e.choiceScratch(len(flex))
 	okAll, undoAll := e.dfsReads(o, flex, choice, 0, &budget, undo)
 	undo = undoAll
 	o.Undo(undo)
 	if !okAll {
+		// Record only completed failures (see solveWrites).
+		if memo != nil && budget > 0 && !e.aborted {
+			memo.record(mk)
+		}
 		return false
 	}
 	for i, f := range flex {

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestPoolSemantics pins the counting-semaphore contract: n slots,
+// TryAcquire fails when full, Release frees exactly one.
+func TestPoolSemantics(t *testing.T) {
+	p := NewPool(2)
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", p.Size())
+	}
+	if !p.TryAcquire() || !p.TryAcquire() {
+		t.Fatal("fresh pool refused its slots")
+	}
+	if p.TryAcquire() {
+		t.Fatal("full pool granted a third slot")
+	}
+	p.Release()
+	if !p.TryAcquire() {
+		t.Fatal("released slot not reusable")
+	}
+}
+
+// TestPoolAcquireHonoursContext pins the blocking path: Acquire on a
+// full pool returns the context's error instead of wedging.
+func TestPoolAcquireHonoursContext(t *testing.T) {
+	p := NewPool(1)
+	if err := p.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("Acquire on full pool = %v, want context.Canceled", err)
+	}
+}
+
+// TestPoolFan pins the nesting discipline: worker 0 always runs on the
+// caller without a slot, extras join only as TryAcquire admits them,
+// and every slot is back when Fan returns.
+func TestPoolFan(t *testing.T) {
+	p := NewPool(3)
+	var mu sync.Mutex
+	var seen []int
+	p.Fan(4, func(w int) {
+		mu.Lock()
+		seen = append(seen, w)
+		mu.Unlock()
+	})
+	sort.Ints(seen)
+	if len(seen) != 4 {
+		t.Fatalf("Fan ran %d workers, want 4: %v", len(seen), seen)
+	}
+	for i, w := range seen {
+		if w != i {
+			t.Fatalf("worker ids %v, want 0..3", seen)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !p.TryAcquire() {
+			t.Fatalf("Fan leaked slot %d", i)
+		}
+	}
+}
+
+// TestPoolFanExhausted pins graceful degradation: with no free slot,
+// Fan still runs worker 0 on the caller — nested fan-out can never
+// deadlock, at worst it goes sequential.
+func TestPoolFanExhausted(t *testing.T) {
+	p := NewPool(1)
+	if !p.TryAcquire() {
+		t.Fatal("fresh pool refused its slot")
+	}
+	ran := 0
+	p.Fan(8, func(w int) {
+		if w != 0 {
+			t.Errorf("worker %d ran on an exhausted pool", w)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("Fan ran %d workers on an exhausted pool, want 1", ran)
+	}
+}

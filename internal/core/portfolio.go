@@ -66,6 +66,14 @@ type PortfolioOptions struct {
 	// Variants overrides the racing lineup; nil means
 	// DefaultVariants(base).
 	Variants []Variant
+	// Pool, when non-nil, is the shared worker pool the race draws its
+	// extra workers from (the caller's goroutine always races without a
+	// slot). Share one Pool between the daemon, portfolio races, and
+	// speculative interval searches to bound total parallelism
+	// machine-wide; nil gives this race a private pool of Workers
+	// slots. Like Workers, the pool never affects the result — only
+	// how fast it arrives.
+	Pool *Pool
 }
 
 // VariantStats instruments one configuration's share of a portfolio
@@ -301,81 +309,83 @@ func CompilePortfolio(ctx context.Context, k *ir.Kernel, m *machine.Machine, bas
 		if base.Faults.Probe(faultinject.SitePortfolio, variants[t.vi].Name) {
 			return nil, false, nil
 		}
-		return tryII(k, m, g, opts, t.ii, cancel, scratch, ps, nil)
+		// Fresh memo per grid cell: the portfolio's deterministic
+		// trace-splicing and per-variant counters require each cell to
+		// be a pure function of its configuration, which a memo shared
+		// across concurrently racing cells would break.
+		return tryII(k, m, g, opts, t.ii, cancel, newPermMemo(), scratch, ps, nil)
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				t, ok := next()
-				if !ok {
-					return
-				}
-				// A cell is cancellable only while a strictly smaller
-				// interval has been proven: cells at the winning interval
-				// always complete, keeping the winning set — and with it
-				// the selection — deterministic.
-				cancel := func() bool {
-					return int(best.Load()) < t.ii || ctx.Err() != nil
-				}
-				opts := variants[t.vi].Opts
-				if tracer != nil {
-					// Private recorder per attempt; spliced (or dropped)
-					// after the race for a deterministic merged stream.
-					rec := obs.NewRecorder()
-					opts.Tracer = rec
-					mu.Lock()
-					recs[t] = rec
-					mu.Unlock()
-				}
-				var scratch Stats
-				var ps PassStats
-				t0 := time.Now()
-				e, aborted, aerr := attempt(t, opts, cancel, &scratch, &ps)
-				elapsed := time.Since(t0)
-
+	pool := pf.Pool
+	if pool == nil {
+		pool = NewPool(workers)
+	}
+	pool.Fan(workers, func(int) {
+		for {
+			t, ok := next()
+			if !ok {
+				return
+			}
+			// A cell is cancellable only while a strictly smaller
+			// interval has been proven: cells at the winning interval
+			// always complete, keeping the winning set — and with it
+			// the selection — deterministic.
+			cancel := func() bool {
+				return int(best.Load()) < t.ii || ctx.Err() != nil
+			}
+			opts := variants[t.vi].Opts
+			if tracer != nil {
+				// Private recorder per attempt; spliced (or dropped)
+				// after the race for a deterministic merged stream.
+				rec := obs.NewRecorder()
+				opts.Tracer = rec
 				mu.Lock()
-				passes.Merge(ps)
-				vs := &stats.Variants[t.vi]
-				vs.Wall += elapsed
-				if aerr != nil {
-					if intErr == nil || t.ii < intErrAt.ii || (t.ii == intErrAt.ii && t.vi < intErrAt.vi) {
-						intErr, intErrAt = aerr, t
-					}
-					delete(recs, t) // partial stream of a dying attempt
-					mu.Unlock()
-					continue
-				}
-				if aborted {
-					vs.Cancelled++
-					stats.Cancelled++
-					delete(recs, t) // cancelled stream: timing-dependent, dropped
-					mu.Unlock()
-					continue
-				}
-				vs.IIsTried++
-				stats.IIsTried++
-				if e != nil {
-					copies := len(e.ops) - len(k.Ops)
-					wins[t] = won{eng: e, copies: copies}
-					if vs.BestII == 0 || t.ii < vs.BestII {
-						vs.BestII, vs.Copies = t.ii, copies
-					}
-					for {
-						cur := best.Load()
-						if int64(t.ii) >= cur || best.CompareAndSwap(cur, int64(t.ii)) {
-							break
-						}
-					}
-				}
+				recs[t] = rec
 				mu.Unlock()
 			}
-		}()
-	}
-	wg.Wait()
+			var scratch Stats
+			var ps PassStats
+			t0 := time.Now()
+			e, aborted, aerr := attempt(t, opts, cancel, &scratch, &ps)
+			elapsed := time.Since(t0)
+
+			mu.Lock()
+			passes.Merge(ps)
+			vs := &stats.Variants[t.vi]
+			vs.Wall += elapsed
+			if aerr != nil {
+				if intErr == nil || t.ii < intErrAt.ii || (t.ii == intErrAt.ii && t.vi < intErrAt.vi) {
+					intErr, intErrAt = aerr, t
+				}
+				delete(recs, t) // partial stream of a dying attempt
+				mu.Unlock()
+				continue
+			}
+			if aborted {
+				vs.Cancelled++
+				stats.Cancelled++
+				delete(recs, t) // cancelled stream: timing-dependent, dropped
+				mu.Unlock()
+				continue
+			}
+			vs.IIsTried++
+			stats.IIsTried++
+			if e != nil {
+				copies := len(e.ops) - len(k.Ops)
+				wins[t] = won{eng: e, copies: copies}
+				if vs.BestII == 0 || t.ii < vs.BestII {
+					vs.BestII, vs.Copies = t.ii, copies
+				}
+				for {
+					cur := best.Load()
+					if int64(t.ii) >= cur || best.CompareAndSwap(cur, int64(t.ii)) {
+						break
+					}
+				}
+			}
+			mu.Unlock()
+		}
+	})
 
 	finish := func() {
 		stats.Passes = append(PassStats(nil), c.clock.stats...)

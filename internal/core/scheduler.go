@@ -86,6 +86,24 @@ type Options struct {
 	// the default — disables injection at zero cost (one pointer
 	// compare per probe site, nothing allocates).
 	Faults *faultinject.Plane
+	// Speculate arms the speculative parallel interval ladder: values
+	// above 1 let up to that many workers race the upcoming rungs of
+	// the probe/refinement walk while the walk consumes outcomes in
+	// sequential order. The schedule is bit-identical to the sequential
+	// ladder's regardless of worker count or finish order (see
+	// internal/core/search.go), which is why Canonical collapses this
+	// field: it is a throughput knob, never a configuration. 0 and 1
+	// run the classic sequential ladder.
+	Speculate int
+	// Pool bounds speculative workers across concurrent compilations —
+	// share one Pool between the daemon, CompilePortfolio, and
+	// speculative searches to cap total parallelism machine-wide. nil
+	// gives each speculative search a private hardware-sized pool
+	// (GOMAXPROCS slots, one reserved for the walk itself), so
+	// speculation never oversubscribes the machine no matter how large
+	// Speculate is. Runtime plumbing only: like Tracer, it never
+	// affects the schedule and is excluded from canonicalization.
+	Pool *Pool
 }
 
 // Validate rejects option values that cannot mean anything: negative
@@ -109,6 +127,9 @@ func (o Options) Validate() error {
 	}
 	if o.AttemptBudget < 0 {
 		bad = append(bad, fmt.Sprintf("AttemptBudget %d is negative (0 means the default of 128)", o.AttemptBudget))
+	}
+	if o.Speculate < 0 {
+		bad = append(bad, fmt.Sprintf("Speculate %d is negative (0 or 1 means the sequential ladder; N>1 races N workers)", o.Speculate))
 	}
 	if len(bad) == 0 {
 		return nil
@@ -135,7 +156,10 @@ const (
 // canonicalize equal. MaxII and ScanWindow stay untouched — their zero
 // forms derive from the kernel and the interval under trial, not from
 // a constant — as do the pointer-valued fields (Tracer, Degrade,
-// Faults).
+// Faults). Speculate and Pool collapse entirely: the speculative
+// ladder's result is bit-identical to the sequential ladder's at any
+// worker count, so speculation is throughput plumbing — two requests
+// differing only in it must share one cache entry.
 func (o Options) Canonical() Options {
 	if o.PermBudget == 0 {
 		o.PermBudget = DefaultPermBudget
@@ -146,6 +170,8 @@ func (o Options) Canonical() Options {
 	if o.AttemptBudget == 0 {
 		o.AttemptBudget = DefaultAttemptBudget
 	}
+	o.Speculate = 0
+	o.Pool = nil
 	return o
 }
 
@@ -206,60 +232,33 @@ func compileOnce(ctx context.Context, k *ir.Kernel, m *machine.Machine, opts Opt
 	}
 	var agg Stats
 	var lastFail placeFail
-	var internalErr error
-	try := func(ii int) (*engine, bool) {
-		e, aborted, err := tryII(k, m, c.Graph, opts, ii, cancel, &agg, &c.clock.stats, &lastFail)
-		if err != nil {
-			internalErr = err
+	// One infeasibility memo per compilation: dead ends proven at one
+	// rung short-circuit every later rung that re-poses them.
+	memo := newPermMemo()
+	var ev iiEvaluator
+	if opts.Speculate > 1 {
+		ev = newSpeculativeEval(ctx, k, m, c.Graph, opts, memo, &agg, &c.clock.stats, &lastFail)
+	} else {
+		ev = &sequentialEval{
+			k: k, m: m, g: c.Graph, opts: opts, cancel: cancel, memo: memo,
+			agg: &agg, ps: &c.clock.stats, fail: &lastFail,
 		}
-		return e, aborted
 	}
-	// Escalating probe: when small intervals fail, grow the step so
-	// communication-bound kernels (whose feasible interval sits far
-	// above the resource bound) are found in logarithmically many
-	// probes; then refine back down to the smallest interval that
-	// schedules.
-	var good *engine
-	failedBelow := c.MinII
-	step := 1
-	for ii := c.MinII; ii <= c.MaxII; {
-		e, aborted := try(ii)
-		if internalErr != nil {
-			return nil, c.decorate(internalErr)
-		}
-		if aborted {
-			return nil, c.decorate(c.ctxError(ctx, ii, lastFail))
-		}
-		if e != nil {
-			good = e
-			break
-		}
-		failedBelow = ii + 1
-		ii += step
-		if next := step + (step+1)/2; next <= c.MaxII/8+1 {
-			step = next
-		}
+	good, abortII, aborted, searchErr := runLadder(c, ev)
+	ev.finish()
+	if searchErr != nil {
+		return nil, c.decorate(searchErr)
+	}
+	if aborted {
+		return nil, c.decorate(c.ctxError(ctx, abortII, lastFail))
 	}
 	if good == nil {
 		return nil, c.decorate(scheduleFailure(c, agg, lastFail))
 	}
-	for failedBelow < good.ii {
-		mid := (failedBelow + good.ii) / 2
-		e, aborted := try(mid)
-		if internalErr != nil {
-			return nil, c.decorate(internalErr)
-		}
-		if aborted {
-			return nil, c.decorate(c.ctxError(ctx, mid, lastFail))
-		}
-		if e != nil {
-			good = e
-		} else {
-			failedBelow = mid + 1
-		}
-	}
 	good.stats.IIsTried = agg.IIsTried
 	good.stats.Backtracks += agg.Backtracks
+	good.stats.MemoHits += agg.MemoHits
+	good.stats.SpecCancelled = agg.SpecCancelled
 	c.eng = good
 	c.II = good.ii
 	if err := c.runPass(regallocPass{}); err != nil {
@@ -357,8 +356,9 @@ func checkUnits(k *ir.Kernel, m *machine.Machine) error {
 // whether the attempt was abandoned by the cancellation hook rather
 // than proven infeasible; a non-nil error is an internal (recovered
 // panic) failure that must stop the whole interval search. fail, when
-// non-nil, records where placement stopped.
-func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int, cancel func() bool, agg *Stats, ps *PassStats, fail *placeFail) (*engine, bool, error) {
+// non-nil, records where placement stopped. memo, when non-nil, is the
+// shared infeasibility memo consulted and grown by the §4.4 solver.
+func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii int, cancel func() bool, memo *permMemo, agg *Stats, ps *PassStats, fail *placeFail) (*engine, bool, error) {
 	if len(k.Loop) > 0 && !g.RecMIIFeasible(ii) {
 		return nil, false, nil
 	}
@@ -366,6 +366,7 @@ func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii
 	ac := &Compilation{Kernel: k, Machine: m, Opts: opts, Graph: g, II: ii, clock: new(passClock)}
 	e := newEngine(k, m, g, opts, ii)
 	e.cancel = cancel
+	e.memo = memo
 	e.clock = ac.clock
 	ac.eng = e
 	e.traceIIBegin()
@@ -392,6 +393,7 @@ func tryII(k *ir.Kernel, m *machine.Machine, g *depgraph.Graph, opts Options, ii
 	agg.Attempts += e.stats.Attempts
 	agg.AttemptFailures += e.stats.AttemptFailures
 	agg.PermSteps += e.stats.PermSteps
+	agg.MemoHits += e.stats.MemoHits
 	if fail != nil && e.failOp != NoOp {
 		*fail = placeFail{ii: ii, block: e.failBlock, op: e.failOp, name: e.opString(e.failOp)}
 		if int(e.failOp) < len(k.Ops) {

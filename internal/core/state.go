@@ -54,6 +54,16 @@ type Stats struct {
 	// routing (Options.RegisterAware) found no capacity-respecting
 	// file and fell back to unrestricted choice.
 	PressureOverflows int
+	// MemoHits counts §4.4 solves short-circuited by the infeasibility
+	// memo: permutation problems whose signature matched a dead end
+	// already proven this compilation. In speculative mode
+	// (Options.Speculate) rungs share the memo concurrently, so this
+	// counter — unlike the schedule itself — may vary run to run.
+	MemoHits int
+	// SpecCancelled counts speculative rungs obsoleted before the walk
+	// consumed them (lowest-II-wins cancellations). Zero in sequential
+	// mode; timing-dependent in speculative mode.
+	SpecCancelled int
 }
 
 // engine is the scheduling state for one (kernel, machine) pair at one
@@ -104,6 +114,17 @@ type engine struct {
 	// the sharing rules themselves live in internal/rules.
 	occ         *rules.Occupancy
 	undoScratch []rules.Undo
+
+	// memo is the compilation-wide infeasibility memo (nil disables
+	// it): solve signatures proven unsatisfiable, shared across every
+	// interval this compilation tries — and, under Options.Speculate,
+	// across concurrently racing rungs.
+	memo *permMemo
+	// wListSig/rListSig cache candidate-list content hashes by slice
+	// identity (see memo.go); engine-private, grown lazily, nil until
+	// the memo first hashes a stable list.
+	wListSig map[wListKey]uint64
+	rListSig map[rListKey]uint64
 
 	// Solver scratch, reused across solveWrites/solveReads calls so the
 	// steady-state hot path allocates nothing. i32Arena backs candidate

@@ -128,6 +128,19 @@ func (e *engine) tracePerm(kind obs.Kind, depth int, item int32) {
 	})
 }
 
+// tracePermMemo records one §4.4 solve short-circuited by the
+// infeasibility memo, on the "permute" track alongside the search
+// steps the hit replaced.
+func (e *engine) tracePermMemo() {
+	if e.tracer == nil {
+		return
+	}
+	e.tracer.Emit(obs.Event{
+		Kind: obs.KindPermMemo, Track: "permute", II: int32(e.ii),
+		Value: int64(e.stats.MemoHits), HasValue: true,
+	})
+}
+
 // traceCopy records one copy operation materialized to bridge a route,
 // with the splitting recursion depth.
 func (e *engine) traceCopy(c *comm, copyID ir.OpID) {

@@ -198,7 +198,7 @@ func verifyConflicts(s *Schedule) error {
 	at := func(block ir.BlockKind, slot int) *rules.CycleState {
 		k := cellKey{block, slot}
 		if cycles[k] == nil {
-			cycles[k] = rules.NewCycleState()
+			cycles[k] = rules.NewCycleStateFor(s.Machine)
 		}
 		return cycles[k]
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/rules"
 )
 
 // TestSolverHotPathZeroAlloc pins the zero-allocation contract of the
@@ -66,5 +67,77 @@ func TestSolverHotPathZeroAlloc(t *testing.T) {
 		if avg := testing.AllocsPerRun(10, resolve); avg != 0 {
 			t.Errorf("%s: solver hot path allocates %.1f times per full re-solve, want 0", m.Name, avg)
 		}
+	}
+}
+
+// TestOccupancyBitsetZeroAlloc pins the epoch-stamped bitset path of
+// rules.Occupancy directly: once the undo journal and the rfw entry
+// list are warm, a full Reset / PlaceWrite / PlaceRead / Undo cycle —
+// including epoch-lazy word clearing and conflicting re-claims —
+// allocates nothing.
+func TestOccupancyBitsetZeroAlloc(t *testing.T) {
+	m := machine.Distributed()
+	o := rules.NewOccupancy(m)
+	// Greedily pick resource-disjoint stubs so every fresh-epoch claim
+	// succeeds deterministically; conflicts are then provoked on purpose.
+	usedBus := map[machine.BusID]bool{}
+	usedWP := map[machine.WPID]bool{}
+	wstubs := make([]machine.WriteStub, 0, 8)
+	for fu := 0; fu < len(m.FUs) && len(wstubs) < cap(wstubs); fu++ {
+		for _, s := range m.WriteStubs(machine.FUID(fu)) {
+			if !usedBus[s.Bus] && !usedWP[s.Port] {
+				usedBus[s.Bus], usedWP[s.Port] = true, true
+				wstubs = append(wstubs, s)
+				break
+			}
+		}
+	}
+	usedRP := map[machine.RPID]bool{}
+	rstubs := make([]machine.ReadStub, 0, 8)
+	for fu := 0; fu < len(m.FUs) && len(rstubs) < cap(rstubs); fu++ {
+		for _, s := range m.ReadStubs(machine.FUID(fu), 0) {
+			if !usedBus[s.Bus] && !usedRP[s.Port] {
+				usedBus[s.Bus], usedRP[s.Port] = true, true
+				rstubs = append(rstubs, s)
+				break
+			}
+		}
+	}
+	if len(wstubs) == 0 || len(rstubs) == 0 {
+		t.Fatal("distributed machine yields no routing stubs")
+	}
+	undo := make([]rules.Undo, 0, 64)
+	cycle := func() {
+		o.Reset()
+		undo = undo[:0]
+		ok := true
+		for i, s := range wstubs {
+			v := rules.Value{ID: ir.ValueID(i), Uniq: int32(i)}
+			undo, ok = o.PlaceWrite(s, v, undo)
+			if !ok {
+				t.Fatalf("write stub %d rejected on a fresh epoch", i)
+			}
+			// An identical re-claim shares; a different value conflicts
+			// and must roll back cleanly — both on the claimed-bit path.
+			if undo, ok = o.PlaceWrite(s, v, undo); !ok {
+				t.Fatalf("identical write re-claim %d rejected", i)
+			}
+			if undo, ok = o.PlaceWrite(s, rules.Value{ID: ir.ValueID(i + 100)}, undo); ok {
+				t.Fatalf("conflicting write claim %d accepted", i)
+			}
+		}
+		for i, s := range rstubs {
+			v := rules.Value{ID: ir.ValueID(i), Uniq: int32(i)}
+			if undo, ok = o.PlaceRead(s, v, int32(i+1), undo); !ok {
+				t.Fatalf("read stub %d rejected on a fresh epoch", i)
+			}
+		}
+		o.Undo(undo)
+	}
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(10, cycle); avg != 0 {
+		t.Errorf("bitset occupancy cycle allocates %.1f times, want 0", avg)
 	}
 }

@@ -80,6 +80,12 @@ type OptionsSpec struct {
 	NoCostHeuristic bool `json:"no_cost_heuristic,omitempty"`
 	TwoPhase        bool `json:"two_phase,omitempty"`
 	RegisterAware   bool `json:"register_aware,omitempty"`
+	// Speculate (N>1) races up to N rungs of the initiation-interval
+	// ladder over the server's worker pool. The schedule is
+	// bit-identical to the sequential ladder's, so this field is a
+	// latency knob, never part of the cache key; it is ignored for
+	// portfolio requests (the portfolio racing is the parallelism).
+	Speculate int `json:"speculate,omitempty"`
 }
 
 // options converts the spec to core.Options; a nil spec is the zero
@@ -98,6 +104,7 @@ func (s *OptionsSpec) options() core.Options {
 		NoCostHeuristic: s.NoCostHeuristic,
 		TwoPhase:        s.TwoPhase,
 		RegisterAware:   s.RegisterAware,
+		Speculate:       s.Speculate,
 	}
 }
 

@@ -61,11 +61,13 @@ type Server struct {
 
 	cache   *cache
 	flights flightGroup
-	// queue and workers are token buckets: sending acquires, receiving
-	// releases. queue caps admitted compilations (running + waiting);
-	// workers caps running ones.
-	queue   chan struct{}
-	workers chan struct{}
+	// queue is a token bucket: sending acquires, receiving releases; it
+	// caps admitted compilations (running + waiting). pool caps running
+	// ones — and is shared with portfolio races and speculative interval
+	// searches, so a compilation that fans out internally draws its
+	// extra workers from the same machine-wide budget.
+	queue chan struct{}
+	pool  *core.Pool
 
 	// baseCtx parents every backing compilation; Drain cancels it when
 	// the grace period expires, unwinding in-flight compiles through
@@ -84,11 +86,18 @@ type Server struct {
 	mCompiles *obs.Counter
 	mErrors   *obs.Counter
 	mRejected *obs.Counter
-	gInflight *obs.Gauge
-	gQueued   *obs.Gauge
-	gEntries  *obs.Gauge
-	gBytes    *obs.Gauge
-	hLatency  *obs.Histogram
+	// mMemoHits/mSpecCancel aggregate the search-effort counters of
+	// every backing compilation: §4.4 solves short-circuited by the
+	// infeasibility memo, and speculative interval rungs cancelled by
+	// lowest-II-wins. Effort telemetry only — cache hits (which run no
+	// search) contribute nothing.
+	mMemoHits   *obs.Counter
+	mSpecCancel *obs.Counter
+	gInflight   *obs.Gauge
+	gQueued     *obs.Gauge
+	gEntries    *obs.Gauge
+	gBytes      *obs.Gauge
+	hLatency    *obs.Histogram
 }
 
 // retryAfterSeconds is the Retry-After hint on 429 responses.
@@ -125,7 +134,7 @@ func New(cfg Config) *Server {
 		queueDepth: depth,
 		cache:      newCache(budget),
 		queue:      make(chan struct{}, workers+depth),
-		workers:    make(chan struct{}, workers),
+		pool:       core.NewPool(workers),
 		baseCtx:    ctx,
 		cancel:     cancel,
 		metrics:    m,
@@ -136,6 +145,8 @@ func New(cfg Config) *Server {
 	s.mCompiles = m.Counter("cschedd_compilations_total", "backing compilations run (cache and singleflight collapse the rest)")
 	s.mErrors = m.Counter("cschedd_compile_errors_total", "backing compilations that failed")
 	s.mRejected = m.Counter("cschedd_rejected_total", "compile requests rejected by admission control (429)")
+	s.mMemoHits = m.Counter("cschedd_memo_hits_total", "permutation solves short-circuited by the infeasibility memo")
+	s.mSpecCancel = m.Counter("cschedd_spec_cancelled_total", "speculative interval rungs cancelled by lowest-II-wins")
 	s.gInflight = m.Gauge("cschedd_inflight", "backing compilations running now")
 	s.gQueued = m.Gauge("cschedd_queued", "admitted compilations waiting for a worker")
 	s.gEntries = m.Gauge("cschedd_cache_entries", "schedule cache entries resident")
@@ -319,21 +330,22 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 	// Wait for a worker slot; the request context and drain can both
 	// abandon the wait.
 	s.gQueued.Add(1)
-	var cancelledWaiting error
-	select {
-	case s.workers <- struct{}{}:
-	case <-r.Context().Done():
-		cancelledWaiting = r.Context().Err()
-	case <-s.baseCtx.Done():
-		cancelledWaiting = context.Canceled
-	}
+	wctx, wcancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, wcancel)
+	acqErr := s.pool.Acquire(wctx)
+	stop()
+	wcancel()
 	s.gQueued.Add(-1)
-	if cancelledWaiting != nil {
+	if acqErr != nil {
+		cancelledWaiting := r.Context().Err()
+		if cancelledWaiting == nil {
+			cancelledWaiting = context.Canceled // drain struck first
+		}
 		out := s.errorOutcome(0, ctxDetail(cancelledWaiting))
 		s.flights.finish(key, f, out)
 		return out
 	}
-	defer func() { <-s.workers }()
+	defer s.pool.Release()
 
 	// The backing compilation runs under the server's lifetime, not
 	// the leader's connection: a disconnecting client must not starve
@@ -357,8 +369,13 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 		sched *core.Schedule
 		err   error
 	)
+	// Internal fan-out — portfolio racing and speculative interval
+	// ladders — draws extra workers from the server's own pool: the
+	// leader's held slot covers worker zero, extras are try-acquired,
+	// so nested parallelism can never deadlock admission.
+	opts.Pool = s.pool
 	if req.Portfolio {
-		sched, _, err = core.CompilePortfolio(ctx, k, m, opts, core.PortfolioOptions{Workers: s.workersN})
+		sched, _, err = core.CompilePortfolio(ctx, k, m, opts, core.PortfolioOptions{Workers: s.workersN, Pool: s.pool})
 	} else {
 		sched, err = core.CompileContext(ctx, k, m, opts)
 	}
@@ -370,6 +387,8 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 		s.mErrors.Inc()
 		out = s.errorOutcome(HTTPStatus(err), compileDetail(err))
 	} else {
+		s.mMemoHits.Add(int64(sched.Stats.MemoHits))
+		s.mSpecCancel.Add(int64(sched.Stats.SpecCancelled))
 		body, merr := json.Marshal(buildResponse(key, k, sched))
 		if merr != nil {
 			out = s.errorOutcome(http.StatusInternalServerError, ErrorDetail{Kind: "internal", Reason: merr.Error()})

@@ -156,6 +156,18 @@ func TestCompileNamedKernelAndCacheHit(t *testing.T) {
 	if !bytes.Equal(body, body2) {
 		t.Error("cache hit body differs from the cold compile body")
 	}
+
+	// A speculative request addresses the same entry: the schedule is
+	// bit-identical, so the worker count never splits the cache.
+	status3, hdr3, body3 := postCompile(t, ts, CompileRequest{
+		Kernel: "fig4", Machine: "fig5", Options: &OptionsSpec{Speculate: 8},
+	})
+	if status3 != http.StatusOK || hdr3.Get("X-Cschedd-Cache") != "hit" {
+		t.Fatalf("speculative compile: %d cache=%q", status3, hdr3.Get("X-Cschedd-Cache"))
+	}
+	if !bytes.Equal(body, body3) {
+		t.Error("speculative request body differs from the sequential body")
+	}
 }
 
 func TestCompileSourceKernel(t *testing.T) {
@@ -301,6 +313,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"cschedd_cache_entries 1",
 		"# TYPE cschedd_compile_seconds histogram",
 		"cschedd_compile_seconds_count 1",
+		"# TYPE cschedd_memo_hits_total counter",
+		"cschedd_memo_hits_total",
+		"# TYPE cschedd_spec_cancelled_total counter",
+		"cschedd_spec_cancelled_total",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics missing %q", want)

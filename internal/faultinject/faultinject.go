@@ -36,12 +36,20 @@ const (
 	// SitePortfolio fires when a portfolio worker claims a grid cell;
 	// the probe label is the variant name.
 	SitePortfolio
+	// SiteSpeculate fires when a speculative interval-ladder worker
+	// picks up a rung; the probe label is the rung's initiation
+	// interval in decimal. Inline (walk-goroutine) evaluations never
+	// probe it, so rules here exercise exactly the speculative plumbing
+	// — a Panic proves rung isolation, an Exhaust forces the walk to
+	// recompute the rung inline.
+	SiteSpeculate
 )
 
 var siteNames = [...]string{
 	SitePass:      "pass",
 	SiteSolver:    "solver",
 	SitePortfolio: "portfolio",
+	SiteSpeculate: "speculate",
 }
 
 // String names the site for specs and diagnostics.

@@ -78,6 +78,18 @@ const (
 	KindCancel
 	KindDegrade
 	KindRecover
+	// KindPermMemo marks a §4.4 solve short-circuited by the
+	// infeasibility memo: the solve's signature matched a permutation
+	// state already proven unsatisfiable, so no search ran. Value is
+	// the engine's running memo-hit count.
+	KindPermMemo
+	// Speculative initiation-interval ladder lifecycle
+	// (core.Options.Speculate). KindSpecRung marks a rung evaluated
+	// speculatively ahead of the search walk (II is the rung's
+	// interval); KindSpecCancel marks a speculative rung cancelled
+	// because the walk proved it could no longer be consumed.
+	KindSpecRung
+	KindSpecCancel
 )
 
 var kindNames = [...]string{
@@ -104,6 +116,9 @@ var kindNames = [...]string{
 	KindCancel:        "cancel",
 	KindDegrade:       "degrade",
 	KindRecover:       "recover",
+	KindPermMemo:      "perm-memo",
+	KindSpecRung:      "spec-rung",
+	KindSpecCancel:    "spec-cancel",
 }
 
 // String names the kind for exports and diagnostics.

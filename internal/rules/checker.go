@@ -25,36 +25,115 @@ func (c *Conflict) Error() string {
 // violation comes back as a Conflict naming the rule and both
 // claimants. The structural verifier and the cycle-accurate simulator
 // drive their checks through it.
+//
+// The bookkeeping mirrors Occupancy's epoch-stamped bitset layout: the
+// array-backed rules keep one claimed bit per resource (64 to a word,
+// each word epoch-stamped so Reset is O(1)) with the claim and its
+// description in parallel payload arrays, and the value-keyed RFWrite
+// rule keeps a live entry list truncated on Reset. Construct with
+// NewCycleStateFor to size the arrays for a machine up front;
+// NewCycleState grows them on demand.
 type CycleState struct {
-	claims map[cellKey]held
+	epoch int32
+	bits  [RFWrite][]uint64
+	wordE [RFWrite][]int32
+	cells [RFWrite][]heldCell
+	rfw   []rfwHeld
 }
 
-type cellKey struct {
-	rule Kind
-	res  int32
-	key  Value // RFWrite cells are per value instance
-}
-
-type held struct {
+type heldCell struct {
 	c    Claim
 	desc string
 }
 
-// NewCycleState returns an empty cycle.
-func NewCycleState() *CycleState {
-	return &CycleState{claims: make(map[cellKey]held)}
+type rfwHeld struct {
+	rf   int32
+	key  Value
+	c    Claim
+	desc string
+}
+
+// NewCycleState returns an empty cycle whose cell arrays grow on
+// demand (for callers without a machine at hand, e.g. rule unit tests).
+func NewCycleState() *CycleState { return &CycleState{epoch: 1} }
+
+// NewCycleStateFor returns an empty cycle with the cell arrays sized
+// for one machine, so checking allocates nothing beyond the RFWrite
+// entries it records.
+func NewCycleStateFor(m *machine.Machine) *CycleState {
+	cs := NewCycleState()
+	cs.size(Bus, len(m.Buses))
+	cs.size(ReadPort, len(m.ReadPorts))
+	cs.size(WritePort, len(m.WritePorts))
+	cs.size(FUInput, len(m.FUs)*MaxInputs)
+	return cs
+}
+
+// Reset clears the cycle in O(1): the epoch bump invalidates every
+// bitset word, and the RFWrite entry list is truncated.
+func (cs *CycleState) Reset() {
+	cs.epoch++
+	cs.rfw = cs.rfw[:0]
+}
+
+func (cs *CycleState) size(k Kind, n int) {
+	words := (n + 63) / 64
+	cs.bits[k] = make([]uint64, words)
+	cs.wordE[k] = make([]int32, words)
+	cs.cells[k] = make([]heldCell, n)
+}
+
+// ensure grows rule class k to cover resource index res (demand-grown
+// construction only; NewCycleStateFor sizes everything up front).
+func (cs *CycleState) ensure(k Kind, res int32) {
+	if int(res) < len(cs.cells[k]) {
+		return
+	}
+	n := int(res) + 1
+	cells := make([]heldCell, n)
+	copy(cells, cs.cells[k])
+	cs.cells[k] = cells
+	words := (n + 63) / 64
+	if words > len(cs.bits[k]) {
+		bits := make([]uint64, words)
+		copy(bits, cs.bits[k])
+		cs.bits[k] = bits
+		wordE := make([]int32, words)
+		copy(wordE, cs.wordE[k])
+		cs.wordE[k] = wordE
+	}
 }
 
 // add asserts one claim described by desc.
 func (cs *CycleState) add(cr ClaimRef, desc string) *Conflict {
-	key := cellKey{rule: cr.Rule, res: cr.Res, key: cr.Key}
-	if prev, busy := cs.claims[key]; busy {
-		if prev.c == cr.Claim {
+	if cr.Rule == RFWrite {
+		for i := range cs.rfw {
+			e := &cs.rfw[i]
+			if e.rf == cr.Res && e.key == cr.Key {
+				if e.c == cr.Claim {
+					return nil
+				}
+				return &Conflict{Rule: Table[cr.Rule], Res: cr.Res, Old: e.desc, New: desc}
+			}
+		}
+		cs.rfw = append(cs.rfw, rfwHeld{rf: cr.Res, key: cr.Key, c: cr.Claim, desc: desc})
+		return nil
+	}
+	cs.ensure(cr.Rule, cr.Res)
+	w, b := cr.Res>>6, uint64(1)<<uint(cr.Res&63)
+	if cs.wordE[cr.Rule][w] != cs.epoch {
+		cs.wordE[cr.Rule][w] = cs.epoch
+		cs.bits[cr.Rule][w] = 0
+	}
+	cell := &cs.cells[cr.Rule][cr.Res]
+	if cs.bits[cr.Rule][w]&b != 0 {
+		if cell.c == cr.Claim {
 			return nil
 		}
-		return &Conflict{Rule: Table[cr.Rule], Res: cr.Res, Old: prev.desc, New: desc}
+		return &Conflict{Rule: Table[cr.Rule], Res: cr.Res, Old: cell.desc, New: desc}
 	}
-	cs.claims[key] = held{c: cr.Claim, desc: desc}
+	cs.bits[cr.Rule][w] |= b
+	*cell = heldCell{c: cr.Claim, desc: desc}
 	return nil
 }
 

@@ -3,119 +3,180 @@ package rules
 import "repro/internal/machine"
 
 // Occupancy is the reusable occupancy state behind one cycle-permutation
-// solve. The array-backed rules (Bus, ReadPort, WritePort, FUInput) use
-// flat cells stamped with an epoch — bumped per solve, so resets are
-// O(1) — and the per-(register file, value instance) write-identity
-// rule uses a small map with epoch-stamped values. The DFS search
-// undoes placements through the Undo lists the place calls return. The
-// placement path allocates nothing and reports plain booleans; clients
-// that want explained conflicts use CycleState instead.
+// solve. Cell bookkeeping is epoch-stamped bitset words sized per
+// machine: each rule class keeps one claimed bit per resource, packed
+// 64 to a word, with a per-word epoch stamp — bumping the epoch on
+// Reset invalidates every word in O(1), and the first touch of a word
+// in a new epoch clears it. Claim payloads live in parallel flat
+// arrays, valid only while the resource's bit is set. The per-(register
+// file, value instance) write-identity rule — whose key space is value
+// instances, not a machine resource — uses a lazily grown append-only
+// entry list scanned linearly (a solve places only a handful of
+// writes), truncated on undo and on Reset; no map, no hashing, and no
+// allocation until the first RFWrite claim ever made through this
+// Occupancy. The DFS search undoes placements through the Undo lists
+// the place calls return. The placement path allocates nothing in
+// steady state and reports plain booleans; clients that want explained
+// conflicts use CycleState instead.
 type Occupancy struct {
-	epoch int32
-	cells [RFWrite][]cell // indexed by Kind for the array-backed rules
-	rfw   map[rfwKey]rfwVal
+	epoch  int32
+	bits   [RFWrite][]uint64 // claimed bit per resource, packed per word
+	wordE  [RFWrite][]int32  // epoch stamp per bits word
+	claims [RFWrite][]Claim  // payload per resource, live iff bit set
+	rfw    []rfwEntry        // live write-identity entries: rfw[:rfwLen]
+	rfwLen int
 }
 
-type cell struct {
-	epoch int32
-	c     Claim
-}
-
-type rfwKey struct {
+// rfwEntry is one live RFWrite claim: value instance val entered
+// register file rf through the (bus, port) pair recorded in c.
+type rfwEntry struct {
 	rf  int32
 	val Value
+	c   Claim
 }
 
-type rfwVal struct {
-	epoch int32
-	c     Claim
-}
-
-// Undo records one undoable placement.
+// Undo records one undoable placement: the rule class and, for the
+// array-backed rules, the resource whose bit to clear — for RFWrite,
+// the entry's index in the live list. Undo lists must be released in
+// stack order (each list a suffix of the placements made since it
+// started), which every solver path already observes; RFWrite undo
+// truncates the live list back past the entry.
 type Undo struct {
 	rule Kind
 	res  int32
-	key  rfwKey
-	old  rfwVal
-	had  bool
 }
 
-// NewOccupancy sizes the cell arrays for one machine.
+// NewOccupancy sizes the cell arrays for one machine. The rfw list is
+// deliberately not preallocated: it grows on the first write-identity
+// claim, so occupancies that only ever check reads cost nothing for it.
 func NewOccupancy(m *machine.Machine) *Occupancy {
-	o := &Occupancy{rfw: make(map[rfwKey]rfwVal)}
-	o.cells[Bus] = make([]cell, len(m.Buses))
-	o.cells[ReadPort] = make([]cell, len(m.ReadPorts))
-	o.cells[WritePort] = make([]cell, len(m.WritePorts))
-	o.cells[FUInput] = make([]cell, len(m.FUs)*MaxInputs)
+	o := &Occupancy{}
+	o.size(Bus, len(m.Buses))
+	o.size(ReadPort, len(m.ReadPorts))
+	o.size(WritePort, len(m.WritePorts))
+	o.size(FUInput, len(m.FUs)*MaxInputs)
 	return o
 }
 
-// Reset prepares the occupancy for a new solve.
-func (o *Occupancy) Reset() { o.epoch++ }
-
-// claim asserts one ClaimRef; it reports whether the stub fits (the
-// cell was free or identically shared) and, when this call newly
-// claimed the cell, the undo record releasing it on backtrack.
-func (o *Occupancy) claim(cr ClaimRef) (u Undo, fresh, ok bool) {
-	if cr.Rule == RFWrite {
-		key := rfwKey{rf: cr.Res, val: cr.Key}
-		cur, had := o.rfw[key]
-		if had && cur.epoch == o.epoch {
-			return u, false, cur.c == cr.Claim
-		}
-		o.rfw[key] = rfwVal{epoch: o.epoch, c: cr.Claim}
-		return Undo{rule: RFWrite, key: key, old: cur, had: had}, true, true
-	}
-	c := &o.cells[cr.Rule][cr.Res]
-	if c.epoch == o.epoch {
-		return u, false, c.c == cr.Claim
-	}
-	c.epoch = o.epoch
-	c.c = cr.Claim
-	return Undo{rule: cr.Rule, res: cr.Res}, true, true
+// size shapes one rule class for n resources.
+func (o *Occupancy) size(k Kind, n int) {
+	words := (n + 63) / 64
+	o.bits[k] = make([]uint64, words)
+	o.wordE[k] = make([]int32, words)
+	o.claims[k] = make([]Claim, n)
 }
 
-// place asserts a claim list in order, appending to undo. On conflict
-// it releases what this call claimed and reports failure.
-func (o *Occupancy) place(claims [3]ClaimRef, undo []Undo) ([]Undo, bool) {
+// Reset prepares the occupancy for a new solve.
+func (o *Occupancy) Reset() {
+	o.epoch++
+	o.rfwLen = 0
+}
+
+// claimCell asserts a claim described by its scalar parts on one
+// array-backed cell. It reports whether the stub fits (the cell was
+// free or identically shared) and whether this call newly claimed the
+// cell (so the caller appends the releasing undo record).
+func (o *Occupancy) claimCell(rule Kind, res int32, dk byte, driver, aux int32, v Value) (fresh, ok bool) {
+	w, b := res>>6, uint64(1)<<uint(res&63)
+	if o.wordE[rule][w] != o.epoch {
+		o.wordE[rule][w] = o.epoch
+		o.bits[rule][w] = 0
+	}
+	if o.bits[rule][w]&b != 0 {
+		c := &o.claims[rule][res]
+		return false, c.DriverKind == dk && c.Driver == driver && c.Aux == aux && c.Val == v
+	}
+	o.bits[rule][w] |= b
+	o.claims[rule][res] = Claim{DriverKind: dk, Driver: driver, Aux: aux, Val: v}
+	return true, true
+}
+
+// claimRFW asserts the per-(register file, value instance) write
+// identity: bus and port must agree exactly with any live entry for the
+// same (rf, val). The second result is the new entry's index, valid
+// only when fresh.
+func (o *Occupancy) claimRFW(rf int32, val Value, bus, port int32) (fresh bool, idx int32, ok bool) {
+	live := o.rfw[:o.rfwLen]
+	for i := range live {
+		e := &live[i]
+		if e.rf == rf && e.val == val {
+			return false, 0, e.c.Driver == bus && e.c.Aux == port
+		}
+	}
+	idx = int32(o.rfwLen)
+	if o.rfwLen < len(o.rfw) {
+		o.rfw[o.rfwLen] = rfwEntry{rf: rf, val: val, c: Claim{Driver: bus, Aux: port}}
+	} else {
+		o.rfw = append(o.rfw, rfwEntry{rf: rf, val: val, c: Claim{Driver: bus, Aux: port}})
+	}
+	o.rfwLen++
+	return true, idx, true
+}
+
+// PlaceWrite claims a write stub's resources for value instance v, in
+// check order: bus, then write port, then the per-RF write identity. It
+// returns the extended undo list and whether the stub fits; on conflict
+// it releases what this call claimed.
+func (o *Occupancy) PlaceWrite(stub machine.WriteStub, v Value, undo []Undo) ([]Undo, bool) {
 	start := len(undo)
-	for _, cr := range claims {
-		u, fresh, ok := o.claim(cr)
-		if !ok {
-			o.Undo(undo[start:])
-			return undo[:start], false
-		}
-		if fresh {
-			undo = append(undo, u)
-		}
+	if fresh, ok := o.claimCell(Bus, int32(stub.Bus), 'o', int32(stub.FU), 0, v); !ok {
+		return undo, false
+	} else if fresh {
+		undo = append(undo, Undo{rule: Bus, res: int32(stub.Bus)})
+	}
+	if fresh, ok := o.claimCell(WritePort, int32(stub.Port), 0, int32(stub.Bus), 0, v); !ok {
+		o.Undo(undo[start:])
+		return undo[:start], false
+	} else if fresh {
+		undo = append(undo, Undo{rule: WritePort, res: int32(stub.Port)})
+	}
+	if fresh, idx, ok := o.claimRFW(int32(stub.RF), v, int32(stub.Bus), int32(stub.Port)); !ok {
+		o.Undo(undo[start:])
+		return undo[:start], false
+	} else if fresh {
+		undo = append(undo, Undo{rule: RFWrite, res: idx})
 	}
 	return undo, true
 }
 
-// PlaceWrite claims a write stub's resources for value instance v. It
-// returns the extended undo list and whether the stub fits.
-func (o *Occupancy) PlaceWrite(stub machine.WriteStub, v Value, undo []Undo) ([]Undo, bool) {
-	return o.place(WriteClaims(stub, v), undo)
-}
-
 // PlaceRead claims a read stub's resources, including the unit input it
-// delivers into (opnd uniquely identifies the consuming operand).
+// delivers into (opnd uniquely identifies the consuming operand), in
+// check order: read port, then bus, then the unit input latch.
 func (o *Occupancy) PlaceRead(stub machine.ReadStub, v Value, opnd int32, undo []Undo) ([]Undo, bool) {
-	return o.place(ReadClaims(stub, v, opnd), undo)
+	start := len(undo)
+	if fresh, ok := o.claimCell(ReadPort, int32(stub.Port), 0, 0, 0, v); !ok {
+		return undo, false
+	} else if fresh {
+		undo = append(undo, Undo{rule: ReadPort, res: int32(stub.Port)})
+	}
+	if fresh, ok := o.claimCell(Bus, int32(stub.Bus), 'p', int32(stub.Port), 0, v); !ok {
+		o.Undo(undo[start:])
+		return undo[:start], false
+	} else if fresh {
+		undo = append(undo, Undo{rule: Bus, res: int32(stub.Bus)})
+	}
+	res := int32(stub.FU)*MaxInputs + int32(stub.Slot)
+	if fresh, ok := o.claimCell(FUInput, res, 0, 0, opnd, Value{}); !ok {
+		o.Undo(undo[start:])
+		return undo[:start], false
+	} else if fresh {
+		undo = append(undo, Undo{rule: FUInput, res: res})
+	}
+	return undo, true
 }
 
-// Undo releases the listed placements (in any order; cells are
-// independent).
+// Undo releases the listed placements. The list must be a suffix of the
+// placements made since it began (stack discipline): array-backed cells
+// release independently by clearing their bit, and RFWrite records
+// truncate the live entry list back to the smallest released index.
 func (o *Occupancy) Undo(list []Undo) {
 	for _, u := range list {
 		if u.rule == RFWrite {
-			if u.had {
-				o.rfw[u.key] = u.old
-			} else {
-				delete(o.rfw, u.key)
+			if int(u.res) < o.rfwLen {
+				o.rfwLen = int(u.res)
 			}
 			continue
 		}
-		o.cells[u.rule][u.res].epoch = 0
+		o.bits[u.rule][u.res>>6] &^= uint64(1) << uint(u.res&63)
 	}
 }

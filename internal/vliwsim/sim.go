@@ -180,10 +180,15 @@ func (sm *sim) run() error {
 	}
 	completions := make(map[int][]event)
 
+	// One CycleState, machine-sized, reset per cycle: the epoch-stamped
+	// bitset reset is O(1), so the per-cycle rules check allocates
+	// nothing once the entry list has grown to its high-water mark.
+	cs := rules.NewCycleStateFor(s.Machine)
+
 	for cycle := 0; cycle <= lastCycle; cycle++ {
 		// One rules-engine cycle checks every §4.2 sharing rule across
 		// this cycle's reads (issue phase) and writes (completion phase).
-		cs := rules.NewCycleState()
+		cs.Reset()
 		fuUse := make(map[machine.FUID]ir.OpID)
 		var stores []event
 
