@@ -9,10 +9,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/compile   compile a kernel (see the README "Serving" walkthrough)
-//	GET  /v1/status    operational snapshot (JSON)
-//	GET  /metrics      Prometheus text exposition
-//	GET  /healthz      liveness (503 while draining)
+//	POST /v1/compile         compile a kernel (see the README "Serving" walkthrough)
+//	GET  /v1/status          operational snapshot (JSON)
+//	GET  /metrics            Prometheus text exposition
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /debug/requests     flight-recorder ring: recent requests, newest first
+//	GET  /debug/requests/ID  captured Chrome-trace JSON for one request
+//
+// With -log-level the daemon emits one JSON access-log line per request
+// to stderr; -debug-addr serves net/http/pprof and a /debug/requests
+// mirror on a private side address; -trace-slow and -trace-errors arm
+// automatic full-trace capture into the flight recorder.
 //
 // On SIGTERM or SIGINT the daemon drains: it stops admitting compile
 // requests, gives in-flight compilations -drain-grace to finish, then
@@ -26,8 +33,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,9 +52,12 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// onListen, when set (tests), observes the bound address before the
-// server starts accepting.
-var onListen func(net.Addr)
+// onListen and onDebugListen, when set (tests), observe the bound
+// serving and debug addresses before the servers start accepting.
+var (
+	onListen      func(net.Addr)
+	onDebugListen func(net.Addr)
+)
 
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cschedd", flag.ContinueOnError)
@@ -59,6 +71,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	faults := fs.String("faults", "", "arm the deterministic fault-injection plane (testing), e.g. \"seed=7;site=pass,label=place,action=panic\"")
 	grace := fs.Duration("drain-grace", 10*time.Second, "how long in-flight compilations get to finish on shutdown before cooperative cancellation")
 	snapshot := fs.String("metrics-snapshot", "", "write a final JSON metrics snapshot to FILE after draining")
+	logLevel := fs.String("log-level", "", "emit one JSON access-log line per request to stderr at this level or above: debug, info, warn, error (empty disables)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof and a /debug/requests mirror on this side address (empty disables)")
+	flightRec := fs.Int("flight-recorder", 0, "flight-recorder ring size in requests (0 means 512, negative disables)")
+	traceSlow := fs.Duration("trace-slow", 0, "capture a full compiler trace for backing compilations at least this slow (0 disables)")
+	traceErrors := fs.Bool("trace-errors", false, "capture a full compiler trace for backing compilations that fail")
+	traceKeep := fs.Int("trace-keep", 0, "captured traces kept resident for /debug/requests/{id} (0 means 8)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,12 +85,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	var logger *slog.Logger
+	if *logLevel != "" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			fmt.Fprintln(stderr, "cschedd: -log-level:", err)
+			return 2
+		}
+		logger = slog.New(slog.NewJSONHandler(stderr, &slog.HandlerOptions{Level: lvl}))
+	}
+
 	cfg := daemon.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     *cacheBytes,
-		DefaultTimeout: *timeout,
-		Degrade:        *degrade,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheBytes:      *cacheBytes,
+		DefaultTimeout:  *timeout,
+		Degrade:         *degrade,
+		Logger:          logger,
+		RecorderEntries: *flightRec,
+		TraceKeep:       *traceKeep,
+		TraceSlow:       *traceSlow,
+		TraceErrors:     *traceErrors,
 	}
 	if *faults != "" {
 		plane, err := faultinject.ParseSpec(*faults)
@@ -93,6 +126,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		onListen(ln.Addr())
 	}
 	fmt.Fprintf(stdout, "cschedd: listening on %s\n", ln.Addr())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "cschedd: -debug-addr:", err)
+			return 1
+		}
+		debugSrv := &http.Server{Handler: debugMux(srv)}
+		go debugSrv.Serve(dln)
+		defer debugSrv.Close()
+		if onDebugListen != nil {
+			onDebugListen(dln.Addr())
+		}
+		fmt.Fprintf(stdout, "cschedd: debug endpoints on %s\n", dln.Addr())
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	served := make(chan error, 1)
@@ -123,6 +171,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintln(stdout, "cschedd: drained")
 	return 0
+}
+
+// debugMux builds the -debug-addr side server: the pprof family,
+// registered explicitly rather than through net/http/pprof's
+// DefaultServeMux side effects, plus a mirror of the daemon's
+// flight-recorder endpoints. The side address is meant to stay private
+// (localhost or an operations network) — pprof exposes heap and
+// execution internals that don't belong on the serving address.
+func debugMux(srv *daemon.Server) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/requests", srv)
+	mux.Handle("/debug/requests/", srv)
+	return mux
 }
 
 // writeSnapshot flushes the final metrics state as JSON.

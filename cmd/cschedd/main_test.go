@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -129,6 +131,7 @@ func TestUsageErrors(t *testing.T) {
 		"positional args": {"stray"},
 		"bad faults spec": {"-faults", "site=nowhere,action=panic"},
 		"empty faults":    {"-faults", "seed=7"},
+		"bad log level":   {"-log-level", "loud"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
@@ -137,6 +140,178 @@ func TestUsageErrors(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestDebugAddr boots with the observability plane armed — debug side
+// server, flight recorder, always-on slow-trace capture — and requires
+// the side address to serve pprof and the /debug/requests mirror,
+// including a captured Chrome trace for the compile it just served.
+func TestDebugAddr(t *testing.T) {
+	debugCh := make(chan net.Addr, 1)
+	onDebugListen = func(a net.Addr) { debugCh <- a }
+	t.Cleanup(func() { onDebugListen = nil })
+
+	base, stop := runDaemon(t, "-debug-addr", "127.0.0.1:0", "-trace-slow", "1ns")
+	defer stop()
+	var debugBase string
+	select {
+	case a := <-debugCh:
+		debugBase = "http://" + a.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("debug server did not listen")
+	}
+
+	resp, err := http.Post(base+"/v1/compile", "application/json",
+		strings.NewReader(`{"kernel": "fig4", "machine": "fig5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compile: %d", resp.StatusCode)
+	}
+	id := resp.Header.Get("X-Cschedd-Request-Id")
+	if id == "" {
+		t.Fatal("compile response carries no X-Cschedd-Request-Id")
+	}
+
+	resp, err = http.Get(debugBase + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ring struct {
+		Requests []struct {
+			ID    string `json:"id"`
+			Trace bool   `json:"trace"`
+		} `json:"requests"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ring)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(ring.Requests) == 0 {
+		t.Fatalf("/debug/requests: status %d err %v %+v", resp.StatusCode, err, ring)
+	}
+	if ring.Requests[0].ID != id || !ring.Requests[0].Trace {
+		t.Fatalf("newest record %+v, want id %s with trace", ring.Requests[0], id)
+	}
+
+	resp, err = http.Get(debugBase + "/debug/requests/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(trace, []byte("traceEvents")) {
+		t.Fatalf("/debug/requests/%s: status %d body %.120s", id, resp.StatusCode, trace)
+	}
+
+	resp, err = http.Get(debugBase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d", resp.StatusCode)
+	}
+}
+
+// TestDebugAddrBindFailure occupies the debug port first; the daemon
+// must report the bind error and exit 1.
+func TestDebugAddrBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { onListen = nil })
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(),
+		[]string{"-addr", "127.0.0.1:0", "-debug-addr", ln.Addr().String()}, &stdout, &stderr)
+	if code != 1 {
+		t.Errorf("exit %d, want 1\nstderr: %s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "-debug-addr") {
+		t.Errorf("no -debug-addr diagnostic on stderr: %q", &stderr)
+	}
+}
+
+// TestAccessLogFlag boots with -log-level info and requires a JSON log
+// line on stderr whose request ID matches the response header.
+func TestAccessLogFlag(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { onListen = nil })
+
+	var stdout, stderr syncBuffer
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, []string{"-addr", "127.0.0.1:0", "-log-level", "info"}, &stdout, &stderr)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon did not listen\nstderr: %s", stderr.String())
+	}
+
+	resp, err := http.Post("http://"+addr.String()+"/v1/compile", "application/json",
+		strings.NewReader(`{"kernel": "fig4", "machine": "fig5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Cschedd-Request-Id")
+
+	cancel()
+	<-code
+
+	var logged bool
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if line == "" {
+			continue
+		}
+		var entry struct {
+			Msg    string `json:"msg"`
+			ID     string `json:"id"`
+			Status int    `json:"status"`
+			Cache  string `json:"cache"`
+		}
+		if json.Unmarshal([]byte(line), &entry) != nil {
+			t.Errorf("stderr line is not JSON: %q", line)
+			continue
+		}
+		if entry.Msg == "request" && entry.ID == id {
+			logged = true
+			if entry.Status != 200 || entry.Cache != "miss" {
+				t.Errorf("log entry %+v, want status 200 cache miss", entry)
+			}
+		}
+	}
+	if !logged {
+		t.Fatalf("no access-log line for request %s\nstderr: %s", id, stderr.String())
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the daemon goroutine to write
+// while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 // TestListenFailure occupies the port first; the daemon must report the

@@ -216,6 +216,54 @@ type ErrorDetail struct {
 	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
+// StageSpan is one stage of a request's timeline as served by
+// /debug/requests: offsets and durations in fractional milliseconds
+// from the request's start.
+type StageSpan struct {
+	Name       string  `json:"name"`
+	StartMS    float64 `json:"start_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// RequestRecord is one flight-recorder ring entry: the request-scoped
+// observability record of a finished compile request. Unlike compile
+// response bodies, records are diagnostic and carry wall-clock times.
+type RequestRecord struct {
+	// Seq orders records across the ring's lifetime (monotonic).
+	Seq uint64 `json:"seq"`
+	// ID is the request's X-Cschedd-Request-Id; LeaderID, set on
+	// followers, names the request whose backing compilation this one
+	// collapsed onto.
+	ID       string `json:"id"`
+	LeaderID string `json:"leader_id,omitempty"`
+	Kernel   string `json:"kernel,omitempty"`
+	Machine  string `json:"machine,omitempty"`
+	// Key is the content-addressed cache key; empty when the request
+	// failed before one was derived.
+	Key    string `json:"key,omitempty"`
+	Status int    `json:"status"`
+	// Cache is the schedule-cache disposition: hit, miss, or join.
+	Cache     string `json:"cache,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
+	// Start is the request's arrival in RFC 3339 UTC; DurationMS the
+	// end-to-end latency; Stages the per-stage breakdown.
+	Start      string      `json:"start"`
+	DurationMS float64     `json:"duration_ms"`
+	Stages     []StageSpan `json:"stages,omitempty"`
+	// MemoHits and SpecCancelled are the search-effort counters spliced
+	// out of the backing compilation (zero on cache hits and joins).
+	MemoHits      int `json:"memo_hits,omitempty"`
+	SpecCancelled int `json:"spec_cancelled,omitempty"`
+	// Trace reports whether a full event trace was captured for this
+	// request: GET /debug/requests/{id} serves it as Chrome trace JSON.
+	Trace bool `json:"trace"`
+}
+
+// RequestsResponse is the GET /debug/requests body, newest first.
+type RequestsResponse struct {
+	Requests []RequestRecord `json:"requests"`
+}
+
 // StatusResponse is the GET /v1/status body.
 type StatusResponse struct {
 	Draining     bool  `json:"draining"`

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -50,6 +53,27 @@ type Config struct {
 	// Metrics is the registry to instrument into; nil builds a fresh
 	// one (Server.Metrics returns it).
 	Metrics *obs.Metrics
+	// Logger receives the structured access/error log: exactly one line
+	// per compile request, carrying the request ID, stage timeline, and
+	// outcome. nil disables logging (the library default; cmd/cschedd
+	// installs a JSON logger on stderr).
+	Logger *slog.Logger
+	// RecorderEntries sizes the flight-recorder ring behind
+	// GET /debug/requests; 0 means 512, negative disables the recorder
+	// entirely (the debug endpoints then 404).
+	RecorderEntries int
+	// TraceKeep caps how many captured full event traces stay resident
+	// (hard kernels trace millions of events); 0 means 8.
+	TraceKeep int
+	// TraceSlow, when positive, arms full obs.Recorder trace capture
+	// for backing compilations at least this slow; the trace is served
+	// by GET /debug/requests/{id} as Chrome trace JSON.
+	TraceSlow time.Duration
+	// TraceErrors arms full trace capture for backing compilations that
+	// fail. Tracing is passive (nil-Tracer zero-alloc and byte-identity
+	// guarantees hold with capture armed); the cost is memory while a
+	// traced compilation runs.
+	TraceErrors bool
 }
 
 // Server is the compilation service. Create with New, serve via
@@ -93,11 +117,42 @@ type Server struct {
 	// search) contribute nothing.
 	mMemoHits   *obs.Counter
 	mSpecCancel *obs.Counter
+	mTraces     *obs.Counter
 	gInflight   *obs.Gauge
 	gQueued     *obs.Gauge
 	gEntries    *obs.Gauge
 	gBytes      *obs.Gauge
 	hLatency    *obs.Histogram
+	// hRequest is the end-to-end request latency; hStages holds one
+	// histogram per request-pipeline stage, keyed by span name.
+	hRequest *obs.Histogram
+	hStages  map[string]*obs.Histogram
+
+	// Request-scoped observability: the access logger, the flight
+	// recorder behind /debug/requests, and the request-ID mint.
+	logger   *slog.Logger
+	recorder *flightRecorder
+	bootID   string
+	reqSeq   atomic.Uint64
+}
+
+// The stage names of the request timeline, in pipeline order. Each has
+// a matching cschedd_stage_<name>_seconds histogram.
+const (
+	stageResolve     = "resolve"
+	stageCacheProbe  = "cache-probe"
+	stageSFWait      = "singleflight-wait"
+	stageQueueWait   = "queue-wait"
+	stagePoolAcquire = "pool-acquire"
+	stageCompile     = "compile"
+	stageSerialize   = "serialize"
+)
+
+// requestStages lists every stage for metric registration and the
+// DESIGN.md taxonomy.
+var requestStages = []string{
+	stageResolve, stageCacheProbe, stageSFWait, stageQueueWait,
+	stagePoolAcquire, stageCompile, stageSerialize,
 }
 
 // retryAfterSeconds is the Retry-After hint on 429 responses.
@@ -147,12 +202,29 @@ func New(cfg Config) *Server {
 	s.mRejected = m.Counter("cschedd_rejected_total", "compile requests rejected by admission control (429)")
 	s.mMemoHits = m.Counter("cschedd_memo_hits_total", "permutation solves short-circuited by the infeasibility memo")
 	s.mSpecCancel = m.Counter("cschedd_spec_cancelled_total", "speculative interval rungs cancelled by lowest-II-wins")
+	s.mTraces = m.Counter("cschedd_traces_captured_total", "full event traces captured by the flight recorder")
 	s.gInflight = m.Gauge("cschedd_inflight", "backing compilations running now")
 	s.gQueued = m.Gauge("cschedd_queued", "admitted compilations waiting for a worker")
 	s.gEntries = m.Gauge("cschedd_cache_entries", "schedule cache entries resident")
 	s.gBytes = m.Gauge("cschedd_cache_bytes", "schedule cache bytes resident")
 	s.hLatency = m.Histogram("cschedd_compile_seconds", "backing compilation latency",
 		[]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+	s.hRequest = m.Histogram("cschedd_request_duration_seconds", "end-to-end compile request latency, cache hits and errors included",
+		[]float64{0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 30})
+	s.hStages = make(map[string]*obs.Histogram, len(requestStages))
+	for _, st := range requestStages {
+		name := "cschedd_stage_" + strings.ReplaceAll(st, "-", "_") + "_seconds"
+		s.hStages[st] = m.Histogram(name, "time spent in the "+st+" stage of the request pipeline",
+			[]float64{1e-6, 1e-5, 1e-4, 0.001, 0.01, 0.1, 0.5, 1, 5, 30})
+	}
+
+	s.logger = cfg.Logger
+	entries := cfg.RecorderEntries
+	if entries == 0 {
+		entries = 512
+	}
+	s.recorder = newFlightRecorder(entries, cfg.TraceKeep)
+	s.bootID = newBootID()
 	return s
 }
 
@@ -204,7 +276,7 @@ func (s *Server) Drain(ctx context.Context) {
 	s.cancel()
 }
 
-// ServeHTTP routes the server's four endpoints.
+// ServeHTTP routes the server's endpoints.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
 	case "/v1/compile":
@@ -224,7 +296,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		io.WriteString(w, "ok\n")
+	case "/debug/requests":
+		s.handleDebugRequests(w)
 	default:
+		if strings.HasPrefix(r.URL.Path, "/debug/requests/") {
+			s.handleDebugTrace(w, r.URL.Path)
+			return
+		}
 		s.jsonError(w, http.StatusNotFound, "not-found", fmt.Sprintf("no handler for %s", r.URL.Path))
 	}
 }
@@ -256,51 +334,71 @@ func (s *Server) handleStatus(w http.ResponseWriter) {
 }
 
 // handleCompile is the serving pipeline described in the package
-// comment: resolve, key, cache, singleflight, admission, compile.
+// comment: resolve, key, cache, singleflight, admission, compile —
+// every step span-stamped into the request's timeline, finished with
+// one access-log line and one flight-recorder record.
 func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	rm := &reqMeta{id: s.requestID(r), tl: obs.NewTimeline()}
+	w.Header().Set(RequestIDHeader, rm.id)
+	defer s.finishRequest(rm)
+
 	if !s.enter() {
-		s.jsonError(w, http.StatusServiceUnavailable, "draining", "server is draining; retry against a live replica")
+		s.serveError(w, rm, ErrorDetail{Status: http.StatusServiceUnavailable,
+			Kind: "draining", Reason: "server is draining; retry against a live replica"}, "")
 		return
 	}
 	defer s.inflight.Done()
 	s.mRequests.Inc()
 
+	sp := rm.tl.Begin(stageResolve)
 	req, k, m, opts, derr := s.resolve(r)
+	rm.tl.End(sp)
 	if derr != nil {
-		s.serveDetail(w, *derr, "")
+		s.serveError(w, rm, *derr, "")
 		return
 	}
+	rm.kernel, rm.machine = k.Name, m.Name
 
+	sp = rm.tl.Begin(stageCacheProbe)
 	key := Key(k, m, opts, req.Portfolio)
-	if body, ok := s.cache.get(key); ok {
+	body, hit := s.cache.get(key)
+	rm.tl.End(sp)
+	rm.key = key
+	if hit {
 		s.mHits.Inc()
-		s.serveBody(w, http.StatusOK, body, "hit")
+		s.serveOutcome(w, rm, outcome{status: http.StatusOK, body: body}, "hit")
 		return
 	}
 	s.mMisses.Inc()
 
-	f, leader := s.flights.join(key)
+	f, leader := s.flights.join(key, rm.id)
 	if !leader {
+		rm.leaderID = f.leaderID
+		sp = rm.tl.Begin(stageSFWait)
 		out, err := f.wait(r.Context())
+		rm.tl.End(sp)
 		if err != nil {
-			s.serveDetail(w, ctxDetail(err), "")
+			// The follower gave up before the leader published; it was
+			// still a join — a failed join and a failed miss are
+			// different situations, and the header says which.
+			s.serveError(w, rm, ctxDetail(err), "join")
 			return
 		}
-		s.serveBody(w, out.status, out.body, "join")
+		s.serveOutcome(w, rm, out, "join")
 		return
 	}
-	out := s.lead(r, key, f, req, k, m, opts)
-	state := "miss"
-	if out.status != http.StatusOK {
-		state = ""
-	}
-	s.serveBody(w, out.status, out.body, state)
+	out, state := s.lead(r, rm, key, f, req, k, m, opts)
+	s.serveOutcome(w, rm, out, state)
 }
 
 // lead runs the flight-leader side: admission control, the backing
 // compilation, cache fill, and flight completion. Whatever outcome it
-// returns has already been published to the flight's followers.
-func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileRequest, k *ir.Kernel, m *machine.Machine, opts core.Options) outcome {
+// returns has already been published to the flight's followers. The
+// second result is the cache disposition the leader serves: "hit" when
+// the double-checked probe found a concurrently finished flight's fill,
+// else "miss" — on error outcomes too, so operators can tell a failed
+// miss from a failed join.
+func (s *Server) lead(r *http.Request, rm *reqMeta, key string, f *flight, req *CompileRequest, k *ir.Kernel, m *machine.Machine, opts core.Options) (outcome, string) {
 	// A flight for this key may have completed between the cache probe
 	// and leadership: its leader fills the cache before retiring the
 	// flight, so re-probing here keeps "one compilation per key"
@@ -308,14 +406,17 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 	if body, ok := s.cache.get(key); ok {
 		out := outcome{status: http.StatusOK, body: body}
 		s.flights.finish(key, f, out)
-		return out
+		return out, "hit"
 	}
 
 	// Admission: a queue token covers the compilation from here to
 	// completion; none free means the backlog is full — shed load now.
+	sp := rm.tl.Begin(stageQueueWait)
 	select {
 	case s.queue <- struct{}{}:
+		rm.tl.End(sp)
 	default:
+		rm.tl.End(sp)
 		s.mRejected.Inc()
 		out := s.errorOutcome(http.StatusTooManyRequests, ErrorDetail{
 			Kind:        "overloaded",
@@ -323,18 +424,20 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 			RetryAfterS: retryAfterSeconds,
 		})
 		s.flights.finish(key, f, out)
-		return out
+		return out, "miss"
 	}
 	defer func() { <-s.queue }()
 
 	// Wait for a worker slot; the request context and drain can both
 	// abandon the wait.
 	s.gQueued.Add(1)
+	sp = rm.tl.Begin(stagePoolAcquire)
 	wctx, wcancel := context.WithCancel(r.Context())
 	stop := context.AfterFunc(s.baseCtx, wcancel)
 	acqErr := s.pool.Acquire(wctx)
 	stop()
 	wcancel()
+	rm.tl.End(sp)
 	s.gQueued.Add(-1)
 	if acqErr != nil {
 		cancelledWaiting := r.Context().Err()
@@ -343,7 +446,7 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 		}
 		out := s.errorOutcome(0, ctxDetail(cancelledWaiting))
 		s.flights.finish(key, f, out)
-		return out
+		return out, "miss"
 	}
 	defer s.pool.Release()
 
@@ -364,7 +467,17 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 
 	s.mCompiles.Inc()
 	s.gInflight.Add(1)
+	// Arm full trace capture when the flight recorder wants it: the
+	// Recorder is passive (byte-identity and determinism hold), and it
+	// is only retained when the compile errs or crosses the latency
+	// threshold — otherwise it is garbage the moment this frame returns.
+	var rec *obs.Recorder
+	if s.recorder != nil && (s.cfg.TraceErrors || s.cfg.TraceSlow > 0) {
+		rec = obs.NewRecorder()
+		opts.Tracer = rec
+	}
 	start := time.Now()
+	sp = rm.tl.Begin(stageCompile)
 	var (
 		sched *core.Schedule
 		err   error
@@ -379,17 +492,28 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 	} else {
 		sched, err = core.CompileContext(ctx, k, m, opts)
 	}
-	s.hLatency.Observe(time.Since(start).Seconds())
+	compileDur := time.Since(start)
+	rm.tl.End(sp)
+	s.hLatency.Observe(compileDur.Seconds())
 	s.gInflight.Add(-1)
+	if rec != nil && ((err != nil && s.cfg.TraceErrors) || (s.cfg.TraceSlow > 0 && compileDur >= s.cfg.TraceSlow)) {
+		s.recorder.capture(rm.id, rec)
+		rm.traced = true
+		s.mTraces.Inc()
+	}
 
 	var out outcome
 	if err != nil {
 		s.mErrors.Inc()
 		out = s.errorOutcome(HTTPStatus(err), compileDetail(err))
 	} else {
+		rm.memoHits = sched.Stats.MemoHits
+		rm.specCanc = sched.Stats.SpecCancelled
 		s.mMemoHits.Add(int64(sched.Stats.MemoHits))
 		s.mSpecCancel.Add(int64(sched.Stats.SpecCancelled))
+		sp = rm.tl.Begin(stageSerialize)
 		body, merr := json.Marshal(buildResponse(key, k, sched))
+		rm.tl.End(sp)
 		if merr != nil {
 			out = s.errorOutcome(http.StatusInternalServerError, ErrorDetail{Kind: "internal", Reason: merr.Error()})
 		} else {
@@ -402,7 +526,7 @@ func (s *Server) lead(r *http.Request, key string, f *flight, req *CompileReques
 		}
 	}
 	s.flights.finish(key, f, out)
-	return out
+	return out, "miss"
 }
 
 // resolve parses and validates a compile request into its kernel,
@@ -537,18 +661,28 @@ func (s *Server) errorOutcome(status int, d ErrorDetail) outcome {
 		d = ErrorDetail{Status: http.StatusInternalServerError, Kind: "internal", Reason: err.Error()}
 		body, _ = json.Marshal(ErrorBody{Error: d})
 	}
-	return outcome{status: d.Status, body: append(body, '\n')}
+	return outcome{status: d.Status, body: append(body, '\n'), kind: d.Kind}
 }
 
-// serveDetail writes an error detail as its JSON body.
-func (s *Server) serveDetail(w http.ResponseWriter, d ErrorDetail, cacheState string) {
-	out := s.errorOutcome(0, d)
+// serveOutcome stamps a finished outcome into the request's meta and
+// writes it to the wire.
+func (s *Server) serveOutcome(w http.ResponseWriter, rm *reqMeta, out outcome, cacheState string) {
+	rm.status = out.status
+	rm.cache = cacheState
+	rm.errKind = out.kind
 	s.serveBody(w, out.status, out.body, cacheState)
 }
 
-// jsonError writes a transport-level error shape.
+// serveError is serveOutcome for a bare error detail.
+func (s *Server) serveError(w http.ResponseWriter, rm *reqMeta, d ErrorDetail, cacheState string) {
+	s.serveOutcome(w, rm, s.errorOutcome(0, d), cacheState)
+}
+
+// jsonError writes a transport-level error shape (routing and method
+// errors; requests that never reached the compile pipeline).
 func (s *Server) jsonError(w http.ResponseWriter, status int, kind, reason string) {
-	s.serveDetail(w, ErrorDetail{Status: status, Kind: kind, Reason: reason}, "")
+	out := s.errorOutcome(0, ErrorDetail{Status: status, Kind: kind, Reason: reason})
+	s.serveBody(w, out.status, out.body, "")
 }
 
 // serveBody writes a finished outcome: JSON content type, the
@@ -557,7 +691,7 @@ func (s *Server) jsonError(w http.ResponseWriter, status int, kind, reason strin
 func (s *Server) serveBody(w http.ResponseWriter, status int, body []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	if cacheState != "" {
-		w.Header().Set("X-Cschedd-Cache", cacheState)
+		w.Header().Set(CacheStateHeader, cacheState)
 	}
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
@@ -575,7 +709,7 @@ func writeJSON(w http.ResponseWriter, status int, v any, cacheState string) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if cacheState != "" {
-		w.Header().Set("X-Cschedd-Cache", cacheState)
+		w.Header().Set(CacheStateHeader, cacheState)
 	}
 	w.WriteHeader(status)
 	w.Write(append(body, '\n'))

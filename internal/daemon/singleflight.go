@@ -13,17 +13,23 @@ import (
 // responses (status + body), so followers serve exactly the leader's
 // bytes.
 
-// outcome is one finished compile attempt as it will be served.
+// outcome is one finished compile attempt as it will be served. kind
+// names the error kind on non-2xx outcomes — logs and records want it
+// without re-parsing the marshalled body.
 type outcome struct {
 	status int
 	body   []byte // marshalled CompileResponse or ErrorBody
+	kind   string
 }
 
 // flight is one in-progress compilation; done is closed after out is
-// set.
+// set. leaderID is the leader request's X-Cschedd-Request-Id, recorded
+// at registration so every follower can correlate its own log line and
+// flight-recorder record with the one backing compilation.
 type flight struct {
-	done chan struct{}
-	out  outcome
+	done     chan struct{}
+	leaderID string
+	out      outcome
 }
 
 // flightGroup tracks in-progress flights by cache key.
@@ -33,8 +39,9 @@ type flightGroup struct {
 }
 
 // join returns the in-progress flight for key (leader false), or
-// registers a new one the caller must lead (leader true).
-func (g *flightGroup) join(key string) (f *flight, leader bool) {
+// registers a new one the caller must lead (leader true), stamping the
+// caller's request ID as the flight's leader identity.
+func (g *flightGroup) join(key, requestID string) (f *flight, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.m == nil {
@@ -43,7 +50,7 @@ func (g *flightGroup) join(key string) (f *flight, leader bool) {
 	if f, ok := g.m[key]; ok {
 		return f, false
 	}
-	f = &flight{done: make(chan struct{})}
+	f = &flight{done: make(chan struct{}), leaderID: requestID}
 	g.m[key] = f
 	return f, true
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"runtime"
 	"testing"
 	"time"
@@ -78,13 +80,25 @@ type soakResult struct {
 
 // replaySoak runs the full trace sequentially against a fresh server
 // and returns the (status, body) stream plus the server for draining.
+// The whole observability plane is armed — access logging, the flight
+// recorder, trace capture for errors and every compile — so the
+// byte-identity the soak proves is proved with the plane on.
 func replaySoak(t *testing.T) []soakResult {
 	t.Helper()
-	s := New(Config{Workers: 2, Faults: soakPlane()})
+	s := New(Config{
+		Workers:     2,
+		Faults:      soakPlane(),
+		Logger:      slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		TraceSlow:   time.Nanosecond,
+		TraceErrors: true,
+	})
 	ts := newLeakCheckedServer(t, s)
 	var out []soakResult
 	for _, req := range soakTrace(soakSeed) {
-		status, _, body := postCompile(t, ts, req)
+		status, hdr, body := postCompile(t, ts, req)
+		if hdr.Get(RequestIDHeader) == "" {
+			t.Errorf("soak response (status %d) missing %s", status, RequestIDHeader)
+		}
 		out = append(out, soakResult{status, body})
 	}
 	s.Drain(context.Background())

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -135,6 +137,12 @@ func (r *Metrics) Histogram(name, help string, uppers []float64) *Histogram {
 	return h
 }
 
+// helpEscaper escapes HELP text per the Prometheus text exposition
+// format: backslash and line feed are the only characters with escape
+// sequences in HELP (label values additionally escape quotes, but this
+// registry has no labels beyond histogram le).
+var helpEscaper = strings.NewReplacer("\\", `\\`, "\n", `\n`)
+
 // WriteText renders the registry in the Prometheus text exposition
 // format (version 0.0.4): HELP and TYPE comments, then one sample line
 // per instrument — histograms as cumulative _bucket series plus _sum
@@ -144,7 +152,7 @@ func (r *Metrics) WriteText(w io.Writer) error {
 	metrics := append([]*metric(nil), r.metrics...)
 	r.mu.Unlock()
 	for _, m := range metrics {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, helpEscaper.Replace(m.help), m.name, m.kind); err != nil {
 			return err
 		}
 		var err error
@@ -186,7 +194,10 @@ func (h *Histogram) writeText(w io.Writer, name string) error {
 
 // Snapshot returns the registry as a flat name → value map for JSON
 // flushes: counters and gauges by value, histograms as their count and
-// sum under name_count / name_sum.
+// sum under name_count / name_sum plus the full cumulative bucket
+// series under name_bucket (keyed by upper bound, "+Inf" last, the same
+// values the text exposition renders) — so a shutdown flush loses
+// nothing a live scrape would have had.
 func (r *Metrics) Snapshot() map[string]any {
 	r.mu.Lock()
 	metrics := append([]*metric(nil), r.metrics...)
@@ -200,6 +211,14 @@ func (r *Metrics) Snapshot() map[string]any {
 			out[m.name] = m.g.Value()
 		case "histogram":
 			m.h.mu.Lock()
+			buckets := make(map[string]int64, len(m.h.uppers)+1)
+			cum := int64(0)
+			for i, up := range m.h.uppers {
+				cum += m.h.counts[i]
+				buckets[strconv.FormatFloat(up, 'g', -1, 64)] = cum
+			}
+			buckets["+Inf"] = cum + m.h.counts[len(m.h.uppers)]
+			out[m.name+"_bucket"] = buckets
 			out[m.name+"_count"] = m.h.total
 			out[m.name+"_sum"] = m.h.sum
 			m.h.mu.Unlock()

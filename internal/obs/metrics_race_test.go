@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsExpositionGolden pins the full text exposition of a
+// populated registry byte for byte: ordering, HELP escaping, bucket
+// cumulation, and number formatting are all part of the scrape
+// contract.
+func TestMetricsExpositionGolden(t *testing.T) {
+	r := NewMetrics()
+	c := r.Counter("requests_total", "requests served")
+	g := r.Gauge("queue_depth", "admitted\nwaiting (path C:\\tmp)")
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.005, 0.25, 1})
+
+	c.Add(41)
+	c.Inc()
+	g.Set(3)
+	h.Observe(0.001)
+	h.Observe(0.1)
+	h.Observe(0.1)
+	h.Observe(2.5)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `# HELP requests_total requests served
+# TYPE requests_total counter
+requests_total 42
+# HELP queue_depth admitted\nwaiting (path C:\\tmp)
+# TYPE queue_depth gauge
+queue_depth 3
+# HELP latency_seconds request latency
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.005"} 1
+latency_seconds_bucket{le="0.25"} 3
+latency_seconds_bucket{le="1"} 3
+latency_seconds_bucket{le="+Inf"} 4
+latency_seconds_sum 2.701
+latency_seconds_count 4
+`
+	if b.String() != golden {
+		t.Errorf("exposition differs from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+// TestSnapshotBuckets pins that Snapshot carries the full cumulative
+// bucket series — the -metrics-snapshot shutdown flush must be lossless
+// against a live scrape — and that the whole snapshot survives a JSON
+// round-trip.
+func TestSnapshotBuckets(t *testing.T) {
+	r := NewMetrics()
+	h := r.Histogram("lat", "l", []float64{0.5, 2})
+	h.Observe(0.1)
+	h.Observe(1)
+	h.Observe(10)
+
+	snap := r.Snapshot()
+	buckets, ok := snap["lat_bucket"].(map[string]int64)
+	if !ok {
+		t.Fatalf("lat_bucket is %T, want map[string]int64", snap["lat_bucket"])
+	}
+	want := map[string]int64{"0.5": 1, "2": 2, "+Inf": 3}
+	for le, n := range want {
+		if buckets[le] != n {
+			t.Errorf("bucket le=%q = %d, want %d", le, buckets[le], n)
+		}
+	}
+	if len(buckets) != len(want) {
+		t.Errorf("bucket count %d, want %d: %v", len(buckets), len(want), buckets)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+// TestMetricsObserveWriteTextRace hammers Histogram.Observe from many
+// goroutines while others render the registry and take snapshots; run
+// under -race this pins the locking discipline of the registry, and the
+// final render must account for every observation.
+func TestMetricsObserveWriteTextRace(t *testing.T) {
+	r := NewMetrics()
+	h := r.Histogram("lat", "request latency", []float64{0.001, 0.01, 0.1, 1})
+	c := r.Counter("reqs", "requests")
+	g := r.Gauge("depth", "queue depth")
+
+	const (
+		writers      = 8
+		perWriter    = 5000
+		readerPasses = 200
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(float64(seed*j%7) / 50)
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}(i + 1)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < readerPasses; j++ {
+				if err := r.WriteText(io.Discard); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram lost observations: %d, want %d", got, writers*perWriter)
+	}
+	snap := r.Snapshot()
+	if snap["lat_bucket"].(map[string]int64)["+Inf"] != writers*perWriter {
+		t.Errorf("+Inf bucket %v, want %d", snap["lat_bucket"], writers*perWriter)
+	}
+	if snap["reqs"] != int64(writers*perWriter) {
+		t.Errorf("counter %v, want %d", snap["reqs"], writers*perWriter)
+	}
+}

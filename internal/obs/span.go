@@ -1,0 +1,99 @@
+package obs
+
+import "time"
+
+// This file is the request-scoped side of the observability layer: a
+// Timeline of named stage Spans stamped by a serving path (the daemon's
+// resolve → cache probe → singleflight wait → queue wait → pool acquire
+// → compile → serialize pipeline) so one request's latency can be
+// decomposed after the fact. Unlike the event schema above, spans use
+// wall time — they describe the serving process, not the deterministic
+// compilation, and they never enter a response body.
+//
+// A Timeline is deliberately tiny: no locking (one request is handled
+// by one goroutine at a time; hand-offs must synchronize externally),
+// no map, one slice that grows only past eight stages. A nil *Timeline
+// is the disabled state — every method no-ops — mirroring the
+// nil-Tracer convention, so instrumented paths need no branches beyond
+// the receiver check the method call already is.
+
+// Span is one named stage of a request timeline. Start and End are
+// offsets from the timeline's origin; End is zero while the span is
+// still open (and for the degenerate instant span, which Duration
+// reports as 0).
+type Span struct {
+	Name  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Duration is the span's extent, 0 for a span never closed.
+func (s Span) Duration() time.Duration {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Timeline records the stage spans of one request against a fixed
+// origin. The zero value is not usable; NewTimeline stamps the origin.
+type Timeline struct {
+	origin time.Time
+	spans  []Span
+	// backing is the initial inline storage: the daemon's request
+	// pipeline has seven stages, so the common case never allocates a
+	// second time.
+	backing [8]Span
+}
+
+// NewTimeline starts a timeline whose origin is now.
+func NewTimeline() *Timeline {
+	tl := &Timeline{origin: time.Now()}
+	tl.spans = tl.backing[:0]
+	return tl
+}
+
+// Begin opens a named span and returns its index (pass it to End).
+// On a nil timeline it returns -1, which End ignores.
+func (tl *Timeline) Begin(name string) int {
+	if tl == nil {
+		return -1
+	}
+	tl.spans = append(tl.spans, Span{Name: name, Start: time.Since(tl.origin)})
+	return len(tl.spans) - 1
+}
+
+// End closes the span at index i (as returned by Begin). Out-of-range
+// indices — including Begin's -1 on a disabled timeline — are ignored,
+// so Begin/End pairs need no nil checks of their own.
+func (tl *Timeline) End(i int) {
+	if tl == nil || i < 0 || i >= len(tl.spans) {
+		return
+	}
+	tl.spans[i].End = time.Since(tl.origin)
+}
+
+// Spans returns the recorded spans in Begin order. The slice aliases
+// the timeline's storage: read it only after the request finished.
+func (tl *Timeline) Spans() []Span {
+	if tl == nil {
+		return nil
+	}
+	return tl.spans
+}
+
+// Origin is the timeline's zero point in wall time.
+func (tl *Timeline) Origin() time.Time {
+	if tl == nil {
+		return time.Time{}
+	}
+	return tl.origin
+}
+
+// Elapsed is the time since the origin — the request's running total.
+func (tl *Timeline) Elapsed() time.Duration {
+	if tl == nil {
+		return 0
+	}
+	return time.Since(tl.origin)
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimelineSpans(t *testing.T) {
+	tl := NewTimeline()
+	a := tl.Begin("resolve")
+	tl.End(a)
+	b := tl.Begin("compile")
+	time.Sleep(time.Millisecond)
+	tl.End(b)
+	open := tl.Begin("serialize") // never closed
+
+	spans := tl.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "resolve" || spans[1].Name != "compile" || spans[2].Name != "serialize" {
+		t.Errorf("span names: %+v", spans)
+	}
+	if spans[1].Duration() < time.Millisecond {
+		t.Errorf("compile span duration %v, want >= 1ms", spans[1].Duration())
+	}
+	if spans[2].Duration() != 0 {
+		t.Errorf("open span duration %v, want 0", spans[2].Duration())
+	}
+	if spans[1].Start < spans[0].Start {
+		t.Errorf("spans out of order: %+v", spans)
+	}
+	if tl.Elapsed() < time.Millisecond {
+		t.Errorf("elapsed %v, want >= 1ms", tl.Elapsed())
+	}
+	if tl.Origin().IsZero() {
+		t.Error("origin is zero")
+	}
+	_ = open
+}
+
+// TestTimelineNilDisabled pins the nil-means-disabled convention: every
+// method on a nil timeline no-ops, and Begin's -1 feeds back into End
+// harmlessly.
+func TestTimelineNilDisabled(t *testing.T) {
+	var tl *Timeline
+	i := tl.Begin("anything")
+	if i != -1 {
+		t.Errorf("nil Begin = %d, want -1", i)
+	}
+	tl.End(i)
+	tl.End(99)
+	if tl.Spans() != nil {
+		t.Error("nil Spans not nil")
+	}
+	if tl.Elapsed() != 0 {
+		t.Error("nil Elapsed not 0")
+	}
+	if !tl.Origin().IsZero() {
+		t.Error("nil Origin not zero")
+	}
+}
+
+// TestTimelineEndOutOfRange pins that stray indices cannot corrupt the
+// timeline.
+func TestTimelineEndOutOfRange(t *testing.T) {
+	tl := NewTimeline()
+	i := tl.Begin("only")
+	tl.End(i + 7)
+	tl.End(-3)
+	if got := tl.Spans()[0].End; got != 0 {
+		t.Errorf("out-of-range End closed a span: %v", got)
+	}
+}
+
+// TestTimelineInlineStorage pins that the common stage count stays in
+// the inline backing array (one allocation for the Timeline itself).
+func TestTimelineInlineStorage(t *testing.T) {
+	tl := NewTimeline()
+	allocs := testing.AllocsPerRun(100, func() {
+		tl.spans = tl.backing[:0]
+		for i := 0; i < 7; i++ {
+			tl.End(tl.Begin("stage"))
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("7-stage timeline allocates %v times per request, want 0", allocs)
+	}
+}
