@@ -16,6 +16,13 @@
 //	GET  /debug/requests     flight-recorder ring: recent requests, newest first
 //	GET  /debug/requests/ID  captured Chrome-trace JSON for one request
 //
+// With -cache-dir the schedule cache gains a persistent disk tier:
+// compiled response bodies are written as checksummed frames via
+// temp-file + atomic rename (fsynced under -cache-fsync always), so a
+// restarted daemon serves warm keys with X-Cschedd-Cache: disk instead
+// of recompiling; torn or corrupt entries are quarantined as .bad files
+// and recompiled, never served.
+//
 // With -log-level the daemon emits one JSON access-log line per request
 // to stderr; -debug-addr serves net/http/pprof and a /debug/requests
 // mirror on a private side address; -trace-slow and -trace-errors arm
@@ -66,9 +73,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "bounded compile worker pool (0 means GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "admission queue depth beyond the workers (0 means 2x workers, negative means none)")
 	cacheBytes := fs.Int64("cache-bytes", 0, "schedule cache LRU byte budget (0 means 64 MiB)")
+	cacheDir := fs.String("cache-dir", "", "persistent disk cache directory: compiled schedules survive restarts (empty disables)")
+	cacheDiskBudget := fs.Int64("cache-disk-budget", 0, "disk cache byte budget (0 means 256 MiB)")
+	cacheFsync := fs.String("cache-fsync", "always", "disk cache durability: always (fsync every entry) or none (leave flushing to the OS)")
 	timeout := fs.Duration("timeout", 0, "default per-compilation deadline for requests naming none (0 means unbounded)")
 	degrade := fs.Bool("degrade", false, "arm the default graceful-degradation ladder for requests that do not choose one")
-	faults := fs.String("faults", "", "arm the deterministic fault-injection plane (testing), e.g. \"seed=7;site=pass,label=place,action=panic\"")
+	faults := fs.String("faults", "", "arm the deterministic fault-injection plane (testing), e.g. \"seed=7;site=pass,label=place,action=panic\" or \"seed=7;site=cache-read,action=torn,nth=1,every=3\"")
 	grace := fs.Duration("drain-grace", 10*time.Second, "how long in-flight compilations get to finish on shutdown before cooperative cancellation")
 	snapshot := fs.String("metrics-snapshot", "", "write a final JSON metrics snapshot to FILE after draining")
 	logLevel := fs.String("log-level", "", "emit one JSON access-log line per request to stderr at this level or above: debug, info, warn, error (empty disables)")
@@ -99,6 +109,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		CacheBytes:      *cacheBytes,
+		CacheDir:        *cacheDir,
+		CacheDiskBudget: *cacheDiskBudget,
+		CacheFsync:      *cacheFsync,
 		DefaultTimeout:  *timeout,
 		Degrade:         *degrade,
 		Logger:          logger,
@@ -115,7 +128,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		cfg.Faults = plane
 	}
-	srv := daemon.New(cfg)
+	srv, err := daemon.New(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "cschedd:", err)
+		return 2
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -132,6 +132,7 @@ func TestUsageErrors(t *testing.T) {
 		"bad faults spec": {"-faults", "site=nowhere,action=panic"},
 		"empty faults":    {"-faults", "seed=7"},
 		"bad log level":   {"-log-level", "loud"},
+		"bad fsync":       {"-cache-dir", os.TempDir(), "-cache-fsync", "sometimes"},
 	} {
 		t.Run(name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
@@ -312,6 +313,67 @@ func (s *syncBuffer) String() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.b.String()
+}
+
+// TestRestartRecovery is the persistence walkthrough as an operator
+// sees it: boot with -cache-dir, warm a key, shut down, boot a second
+// daemon over the same directory, and get the schedule back from disk —
+// X-Cschedd-Cache: disk, byte-identical body, no recompilation.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reqBody := `{"kernel": "fig4", "machine": "fig5"}`
+	compile := func(base string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/compile", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("compile: %d\n%s", resp.StatusCode, body)
+		}
+		return resp, body
+	}
+
+	base, stop := runDaemon(t, "-cache-dir", dir)
+	resp, cold := compile(base)
+	if cs := resp.Header.Get("X-Cschedd-Cache"); cs != "miss" {
+		t.Fatalf("cold compile cache state %q, want miss", cs)
+	}
+	if code := stop(); code != 0 {
+		t.Fatalf("first daemon exit %d", code)
+	}
+
+	base, stop = runDaemon(t, "-cache-dir", dir)
+	resp, warm := compile(base)
+	if cs := resp.Header.Get("X-Cschedd-Cache"); cs != "disk" {
+		t.Fatalf("restart cache state %q, want disk", cs)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("disk-recovered body differs\ncold: %s\nwarm: %s", cold, warm)
+	}
+
+	// The status snapshot agrees: one disk hit, zero compilations.
+	sresp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Compilations int64 `json:"compilations"`
+		DiskHits     int64 `json:"disk_hits"`
+	}
+	err = json.NewDecoder(sresp.Body).Decode(&st)
+	sresp.Body.Close()
+	if err != nil || st.DiskHits != 1 || st.Compilations != 0 {
+		t.Fatalf("restart status: err %v, %+v (want 1 disk hit, 0 compilations)", err, st)
+	}
+	if code := stop(); code != 0 {
+		t.Fatalf("second daemon exit %d", code)
+	}
 }
 
 // TestListenFailure occupies the port first; the daemon must report the

@@ -52,7 +52,11 @@ var daemonFixtures = []struct {
 // raw response body.
 func serveCompile(t *testing.T, req daemon.CompileRequest) []byte {
 	t.Helper()
-	ts := httptest.NewServer(daemon.New(daemon.Config{}))
+	srv, err := daemon.New(daemon.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	payload, err := json.Marshal(req)
 	if err != nil {

@@ -14,7 +14,11 @@
 //     scheduling configuration (see Key);
 //  3. serve a cache hit directly (the cache stores final response
 //     bodies, so a hit is byte-identical to the compile that filled
-//     it);
+//     it); with -cache-dir armed, a memory miss probes a persistent
+//     disk tier next — checksummed frames written via temp-file +
+//     atomic rename, so entries survive restarts, torn or corrupt
+//     frames are quarantined (renamed .bad, never served), and a disk
+//     hit is promoted into memory and served as X-Cschedd-Cache: disk;
 //  4. otherwise collapse concurrent identical requests into one backing
 //     compilation (singleflight) — only the flight leader passes
 //     admission control (bounded queue over a bounded worker pool;
@@ -242,7 +246,7 @@ type RequestRecord struct {
 	// failed before one was derived.
 	Key    string `json:"key,omitempty"`
 	Status int    `json:"status"`
-	// Cache is the schedule-cache disposition: hit, miss, or join.
+	// Cache is the schedule-cache disposition: hit, disk, miss, or join.
 	Cache     string `json:"cache,omitempty"`
 	ErrorKind string `json:"error_kind,omitempty"`
 	// Start is the request's arrival in RFC 3339 UTC; DurationMS the
@@ -264,7 +268,8 @@ type RequestsResponse struct {
 	Requests []RequestRecord `json:"requests"`
 }
 
-// StatusResponse is the GET /v1/status body.
+// StatusResponse is the GET /v1/status body. The disk_* fields are
+// present only when the persistent cache tier is armed (-cache-dir).
 type StatusResponse struct {
 	Draining     bool  `json:"draining"`
 	Inflight     int64 `json:"inflight"`
@@ -280,4 +285,13 @@ type StatusResponse struct {
 	CacheEntries int64 `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
 	CacheBudget  int64 `json:"cache_budget"`
+	// Disk-tier snapshot (zero / absent when the tier is off).
+	DiskDir       string `json:"disk_dir,omitempty"`
+	DiskEntries   int64  `json:"disk_entries,omitempty"`
+	DiskBytes     int64  `json:"disk_bytes,omitempty"`
+	DiskBudget    int64  `json:"disk_budget,omitempty"`
+	DiskHits      int64  `json:"disk_hits,omitempty"`
+	DiskMisses    int64  `json:"disk_misses,omitempty"`
+	DiskCorrupt   int64  `json:"disk_corrupt,omitempty"`
+	DiskEvictions int64  `json:"disk_evictions,omitempty"`
 }

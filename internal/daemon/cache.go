@@ -5,9 +5,9 @@ import (
 	"sync"
 )
 
-// cache is the schedule cache: finished response bodies keyed by the
-// content-addressed Key, held under an LRU byte budget. Bodies are
-// immutable once stored (get returns the stored slice; callers only
+// cache is the in-memory schedule cache: finished response bodies keyed
+// by the content-addressed Key, held under an LRU byte budget. Bodies
+// are immutable once stored (get returns the stored slice; callers only
 // write it to the wire), so a hit costs one map lookup and a list move.
 type cache struct {
 	mu     sync.Mutex
@@ -41,30 +41,40 @@ func (c *cache) get(key string) ([]byte, bool) {
 	return el.Value.(*centry).body, true
 }
 
-// put stores body under key, evicting least-recently-used entries until
-// the budget holds. A body larger than the whole budget is not cached
+// put stores body under key and returns how many entries the byte
+// budget evicted to make room. Storing over an existing key replaces
+// its body and charges only the size delta — a replacement is not an
+// eviction (the key never left the cache), so it contributes nothing to
+// the returned count. A body larger than the whole budget is not cached
 // at all (it would only evict everything and then miss anyway).
-func (c *cache) put(key string, body []byte) {
+func (c *cache) put(key string, body []byte) (evicted int) {
 	size := entrySize(key, body)
 	if size > c.budget {
-		return
+		return 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		// Identical keys produce identical bodies; just refresh.
+		// Identical keys normally carry identical bodies; when they do
+		// not (a disk-tier promotion racing a fresh fill, say), the
+		// replacement adjusts the accounting by the delta.
+		e := el.Value.(*centry)
+		c.bytes += size - entrySize(e.key, e.body)
+		e.body = body
 		c.ll.MoveToFront(el)
-		return
+	} else {
+		c.byKey[key] = c.ll.PushFront(&centry{key: key, body: body})
+		c.bytes += size
 	}
-	c.byKey[key] = c.ll.PushFront(&centry{key: key, body: body})
-	c.bytes += size
 	for c.bytes > c.budget {
 		back := c.ll.Back()
 		e := back.Value.(*centry)
 		c.ll.Remove(back)
 		delete(c.byKey, e.key)
 		c.bytes -= entrySize(e.key, e.body)
+		evicted++
 	}
+	return evicted
 }
 
 // stats reports entry count and resident bytes.

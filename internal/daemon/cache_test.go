@@ -1,0 +1,80 @@
+package daemon
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCacheReplacementIsNotEviction is the satellite regression test:
+// storing over a resident key adjusts the byte budget by the size
+// delta and reports zero evictions — the key never left the cache.
+func TestCacheReplacementIsNotEviction(t *testing.T) {
+	key := testKey(1)
+	small := []byte(strings.Repeat("a", 100))
+	large := []byte(strings.Repeat("b", 300))
+	c := newCache(entrySize(key, large) + 50)
+
+	if evicted := c.put(key, small); evicted != 0 {
+		t.Fatalf("first put evicted %d", evicted)
+	}
+	if _, bytes_ := c.stats(); bytes_ != entrySize(key, small) {
+		t.Fatalf("bytes %d after first put, want %d", bytes_, entrySize(key, small))
+	}
+
+	// Growing the body in place: delta charged, nothing evicted, new
+	// body served.
+	if evicted := c.put(key, large); evicted != 0 {
+		t.Fatalf("replacement evicted %d, want 0", evicted)
+	}
+	if entries, bytes_ := c.stats(); entries != 1 || bytes_ != entrySize(key, large) {
+		t.Fatalf("after replacement: %d entries, %d bytes, want 1, %d", entries, bytes_, entrySize(key, large))
+	}
+	if got, ok := c.get(key); !ok || !bytes.Equal(got, large) {
+		t.Fatalf("replacement did not take: ok=%v", ok)
+	}
+
+	// Shrinking credits the delta back.
+	c.put(key, small)
+	if _, bytes_ := c.stats(); bytes_ != entrySize(key, small) {
+		t.Fatalf("bytes %d after shrink, want %d", bytes_, entrySize(key, small))
+	}
+
+	// Genuine budget pressure still evicts — and a replacement that
+	// overflows the budget evicts colder keys, not the replaced one.
+	other := testKey(2)
+	c.put(other, small)
+	c.get(key) // key is now the warmer of the two
+	if evicted := c.put(key, large); evicted != 1 {
+		t.Fatalf("overflowing replacement evicted %d, want 1 (the cold key)", evicted)
+	}
+	if _, ok := c.get(other); ok {
+		t.Error("cold key survived the overflowing replacement")
+	}
+	if got, ok := c.get(key); !ok || !bytes.Equal(got, large) {
+		t.Error("replaced key was evicted by its own replacement")
+	}
+}
+
+// TestCacheEvictionMetricExcludesReplacement pins the server-level
+// accounting: cachePut bumps cschedd_cache_evictions_total only for
+// budget evictions, never for same-key replacement.
+func TestCacheEvictionMetricExcludesReplacement(t *testing.T) {
+	s := mustNew(t, Config{CacheBytes: 3 * entrySize(testKey(0), []byte(strings.Repeat("x", 100)))})
+	body := []byte(strings.Repeat("x", 100))
+
+	s.cachePut(testKey(0), body)
+	s.cachePut(testKey(0), body) // replacement
+	if got := s.mCacheEvict.Value(); got != 0 {
+		t.Fatalf("eviction metric %d after replacement, want 0", got)
+	}
+	s.cachePut(testKey(1), body)
+	s.cachePut(testKey(2), body)
+	s.cachePut(testKey(3), body) // overflows: evicts testKey(0)
+	if got := s.mCacheEvict.Value(); got != 1 {
+		t.Fatalf("eviction metric %d after budget overflow, want 1", got)
+	}
+	if got := s.gEntries.Value(); got != 3 {
+		t.Errorf("entries gauge %d, want 3", got)
+	}
+}

@@ -1,0 +1,437 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// The serving-plane chaos suite: seeded IO faults against the disk
+// cache tier, proved harmless by byte-identity against a faultless
+// reference run. The trace runs in segments, each segment a fresh
+// server over the same cache directory — a restart: the memory tier
+// starts cold, so every warm key crosses the disk tier, which is where
+// the faults live.
+
+const chaosSeed = 0xc4a05
+
+// chaosTrace derives a compile-heavy request trace from the seed. The
+// key space is small on purpose (fig4 × three machines × two budgets),
+// so later segments re-request keys earlier segments compiled and the
+// disk tier actually serves.
+func chaosTrace(seed uint64, n int) []any {
+	machines := []string{"fig5", "central", "distributed"}
+	perms := []int{0, 512}
+	trace := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		switch r := splitmix64(&seed) % 8; {
+		case r < 6:
+			trace = append(trace, CompileRequest{
+				Kernel:  "fig4",
+				Machine: machines[splitmix64(&seed)%3],
+				Options: &OptionsSpec{PermBudget: perms[splitmix64(&seed)%2]},
+			})
+		case r < 7: // invalid input -> 400; never touches the disk tier
+			trace = append(trace, CompileRequest{Kernel: "no-such-kernel"})
+		default: // schedule failure -> 422; errors are not cached
+			trace = append(trace, CompileRequest{
+				Kernel: "fig4", Machine: "fig5",
+				Options: &OptionsSpec{AttemptBudget: 1},
+			})
+		}
+	}
+	return trace
+}
+
+// chaosPlane arms the serving-plane IO faults for one chaos segment:
+// erroring, torn, and corrupt reads and writes, plus a delay, all on
+// deterministic counters.
+func chaosPlane(segment int) *faultinject.Plane {
+	return faultinject.New(int64(chaosSeed+segment),
+		faultinject.Rule{Site: faultinject.SiteCacheRead, Nth: 2, Every: 5, Action: faultinject.Err},
+		faultinject.Rule{Site: faultinject.SiteCacheRead, Nth: 3, Every: 7, Action: faultinject.Torn},
+		faultinject.Rule{Site: faultinject.SiteCacheRead, Nth: 1, Every: 3, Action: faultinject.Delay, Sleep: time.Millisecond},
+		faultinject.Rule{Site: faultinject.SiteCacheWrite, Nth: 2, Every: 4, Action: faultinject.Corrupt},
+		faultinject.Rule{Site: faultinject.SiteCacheWrite, Nth: 3, Every: 6, Action: faultinject.Err},
+	)
+}
+
+// chaosDiskTotals accumulates the disk-tier counters across segments.
+type chaosDiskTotals struct {
+	hits, corrupt, writeErrs int64
+}
+
+// replayChaos runs the trace in segments over one cache directory,
+// restarting the server between segments, and returns the (status,
+// body) stream. planeFor selects the segment's fault plane (nil for
+// the faultless reference run).
+func replayChaos(t *testing.T, dir string, segments int, planeFor func(int) *faultinject.Plane) ([]soakResult, chaosDiskTotals) {
+	t.Helper()
+	trace := chaosTrace(chaosSeed, 25*segments)
+	per := len(trace) / segments
+	var out []soakResult
+	var totals chaosDiskTotals
+	for seg := 0; seg < segments; seg++ {
+		s := mustNew(t, Config{
+			Workers:  2,
+			CacheDir: dir,
+			Faults:   planeFor(seg),
+			Logger:   slog.New(slog.NewJSONHandler(io.Discard, nil)),
+		})
+		ts := newLeakCheckedServer(t, s)
+		for _, req := range trace[seg*per : (seg+1)*per] {
+			status, hdr, body := postCompile(t, ts, req)
+			if cs := hdr.Get(CacheStateHeader); status == http.StatusOK && cs == "" {
+				t.Errorf("segment %d: 200 with no %s header", seg, CacheStateHeader)
+			}
+			out = append(out, soakResult{status, body})
+		}
+		totals.hits += s.disk.hits.Value()
+		totals.corrupt += s.disk.corrupt.Value()
+		totals.writeErrs += s.disk.writeErrs.Value()
+		s.Drain(context.Background())
+		ts.Close()
+	}
+	return out, totals
+}
+
+// TestChaosDiskFaults is the chaos gate: a segmented replay with
+// erroring, torn, and corrupt disk IO produces exactly the (status,
+// body) stream of the faultless replay — the disk tier may only change
+// where bytes come from, never which bytes — while the fault and
+// quarantine counters prove the faults actually fired and the disk
+// actually served.
+func TestChaosDiskFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	const segments = 4
+
+	clean, cleanTotals := replayChaos(t, t.TempDir(), segments, func(int) *faultinject.Plane { return nil })
+	chaos, chaosTotals := replayChaos(t, t.TempDir(), segments, chaosPlane)
+
+	if len(clean) != len(chaos) {
+		t.Fatalf("stream lengths differ: %d clean vs %d chaos", len(clean), len(chaos))
+	}
+	for i := range clean {
+		if clean[i].status != chaos[i].status {
+			t.Fatalf("request %d: status %d clean vs %d chaos\nclean: %s\nchaos: %s",
+				i, clean[i].status, chaos[i].status, clean[i].body, chaos[i].body)
+		}
+		if !bytes.Equal(clean[i].body, chaos[i].body) {
+			t.Fatalf("request %d (status %d): bodies diverge under disk faults\nclean: %s\nchaos: %s",
+				i, clean[i].status, clean[i].body, chaos[i].body)
+		}
+	}
+
+	// The suite must prove what it claims: the faultless run exercised
+	// the disk tier, and the chaos run both served from disk and hit
+	// every degradation path.
+	if cleanTotals.hits == 0 {
+		t.Error("faultless run never served from disk — the trace does not exercise restarts")
+	}
+	if chaosTotals.hits == 0 {
+		t.Error("chaos run never served from disk")
+	}
+	if chaosTotals.corrupt == 0 {
+		t.Error("chaos run never quarantined a corrupt entry")
+	}
+	if chaosTotals.writeErrs == 0 {
+		t.Error("chaos run never failed a disk write")
+	}
+	t.Logf("disk totals: clean hits=%d; chaos hits=%d corrupt=%d writeErrs=%d",
+		cleanTotals.hits, chaosTotals.hits, chaosTotals.corrupt, chaosTotals.writeErrs)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked across chaos drains: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDiskTierServesAcrossRestart pins the tentpole end to end: a key
+// compiled before a restart is served after it from the disk tier —
+// X-Cschedd-Cache: disk, byte-identical body — and the serve promotes
+// it back into memory.
+func TestDiskTierServesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := CompileRequest{Source: tinySource, Machine: "central"}
+
+	s1, ts1 := newTestServer(t, Config{CacheDir: dir})
+	status, hdr, cold := postCompile(t, ts1, req)
+	if status != http.StatusOK {
+		t.Fatalf("cold compile: %d\n%s", status, cold)
+	}
+	if cs := hdr.Get(CacheStateHeader); cs != "miss" {
+		t.Fatalf("cold compile cache state %q, want miss", cs)
+	}
+	s1.Drain(context.Background()) // waits for the async disk write
+	ts1.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scheds int
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), diskEntrySuffix) {
+			scheds++
+		}
+	}
+	if scheds != 1 {
+		t.Fatalf("%d .sched files after drain, want 1", scheds)
+	}
+
+	s2, ts2 := newTestServer(t, Config{CacheDir: dir})
+	status, hdr, warm := postCompile(t, ts2, req)
+	if status != http.StatusOK {
+		t.Fatalf("warm compile: %d\n%s", status, warm)
+	}
+	if cs := hdr.Get(CacheStateHeader); cs != "disk" {
+		t.Fatalf("restart cache state %q, want disk", cs)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("disk-served body differs from the compile that filled it\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if s2.mCompiles.Value() != 0 {
+		t.Errorf("restart recompiled %d times for a disk-resident key", s2.mCompiles.Value())
+	}
+
+	// The disk hit was promoted: the next probe is a memory hit.
+	status, hdr, again := postCompile(t, ts2, req)
+	if status != http.StatusOK || hdr.Get(CacheStateHeader) != "hit" {
+		t.Fatalf("post-promotion probe: status %d, cache %q, want 200 hit", status, hdr.Get(CacheStateHeader))
+	}
+	if !bytes.Equal(cold, again) {
+		t.Fatal("promoted body differs")
+	}
+}
+
+// TestKillRestartMidWrite pins crash recovery: the on-disk states a
+// kill can leave — a temp file that never got renamed, and a torn frame
+// renamed into place without its tail — never surface a partial entry.
+// The temp file is swept at boot; the torn frame is quarantined on
+// first read and the key recompiles to the exact reference bytes.
+func TestKillRestartMidWrite(t *testing.T) {
+	dir := t.TempDir()
+	req := CompileRequest{Source: tinySource, Machine: "central"}
+
+	// Reference bytes from an undisturbed server.
+	_, tsRef := newTestServer(t, Config{})
+	_, _, want := postCompile(t, tsRef, req)
+
+	// The torn frame needs the key the server would probe; derive it by
+	// compiling once into the directory, then truncating the entry —
+	// exactly what a kill between write and fsync leaves behind.
+	s0, ts0 := newTestServer(t, Config{CacheDir: dir})
+	if status, _, body := postCompile(t, ts0, req); status != http.StatusOK {
+		t.Fatalf("seed compile: %d\n%s", status, body)
+	}
+	s0.Drain(context.Background())
+	ts0.Close()
+	des, err := os.ReadDir(dir)
+	if err != nil || len(des) != 1 {
+		t.Fatalf("seed dir: %v entries, err %v", len(des), err)
+	}
+	entry := filepath.Join(dir, des[0].Name())
+	frame, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(entry, frame[:len(frame)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// And the other kill artifact: an orphaned temp file.
+	tmp := filepath.Join(dir, strings.TrimSuffix(des[0].Name(), diskEntrySuffix)+".99"+diskTempSuffix)
+	if err := os.WriteFile(tmp, frame[:10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, Config{CacheDir: dir})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("boot scan left the orphaned temp file (err=%v)", err)
+	}
+	status, hdr, body := postCompile(t, ts, req)
+	if status != http.StatusOK {
+		t.Fatalf("compile over torn entry: %d\n%s", status, body)
+	}
+	if cs := hdr.Get(CacheStateHeader); cs != "miss" {
+		t.Errorf("torn entry served as %q, want miss (recompile)", cs)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("recompiled body differs from reference\ngot:  %s\nwant: %s", body, want)
+	}
+	if s.disk.corrupt.Value() != 1 {
+		t.Errorf("corrupt counter %d, want 1", s.disk.corrupt.Value())
+	}
+	if _, err := os.Stat(entry + diskQuarantineExt); err != nil {
+		t.Errorf("torn entry not quarantined: %v", err)
+	}
+}
+
+// TestDrainWaitsForDiskWrites pins the drain-ladder overlap with the
+// disk tier: a SIGTERM (Drain) landing while an asynchronous cache
+// write is in flight waits for the write, leaks no goroutine, and
+// leaves a complete, servable entry on disk.
+func TestDrainWaitsForDiskWrites(t *testing.T) {
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	const stall = 150 * time.Millisecond
+	plane := faultinject.New(1, faultinject.Rule{
+		Site: faultinject.SiteCacheWrite, Nth: 1, Action: faultinject.Delay, Sleep: stall,
+	})
+	s := mustNew(t, Config{CacheDir: dir, Faults: plane})
+	ts := newLeakCheckedServer(t, s)
+
+	if status, _, body := postCompile(t, ts, CompileRequest{Source: tinySource, Machine: "central"}); status != http.StatusOK {
+		t.Fatalf("compile: %d\n%s", status, body)
+	}
+	// The response is on the wire but the disk write is still inside its
+	// injected stall: Drain must wait it out.
+	start := time.Now()
+	s.Drain(context.Background())
+	if waited := time.Since(start); waited < stall/2 {
+		t.Errorf("Drain returned in %v — it did not wait for the in-flight disk write (stall %v)", waited, stall)
+	}
+	ts.Close()
+
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry string
+	for _, de := range des {
+		if strings.HasSuffix(de.Name(), diskEntrySuffix) {
+			entry = filepath.Join(dir, de.Name())
+		}
+		if strings.HasSuffix(de.Name(), diskTempSuffix) {
+			t.Errorf("drain left a temp file: %s", de.Name())
+		}
+	}
+	if entry == "" {
+		t.Fatal("no .sched entry on disk after drain")
+	}
+	data, err := os.ReadFile(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeDiskEntry(data); err != nil {
+		t.Fatalf("entry written across drain does not verify: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked across drain: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatusReportsDiskTier pins the /v1/status disk fields and the
+// disk metrics names operators alert on.
+func TestStatusReportsDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{CacheDir: dir})
+	if status, _, body := postCompile(t, ts, CompileRequest{Source: tinySource, Machine: "central"}); status != http.StatusOK {
+		t.Fatalf("compile: %d\n%s", status, body)
+	}
+	s.diskWG.Wait() // the status snapshot below wants the write landed
+
+	_, stBody := get(t, ts, "/v1/status")
+	var st StatusResponse
+	if err := json.Unmarshal(stBody, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DiskDir != dir {
+		t.Errorf("status disk_dir %q, want %q", st.DiskDir, dir)
+	}
+	if st.DiskEntries != 1 || st.DiskBytes == 0 || st.DiskBudget != 256<<20 {
+		t.Errorf("status disk snapshot: entries=%d bytes=%d budget=%d", st.DiskEntries, st.DiskBytes, st.DiskBudget)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"cschedd_disk_hits_total", "cschedd_disk_misses_total",
+		"cschedd_disk_corrupt_total", "cschedd_disk_evictions_total",
+		"cschedd_disk_write_errors_total", "cschedd_disk_entries", "cschedd_disk_bytes",
+	} {
+		if !bytes.Contains(text, []byte(name)) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	// Memory-only servers must not grow disk fields.
+	_, ts2 := newTestServer(t, Config{})
+	_, st2Body := get(t, ts2, "/v1/status")
+	var st2 StatusResponse
+	if err := json.Unmarshal(st2Body, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if st2.DiskDir != "" || st2.DiskEntries != 0 {
+		t.Errorf("memory-only status carries disk fields: %+v", st2)
+	}
+}
+
+// TestNewRejectsBadDiskConfig pins the only two New failure modes.
+func TestNewRejectsBadDiskConfig(t *testing.T) {
+	if _, err := New(Config{CacheFsync: "sometimes"}); err == nil {
+		t.Error("unknown fsync policy accepted")
+	}
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{CacheDir: file}); err == nil {
+		t.Error("cache dir colliding with a file accepted")
+	}
+}
+
+// TestRetryAfterFor pins the backlog → Retry-After mapping satellite:
+// ceil(admitted/workers), clamped to [1, 30].
+func TestRetryAfterFor(t *testing.T) {
+	cases := []struct {
+		admitted, workers, want int
+	}{
+		{0, 4, 1},    // empty backlog still asks for a beat
+		{1, 4, 1},    // less than one generation
+		{4, 4, 1},    // exactly one generation
+		{5, 4, 2},    // one full generation plus one
+		{8, 4, 2},    // two generations
+		{9, 4, 3},    // ceil, not floor
+		{120, 4, 30}, // clamped at the ceiling
+		{500, 4, 30}, // stays clamped
+		{3, 0, 3},    // zero workers defends as one
+		{3, -2, 3},   // negative too
+	}
+	for _, c := range cases {
+		if got := retryAfterFor(c.admitted, c.workers); got != c.want {
+			t.Errorf("retryAfterFor(%d, %d) = %d, want %d", c.admitted, c.workers, got, c.want)
+		}
+	}
+}

@@ -36,9 +36,25 @@ type Config struct {
 	// beyond the worker pool; 0 means 2×Workers, negative means no
 	// queue at all (overflow as soon as every worker is busy).
 	QueueDepth int
-	// CacheBytes is the schedule cache's LRU byte budget; 0 means
-	// 64 MiB.
+	// CacheBytes is the in-memory schedule cache's LRU byte budget; 0
+	// means 64 MiB.
 	CacheBytes int64
+	// CacheDir, when non-empty, arms the persistent disk cache tier in
+	// that directory: compiled response bodies are written as
+	// checksummed frames via temp-file + atomic rename, survive
+	// restarts, and serve with X-Cschedd-Cache: disk. Empty keeps the
+	// daemon memory-only.
+	CacheDir string
+	// CacheDiskBudget is the disk tier's byte budget; 0 means 256 MiB.
+	// The startup scan evicts oldest-first down to the budget, so
+	// shrinking it across a restart is safe.
+	CacheDiskBudget int64
+	// CacheFsync is the disk tier's durability policy: "always" (the
+	// default; fsync the entry file and the directory on every write)
+	// or "none" (leave flushing to the OS — entries can be lost on
+	// power failure but can never be served torn: the frame checksum
+	// quarantines partial flushes).
+	CacheFsync string
 	// DefaultTimeout bounds compilations whose request names no
 	// timeout_ms; 0 means unbounded (drain can still cancel).
 	DefaultTimeout time.Duration
@@ -84,7 +100,12 @@ type Server struct {
 	queueDepth int
 
 	cache   *cache
+	disk    *diskStore // nil when CacheDir is empty
 	flights flightGroup
+	// diskWG tracks in-flight asynchronous disk-cache writes; Drain
+	// waits for it after the last request retires, so a SIGTERM racing
+	// a fill never tears an entry and never leaks the writer goroutine.
+	diskWG sync.WaitGroup
 	// queue is a token bucket: sending acquires, receiving releases; it
 	// caps admitted compilations (running + waiting). pool caps running
 	// ones — and is shared with portfolio races and speculative interval
@@ -118,6 +139,9 @@ type Server struct {
 	mMemoHits   *obs.Counter
 	mSpecCancel *obs.Counter
 	mTraces     *obs.Counter
+	// mCacheEvict counts in-memory LRU evictions; same-key replacements
+	// are deliberately not evictions (the key never left the cache).
+	mCacheEvict *obs.Counter
 	gInflight   *obs.Gauge
 	gQueued     *obs.Gauge
 	gEntries    *obs.Gauge
@@ -141,6 +165,7 @@ type Server struct {
 const (
 	stageResolve     = "resolve"
 	stageCacheProbe  = "cache-probe"
+	stageDiskProbe   = "disk-probe"
 	stageSFWait      = "singleflight-wait"
 	stageQueueWait   = "queue-wait"
 	stagePoolAcquire = "pool-acquire"
@@ -149,17 +174,40 @@ const (
 )
 
 // requestStages lists every stage for metric registration and the
-// DESIGN.md taxonomy.
+// DESIGN.md taxonomy. disk-probe is only recorded when the disk tier is
+// armed.
 var requestStages = []string{
-	stageResolve, stageCacheProbe, stageSFWait, stageQueueWait,
-	stagePoolAcquire, stageCompile, stageSerialize,
+	stageResolve, stageCacheProbe, stageDiskProbe, stageSFWait,
+	stageQueueWait, stagePoolAcquire, stageCompile, stageSerialize,
 }
 
-// retryAfterSeconds is the Retry-After hint on 429 responses.
-const retryAfterSeconds = 1
+// retryAfterFor maps the admission backlog at rejection time to the
+// Retry-After hint on a 429: the number of admitted compilations
+// (running + queued) divided by the worker pool width, rounded up, is
+// how many "generations" of work stand between the client and a free
+// worker. Clamped to [1, maxRetryAfterS] — a hint, not a forecast.
+func retryAfterFor(admitted, workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	s := (admitted + workers - 1) / workers
+	if s < 1 {
+		s = 1
+	}
+	if s > maxRetryAfterS {
+		s = maxRetryAfterS
+	}
+	return s
+}
 
-// New builds a Server from cfg.
-func New(cfg Config) *Server {
+// maxRetryAfterS caps the Retry-After hint; past this the client should
+// be balancing onto another replica, not sleeping longer.
+const maxRetryAfterS = 30
+
+// New builds a Server from cfg. It fails only on configuration that
+// cannot be defaulted: an unusable cache directory or an unknown fsync
+// policy.
+func New(cfg Config) (*Server, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -203,6 +251,7 @@ func New(cfg Config) *Server {
 	s.mMemoHits = m.Counter("cschedd_memo_hits_total", "permutation solves short-circuited by the infeasibility memo")
 	s.mSpecCancel = m.Counter("cschedd_spec_cancelled_total", "speculative interval rungs cancelled by lowest-II-wins")
 	s.mTraces = m.Counter("cschedd_traces_captured_total", "full event traces captured by the flight recorder")
+	s.mCacheEvict = m.Counter("cschedd_cache_evictions_total", "in-memory schedule cache entries evicted by the byte budget (replacements excluded)")
 	s.gInflight = m.Gauge("cschedd_inflight", "backing compilations running now")
 	s.gQueued = m.Gauge("cschedd_queued", "admitted compilations waiting for a worker")
 	s.gEntries = m.Gauge("cschedd_cache_entries", "schedule cache entries resident")
@@ -218,6 +267,23 @@ func New(cfg Config) *Server {
 			[]float64{1e-6, 1e-5, 1e-4, 0.001, 0.01, 0.1, 0.5, 1, 5, 30})
 	}
 
+	switch cfg.CacheFsync {
+	case "", "always", "none":
+	default:
+		return nil, fmt.Errorf("daemon: unknown cache fsync policy %q (want always or none)", cfg.CacheFsync)
+	}
+	if cfg.CacheDir != "" {
+		diskBudget := cfg.CacheDiskBudget
+		if diskBudget <= 0 {
+			diskBudget = 256 << 20
+		}
+		disk, err := newDiskStore(cfg.CacheDir, diskBudget, cfg.CacheFsync != "none", cfg.Faults, m)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+	}
+
 	s.logger = cfg.Logger
 	entries := cfg.RecorderEntries
 	if entries == 0 {
@@ -225,12 +291,39 @@ func New(cfg Config) *Server {
 	}
 	s.recorder = newFlightRecorder(entries, cfg.TraceKeep)
 	s.bootID = newBootID()
-	return s
+	return s, nil
 }
 
 // Metrics returns the server's registry (for /metrics siblings and
 // shutdown snapshots).
 func (s *Server) Metrics() *obs.Metrics { return s.metrics }
+
+// cachePut stores body in the in-memory tier and refreshes the cache
+// gauges and eviction counter. Replacing an existing key is not an
+// eviction and bumps nothing.
+func (s *Server) cachePut(key string, body []byte) {
+	if evicted := s.cache.put(key, body); evicted > 0 {
+		s.mCacheEvict.Add(int64(evicted))
+	}
+	entries, bytes := s.cache.stats()
+	s.gEntries.Set(int64(entries))
+	s.gBytes.Set(bytes)
+}
+
+// diskPut persists body asynchronously when the disk tier is armed. The
+// write is tracked by diskWG so Drain retires it before returning; it
+// is never cancelled — a frame is small and already has its bytes, so
+// finishing is both cheaper and safer than tearing.
+func (s *Server) diskPut(key string, body []byte) {
+	if s.disk == nil {
+		return
+	}
+	s.diskWG.Add(1)
+	go func() {
+		defer s.diskWG.Done()
+		s.disk.put(key, body)
+	}()
+}
 
 // enter admits one compile request into the drain-tracked set; it
 // fails once draining started.
@@ -274,6 +367,11 @@ func (s *Server) Drain(ctx context.Context) {
 		<-done
 	}
 	s.cancel()
+	// Disk fills are asynchronous but never cancelled: a write in
+	// flight when the signal lands completes (it is small and already
+	// has its bytes), so a drain leaves every entry whole on disk. No
+	// new writes can start — the last request already retired.
+	s.diskWG.Wait()
 }
 
 // ServeHTTP routes the server's endpoints.
@@ -330,6 +428,17 @@ func (s *Server) handleStatus(w http.ResponseWriter) {
 		CacheBytes:   bytes,
 		CacheBudget:  s.cache.budget,
 	}
+	if s.disk != nil {
+		dentries, dbytes := s.disk.stats()
+		resp.DiskDir = s.disk.dir
+		resp.DiskEntries = int64(dentries)
+		resp.DiskBytes = dbytes
+		resp.DiskBudget = s.disk.budget
+		resp.DiskHits = s.disk.hits.Value()
+		resp.DiskMisses = s.disk.misses.Value()
+		resp.DiskCorrupt = s.disk.corrupt.Value()
+		resp.DiskEvictions = s.disk.evictions.Value()
+	}
 	writeJSON(w, http.StatusOK, resp, "")
 }
 
@@ -368,6 +477,19 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.mHits.Inc()
 		s.serveOutcome(w, rm, outcome{status: http.StatusOK, body: body}, "hit")
 		return
+	}
+	if s.disk != nil {
+		// Second tier: a disk hit is promoted into memory (the next
+		// probe for this key is a memory hit) and served with the
+		// "disk" disposition so operators can see warm restarts work.
+		sp = rm.tl.Begin(stageDiskProbe)
+		dbody, dhit := s.disk.get(key)
+		rm.tl.End(sp)
+		if dhit {
+			s.cachePut(key, dbody)
+			s.serveOutcome(w, rm, outcome{status: http.StatusOK, body: dbody}, "disk")
+			return
+		}
 	}
 	s.mMisses.Inc()
 
@@ -410,7 +532,9 @@ func (s *Server) lead(r *http.Request, rm *reqMeta, key string, f *flight, req *
 	}
 
 	// Admission: a queue token covers the compilation from here to
-	// completion; none free means the backlog is full — shed load now.
+	// completion; none free means the backlog is full — shed load now,
+	// with a Retry-After hint scaled to the backlog actually in front
+	// of the client.
 	sp := rm.tl.Begin(stageQueueWait)
 	select {
 	case s.queue <- struct{}{}:
@@ -418,10 +542,11 @@ func (s *Server) lead(r *http.Request, rm *reqMeta, key string, f *flight, req *
 	default:
 		rm.tl.End(sp)
 		s.mRejected.Inc()
+		retryAfter := retryAfterFor(len(s.queue), s.workersN)
 		out := s.errorOutcome(http.StatusTooManyRequests, ErrorDetail{
 			Kind:        "overloaded",
-			Reason:      fmt.Sprintf("admission queue full (%d workers, depth %d); retry after %ds", s.workersN, s.queueDepth, retryAfterSeconds),
-			RetryAfterS: retryAfterSeconds,
+			Reason:      fmt.Sprintf("admission queue full (%d workers, depth %d); retry after %ds", s.workersN, s.queueDepth, retryAfter),
+			RetryAfterS: retryAfter,
 		})
 		s.flights.finish(key, f, out)
 		return out, "miss"
@@ -518,10 +643,8 @@ func (s *Server) lead(r *http.Request, rm *reqMeta, key string, f *flight, req *
 			out = s.errorOutcome(http.StatusInternalServerError, ErrorDetail{Kind: "internal", Reason: merr.Error()})
 		} else {
 			body = append(body, '\n')
-			s.cache.put(key, body)
-			entries, bytes := s.cache.stats()
-			s.gEntries.Set(int64(entries))
-			s.gBytes.Set(bytes)
+			s.cachePut(key, body)
+			s.diskPut(key, body)
 			out = outcome{status: http.StatusOK, body: body}
 		}
 	}
@@ -661,7 +784,7 @@ func (s *Server) errorOutcome(status int, d ErrorDetail) outcome {
 		d = ErrorDetail{Status: http.StatusInternalServerError, Kind: "internal", Reason: err.Error()}
 		body, _ = json.Marshal(ErrorBody{Error: d})
 	}
-	return outcome{status: d.Status, body: append(body, '\n'), kind: d.Kind}
+	return outcome{status: d.Status, body: append(body, '\n'), kind: d.Kind, retryAfter: d.RetryAfterS}
 }
 
 // serveOutcome stamps a finished outcome into the request's meta and
@@ -670,7 +793,7 @@ func (s *Server) serveOutcome(w http.ResponseWriter, rm *reqMeta, out outcome, c
 	rm.status = out.status
 	rm.cache = cacheState
 	rm.errKind = out.kind
-	s.serveBody(w, out.status, out.body, cacheState)
+	s.serveBody(w, out, cacheState)
 }
 
 // serveError is serveOutcome for a bare error detail.
@@ -681,23 +804,27 @@ func (s *Server) serveError(w http.ResponseWriter, rm *reqMeta, d ErrorDetail, c
 // jsonError writes a transport-level error shape (routing and method
 // errors; requests that never reached the compile pipeline).
 func (s *Server) jsonError(w http.ResponseWriter, status int, kind, reason string) {
-	out := s.errorOutcome(0, ErrorDetail{Status: status, Kind: kind, Reason: reason})
-	s.serveBody(w, out.status, out.body, "")
+	s.serveBody(w, s.errorOutcome(0, ErrorDetail{Status: status, Kind: kind, Reason: reason}), "")
 }
 
 // serveBody writes a finished outcome: JSON content type, the
 // schedule-cache disposition header on compile responses, and the
-// Retry-After hint on 429s.
-func (s *Server) serveBody(w http.ResponseWriter, status int, body []byte, cacheState string) {
+// Retry-After hint on 429s (from the outcome, so followers repeat the
+// leader's backlog-derived hint).
+func (s *Server) serveBody(w http.ResponseWriter, out outcome, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	if cacheState != "" {
 		w.Header().Set(CacheStateHeader, cacheState)
 	}
-	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	if out.status == http.StatusTooManyRequests {
+		ra := out.retryAfter
+		if ra < 1 {
+			ra = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
 	}
-	w.WriteHeader(status)
-	w.Write(body)
+	w.WriteHeader(out.status)
+	w.Write(out.body)
 }
 
 // writeJSON marshals v as the response body.

@@ -22,11 +22,21 @@ const tinySource = `kernel tiny {
 }
 `
 
+// mustNew builds a Server from cfg, failing the test on config errors.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // newTestServer starts an httptest server around a daemon built from
 // cfg and registers cleanup: drain, then close.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s := mustNew(t, cfg)
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)

@@ -94,7 +94,7 @@ func TestDegradePerRungCancellation(t *testing.T) {
 				Site: faultinject.SiteSolver,
 				Nth:  1, Every: 1, Action: faultinject.Delay, Sleep: 10 * time.Millisecond,
 			})
-			s := New(Config{Workers: 1, Faults: plane})
+			s := mustNew(t, Config{Workers: 1, Faults: plane})
 			ts := newLeakCheckedServer(t, s)
 
 			type result struct {

@@ -1,0 +1,70 @@
+package daemon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The on-disk frame of one schedule-cache entry. Every entry is a
+// single self-verifying file:
+//
+//	offset  0: magic "CSD1" (4 bytes)
+//	offset  4: body length, big-endian uint64 (8 bytes)
+//	offset 12: sha256 of the body (32 bytes)
+//	offset 44: body (a served response, newline included)
+//
+// The length frame and the checksum are redundant on purpose: a torn
+// write (crash mid-flush) fails the length check without hashing
+// anything, and silent media corruption fails the checksum. Either
+// failure quarantines the file — a frame that does not verify is never
+// served.
+
+const (
+	diskMagic         = "CSD1"
+	diskHeaderLen     = 4 + 8 + sha256.Size
+	diskEntrySuffix   = ".sched"
+	diskQuarantineExt = ".bad"
+	diskTempSuffix    = ".tmp"
+)
+
+// errDiskFrame distinguishes structural decode failures from the
+// filesystem errors around them.
+var errDiskFrame = errors.New("disk cache frame does not verify")
+
+// encodeDiskEntry frames body for disk. The returned buffer is freshly
+// allocated; body is not retained.
+func encodeDiskEntry(body []byte) []byte {
+	out := make([]byte, diskHeaderLen+len(body))
+	copy(out, diskMagic)
+	binary.BigEndian.PutUint64(out[4:12], uint64(len(body)))
+	sum := sha256.Sum256(body)
+	copy(out[12:diskHeaderLen], sum[:])
+	copy(out[diskHeaderLen:], body)
+	return out
+}
+
+// decodeDiskEntry verifies a frame and returns its body (aliasing
+// data). It never panics and never accepts a frame whose length or
+// checksum disagrees with the body — corrupt-accepted would mean
+// serving a damaged schedule, the one failure mode the disk tier must
+// exclude. Errors wrap errDiskFrame and say which check failed.
+func decodeDiskEntry(data []byte) ([]byte, error) {
+	if len(data) < diskHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", errDiskFrame, len(data), diskHeaderLen)
+	}
+	if string(data[:4]) != diskMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", errDiskFrame, data[:4])
+	}
+	bodyLen := binary.BigEndian.Uint64(data[4:12])
+	if bodyLen != uint64(len(data)-diskHeaderLen) {
+		return nil, fmt.Errorf("%w: frame says %d body bytes, file holds %d (torn write?)", errDiskFrame, bodyLen, len(data)-diskHeaderLen)
+	}
+	body := data[diskHeaderLen:]
+	sum := sha256.Sum256(body)
+	if string(sum[:]) != string(data[12:diskHeaderLen]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", errDiskFrame)
+	}
+	return body, nil
+}

@@ -1,0 +1,340 @@
+package daemon
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// diskStore is the persistent second tier under the in-memory schedule
+// cache: one self-verifying file per entry (see diskentry.go), named
+// <key>.sched in a flat directory, held under its own LRU byte budget.
+//
+// Durability rules:
+//
+//   - Writes are crash-safe: the frame lands in a <key>.<seq>.tmp file
+//     first (fsynced under the "always" policy) and is renamed into
+//     place atomically, so a reader — in this process or after a
+//     restart — sees either no entry or a complete frame. Leftover
+//     .tmp files are crash residue and are deleted by the startup scan.
+//   - Reads are paranoid: a frame that fails the length or checksum
+//     check is quarantined — renamed to <key>.sched.bad, counted in
+//     cschedd_disk_corrupt_total, and reported as a miss so the caller
+//     recompiles. A corrupt entry is never served and never silently
+//     deleted (the .bad file is the operator's evidence).
+//   - The startup scan rebuilds the index from the directory (warm
+//     restart), ordering recency by mtime and evicting the oldest
+//     entries until the byte budget holds. Entry bodies are verified
+//     lazily on first read, not during the scan — a million-entry cache
+//     must not stall boot on a full re-hash.
+//
+// The store serializes all operations behind one mutex: entries are a
+// few kilobytes and the callers are the post-compile fill (async) and
+// the cold-probe path, so lock hold times are dwarfed by compilation.
+type diskStore struct {
+	dir    string
+	budget int64
+	fsync  bool
+	faults *faultinject.Plane
+
+	mu     sync.Mutex
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	bytes  int64
+	tmpSeq uint64
+
+	hits, misses, corrupt, evictions, writeErrs *obs.Counter
+	gEntries, gBytes                            *obs.Gauge
+}
+
+// dentry is one disk-resident entry in the recency list: the key plus
+// the frame size charged against the budget.
+type dentry struct {
+	key  string
+	size int64
+}
+
+// newDiskStore opens (or creates) the cache directory, removes crash
+// residue, rebuilds the index, and evicts down to the byte budget.
+func newDiskStore(dir string, budget int64, fsync bool, faults *faultinject.Plane, m *obs.Metrics) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk cache: %w", err)
+	}
+	d := &diskStore{
+		dir:    dir,
+		budget: budget,
+		fsync:  fsync,
+		faults: faults,
+		ll:     list.New(),
+		byKey:  make(map[string]*list.Element),
+
+		hits:      m.Counter("cschedd_disk_hits_total", "compile requests served from the disk cache tier"),
+		misses:    m.Counter("cschedd_disk_misses_total", "disk cache probes that found no servable entry"),
+		corrupt:   m.Counter("cschedd_disk_corrupt_total", "disk cache entries quarantined for failing frame verification"),
+		evictions: m.Counter("cschedd_disk_evictions_total", "disk cache entries evicted by the byte budget"),
+		writeErrs: m.Counter("cschedd_disk_write_errors_total", "disk cache entry writes that failed (entry not persisted)"),
+		gEntries:  m.Gauge("cschedd_disk_entries", "disk cache entries resident"),
+		gBytes:    m.Gauge("cschedd_disk_bytes", "disk cache bytes resident"),
+	}
+	if err := d.scan(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// path is the final resting place of one entry.
+func (d *diskStore) path(key string) string {
+	return filepath.Join(d.dir, key+diskEntrySuffix)
+}
+
+// validCacheKey accepts exactly the hex sha256 shape Key produces — the
+// startup scan must not index stray files into the budget.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// scan rebuilds the index from the directory: .tmp files (a crash
+// between create and rename) are deleted, .bad files (quarantined
+// evidence) are left but never indexed, and well-named entries are
+// ordered by mtime and evicted oldest-first until the budget holds.
+func (d *diskStore) scan() error {
+	des, err := os.ReadDir(d.dir)
+	if err != nil {
+		return fmt.Errorf("disk cache: %w", err)
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	var found []scanned
+	for _, de := range des {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+		case strings.HasSuffix(name, diskTempSuffix):
+			// Crash residue: the rename never happened, so the entry was
+			// never promised to anyone.
+			os.Remove(filepath.Join(d.dir, name))
+		case strings.HasSuffix(name, diskQuarantineExt):
+		case strings.HasSuffix(name, diskEntrySuffix):
+			key := strings.TrimSuffix(name, diskEntrySuffix)
+			if !validCacheKey(key) {
+				continue
+			}
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			found = append(found, scanned{key, info.Size(), info.ModTime().UnixNano()})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].mtime != found[j].mtime {
+			return found[i].mtime < found[j].mtime
+		}
+		return found[i].key < found[j].key // total order for equal mtimes
+	})
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, f := range found { // ascending mtime: the newest ends up at the front
+		d.byKey[f.key] = d.ll.PushFront(&dentry{key: f.key, size: f.size})
+		d.bytes += f.size
+	}
+	for d.bytes > d.budget && d.ll.Len() > 0 {
+		d.evictBackLocked()
+	}
+	d.updateGaugesLocked()
+	return nil
+}
+
+// get returns the verified body for key, refreshing recency. Any
+// failure — injected or real, structural or filesystem — degrades to a
+// miss; frames that fail verification are quarantined first.
+func (d *diskStore) get(key string) ([]byte, bool) {
+	fault := d.faults.ProbeIO(faultinject.SiteCacheRead, key)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	el, ok := d.byKey[key]
+	if !ok {
+		d.misses.Inc()
+		return nil, false
+	}
+	if fault == faultinject.IOErr {
+		// A failed read is transient: the entry stays for the next probe.
+		d.misses.Inc()
+		return nil, false
+	}
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		// The file vanished under the index (operator cleanup, disk
+		// trouble): drop the entry and recompile.
+		d.removeLocked(el)
+		d.updateGaugesLocked()
+		d.misses.Inc()
+		return nil, false
+	}
+	switch fault {
+	case faultinject.IOTorn:
+		data = data[:len(data)/2]
+	case faultinject.IOCorrupt:
+		if len(data) > diskHeaderLen {
+			data[len(data)-1] ^= 0x40
+		}
+	}
+	body, derr := decodeDiskEntry(data)
+	if derr != nil {
+		d.quarantineLocked(el)
+		d.updateGaugesLocked()
+		d.misses.Inc()
+		return nil, false
+	}
+	d.ll.MoveToFront(el)
+	d.hits.Inc()
+	return body, true
+}
+
+// put persists body under key: frame, temp file, optional fsync, atomic
+// rename, then budget eviction. Write failures are counted and
+// swallowed — the disk tier is an accelerator, never a correctness
+// dependency, so a broken disk degrades the daemon to memory-only.
+func (d *diskStore) put(key string, body []byte) {
+	fault := d.faults.ProbeIO(faultinject.SiteCacheWrite, key)
+	if fault == faultinject.IOErr {
+		d.writeErrs.Inc()
+		return
+	}
+	frame := encodeDiskEntry(body)
+	switch fault {
+	case faultinject.IOTorn:
+		// The on-disk state of a crash mid-flush: a prefix of the frame
+		// at the final path. The next read must quarantine it.
+		frame = frame[:len(frame)/2]
+	case faultinject.IOCorrupt:
+		if len(frame) > diskHeaderLen {
+			frame[len(frame)-1] ^= 0x40
+		}
+	}
+	if int64(len(frame)) > d.budget {
+		return // would evict the whole tier and then miss anyway
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tmpSeq++
+	tmp := filepath.Join(d.dir, fmt.Sprintf("%s.%d%s", key, d.tmpSeq, diskTempSuffix))
+	if err := d.writeFile(tmp, frame); err != nil {
+		d.writeErrs.Inc()
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, d.path(key)); err != nil {
+		d.writeErrs.Inc()
+		os.Remove(tmp)
+		return
+	}
+	if d.fsync {
+		// Make the rename itself durable: without the directory fsync a
+		// power loss can forget the entry existed (safe — it was never
+		// torn, just absent).
+		if dirf, err := os.Open(d.dir); err == nil {
+			dirf.Sync()
+			dirf.Close()
+		}
+	}
+
+	size := int64(len(frame))
+	if el, ok := d.byKey[key]; ok {
+		// Replacement: charge the size delta, no eviction counted — the
+		// old frame was overwritten by the rename, not evicted.
+		e := el.Value.(*dentry)
+		d.bytes += size - e.size
+		e.size = size
+		d.ll.MoveToFront(el)
+	} else {
+		d.byKey[key] = d.ll.PushFront(&dentry{key: key, size: size})
+		d.bytes += size
+	}
+	for d.bytes > d.budget && d.ll.Len() > 0 {
+		d.evictBackLocked()
+	}
+	d.updateGaugesLocked()
+}
+
+// writeFile creates path exclusively, writes data, and fsyncs it under
+// the "always" policy before closing.
+func (d *diskStore) writeFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if d.fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// evictBackLocked removes the least-recently-used entry and its file.
+func (d *diskStore) evictBackLocked() {
+	el := d.ll.Back()
+	e := el.Value.(*dentry)
+	os.Remove(d.path(e.key))
+	d.removeLocked(el)
+	d.evictions.Inc()
+}
+
+// removeLocked drops an entry from the index without touching its file.
+func (d *diskStore) removeLocked(el *list.Element) {
+	e := el.Value.(*dentry)
+	d.ll.Remove(el)
+	delete(d.byKey, e.key)
+	d.bytes -= e.size
+}
+
+// quarantineLocked renames a failed entry to its .bad sibling and drops
+// it from the index. If even the rename fails the file is removed — a
+// frame that does not verify must never be probed again.
+func (d *diskStore) quarantineLocked(el *list.Element) {
+	e := el.Value.(*dentry)
+	path := d.path(e.key)
+	if err := os.Rename(path, path+diskQuarantineExt); err != nil {
+		os.Remove(path)
+	}
+	d.removeLocked(el)
+	d.corrupt.Inc()
+}
+
+func (d *diskStore) updateGaugesLocked() {
+	d.gEntries.Set(int64(d.ll.Len()))
+	d.gBytes.Set(d.bytes)
+}
+
+// stats reports entry count and resident bytes for /v1/status.
+func (d *diskStore) stats() (entries int, bytes int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ll.Len(), d.bytes
+}

@@ -1,0 +1,387 @@
+package daemon
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+// testKey builds a distinct, well-formed (64 hex chars) cache key.
+func testKey(n int) string { return fmt.Sprintf("%064x", n) }
+
+// newTestDisk builds a disk store over a fresh temp directory.
+func newTestDisk(t *testing.T, budget int64, faults *faultinject.Plane) *diskStore {
+	t.Helper()
+	d, err := newDiskStore(t.TempDir(), budget, false, faults, obs.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// reopen builds a second store over an existing directory, simulating a
+// daemon restart.
+func reopen(t *testing.T, d *diskStore, faults *faultinject.Plane) *diskStore {
+	t.Helper()
+	nd, err := newDiskStore(d.dir, d.budget, d.fsync, faults, obs.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nd
+}
+
+func TestDiskEntryRoundTrip(t *testing.T) {
+	for _, body := range [][]byte{nil, []byte{}, []byte("x"), bytes.Repeat([]byte("schedule"), 1000)} {
+		frame := encodeDiskEntry(body)
+		got, err := decodeDiskEntry(frame)
+		if err != nil {
+			t.Fatalf("decode(encode(%d bytes)): %v", len(body), err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("round trip of %d bytes mutated the body", len(body))
+		}
+	}
+}
+
+func TestDiskEntryRejectsDamage(t *testing.T) {
+	frame := encodeDiskEntry([]byte(`{"ii":3}` + "\n"))
+	damage := map[string][]byte{
+		"empty":        {},
+		"short-header": frame[:diskHeaderLen-1],
+		"torn-body":    frame[:len(frame)-3],
+		"bad-magic":    append([]byte("XXXX"), frame[4:]...),
+		"extra-bytes":  append(append([]byte{}, frame...), 'z'),
+	}
+	flipped := append([]byte{}, frame...)
+	flipped[len(flipped)-1] ^= 1
+	damage["flipped-body-byte"] = flipped
+	flippedSum := append([]byte{}, frame...)
+	flippedSum[20] ^= 1
+	damage["flipped-checksum-byte"] = flippedSum
+
+	for name, data := range damage {
+		if body, err := decodeDiskEntry(data); err == nil {
+			t.Errorf("%s: decoded %d body bytes, want error", name, len(body))
+		} else if !errors.Is(err, errDiskFrame) {
+			t.Errorf("%s: error %v does not wrap errDiskFrame", name, err)
+		}
+	}
+}
+
+// FuzzDiskEntry drives the frame decoder with arbitrary bytes (it must
+// never panic and never accept a frame whose checksum disagrees with
+// the body) and round-trips the input through the encoder.
+func FuzzDiskEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("CSD1"))
+	f.Add(encodeDiskEntry([]byte(`{"ii":3}` + "\n")))
+	f.Add(encodeDiskEntry(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if body, err := decodeDiskEntry(data); err == nil {
+			// Anything the decoder accepts must re-encode to the exact
+			// input frame: accepted frames are canonical.
+			if !bytes.Equal(encodeDiskEntry(body), data) {
+				t.Fatalf("accepted frame is not canonical (%d bytes)", len(data))
+			}
+		}
+		frame := encodeDiskEntry(data)
+		body, err := decodeDiskEntry(frame)
+		if err != nil {
+			t.Fatalf("decode(encode(...)): %v", err)
+		}
+		if !bytes.Equal(body, data) {
+			t.Fatal("round trip mutated the body")
+		}
+	})
+}
+
+func TestDiskStoreWriteReadRestart(t *testing.T) {
+	d := newTestDisk(t, 1<<20, nil)
+	key, body := testKey(1), []byte(`{"ii":3}`+"\n")
+
+	if _, ok := d.get(key); ok {
+		t.Fatal("hit on an empty store")
+	}
+	d.put(key, body)
+	got, ok := d.get(key)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("get after put: ok=%v body=%q", ok, got)
+	}
+	if d.hits.Value() != 1 || d.misses.Value() != 1 {
+		t.Errorf("hits=%d misses=%d, want 1/1", d.hits.Value(), d.misses.Value())
+	}
+
+	// A restart (fresh store, same directory) must serve the same bytes.
+	nd := reopen(t, d, nil)
+	got, ok = nd.get(key)
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("get after restart: ok=%v body=%q", ok, got)
+	}
+	if entries, bytes_ := nd.stats(); entries != 1 || bytes_ != int64(len(encodeDiskEntry(body))) {
+		t.Errorf("restart stats: %d entries, %d bytes", entries, bytes_)
+	}
+}
+
+func TestDiskStoreQuarantine(t *testing.T) {
+	d := newTestDisk(t, 1<<20, nil)
+	key, body := testKey(2), []byte(`{"ii":4}`+"\n")
+	d.put(key, body)
+
+	// Corrupt the file on disk behind the store's back.
+	path := d.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := d.get(key); ok {
+		t.Fatal("served a corrupt entry")
+	}
+	if d.corrupt.Value() != 1 {
+		t.Errorf("corrupt counter %d, want 1", d.corrupt.Value())
+	}
+	if _, err := os.Stat(path + diskQuarantineExt); err != nil {
+		t.Errorf("quarantine file missing: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("corrupt entry still at its serving path (err=%v)", err)
+	}
+	// The entry is gone from the index: further probes are plain misses.
+	if _, ok := d.get(key); ok {
+		t.Fatal("hit after quarantine")
+	}
+	if d.corrupt.Value() != 1 {
+		t.Errorf("second probe re-quarantined: corrupt=%d", d.corrupt.Value())
+	}
+
+	// A restart must not index the .bad file.
+	nd := reopen(t, d, nil)
+	if entries, _ := nd.stats(); entries != 0 {
+		t.Errorf("restart indexed %d entries over a quarantined dir", entries)
+	}
+}
+
+func TestDiskStoreInjectedFaults(t *testing.T) {
+	key, body := testKey(3), []byte(`{"ii":5}`+"\n")
+
+	t.Run("read-err-is-transient", func(t *testing.T) {
+		plane := faultinject.New(1, faultinject.Rule{
+			Site: faultinject.SiteCacheRead, Nth: 1, Action: faultinject.Err,
+		})
+		d := newTestDisk(t, 1<<20, plane)
+		d.put(key, body)
+		if _, ok := d.get(key); ok {
+			t.Fatal("hit through an injected read error")
+		}
+		// The rule fired only once (every=0): the entry survived and the
+		// next probe hits.
+		if got, ok := d.get(key); !ok || !bytes.Equal(got, body) {
+			t.Fatalf("entry did not survive a transient read error: ok=%v", ok)
+		}
+	})
+
+	t.Run("read-torn-quarantines", func(t *testing.T) {
+		plane := faultinject.New(1, faultinject.Rule{
+			Site: faultinject.SiteCacheRead, Nth: 1, Action: faultinject.Torn,
+		})
+		d := newTestDisk(t, 1<<20, plane)
+		d.put(key, body)
+		if _, ok := d.get(key); ok {
+			t.Fatal("served a torn read")
+		}
+		if d.corrupt.Value() != 1 {
+			t.Errorf("corrupt counter %d, want 1", d.corrupt.Value())
+		}
+	})
+
+	t.Run("write-err-drops-entry", func(t *testing.T) {
+		plane := faultinject.New(1, faultinject.Rule{
+			Site: faultinject.SiteCacheWrite, Nth: 1, Action: faultinject.Err,
+		})
+		d := newTestDisk(t, 1<<20, plane)
+		d.put(key, body)
+		if d.writeErrs.Value() != 1 {
+			t.Errorf("write error counter %d, want 1", d.writeErrs.Value())
+		}
+		if _, err := os.Stat(d.path(key)); !os.IsNotExist(err) {
+			t.Errorf("failed write left a file (err=%v)", err)
+		}
+		// The store still works after the transient: the next put lands.
+		d.put(key, body)
+		if got, ok := d.get(key); !ok || !bytes.Equal(got, body) {
+			t.Fatalf("put after write error: ok=%v", ok)
+		}
+	})
+
+	t.Run("write-torn-never-serves", func(t *testing.T) {
+		plane := faultinject.New(1, faultinject.Rule{
+			Site: faultinject.SiteCacheWrite, Nth: 1, Action: faultinject.Torn,
+		})
+		d := newTestDisk(t, 1<<20, plane)
+		d.put(key, body)
+		if _, ok := d.get(key); ok {
+			t.Fatal("served a torn write")
+		}
+		if d.corrupt.Value() != 1 {
+			t.Errorf("corrupt counter %d, want 1", d.corrupt.Value())
+		}
+		// A restart over the torn directory must also refuse it.
+		nd := reopen(t, d, nil)
+		if _, ok := nd.get(key); ok {
+			t.Fatal("restart served a torn write")
+		}
+	})
+
+	t.Run("write-corrupt-never-serves", func(t *testing.T) {
+		plane := faultinject.New(1, faultinject.Rule{
+			Site: faultinject.SiteCacheWrite, Nth: 1, Action: faultinject.Corrupt,
+		})
+		d := newTestDisk(t, 1<<20, plane)
+		d.put(key, body)
+		if _, ok := d.get(key); ok {
+			t.Fatal("served a corrupt write")
+		}
+		if d.corrupt.Value() != 1 {
+			t.Errorf("corrupt counter %d, want 1", d.corrupt.Value())
+		}
+	})
+}
+
+func TestDiskStoreEvictionAndReplacement(t *testing.T) {
+	body := []byte(strings.Repeat("x", 100))
+	frameSize := int64(len(encodeDiskEntry(body)))
+	d := newTestDisk(t, 3*frameSize, nil)
+
+	for i := 0; i < 3; i++ {
+		d.put(testKey(i), body)
+	}
+	if entries, _ := d.stats(); entries != 3 {
+		t.Fatalf("%d entries resident, want 3", entries)
+	}
+
+	// Replacing a resident key charges the delta, evicts nothing.
+	d.put(testKey(1), body)
+	if d.evictions.Value() != 0 {
+		t.Fatalf("replacement counted as eviction: %d", d.evictions.Value())
+	}
+	if entries, bytes_ := d.stats(); entries != 3 || bytes_ != 3*frameSize {
+		t.Fatalf("after replacement: %d entries, %d bytes", entries, bytes_)
+	}
+
+	// A fourth key exceeds the budget: the least-recently-used entry
+	// (key 0 — keys 1 and 2 were touched more recently) is evicted.
+	d.put(testKey(3), body)
+	if d.evictions.Value() != 1 {
+		t.Fatalf("evictions %d, want 1", d.evictions.Value())
+	}
+	if _, ok := d.get(testKey(0)); ok {
+		t.Error("evicted key still readable")
+	}
+	if _, err := os.Stat(d.path(testKey(0))); !os.IsNotExist(err) {
+		t.Errorf("evicted entry's file survived (err=%v)", err)
+	}
+	for _, k := range []int{1, 2, 3} {
+		if _, ok := d.get(testKey(k)); !ok {
+			t.Errorf("key %d missing after eviction of key 0", k)
+		}
+	}
+
+	// An over-budget body is refused outright.
+	d.put(testKey(9), bytes.Repeat(body, 10))
+	if _, ok := d.get(testKey(9)); ok {
+		t.Error("over-budget body was cached")
+	}
+}
+
+func TestDiskStoreScan(t *testing.T) {
+	d := newTestDisk(t, 1<<20, nil)
+	body := []byte(`{"ii":6}` + "\n")
+	d.put(testKey(1), body)
+
+	// Plant crash residue and stray files the scan must not index.
+	mustWrite := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(d.dir, name), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustWrite(testKey(2)+".12"+diskTempSuffix, []byte("partial"))
+	mustWrite(testKey(3)+diskEntrySuffix+diskQuarantineExt, []byte("quarantined"))
+	mustWrite("README.txt", []byte("not a cache entry"))
+	mustWrite("nothex"+strings.Repeat("0", 58)+diskEntrySuffix, encodeDiskEntry(body))
+
+	nd := reopen(t, d, nil)
+	if entries, _ := nd.stats(); entries != 1 {
+		t.Fatalf("scan indexed %d entries, want 1", entries)
+	}
+	if _, err := os.Stat(filepath.Join(d.dir, testKey(2)+".12"+diskTempSuffix)); !os.IsNotExist(err) {
+		t.Errorf("scan left crash residue behind (err=%v)", err)
+	}
+	if _, err := os.Stat(filepath.Join(d.dir, testKey(3)+diskEntrySuffix+diskQuarantineExt)); err != nil {
+		t.Errorf("scan deleted quarantine evidence: %v", err)
+	}
+	if got, ok := nd.get(testKey(1)); !ok || !bytes.Equal(got, body) {
+		t.Fatalf("scanned entry unreadable: ok=%v", ok)
+	}
+}
+
+func TestDiskStoreScanEvictsOldestFirst(t *testing.T) {
+	d := newTestDisk(t, 1<<20, nil)
+	body := []byte(strings.Repeat("y", 100))
+	frameSize := int64(len(encodeDiskEntry(body)))
+	for i := 0; i < 4; i++ {
+		d.put(testKey(i), body)
+		// Distinct mtimes, oldest first: the filesystem clock may be
+		// coarse, so stamp them explicitly.
+		mt := time.Unix(int64(1700000000+i*10), 0)
+		if err := os.Chtimes(d.path(testKey(i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen with room for only two frames: the two oldest go.
+	nd, err := newDiskStore(d.dir, 2*frameSize, false, nil, obs.NewMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.evictions.Value() != 2 {
+		t.Fatalf("scan evicted %d, want 2", nd.evictions.Value())
+	}
+	for _, k := range []int{0, 1} {
+		if _, ok := nd.get(testKey(k)); ok {
+			t.Errorf("old key %d survived the scan eviction", k)
+		}
+	}
+	for _, k := range []int{2, 3} {
+		if _, ok := nd.get(testKey(k)); !ok {
+			t.Errorf("recent key %d was evicted", k)
+		}
+	}
+}
+
+func TestValidCacheKey(t *testing.T) {
+	if !validCacheKey(testKey(7)) {
+		t.Error("rejected a well-formed key")
+	}
+	for _, bad := range []string{
+		"", "short", strings.Repeat("0", 63), strings.Repeat("0", 65),
+		strings.Repeat("G", 64), strings.Repeat("A", 64), // upper hex is not canonical
+		strings.Repeat("0", 63) + "/",
+	} {
+		if validCacheKey(bad) {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

@@ -23,7 +23,8 @@ import (
 const RequestIDHeader = "X-Cschedd-Request-Id"
 
 // CacheStateHeader reports the schedule-cache disposition of a compile
-// request: hit, miss, or join (collapsed onto another request's
+// request: hit (in-memory), disk (served from the persistent tier after
+// a memory miss), miss, or join (collapsed onto another request's
 // in-flight compilation). The header is emitted on error outcomes too —
 // a failed join and a failed miss are different operational situations.
 const CacheStateHeader = "X-Cschedd-Cache"
@@ -80,7 +81,7 @@ type reqMeta struct {
 	machine  string
 	key      string
 	status   int
-	cache    string // hit / miss / join; empty before a key exists
+	cache    string // hit / disk / miss / join; empty before a key exists
 	errKind  string
 	memoHits int
 	specCanc int

@@ -15,11 +15,14 @@ import (
 
 // outcome is one finished compile attempt as it will be served. kind
 // names the error kind on non-2xx outcomes — logs and records want it
-// without re-parsing the marshalled body.
+// without re-parsing the marshalled body. retryAfter carries the
+// Retry-After header seconds on 429s (computed from the backlog at
+// rejection time), so followers serve the same hint as the leader.
 type outcome struct {
-	status int
-	body   []byte // marshalled CompileResponse or ErrorBody
-	kind   string
+	status     int
+	body       []byte // marshalled CompileResponse or ErrorBody
+	kind       string
+	retryAfter int
 }
 
 // flight is one in-progress compilation; done is closed after out is

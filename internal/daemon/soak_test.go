@@ -85,7 +85,7 @@ type soakResult struct {
 // byte-identity the soak proves is proved with the plane on.
 func replaySoak(t *testing.T) []soakResult {
 	t.Helper()
-	s := New(Config{
+	s := mustNew(t, Config{
 		Workers:     2,
 		Faults:      soakPlane(),
 		Logger:      slog.New(slog.NewJSONHandler(io.Discard, nil)),

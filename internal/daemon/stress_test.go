@@ -148,7 +148,7 @@ func TestDrainCancelsInflight(t *testing.T) {
 		Site: faultinject.SiteSolver,
 		Nth:  1, Every: 1, Action: faultinject.Delay, Sleep: 5 * time.Millisecond,
 	})
-	s := New(Config{Workers: 1, Faults: plane})
+	s := mustNew(t, Config{Workers: 1, Faults: plane})
 	ts := newLeakCheckedServer(t, s)
 
 	type result struct {
@@ -196,7 +196,7 @@ func TestDrainCancelsInflight(t *testing.T) {
 func TestDrainLeaksNoGoroutines(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	s := New(Config{Workers: 2})
+	s := mustNew(t, Config{Workers: 2})
 	ts := newLeakCheckedServer(t, s)
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {

@@ -43,13 +43,23 @@ const (
 	// — a Panic proves rung isolation, an Exhaust forces the walk to
 	// recompute the rung inline.
 	SiteSpeculate
+	// SiteCacheRead fires when the daemon's disk cache tier reads an
+	// entry; the probe label is the cache key. It is an IO site: probed
+	// through ProbeIO, so Err/Torn/Corrupt rules apply.
+	SiteCacheRead
+	// SiteCacheWrite fires when the daemon's disk cache tier writes an
+	// entry; the probe label is the cache key. An IO site, like
+	// SiteCacheRead.
+	SiteCacheWrite
 )
 
 var siteNames = [...]string{
-	SitePass:      "pass",
-	SiteSolver:    "solver",
-	SitePortfolio: "portfolio",
-	SiteSpeculate: "speculate",
+	SitePass:       "pass",
+	SiteSolver:     "solver",
+	SitePortfolio:  "portfolio",
+	SiteSpeculate:  "speculate",
+	SiteCacheRead:  "cache-read",
+	SiteCacheWrite: "cache-write",
 }
 
 // String names the site for specs and diagnostics.
@@ -83,9 +93,24 @@ const (
 	// Delay sleeps Rule.Sleep before continuing — an artificial
 	// slow-down for cancellation-latency stress tests.
 	Delay
+	// Err makes an IO probe (ProbeIO) report a failed operation: the
+	// site behaves as if the read or write returned an error. Compile
+	// sites (Probe) ignore it.
+	Err
+	// Torn makes an IO write probe leave a truncated frame at the final
+	// path — the on-disk state of a crash mid-write — and an IO read
+	// probe observe one. Compile sites ignore it.
+	Torn
+	// Corrupt makes an IO probe flip a payload byte after the checksum
+	// was computed, so the entry decodes as checksum-mismatched.
+	// Compile sites ignore it.
+	Corrupt
 )
 
-var actionNames = [...]string{Panic: "panic", Exhaust: "exhaust", Delay: "delay"}
+var actionNames = [...]string{
+	Panic: "panic", Exhaust: "exhaust", Delay: "delay",
+	Err: "err", Torn: "torn", Corrupt: "corrupt",
+}
 
 // String names the action for specs and diagnostics.
 func (a Action) String() string {
@@ -198,8 +223,10 @@ func (r *Rule) fires(n uint64) bool {
 
 // Probe reports a probe of one site to the plane. It panics or sleeps
 // when a matching Panic/Delay rule fires, and returns true when an
-// Exhaust rule fires (the caller treats its budget as spent). A nil
-// plane does nothing and returns false.
+// Exhaust rule fires (the caller treats its budget as spent). The IO
+// actions (Err, Torn, Corrupt) never fire here — they still advance
+// their match counters, but shaping an IO operation needs ProbeIO. A
+// nil plane does nothing and returns false.
 func (p *Plane) Probe(site Site, label string) bool {
 	if p == nil {
 		return false
@@ -226,6 +253,64 @@ func (p *Plane) Probe(site Site, label string) bool {
 	return exhausted
 }
 
+// IOFault is what an IO probe (ProbeIO) tells its caller to simulate.
+type IOFault uint8
+
+const (
+	// IONone passes the operation through untouched.
+	IONone IOFault = iota
+	// IOErr fails the operation as if the filesystem returned an error.
+	IOErr
+	// IOTorn truncates the payload mid-frame: a write persists only a
+	// prefix, a read observes one.
+	IOTorn
+	// IOCorrupt flips a payload byte after checksumming, so the frame
+	// decodes as checksum-mismatched.
+	IOCorrupt
+)
+
+// ProbeIO reports an IO probe — a disk cache read or write — to the
+// plane and returns the fault the caller must simulate. Delay rules
+// sleep in place; Err/Torn/Corrupt return the matching IOFault (the
+// first firing rule in arming order wins, later matching rules still
+// advance their counters). Panic and Exhaust rules armed on an IO site
+// degrade to IOErr: the serving plane must never crash or misattribute
+// a budget, so the strongest honest translation is a failed operation.
+// A nil plane returns IONone.
+func (p *Plane) ProbeIO(site Site, label string) IOFault {
+	if p == nil {
+		return IONone
+	}
+	fault := IONone
+	for i := range p.rules {
+		r := &p.rules[i]
+		if r.Site != site || (r.Label != "" && r.Label != label) {
+			continue
+		}
+		n := r.count.Add(1)
+		if !r.Rule.fires(n) {
+			continue
+		}
+		switch r.Action {
+		case Delay:
+			time.Sleep(r.Sleep)
+		case Torn:
+			if fault == IONone {
+				fault = IOTorn
+			}
+		case Corrupt:
+			if fault == IONone {
+				fault = IOCorrupt
+			}
+		default: // Err, and Panic/Exhaust degraded to a failed operation
+			if fault == IONone {
+				fault = IOErr
+			}
+		}
+	}
+	return fault
+}
+
 // Rules returns a copy of the armed rules with seed-derived counts
 // resolved, for reports and tests.
 func (p *Plane) Rules() []Rule {
@@ -242,12 +327,15 @@ func (p *Plane) Rules() []Rule {
 // ParseSpec builds a plane from a textual fault specification: rules
 // separated by ';', each a comma-separated list of key=value fields:
 //
-//	site=pass|solver|portfolio   (required)
-//	label=NAME                   (optional; pass/variant name)
-//	action=panic|exhaust|delay   (required)
+//	site=pass|solver|portfolio|speculate|cache-read|cache-write  (required)
+//	label=NAME                   (optional; pass/variant name or cache key)
+//	action=panic|exhaust|delay|err|torn|corrupt                  (required)
 //	nth=N                        (optional; 0 derives from seed)
 //	every=N, until=N             (optional window, see Rule)
 //	sleep=DURATION               (delay action)
+//
+// The err/torn/corrupt actions shape IO sites (cache-read,
+// cache-write); compile sites ignore them.
 //
 // and an optional leading "seed=N" rule-position sets the seed, e.g.
 //

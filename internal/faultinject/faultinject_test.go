@@ -255,3 +255,109 @@ func TestParseSpecUnknownSiteMessage(t *testing.T) {
 		t.Errorf("unknown-site error does not name the site: %v", err)
 	}
 }
+
+// TestProbeIOActions pins the IO-site fault vocabulary: each action maps
+// to its IOFault, windows and labels filter as on compile sites, and a
+// nil plane is inert.
+func TestProbeIOActions(t *testing.T) {
+	var nilPlane *Plane
+	if nilPlane.ProbeIO(SiteCacheRead, "k") != IONone {
+		t.Fatal("nil plane shaped an IO probe")
+	}
+
+	for _, tc := range []struct {
+		action Action
+		want   IOFault
+	}{
+		{Err, IOErr},
+		{Torn, IOTorn},
+		{Corrupt, IOCorrupt},
+		// Panic and Exhaust on an IO site degrade to a failed operation:
+		// the serving plane must not crash.
+		{Panic, IOErr},
+		{Exhaust, IOErr},
+	} {
+		p := New(0, Rule{Site: SiteCacheWrite, Nth: 2, Action: tc.action})
+		if got := p.ProbeIO(SiteCacheWrite, "k"); got != IONone {
+			t.Errorf("%s: probe 1 = %v, want IONone", tc.action, got)
+		}
+		if got := p.ProbeIO(SiteCacheWrite, "k"); got != tc.want {
+			t.Errorf("%s: probe 2 = %v, want %v", tc.action, got, tc.want)
+		}
+		if got := p.ProbeIO(SiteCacheWrite, "k"); got != IONone {
+			t.Errorf("%s: probe 3 = %v, want IONone", tc.action, got)
+		}
+	}
+}
+
+// TestProbeIOLabelAndPrecedence pins key-labeled IO rules and the
+// first-armed-wins precedence when several IO rules fire on one probe.
+func TestProbeIOLabelAndPrecedence(t *testing.T) {
+	p := New(0, Rule{Site: SiteCacheRead, Label: "aaa", Nth: 1, Every: 1, Action: Corrupt})
+	if got := p.ProbeIO(SiteCacheRead, "bbb"); got != IONone {
+		t.Errorf("labeled rule fired on a different key: %v", got)
+	}
+	if got := p.ProbeIO(SiteCacheRead, "aaa"); got != IOCorrupt {
+		t.Errorf("labeled rule did not fire on its key: %v", got)
+	}
+
+	both := New(0,
+		Rule{Site: SiteCacheRead, Nth: 1, Every: 1, Action: Torn},
+		Rule{Site: SiteCacheRead, Nth: 1, Every: 1, Action: Err},
+	)
+	if got := both.ProbeIO(SiteCacheRead, "k"); got != IOTorn {
+		t.Errorf("overlapping IO rules: %v, want the first-armed IOTorn", got)
+	}
+	// The losing rule still advanced its counter: a Nth=2 window on it
+	// would fire next probe (counters are per rule, independent).
+	if got := both.ProbeIO(SiteCacheRead, "k"); got != IOTorn {
+		t.Errorf("second probe: %v, want IOTorn again (every=1)", got)
+	}
+}
+
+// TestCompileProbeIgnoresIOActions pins that the boolean Probe treats
+// err/torn/corrupt rules as inert (while still counting matches): a
+// compile site has no IO operation to shape.
+func TestCompileProbeIgnoresIOActions(t *testing.T) {
+	p := New(0, Rule{Site: SiteSolver, Nth: 1, Every: 1, Action: Corrupt})
+	for i := 0; i < 4; i++ {
+		if p.Probe(SiteSolver, "") {
+			t.Fatal("corrupt rule exhausted a compile site")
+		}
+	}
+}
+
+// TestParseSpecIOSites pins the textual names of the serving-plane
+// vocabulary.
+func TestParseSpecIOSites(t *testing.T) {
+	p, err := ParseSpec("seed=3;site=cache-read,action=corrupt,nth=2;site=cache-write,action=torn;site=cache-write,action=err,every=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := p.Rules()
+	if len(rs) != 3 {
+		t.Fatalf("got %d rules, want 3", len(rs))
+	}
+	if rs[0].Site != SiteCacheRead || rs[0].Action != Corrupt || rs[0].Nth != 2 {
+		t.Errorf("rule 0 = %+v", rs[0])
+	}
+	if rs[1].Site != SiteCacheWrite || rs[1].Action != Torn || rs[1].Nth == 0 {
+		t.Errorf("rule 1 = %+v (nth should be seed-derived)", rs[1])
+	}
+	if rs[2].Site != SiteCacheWrite || rs[2].Action != Err || rs[2].Every != 4 {
+		t.Errorf("rule 2 = %+v", rs[2])
+	}
+	// Round-trip the names through the String methods.
+	for _, site := range []Site{SiteCacheRead, SiteCacheWrite} {
+		got, ok := SiteByName(site.String())
+		if !ok || got != site {
+			t.Errorf("site %v does not round-trip through %q", site, site.String())
+		}
+	}
+	for _, a := range []Action{Err, Torn, Corrupt} {
+		got, ok := ActionByName(a.String())
+		if !ok || got != a {
+			t.Errorf("action %v does not round-trip through %q", a, a.String())
+		}
+	}
+}

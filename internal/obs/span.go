@@ -41,8 +41,8 @@ type Timeline struct {
 	origin time.Time
 	spans  []Span
 	// backing is the initial inline storage: the daemon's request
-	// pipeline has seven stages, so the common case never allocates a
-	// second time.
+	// pipeline has eight stages (at most seven on any one path), so the
+	// common case never allocates a second time.
 	backing [8]Span
 }
 
